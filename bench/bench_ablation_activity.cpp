@@ -1,0 +1,92 @@
+// Ablation (extension): measured switching activity vs the analytical
+// energy model.
+//
+// The cost model charges every cell one switching event per cycle and folds
+// reality into a calibrated activity/energy constant.  This bench measures
+// actual gate-level toggle energy of generated macros under random operands
+// and reports the effective activity factor — the quantity the calibration
+// absorbs — per design and per input sparsity.
+#include <cstdio>
+
+#include "cost/macro_model.h"
+#include "rtl/harness.h"
+#include "rtl/sim.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sega;
+
+double measure_activity(const DesignPoint& dp, double zero_fraction,
+                        std::uint64_t seed) {
+  const Technology tech = Technology::tsmc28();
+  const MacroMetrics model = evaluate_macro(tech, dp);
+  DcimHarness harness(dp);
+  const int bw = dp.precision.weight_bits();
+  const int bx = dp.precision.input_bits();
+  Rng rng(seed);
+
+  GateSim sim(harness.macro().netlist);
+  for (std::int64_t g = 0; g < harness.macro().groups; ++g) {
+    for (std::int64_t r = 0; r < dp.h; ++r) {
+      const std::uint64_t w =
+          static_cast<std::uint64_t>(rng.uniform_int(0, (1 << bw) - 1));
+      for (int j = 0; j < bw; ++j) {
+        sim.set_sram(harness.macro().sram_index(g * bw + j, r, 0),
+                     !((w >> j) & 1u));
+      }
+    }
+  }
+  sim.set_input("wsel", 0);
+  sim.begin_energy_trace();
+  int cycles = 0;
+  const std::uint64_t mask = (std::uint64_t{1} << bx) - 1;
+  for (int op = 0; op < 16; ++op) {
+    for (std::int64_t r = 0; r < dp.h; ++r) {
+      const bool zero = rng.chance(zero_fraction);
+      const std::uint64_t x =
+          zero ? 0
+               : static_cast<std::uint64_t>(rng.uniform_int(0, (1 << bx) - 1));
+      sim.set_input(strfmt("inb%lld", static_cast<long long>(r)), ~x & mask);
+    }
+    for (int c = 0; c < harness.macro().cycles; ++c) {
+      sim.set_input("slice", static_cast<std::uint64_t>(c));
+      sim.step();
+      ++cycles;
+    }
+  }
+  return sim.traced_energy(tech) / cycles / model.energy_gates;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sega;
+  std::printf(
+      "Measured gate-level switching activity vs the activity=1 model\n\n");
+  TextTable table({"design", "input zeros", "effective activity"});
+  for (const double sparsity : {0.0, 0.5, 0.9}) {
+    for (const auto& [pname, n, h, l, k] :
+         {std::tuple{"INT4", 16, 16, 4, 2}, {"INT8", 32, 8, 2, 4}}) {
+      DesignPoint dp;
+      dp.precision = *precision_from_name(pname);
+      dp.arch = ArchKind::kMulCim;
+      dp.n = n;
+      dp.h = h;
+      dp.l = l;
+      dp.k = k;
+      const double activity = measure_activity(dp, sparsity, 7);
+      table.add_row({dp.to_string(), strfmt("%.0f%%", sparsity * 100),
+                     strfmt("%.3f", activity)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nShape checks: activity < 1 always (the model is an upper envelope "
+      "the energy calibration absorbs),\nand it drops as input zeros "
+      "increase — the mechanism behind the paper's '10%% sparsity' "
+      "measurement point.\n");
+  return 0;
+}

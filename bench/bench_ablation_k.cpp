@@ -1,0 +1,48 @@
+// Ablation: the input bit-slice width k (Fig. 3, lower-left trade-off).
+//
+// "The smaller k is, the smaller the area of digital circuits in the DCIM
+// array.  However, the number of computation cycles Bx/k increases, which
+// in turn reduces the throughput."  This bench quantifies that trade-off on
+// the Fig. 6 geometry for INT8 and INT16.
+#include <cstdio>
+
+#include "cost/macro_model.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sega;
+  const Technology tech = Technology::tsmc28();
+
+  for (const char* pname : {"INT8", "INT16"}) {
+    const Precision precision = *precision_from_name(pname);
+    std::printf("k-sweep, %s, N=32 H=128 L=16\n\n", pname);
+    TextTable table({"k", "cycles", "area (mm^2)", "array-digital share",
+                     "delay (ns)", "TOPS", "TOPS/W"});
+    for (std::int64_t k = 1; k <= precision.input_bits(); k *= 2) {
+      DesignPoint dp;
+      dp.precision = precision;
+      dp.arch = ArchKind::kMulCim;
+      dp.n = 32;
+      dp.h = 128;
+      dp.l = 16;
+      dp.k = k;
+      const MacroMetrics m = evaluate_macro(tech, dp);
+      const double digital = m.area_breakdown.at("compute") +
+                             m.area_breakdown.at("adder_tree");
+      table.add_row({strfmt("%lld", static_cast<long long>(k)),
+                     strfmt("%lld", static_cast<long long>(m.cycles_per_input)),
+                     strfmt("%.4f", m.area_mm2),
+                     strfmt("%.0f%%", 100.0 * digital / m.area_gates),
+                     strfmt("%.3f", m.delay_ns),
+                     strfmt("%.3f", m.throughput_tops),
+                     strfmt("%.1f", m.tops_per_w)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape checks: area and throughput increase monotonically with k; "
+      "cycles = ceil(Bx/k) decrease.\n");
+  return 0;
+}

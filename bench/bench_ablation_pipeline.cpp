@@ -1,0 +1,70 @@
+// Ablation (extension): pipelined vs combinational adder trees.
+//
+// Registers between adder-tree levels shorten the clock period to roughly
+// one adder, raising throughput at a DFF/MUX area cost.  This bench
+// quantifies the trade-off over the Fig. 6 geometry family, plus the
+// wirelength impact of the extra cells.
+#include <cstdio>
+
+#include "cost/macro_model.h"
+#include "layout/wirelength.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sega;
+  const Technology tech = Technology::tsmc28();
+
+  std::printf("Pipelined adder-tree ablation (INT8, N=32 L=16, k=8)\n\n");
+  TextTable table({"H", "variant", "area (mm^2)", "clock (ns)", "TOPS",
+                   "TOPS/W", "TOPS/mm^2"});
+  for (std::int64_t h : {32, 128, 512}) {
+    for (const bool pipelined : {false, true}) {
+      DesignPoint dp;
+      dp.precision = precision_int8();
+      dp.arch = ArchKind::kMulCim;
+      dp.n = 32;
+      dp.h = h;
+      dp.l = 16;
+      dp.k = 8;
+      dp.pipelined_tree = pipelined;
+      const MacroMetrics m = evaluate_macro(tech, dp);
+      table.add_row({strfmt("%lld", static_cast<long long>(h)),
+                     pipelined ? "pipelined" : "combinational",
+                     strfmt("%.4f", m.area_mm2), strfmt("%.3f", m.delay_ns),
+                     strfmt("%.3f", m.throughput_tops),
+                     strfmt("%.1f", m.tops_per_w),
+                     strfmt("%.2f", m.tops_per_mm2)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Physical view on the small geometry: generated netlists, floorplans,
+  // wirelength.
+  std::printf("\nPhysical impact (H=32 geometry, generated + floorplanned)\n\n");
+  TextTable phys({"variant", "cells", "layout (mm^2)", "HPWL (mm)",
+                  "routing demand (um/um^2)"});
+  for (const bool pipelined : {false, true}) {
+    DesignPoint dp;
+    dp.precision = precision_int8();
+    dp.arch = ArchKind::kMulCim;
+    dp.n = 32;
+    dp.h = 32;
+    dp.l = 16;
+    dp.k = 8;
+    dp.pipelined_tree = pipelined;
+    const DcimMacro macro = build_dcim_macro(dp);
+    const MacroLayout layout = floorplan_macro(tech, macro);
+    const WirelengthReport wl = estimate_wirelength(layout, macro.netlist);
+    phys.add_row({pipelined ? "pipelined" : "combinational",
+                  strfmt("%zu", macro.netlist.cells().size()),
+                  strfmt("%.4f", layout.area_mm2),
+                  strfmt("%.2f", wl.total_um * 1e-3),
+                  strfmt("%.2f", wl.demand_um_per_um2)});
+  }
+  std::fputs(phys.render().c_str(), stdout);
+  std::printf(
+      "\nShape checks: pipelining raises throughput and area, shortens the "
+      "clock; deeper trees gain more.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Microbenchmarks of the estimation models (Tables II-VI) and the
+// generation path — the costs that bound the compiler's interactive loop.
+#include <benchmark/benchmark.h>
+
+#include "cost/macro_model.h"
+#include "layout/floorplan.h"
+#include "rtl/macro_builder.h"
+#include "rtl/verilog.h"
+
+namespace {
+
+using namespace sega;
+
+DesignPoint fig6(const char* precision_name) {
+  DesignPoint dp;
+  dp.precision = *precision_from_name(precision_name);
+  dp.arch = arch_for(dp.precision);
+  dp.n = 32;
+  dp.h = 128;
+  dp.l = 16;
+  dp.k = 8;
+  return dp;
+}
+
+void BM_EvaluateMacroInt(benchmark::State& state) {
+  const Technology tech = Technology::tsmc28();
+  const DesignPoint dp = fig6("INT8");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_macro(tech, dp));
+  }
+}
+BENCHMARK(BM_EvaluateMacroInt);
+
+void BM_EvaluateMacroFp(benchmark::State& state) {
+  const Technology tech = Technology::tsmc28();
+  const DesignPoint dp = fig6("BF16");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_macro(tech, dp));
+  }
+}
+BENCHMARK(BM_EvaluateMacroFp);
+
+void BM_BuildMacroNetlist(benchmark::State& state) {
+  DesignPoint dp = fig6("INT8");
+  dp.h = static_cast<std::int64_t>(state.range(0));
+  dp.l = 8192 * 8 / (dp.n * dp.h);  // keep Wstore fixed at 8K
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_dcim_macro(dp));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildMacroNetlist)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_WriteVerilog(benchmark::State& state) {
+  DesignPoint dp = fig6("INT8");
+  dp.h = 16;
+  dp.l = 32;
+  const DcimMacro macro = build_dcim_macro(dp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(write_verilog(macro.netlist));
+  }
+}
+BENCHMARK(BM_WriteVerilog);
+
+void BM_Floorplan(benchmark::State& state) {
+  const Technology tech = Technology::tsmc28();
+  DesignPoint dp = fig6("INT8");
+  dp.h = 16;
+  dp.l = 32;
+  const DcimMacro macro = build_dcim_macro(dp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(floorplan_macro(tech, macro));
+  }
+}
+BENCHMARK(BM_Floorplan);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// §IV runtime reproduction: "the MOGA-based design exploration for a
+// particular array size and computing precision can be finished in 30
+// minutes" on the authors' Xeon server.  Our design space is evaluated with
+// closed-form models, so full NSGA-II runs complete in milliseconds; this
+// google-benchmark binary reports the actual cost per configuration, plus
+// the exhaustive-enumeration baseline.
+#include <benchmark/benchmark.h>
+
+#include "dse/explorer.h"
+
+namespace {
+
+using namespace sega;
+
+void BM_Nsga2(benchmark::State& state, const char* precision_name,
+              std::int64_t wstore) {
+  const Technology tech = Technology::tsmc28();
+  const Precision precision = *precision_from_name(precision_name);
+  DesignSpace space(wstore, precision);
+  Nsga2Options opt;
+  opt.population = 64;
+  opt.generations = 48;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(explore_nsga2(space, tech, {}, opt));
+  }
+}
+
+void BM_Exhaustive(benchmark::State& state, const char* precision_name,
+                   std::int64_t wstore) {
+  const Technology tech = Technology::tsmc28();
+  const Precision precision = *precision_from_name(precision_name);
+  DesignSpace space(wstore, precision);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explore_exhaustive(space, tech));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Nsga2, int8_8k, "INT8", 8192);
+BENCHMARK_CAPTURE(BM_Nsga2, int8_64k, "INT8", 65536);
+BENCHMARK_CAPTURE(BM_Nsga2, int8_128k, "INT8", 131072);
+BENCHMARK_CAPTURE(BM_Nsga2, bf16_64k, "BF16", 65536);
+BENCHMARK_CAPTURE(BM_Nsga2, fp32_64k, "FP32", 65536);
+BENCHMARK_CAPTURE(BM_Exhaustive, int8_64k, "INT8", 65536);
+BENCHMARK_CAPTURE(BM_Exhaustive, fp32_64k, "FP32", 65536);
+
+}  // namespace

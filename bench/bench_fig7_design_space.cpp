@@ -1,0 +1,70 @@
+// Fig. 7 reproduction: the SEGA-DCIM design space at Wstore = 64K across
+// all eight data precisions — (a) area, (b) energy, (c) delay,
+// (d) throughput, each summarized as min / average / max over the
+// MOGA-discovered Pareto front.
+//
+// Paper series (averages over the 64K front): area grows 0.2 mm^2 (INT2)
+// -> 60 mm^2 (FP32); energy 0.3 nJ -> 103 nJ; delay 1.2 ns -> 10.9 ns; and
+// the FP overhead vs the matching INT width stays small (BF16 ~ INT8).
+#include <cstdio>
+
+#include "dse/explorer.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sega;
+  const Technology tech = Technology::tsmc28();
+  constexpr std::int64_t kWstore = 65536;
+
+  std::printf("Fig. 7: design space at Wstore = 64K (MOGA Pareto fronts)\n\n");
+  TextTable table({"precision", "front", "area mm^2 (min/avg/max)",
+                   "energy nJ (min/avg/max)", "delay ns (min/avg/max)",
+                   "TOPS (min/avg/max)"});
+
+  struct Stats {
+    double lo = 1e300, hi = -1e300, sum = 0.0;
+    void add(double v) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    std::string fmt(std::size_t n, const char* f) const {
+      const double avg = sum / static_cast<double>(n);
+      return strfmt(f, lo, avg, hi);
+    }
+  };
+
+  for (const Precision& precision : all_precisions()) {
+    DesignSpace space(kWstore, precision);
+    Nsga2Options opt;
+    opt.population = 64;
+    opt.generations = 48;
+    opt.seed = 7;
+    const auto front = explore_nsga2(space, tech, {}, opt);
+    if (front.empty()) {
+      table.add_row({precision.name, "0", "-", "-", "-", "-"});
+      continue;
+    }
+    Stats area, energy, delay, tops;
+    for (const auto& ed : front) {
+      area.add(ed.metrics.area_mm2);
+      energy.add(ed.metrics.energy_per_mvm_nj);
+      delay.add(ed.metrics.delay_ns);
+      tops.add(ed.metrics.throughput_tops);
+    }
+    const std::size_t n = front.size();
+    table.add_row({precision.name, strfmt("%zu", n),
+                   area.fmt(n, "%.2f / %.2f / %.2f"),
+                   energy.fmt(n, "%.2f / %.2f / %.2f"),
+                   delay.fmt(n, "%.2f / %.2f / %.2f"),
+                   tops.fmt(n, "%.2f / %.2f / %.2f")});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nPaper reference (averages): INT2 ~0.2 mm^2 / 0.3 nJ / 1.2 ns ... "
+      "FP32 ~60 mm^2 / 103 nJ / 10.9 ns.\n"
+      "Shape checks: every metric grows with precision; BF16 ~ INT8 "
+      "(pre-aligned FP support is cheap).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table I reproduction: comparison with other CIM design flows.
+// The rows are qualitative; the SEGA-DCIM column is backed by this
+// repository's actual capabilities, which the binary verifies live before
+// printing (a feature row is only printed as "Yes" if the code path runs).
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sega;
+
+  // Live verification of the claimed capabilities.
+  Compiler compiler(Technology::tsmc28());
+  CompilerSpec spec;
+  spec.wstore = 4096;
+  spec.precision = precision_int8();
+  spec.dse.population = 16;
+  spec.dse.generations = 8;
+  spec.generate_rtl = false;
+  spec.generate_layout = false;
+  const bool int_ok = !compiler.run(spec).pareto_front.empty();
+  spec.precision = precision_bf16();
+  const CompilerResult fp_run = compiler.run(spec);
+  const bool fp_ok = !fp_run.pareto_front.empty();
+  const bool pareto_ok = fp_run.pareto_front.size() > 1;
+  const bool estimation_ok = fp_run.dse_stats.evaluations > 0;
+  const bool automatic_ok =
+      !Compiler::distill(fp_run.pareto_front, DistillPolicy::kKnee, 1).empty();
+
+  std::printf("Table I: comparison with other CIM design flows\n\n");
+  TextTable table({"Entry", "EasyACIM [15]", "AutoDCIM [16]", "SEGA-DCIM"});
+  table.add_row({"Design type", "Analog", "Digital", "Digital"});
+  table.add_row({"Support precision", "INT", "INT",
+                 (int_ok && fp_ok) ? "INT & Float" : "INT"});
+  table.add_row({"Estimation model", "Yes", "No",
+                 estimation_ok ? "Yes" : "No"});
+  table.add_row({"Design space", "Pareto frontier", "Unoptimized",
+                 pareto_ok ? "Pareto frontier" : "Unoptimized"});
+  table.add_row({"Determination of trade-offs", "Automatic", "User-defined",
+                 automatic_ok ? "Automatic" : "User-defined"});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n(SEGA-DCIM column verified live: INT=%d FP=%d front=%zu "
+              "designs)\n",
+              int_ok, fp_ok, fp_run.pareto_front.size());
+  return 0;
+}

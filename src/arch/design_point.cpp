@@ -1,0 +1,107 @@
+#include "arch/design_point.h"
+
+#include "util/assert.h"
+#include "util/math.h"
+#include "util/strings.h"
+
+namespace sega {
+
+const char* arch_kind_name(ArchKind kind) {
+  switch (kind) {
+    case ArchKind::kMulCim: return "MUL-CIM";
+    case ArchKind::kFpCim: return "FP-CIM";
+  }
+  SEGA_ASSERT(false);
+  return "";
+}
+
+ArchKind arch_for(const Precision& precision) {
+  return precision.is_float() ? ArchKind::kFpCim : ArchKind::kMulCim;
+}
+
+std::int64_t DesignPoint::wstore() const {
+  const std::int64_t bw = precision.weight_bits();
+  SEGA_EXPECTS(bw > 0);
+  return n * h * l / bw;
+}
+
+std::int64_t DesignPoint::sram_bits() const { return n * h * l; }
+
+std::int64_t DesignPoint::cycles_per_input() const {
+  SEGA_EXPECTS(k > 0);
+  return static_cast<std::int64_t>(
+      ceil_div(static_cast<std::uint64_t>(precision.input_bits()),
+               static_cast<std::uint64_t>(k)));
+}
+
+std::string DesignPoint::to_string() const {
+  return strfmt("%s %s N=%lld H=%lld L=%lld k=%lld",
+                arch_kind_name(arch), precision.name.c_str(),
+                static_cast<long long>(n), static_cast<long long>(h),
+                static_cast<long long>(l), static_cast<long long>(k));
+}
+
+bool DesignPoint::operator==(const DesignPoint& other) const {
+  return arch == other.arch && precision == other.precision && n == other.n &&
+         h == other.h && l == other.l && k == other.k;
+}
+
+Validity validate_design(const DesignPoint& dp, std::int64_t wstore_target,
+                         const SpaceConstraints& limits) {
+  auto fail = [](std::string reason) {
+    return Validity{false, std::move(reason)};
+  };
+  const std::int64_t bw = dp.precision.weight_bits();
+  const std::int64_t bx = dp.precision.input_bits();
+
+  if (dp.arch != arch_for(dp.precision)) {
+    return fail(strfmt("architecture %s does not match precision %s",
+                       arch_kind_name(dp.arch), dp.precision.name.c_str()));
+  }
+  if (dp.n <= 0 || dp.h <= 0 || dp.l <= 0 || dp.k <= 0) {
+    return fail("all of N, H, L, k must be positive");
+  }
+  // N and H shape the adder tree / fusion structure: powers of two keep the
+  // templates regular (the paper's examples all use powers of two).
+  if (!is_pow2(static_cast<std::uint64_t>(dp.n))) {
+    return fail("N must be a power of two");
+  }
+  if (!is_pow2(static_cast<std::uint64_t>(dp.h)) || dp.h < 2) {
+    return fail("H must be a power of two >= 2");
+  }
+  if (dp.k > bx) {
+    return fail(strfmt("k=%lld exceeds input width Bx=%lld",
+                       static_cast<long long>(dp.k),
+                       static_cast<long long>(bx)));
+  }
+  if (dp.l > limits.max_l) {
+    return fail(strfmt("L=%lld exceeds limit %lld",
+                       static_cast<long long>(dp.l),
+                       static_cast<long long>(limits.max_l)));
+  }
+  if (dp.h > limits.max_h) {
+    return fail(strfmt("H=%lld exceeds limit %lld",
+                       static_cast<long long>(dp.h),
+                       static_cast<long long>(limits.max_h)));
+  }
+  if (dp.n < limits.min_n_over_bw * bw) {
+    return fail(strfmt("N=%lld below %lld*Bw=%lld",
+                       static_cast<long long>(dp.n),
+                       static_cast<long long>(limits.min_n_over_bw),
+                       static_cast<long long>(limits.min_n_over_bw * bw)));
+  }
+  if (dp.n > limits.max_n) {
+    return fail(strfmt("N=%lld exceeds limit %lld",
+                       static_cast<long long>(dp.n),
+                       static_cast<long long>(limits.max_n)));
+  }
+  if (dp.n * dp.h * dp.l != wstore_target * bw) {
+    return fail(strfmt(
+        "storage constraint violated: N*H*L=%lld but Wstore*Bw=%lld",
+        static_cast<long long>(dp.n * dp.h * dp.l),
+        static_cast<long long>(wstore_target * bw)));
+  }
+  return Validity{true, ""};
+}
+
+}  // namespace sega

@@ -1,0 +1,90 @@
+// DesignPoint — one candidate DCIM macro configuration, the unit of currency
+// between the design-space explorer, the cost models and the generator.
+//
+// Parameter meanings follow Fig. 3 of the paper:
+//   N : number of array columns (each column stores one weight *bit* slice)
+//   H : column height = number of compute units per column = adder-tree fanin
+//   L : weights sharing one compute unit (selected one bit at a time)
+//   k : input bits fed per cycle (bit-serial slice width), 1 <= k <= Bx
+//
+// Derived: Wstore = N*H*L / Bw  (eq. 2/3), SRAM bits = N*H*L.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/precision.h"
+
+namespace sega {
+
+/// The two synthesizable templates of the paper.
+enum class ArchKind {
+  kMulCim,  ///< multiplier-based integer DCIM
+  kFpCim,   ///< pre-aligned-based floating-point DCIM
+};
+
+const char* arch_kind_name(ArchKind kind);
+
+/// Architecture implied by a precision (INT -> MUL-CIM, FP -> FP-CIM).
+ArchKind arch_for(const Precision& precision);
+
+struct DesignPoint {
+  ArchKind arch = ArchKind::kMulCim;
+  Precision precision;
+  std::int64_t n = 0;  ///< N — array columns
+  std::int64_t h = 0;  ///< H — column height
+  std::int64_t l = 0;  ///< L — weights per compute unit
+  std::int64_t k = 0;  ///< k — input bits per cycle
+
+  /// Two's-complement weights (MUL-CIM only): the result fusion *subtracts*
+  /// the MSB weight column instead of adding it, supporting signed weights
+  /// with unsigned activations (the post-ReLU CNN case).  Same cost model —
+  /// a subtractor and an adder are census-identical up to carry-in glue —
+  /// so this is a post-DSE generation choice, not a genome dimension.
+  bool signed_weights = false;
+
+  /// Pipelined adder tree (extension): registers between tree levels turn
+  /// the log2(H)-deep adder chain into one-adder pipeline stages, shrinking
+  /// the clock period at the cost of inter-level DFFs and a gated (enabled)
+  /// accumulator.  Throughput-per-cycle is unchanged; frequency rises.
+  bool pipelined_tree = false;
+
+  /// Weights stored: N*H*L / Bw.
+  std::int64_t wstore() const;
+
+  /// SRAM capacity in bits: N*H*L.
+  std::int64_t sram_bits() const;
+
+  /// Cycles to stream one full input operand: ceil(Bx / k).
+  std::int64_t cycles_per_input() const;
+
+  /// Short identifier, e.g. "MUL-CIM INT8 N=32 H=128 L=16 k=8".
+  std::string to_string() const;
+
+  bool operator==(const DesignPoint& other) const;
+};
+
+/// Bounds from the paper's §IV ("N is set to be greater than 4*Bw, L is no
+/// greater than 64, H no greater than 2048") plus structural requirements.
+/// Note: Fig. 6 itself uses N=32 with Bw=8, so the N bound is interpreted as
+/// N >= 4*Bw (inclusive) — the strict reading would exclude the paper's own
+/// showcase design.
+struct SpaceConstraints {
+  std::int64_t max_l = 64;
+  std::int64_t max_h = 2048;
+  std::int64_t min_n_over_bw = 4;  ///< require N >= min_n_over_bw * Bw
+  std::int64_t max_n = 1 << 14;    ///< hard upper bound to keep space finite
+};
+
+/// Result of validity analysis; reason is empty when valid.
+struct Validity {
+  bool ok = false;
+  std::string reason;
+};
+
+/// Full structural + constraint check of a design point against a target
+/// weight-storage capacity.
+Validity validate_design(const DesignPoint& dp, std::int64_t wstore_target,
+                         const SpaceConstraints& limits);
+
+}  // namespace sega

@@ -1,0 +1,80 @@
+#include "arch/precision.h"
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace sega {
+
+int Precision::compute_mant_bits() const {
+  SEGA_EXPECTS(is_float());
+  return mant_bits + 1;
+}
+
+int Precision::input_bits() const {
+  return is_float() ? compute_mant_bits() : int_bits;
+}
+
+int Precision::weight_bits() const {
+  return is_float() ? compute_mant_bits() : int_bits;
+}
+
+int Precision::total_bits() const {
+  return is_float() ? 1 + exp_bits + mant_bits : int_bits;
+}
+
+bool Precision::operator==(const Precision& other) const {
+  return kind == other.kind && int_bits == other.int_bits &&
+         exp_bits == other.exp_bits && mant_bits == other.mant_bits;
+}
+
+namespace {
+
+Precision make_int(int bits, const char* name) {
+  Precision p;
+  p.kind = PrecisionKind::kInt;
+  p.int_bits = bits;
+  p.name = name;
+  return p;
+}
+
+Precision make_float(int exp_bits, int mant_bits, const char* name) {
+  Precision p;
+  p.kind = PrecisionKind::kFloat;
+  p.int_bits = 0;
+  p.exp_bits = exp_bits;
+  p.mant_bits = mant_bits;
+  p.name = name;
+  return p;
+}
+
+}  // namespace
+
+Precision precision_int2() { return make_int(2, "INT2"); }
+Precision precision_int4() { return make_int(4, "INT4"); }
+Precision precision_int8() { return make_int(8, "INT8"); }
+Precision precision_int16() { return make_int(16, "INT16"); }
+Precision precision_fp8_e4m3() { return make_float(4, 3, "FP8"); }
+Precision precision_fp16() { return make_float(5, 10, "FP16"); }
+Precision precision_bf16() { return make_float(8, 7, "BF16"); }
+Precision precision_fp32() { return make_float(8, 23, "FP32"); }
+
+std::vector<Precision> all_precisions() {
+  return {precision_int2(), precision_int4(),  precision_int8(),
+          precision_int16(), precision_fp8_e4m3(), precision_fp16(),
+          precision_bf16(), precision_fp32()};
+}
+
+std::optional<Precision> precision_from_name(const std::string& name) {
+  const std::string u = to_upper(trim(name));
+  if (u == "INT2") return precision_int2();
+  if (u == "INT4") return precision_int4();
+  if (u == "INT8") return precision_int8();
+  if (u == "INT16") return precision_int16();
+  if (u == "FP8" || u == "FP8_E4M3" || u == "E4M3") return precision_fp8_e4m3();
+  if (u == "FP16" || u == "FLOAT16" || u == "HALF") return precision_fp16();
+  if (u == "BF16" || u == "BFLOAT16") return precision_bf16();
+  if (u == "FP32" || u == "FLOAT32" || u == "FLOAT") return precision_fp32();
+  return std::nullopt;
+}
+
+}  // namespace sega

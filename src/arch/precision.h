@@ -1,0 +1,65 @@
+// Data precision formats supported by SEGA-DCIM.
+//
+// The paper evaluates INT2, INT4, INT8, INT16, FP8, FP16, FP32 and BF16.
+// Integer formats drive the multiplier-based architecture (MUL-CIM); floating
+// point formats drive the pre-aligned architecture (FP-CIM), whose DCIM array
+// performs integer MAC on mantissas after exponent alignment.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sega {
+
+enum class PrecisionKind { kInt, kFloat };
+
+/// A numeric format.  For kInt only int_bits is meaningful; for kFloat the
+/// layout is 1 sign bit + exp_bits + mant_bits (stored mantissa, excluding
+/// the implicit leading one).
+struct Precision {
+  PrecisionKind kind = PrecisionKind::kInt;
+  int int_bits = 8;   ///< total bits of the integer format
+  int exp_bits = 0;   ///< BE — exponent field width (kFloat only)
+  int mant_bits = 0;  ///< stored mantissa width, no implicit bit (kFloat only)
+  std::string name = "INT8";
+
+  bool is_float() const { return kind == PrecisionKind::kFloat; }
+
+  /// Mantissa width used for computation (stored bits + implicit one).
+  int compute_mant_bits() const;
+
+  /// Bx in the paper's models: the serialized input operand width fed to the
+  /// DCIM array (integer width, or compute mantissa width for floats).
+  int input_bits() const;
+
+  /// Bw in the paper's models: bits of storage per weight in the array
+  /// (integer width, or compute mantissa width for floats — eq. (3) uses BM
+  /// for the FP storage constraint).
+  int weight_bits() const;
+
+  /// Total encoded width of one value (sign + exponent + mantissa for FP).
+  int total_bits() const;
+
+  bool operator==(const Precision& other) const;
+};
+
+/// The eight presets the paper evaluates, in the Fig. 7 order
+/// INT2, INT4, INT8, INT16, FP8(E4M3), FP16, BF16, FP32.
+Precision precision_int2();
+Precision precision_int4();
+Precision precision_int8();
+Precision precision_int16();
+Precision precision_fp8_e4m3();
+Precision precision_fp16();
+Precision precision_bf16();
+Precision precision_fp32();
+
+/// All presets in Fig. 7 order.
+std::vector<Precision> all_precisions();
+
+/// Parse "INT8", "int8", "FP16", "BF16", "FP8", "FP8_E4M3", "FP32"...
+/// Returns nullopt for unknown names.
+std::optional<Precision> precision_from_name(const std::string& name);
+
+}  // namespace sega

@@ -1,0 +1,226 @@
+#include "compiler/cli.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "compiler/compiler.h"
+#include "tech/techlib_parser.h"
+#include "util/strings.h"
+
+namespace sega {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: sega_dcim <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  compile --spec <spec.json> --out <dir> [--tech <file.techlib>]\n"
+    "  explore --wstore <n> --precision <name> [--sparsity <f>]\n"
+    "          [--supply <v>] [--seed <n>] [--population <n>]\n"
+    "          [--generations <n>] [--tech <file.techlib>]\n"
+    "  precisions\n"
+    "  techlib\n";
+
+/// Parse --key value pairs; returns false on malformed input.
+bool parse_flags(const std::vector<std::string>& args, std::size_t start,
+                 std::map<std::string, std::string>* flags,
+                 std::ostream& err) {
+  for (std::size_t i = start; i < args.size(); i += 2) {
+    if (!starts_with(args[i], "--") || i + 1 >= args.size()) {
+      err << "malformed option '" << args[i] << "'\n";
+      return false;
+    }
+    (*flags)[args[i].substr(2)] = args[i + 1];
+  }
+  return true;
+}
+
+/// Reject unknown flags (typos must not silently change a run).
+bool check_known(const std::map<std::string, std::string>& flags,
+                 const std::vector<std::string>& known, std::ostream& err) {
+  for (const auto& [key, value] : flags) {
+    bool ok = false;
+    for (const auto& k : known) {
+      if (key == k) ok = true;
+    }
+    if (!ok) {
+      err << "unknown option '--" << key << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Technology> load_technology(
+    const std::map<std::string, std::string>& flags, std::ostream& err) {
+  const auto it = flags.find("tech");
+  if (it == flags.end()) return Technology::tsmc28();
+  std::ifstream in(it->second);
+  if (!in) {
+    err << "cannot open techlib '" << it->second << "'\n";
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string perr;
+  auto tech = parse_techlib(buf.str(), &perr);
+  if (!tech) err << perr << "\n";
+  return tech;
+}
+
+int cmd_compile(const std::map<std::string, std::string>& flags,
+                std::ostream& out, std::ostream& err) {
+  if (!flags.count("spec") || !flags.count("out")) {
+    err << "compile requires --spec and --out\n";
+    return 2;
+  }
+  std::ifstream in(flags.at("spec"));
+  if (!in) {
+    err << "cannot open spec '" << flags.at("spec") << "'\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string jerr;
+  const auto json = Json::parse(buf.str(), &jerr);
+  if (!json) {
+    err << jerr << "\n";
+    return 2;
+  }
+  std::string serr;
+  const auto spec = CompilerSpec::from_json(*json, &serr);
+  if (!spec) {
+    err << serr << "\n";
+    return 2;
+  }
+  const auto tech = load_technology(flags, err);
+  if (!tech) return 2;
+
+  const Compiler compiler(*tech);
+  const CompilerResult result = compiler.run(*spec);
+
+  const std::filesystem::path outdir = flags.at("out");
+  std::error_code ec;
+  std::filesystem::create_directories(outdir, ec);
+  if (ec) {
+    err << "cannot create output directory '" << outdir.string() << "'\n";
+    return 2;
+  }
+  {
+    std::ofstream f(outdir / "report.json");
+    f << result.report().dump(2) << "\n";
+  }
+  {
+    std::ofstream f(outdir / "front.txt");
+    f << result.summary();
+  }
+  for (std::size_t i = 0; i < result.selected.size(); ++i) {
+    const auto& sel = result.selected[i];
+    const std::string base = strfmt(
+        "design%zu_%s", i,
+        to_verilog_identifier(sel.design.point.to_string()).c_str());
+    if (!sel.verilog.empty()) {
+      std::ofstream f(outdir / (base + ".v"));
+      f << sel.verilog;
+    }
+    if (!sel.def.empty()) {
+      std::ofstream f(outdir / (base + ".def"));
+      f << sel.def;
+    }
+  }
+  out << result.summary();
+  out << strfmt("\nwrote %zu artifact set(s) to %s\n", result.selected.size(),
+                outdir.string().c_str());
+  return 0;
+}
+
+int cmd_explore(const std::map<std::string, std::string>& flags,
+                std::ostream& out, std::ostream& err) {
+  if (!flags.count("wstore") || !flags.count("precision")) {
+    err << "explore requires --wstore and --precision\n";
+    return 2;
+  }
+  CompilerSpec spec;
+  try {
+    spec.wstore = std::stoll(flags.at("wstore"));
+  } catch (...) {
+    err << "bad --wstore value\n";
+    return 2;
+  }
+  const auto precision = precision_from_name(flags.at("precision"));
+  if (!precision) {
+    err << "unknown precision '" << flags.at("precision") << "'\n";
+    return 2;
+  }
+  spec.precision = *precision;
+  try {
+    if (flags.count("sparsity"))
+      spec.conditions.input_sparsity = std::stod(flags.at("sparsity"));
+    if (flags.count("supply"))
+      spec.conditions.supply_v = std::stod(flags.at("supply"));
+    if (flags.count("seed"))
+      spec.dse.seed = static_cast<std::uint64_t>(std::stoull(flags.at("seed")));
+    if (flags.count("population"))
+      spec.dse.population = std::stoi(flags.at("population"));
+    if (flags.count("generations"))
+      spec.dse.generations = std::stoi(flags.at("generations"));
+  } catch (...) {
+    err << "bad numeric option value\n";
+    return 2;
+  }
+  if (spec.wstore < 1 || spec.conditions.input_sparsity < 0 ||
+      spec.conditions.input_sparsity >= 1 || spec.conditions.supply_v <= 0) {
+    err << "option value out of range\n";
+    return 2;
+  }
+  spec.generate_rtl = false;
+  spec.generate_layout = false;
+
+  const auto tech = load_technology(flags, err);
+  if (!tech) return 2;
+  const Compiler compiler(*tech);
+  out << compiler.run(spec).summary();
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string& command = args[0];
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(args, 1, &flags, err)) return 2;
+
+  if (command == "compile") {
+    if (!check_known(flags, {"spec", "out", "tech"}, err)) return 2;
+    return cmd_compile(flags, out, err);
+  }
+  if (command == "explore") {
+    if (!check_known(flags,
+                     {"wstore", "precision", "sparsity", "supply", "seed",
+                      "population", "generations", "tech"},
+                     err)) {
+      return 2;
+    }
+    return cmd_explore(flags, out, err);
+  }
+  if (command == "precisions") {
+    for (const auto& p : all_precisions()) out << p.name << "\n";
+    return 0;
+  }
+  if (command == "techlib") {
+    out << write_techlib(Technology::tsmc28());
+    return 0;
+  }
+  err << "unknown command '" << command << "'\n" << kUsage;
+  return 2;
+}
+
+}  // namespace sega

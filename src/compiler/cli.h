@@ -1,0 +1,28 @@
+// Command-line front-end of the compiler, factored as a library function so
+// tests can drive it in-process.
+//
+// Commands:
+//   compile --spec <spec.json> --out <dir> [--tech <file.techlib>]
+//       Full pipeline; writes report.json, front.txt and, per selected
+//       design, <module>.v / <module>.def according to the spec.
+//   explore --wstore <n> --precision <name> [--sparsity <f>] [--supply <v>]
+//           [--seed <n>] [--population <n>] [--generations <n>]
+//       DSE only; prints the Pareto front summary to stdout.
+//   precisions
+//       List supported precision names.
+//   techlib
+//       Print the default TSMC28-like technology file.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sega {
+
+/// Run the CLI.  Returns a process exit code; all output goes to the given
+/// streams (stdout/stderr in the real binary).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace sega

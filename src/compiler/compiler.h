@@ -1,0 +1,60 @@
+// SEGA-DCIM top-level compiler (Fig. 4): spec -> MOGA design-space
+// exploration -> user distillation -> template-based generation (netlist +
+// layout) -> reports.
+#pragma once
+
+#include <chrono>
+
+#include "compiler/spec.h"
+#include "dse/explorer.h"
+#include "layout/def_writer.h"
+#include "layout/floorplan.h"
+#include "rtl/macro_builder.h"
+#include "rtl/verilog.h"
+
+namespace sega {
+
+/// One distilled design after generation.
+struct SelectedDesign {
+  EvaluatedDesign design;
+  std::string verilog;       ///< empty when generation disabled
+  MacroLayout layout;        ///< zero-sized when generation disabled
+  std::string def;           ///< empty unless generate_def
+  std::string selection_reason;  ///< which distillation rule picked it
+};
+
+struct CompilerResult {
+  CompilerSpec spec;
+  std::vector<EvaluatedDesign> pareto_front;
+  std::vector<SelectedDesign> selected;
+  Nsga2Stats dse_stats;
+  double dse_seconds = 0.0;
+  double generation_seconds = 0.0;
+
+  /// Machine-readable compilation report.
+  Json report() const;
+  /// Human-readable summary (front table + selected designs).
+  std::string summary() const;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(Technology tech);
+
+  const Technology& technology() const { return tech_; }
+
+  /// Run the full pipeline.
+  CompilerResult run(const CompilerSpec& spec) const;
+
+  /// Distillation as a standalone step (exposed for tests/ablations):
+  /// indices into @p front selected by @p policy, best first, at most
+  /// @p max_selected entries.
+  static std::vector<std::size_t> distill(
+      const std::vector<EvaluatedDesign>& front, DistillPolicy policy,
+      int max_selected);
+
+ private:
+  Technology tech_;
+};
+
+}  // namespace sega

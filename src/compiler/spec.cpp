@@ -1,0 +1,116 @@
+#include "compiler/spec.h"
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace sega {
+
+const char* distill_policy_name(DistillPolicy policy) {
+  switch (policy) {
+    case DistillPolicy::kKnee: return "knee";
+    case DistillPolicy::kMinArea: return "min_area";
+    case DistillPolicy::kMinDelay: return "min_delay";
+    case DistillPolicy::kMinEnergy: return "min_energy";
+    case DistillPolicy::kMaxThroughput: return "max_throughput";
+    case DistillPolicy::kAll: return "all";
+  }
+  SEGA_ASSERT(false);
+  return "";
+}
+
+std::optional<DistillPolicy> distill_policy_from_name(
+    const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  for (const DistillPolicy p :
+       {DistillPolicy::kKnee, DistillPolicy::kMinArea, DistillPolicy::kMinDelay,
+        DistillPolicy::kMinEnergy, DistillPolicy::kMaxThroughput,
+        DistillPolicy::kAll}) {
+    if (n == distill_policy_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<CompilerSpec> CompilerSpec::from_json(const Json& json,
+                                                    std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<CompilerSpec> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  if (!json.is_object()) return fail("spec must be a JSON object");
+
+  CompilerSpec spec;
+  for (const auto& [key, value] : json.items()) {
+    if (key == "wstore") {
+      spec.wstore = value.as_int();
+      if (spec.wstore < 1) return fail("wstore must be positive");
+    } else if (key == "precision") {
+      const auto p = precision_from_name(value.as_string());
+      if (!p) return fail(strfmt("unknown precision '%s'",
+                                 value.as_string().c_str()));
+      spec.precision = *p;
+    } else if (key == "supply_v") {
+      spec.conditions.supply_v = value.as_number();
+      if (spec.conditions.supply_v <= 0) return fail("supply_v must be > 0");
+    } else if (key == "sparsity") {
+      spec.conditions.input_sparsity = value.as_number();
+      if (spec.conditions.input_sparsity < 0 ||
+          spec.conditions.input_sparsity >= 1) {
+        return fail("sparsity must be in [0, 1)");
+      }
+    } else if (key == "activity") {
+      spec.conditions.activity = value.as_number();
+    } else if (key == "max_l") {
+      spec.limits.max_l = value.as_int();
+    } else if (key == "max_h") {
+      spec.limits.max_h = value.as_int();
+    } else if (key == "max_n") {
+      spec.limits.max_n = value.as_int();
+    } else if (key == "population") {
+      spec.dse.population = static_cast<int>(value.as_int());
+    } else if (key == "generations") {
+      spec.dse.generations = static_cast<int>(value.as_int());
+    } else if (key == "seed") {
+      spec.dse.seed = static_cast<std::uint64_t>(value.as_int());
+    } else if (key == "distill") {
+      const auto p = distill_policy_from_name(value.as_string());
+      if (!p) return fail(strfmt("unknown distill policy '%s'",
+                                 value.as_string().c_str()));
+      spec.distill = *p;
+    } else if (key == "max_selected") {
+      spec.max_selected = static_cast<int>(value.as_int());
+      if (spec.max_selected < 1) return fail("max_selected must be >= 1");
+    } else if (key == "generate_rtl") {
+      spec.generate_rtl = value.as_bool();
+    } else if (key == "generate_layout") {
+      spec.generate_layout = value.as_bool();
+    } else if (key == "generate_def") {
+      spec.generate_def = value.as_bool();
+    } else {
+      return fail(strfmt("unknown spec key '%s'", key.c_str()));
+    }
+  }
+  return spec;
+}
+
+Json CompilerSpec::to_json() const {
+  Json j = Json::object();
+  j["wstore"] = wstore;
+  j["precision"] = precision.name;
+  j["supply_v"] = conditions.supply_v;
+  j["sparsity"] = conditions.input_sparsity;
+  j["activity"] = conditions.activity;
+  j["max_l"] = limits.max_l;
+  j["max_h"] = limits.max_h;
+  j["max_n"] = limits.max_n;
+  j["population"] = dse.population;
+  j["generations"] = dse.generations;
+  j["seed"] = static_cast<std::int64_t>(dse.seed);
+  j["distill"] = distill_policy_name(distill);
+  j["max_selected"] = max_selected;
+  j["generate_rtl"] = generate_rtl;
+  j["generate_layout"] = generate_layout;
+  j["generate_def"] = generate_def;
+  return j;
+}
+
+}  // namespace sega

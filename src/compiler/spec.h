@@ -1,0 +1,52 @@
+// CompilerSpec — the user-facing specification of one compilation run
+// ("the users can give the number of weights, data precision, and any other
+// requirements according to their applications", §III-A), plus its JSON
+// serialization for file-driven invocations.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "arch/space.h"
+#include "dse/nsga2.h"
+#include "tech/technology.h"
+#include "util/json.h"
+
+namespace sega {
+
+/// User-distillation policy applied to the Pareto front before the
+/// (expensive) generation step.
+enum class DistillPolicy {
+  kKnee,          ///< closest to the normalized ideal point (default)
+  kMinArea,
+  kMinDelay,
+  kMinEnergy,
+  kMaxThroughput,
+  kAll,           ///< generate every front member (bounded by max_selected)
+};
+
+const char* distill_policy_name(DistillPolicy policy);
+std::optional<DistillPolicy> distill_policy_from_name(const std::string& name);
+
+struct CompilerSpec {
+  std::int64_t wstore = 8192;
+  Precision precision = precision_int8();
+  EvalConditions conditions;
+  SpaceConstraints limits;
+  Nsga2Options dse;
+  DistillPolicy distill = DistillPolicy::kKnee;
+  int max_selected = 3;
+  bool generate_rtl = true;
+  bool generate_layout = true;
+  bool generate_def = false;
+
+  /// Parse from JSON, e.g.:
+  ///   {"wstore": 8192, "precision": "BF16", "supply_v": 0.9,
+  ///    "sparsity": 0.1, "distill": "knee", "seed": 7}
+  /// Unknown keys are rejected (typos must not silently change a tapeout).
+  static std::optional<CompilerSpec> from_json(const Json& json,
+                                               std::string* error = nullptr);
+  Json to_json() const;
+};
+
+}  // namespace sega

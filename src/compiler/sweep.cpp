@@ -1,0 +1,79 @@
+#include "compiler/sweep.h"
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace sega {
+
+SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec) {
+  SEGA_EXPECTS(!spec.wstores.empty() && !spec.precisions.empty());
+  SweepResult result;
+  for (const std::int64_t wstore : spec.wstores) {
+    for (const Precision& precision : spec.precisions) {
+      CompilerSpec cs;
+      cs.wstore = wstore;
+      cs.precision = precision;
+      cs.conditions = spec.conditions;
+      cs.dse = spec.dse;
+      cs.limits = spec.limits;
+      cs.distill = DistillPolicy::kKnee;
+      cs.generate_rtl = false;
+      cs.generate_layout = false;
+      const CompilerResult run = compiler.run(cs);
+      if (run.pareto_front.empty()) continue;
+      SweepCell cell;
+      cell.wstore = wstore;
+      cell.precision = precision;
+      cell.front_size = run.pareto_front.size();
+      cell.evaluations = run.dse_stats.evaluations;
+      cell.knee = run.selected.front().design;
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+Json SweepResult::to_json() const {
+  Json j = Json::array();
+  for (const auto& cell : cells) {
+    Json c = Json::object();
+    c["wstore"] = cell.wstore;
+    c["precision"] = cell.precision.name;
+    c["front_size"] = static_cast<std::int64_t>(cell.front_size);
+    c["evaluations"] = cell.evaluations;
+    c["knee_design"] = cell.knee.point.to_string();
+    c["area_mm2"] = cell.knee.metrics.area_mm2;
+    c["delay_ns"] = cell.knee.metrics.delay_ns;
+    c["energy_per_mvm_nj"] = cell.knee.metrics.energy_per_mvm_nj;
+    c["throughput_tops"] = cell.knee.metrics.throughput_tops;
+    c["tops_per_w"] = cell.knee.metrics.tops_per_w;
+    c["tops_per_mm2"] = cell.knee.metrics.tops_per_mm2;
+    j.push_back(std::move(c));
+  }
+  return j;
+}
+
+std::string SweepResult::to_csv() const {
+  std::string out =
+      "wstore,precision,front_size,evaluations,n,h,l,k,area_mm2,delay_ns,"
+      "energy_per_mvm_nj,throughput_tops,tops_per_w,tops_per_mm2\n";
+  for (const auto& cell : cells) {
+    out += strfmt("%lld,%s,%zu,%lld,%lld,%lld,%lld,%lld,%.6g,%.6g,%.6g,%.6g,"
+                  "%.6g,%.6g\n",
+                  static_cast<long long>(cell.wstore),
+                  cell.precision.name.c_str(), cell.front_size,
+                  static_cast<long long>(cell.evaluations),
+                  static_cast<long long>(cell.knee.point.n),
+                  static_cast<long long>(cell.knee.point.h),
+                  static_cast<long long>(cell.knee.point.l),
+                  static_cast<long long>(cell.knee.point.k),
+                  cell.knee.metrics.area_mm2, cell.knee.metrics.delay_ns,
+                  cell.knee.metrics.energy_per_mvm_nj,
+                  cell.knee.metrics.throughput_tops,
+                  cell.knee.metrics.tops_per_w,
+                  cell.knee.metrics.tops_per_mm2);
+  }
+  return out;
+}
+
+}  // namespace sega

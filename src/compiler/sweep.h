@@ -1,0 +1,41 @@
+// Batch sweep runner — the paper's §IV validation grid ("a wide range of
+// Wstore, from 4K to 128K" across eight precisions), producing one knee
+// summary per (Wstore, precision) cell with JSON and CSV export.
+#pragma once
+
+#include <vector>
+
+#include "compiler/compiler.h"
+
+namespace sega {
+
+struct SweepSpec {
+  std::vector<std::int64_t> wstores = {4096,  8192,  16384,
+                                       32768, 65536, 131072};
+  std::vector<Precision> precisions = all_precisions();
+  EvalConditions conditions;
+  Nsga2Options dse;
+  SpaceConstraints limits;
+};
+
+struct SweepCell {
+  std::int64_t wstore = 0;
+  Precision precision;
+  std::size_t front_size = 0;
+  std::int64_t evaluations = 0;
+  EvaluatedDesign knee;  ///< knee-distilled representative design
+};
+
+struct SweepResult {
+  std::vector<SweepCell> cells;
+
+  Json to_json() const;
+  /// CSV with a header row; one row per cell.
+  std::string to_csv() const;
+};
+
+/// Run DSE (no generation) over the whole grid.  Cells whose design space
+/// is empty are skipped.
+SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec);
+
+}  // namespace sega

@@ -1,0 +1,198 @@
+#include "cost/components.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace sega {
+
+ModuleCost adder_tree_cost(const Technology& tech, int h, int k) {
+  SEGA_EXPECTS(h >= 1 && is_pow2(static_cast<std::uint64_t>(h)));
+  SEGA_EXPECTS(k >= 1);
+  ModuleCost tree;
+  const int levels = ilog2(static_cast<std::uint64_t>(h));
+  for (int i = 1; i <= levels; ++i) {
+    const std::int64_t adders = h >> i;
+    const ModuleCost add = add_cost(tech, k + i - 1);
+    tree.gates.add_scaled(add.gates, adders);
+    tree.area += add.area * static_cast<double>(adders);
+    tree.energy += add.energy * static_cast<double>(adders);
+    tree.delay += add.delay;  // one adder per level on the critical path
+  }
+  return tree;
+}
+
+ModuleCost adder_tree_pipelined_cost(const Technology& tech, int h, int k,
+                                     int* latency_out) {
+  SEGA_EXPECTS(h >= 2 && is_pow2(static_cast<std::uint64_t>(h)));
+  SEGA_EXPECTS(k >= 1);
+  ModuleCost tree;
+  const int levels = ilog2(static_cast<std::uint64_t>(h));
+  const CellCost& dff = tech.cell(CellKind::kDff);
+  for (int i = 1; i <= levels; ++i) {
+    const std::int64_t adders = h >> i;
+    const ModuleCost add = add_cost(tech, k + i - 1);
+    tree.gates.add_scaled(add.gates, adders);
+    tree.area += add.area * static_cast<double>(adders);
+    tree.energy += add.energy * static_cast<double>(adders);
+    // Each level is its own stage: the clock sees only the deepest one.
+    tree.delay = std::max(tree.delay, add.delay);
+    if (i < levels) {
+      // Register bank after the level: (h/2^i) results of width k+i.
+      const std::int64_t bits = adders * (k + i);
+      tree.gates[CellKind::kDff] += bits;
+      tree.area += static_cast<double>(bits) * dff.area;
+      tree.energy += static_cast<double>(bits) * dff.energy;
+    }
+  }
+  if (latency_out) *latency_out = levels - 1;
+  return tree;
+}
+
+ModuleCost shift_accumulator_gated_cost(const Technology& tech, int bx,
+                                        int h) {
+  ModuleCost accu = shift_accumulator_cost(tech, bx, h);
+  const int w = accumulator_width(bx, h);
+  const CellCost& mux = tech.cell(CellKind::kMux2);
+  accu.gates[CellKind::kMux2] += w;
+  accu.area += w * mux.area;
+  accu.energy += w * mux.energy;
+  accu.delay += mux.delay;
+  return accu;
+}
+
+int accumulator_width(int bx, int h) {
+  SEGA_EXPECTS(bx >= 1 && h >= 1);
+  return bx + ilog2(static_cast<std::uint64_t>(h));
+}
+
+ModuleCost shift_accumulator_cost(const Technology& tech, int bx, int h) {
+  const int w = accumulator_width(bx, h);
+  ModuleCost accu;
+  const CellCost& dff = tech.cell(CellKind::kDff);
+  accu.gates[CellKind::kDff] = w;
+  accu.area = w * dff.area;
+  accu.energy = w * dff.energy;
+
+  const ModuleCost shifter = shift_cost(tech, w);
+  const ModuleCost adder = add_cost(tech, w);
+  accu.add_series(shifter);
+  accu.add_series(adder);
+  return accu;
+}
+
+namespace {
+
+/// Recursive fusion-tree descriptor shared (by construction) with the RTL
+/// builder: combining @p m columns of width @p w, the lower ceil(m/2)
+/// columns fuse into the low significance group and the upper floor(m/2)
+/// columns, wired left by ceil(m/2) bit positions, add on top.
+struct FusionPlan {
+  ModuleCost cost;
+  int width = 0;  // result width in bits
+};
+
+FusionPlan fuse(const Technology& tech, int m, int w) {
+  SEGA_EXPECTS(m >= 1);
+  if (m == 1) return {ModuleCost{}, w};
+  const int lo_cols = (m + 1) / 2;
+  const int hi_cols = m / 2;
+  FusionPlan lo = fuse(tech, lo_cols, w);
+  FusionPlan hi = fuse(tech, hi_cols, w);
+  const int out_w = std::max(lo.width, lo_cols + hi.width) + 1;
+  ModuleCost combined;
+  combined.add_parallel(lo.cost);
+  combined.add_parallel(hi.cost);  // the two subtrees settle concurrently
+  combined.delay = std::max(lo.cost.delay, hi.cost.delay);
+  const ModuleCost adder = add_cost(tech, out_w);
+  combined.gates.add_scaled(adder.gates, 1);
+  combined.area += adder.area;
+  combined.energy += adder.energy;
+  combined.delay += adder.delay;
+  return {combined, out_w};
+}
+
+}  // namespace
+
+ModuleCost result_fusion_cost(const Technology& tech, int bw, int w) {
+  SEGA_EXPECTS(bw >= 1 && w >= 1);
+  return fuse(tech, bw, w).cost;
+}
+
+int fusion_output_width(int bw, int w) {
+  SEGA_EXPECTS(bw >= 1 && w >= 1);
+  if (bw == 1) return w;
+  const int lo_cols = (bw + 1) / 2;
+  const int hi_cols = bw / 2;
+  const int lo_w = fusion_output_width(lo_cols, w);
+  const int hi_w = fusion_output_width(hi_cols, w);
+  return std::max(lo_w, lo_cols + hi_w) + 1;
+}
+
+ModuleCost pre_alignment_cost(const Technology& tech, int h, int be, int bm) {
+  SEGA_EXPECTS(h >= 1 && be >= 1 && bm >= 1);
+  ModuleCost alig;
+
+  // (1) Max-exponent comparison tree: H-1 comparators, each paired with a
+  // BE-bit wide 2:1 selection mux; depth ceil(log2 H).
+  const ModuleCost comp = comp_cost(tech, be);
+  const CellCost& mux = tech.cell(CellKind::kMux2);
+  alig.gates.add_scaled(comp.gates, h - 1);
+  alig.area += comp.area * (h - 1);
+  alig.energy += comp.energy * (h - 1);
+  alig.gates[CellKind::kMux2] += static_cast<std::int64_t>(h - 1) * be;
+  alig.area += static_cast<double>(h - 1) * be * mux.area;
+  alig.energy += static_cast<double>(h - 1) * be * mux.energy;
+  alig.delay += ceil_log2(static_cast<std::uint64_t>(h)) *
+                (comp.delay + mux.delay);
+
+  // (2) Per-input offset subtractor (BE-bit adder) and BM-bit barrel shifter.
+  const ModuleCost sub = add_cost(tech, be);
+  const ModuleCost shifter = shift_cost(tech, bm);
+  alig.gates.add_scaled(sub.gates, h);
+  alig.area += sub.area * h;
+  alig.energy += sub.energy * h;
+  alig.gates.add_scaled(shifter.gates, h);
+  alig.area += shifter.area * h;
+  alig.energy += shifter.energy * h;
+  alig.delay += sub.delay + shifter.delay;
+  return alig;
+}
+
+ModuleCost int_to_fp_cost(const Technology& tech, int br, int be) {
+  SEGA_EXPECTS(br >= 1 && be >= 1);
+  ModuleCost convert;
+  const CellCost& orc = tech.cell(CellKind::kOr);
+  // Leading-one detection over Br bits: Br OR gates, log-depth.
+  convert.gates[CellKind::kOr] = br;
+  convert.area += br * orc.area;
+  convert.energy += br * orc.energy;
+  convert.delay += ceil_log2(static_cast<std::uint64_t>(br)) * orc.delay;
+  // Normalizing shift + exponent arithmetic.
+  convert.add_series(shift_cost(tech, br));
+  convert.add_series(add_cost(tech, be));
+  return convert;
+}
+
+ModuleCost input_buffer_cost(const Technology& tech, int h, int bx, int k) {
+  SEGA_EXPECTS(h >= 1 && bx >= 1 && k >= 1 && k <= bx);
+  const auto cycles = static_cast<std::int64_t>(
+      ceil_div(static_cast<std::uint64_t>(bx), static_cast<std::uint64_t>(k)));
+  ModuleCost buf;
+  const CellCost& dff = tech.cell(CellKind::kDff);
+  buf.gates[CellKind::kDff] = static_cast<std::int64_t>(h) * bx;
+  buf.area = static_cast<double>(h) * bx * dff.area;
+  // Registers load once per streamed operand; amortize over the cycles.
+  buf.energy = static_cast<double>(h) * bx * dff.energy /
+               static_cast<double>(cycles);
+
+  const ModuleCost slice_sel = sel_cost(tech, static_cast<int>(cycles));
+  buf.gates.add_scaled(slice_sel.gates, static_cast<std::int64_t>(h) * k);
+  buf.area += slice_sel.area * static_cast<double>(h) * k;
+  buf.energy += slice_sel.energy * static_cast<double>(h) * k;
+  buf.delay += slice_sel.delay;
+  return buf;
+}
+
+}  // namespace sega

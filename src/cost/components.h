@@ -1,0 +1,66 @@
+// Table IV — cost models for each DCIM component.
+//
+// The paper's Table IV is an image; the closed forms here are reconstructed
+// from §III-B.1's prose (see DESIGN.md §4).  Every structural choice made
+// here is mirrored exactly by the RTL generators in src/rtl, and a test
+// asserts gate-census equality between the two.
+#pragma once
+
+#include "cost/logic_modules.h"
+
+namespace sega {
+
+/// Adder tree summing H inputs of k bits each (H a power of two, H >= 1).
+/// Level i in [1, log2 H] holds H/2^i ripple adders of width k+i-1.
+/// Output width is k + log2(H).
+ModuleCost adder_tree_cost(const Technology& tech, int h, int k);
+
+/// Pipelined adder tree (extension): DFF banks after every level but the
+/// last make each level its own stage; delay = the deepest single level,
+/// D_add(k + log2(H) - 1).  @p latency_out (optional) receives the pipeline
+/// depth in cycles, log2(H) - 1.
+ModuleCost adder_tree_pipelined_cost(const Technology& tech, int h, int k,
+                                     int* latency_out = nullptr);
+
+/// Gated shift accumulator (extension, used with the pipelined tree): the
+/// plain accumulator plus a per-bit enable mux so fill/drain cycles do not
+/// disturb the accumulated value.
+ModuleCost shift_accumulator_gated_cost(const Technology& tech, int bx,
+                                        int h);
+
+/// Shift accumulator for a column: collects partial sums from the adder tree
+/// over ceil(Bx/k) cycles.  Width w = Bx + log2(H) (paper); w registers, one
+/// w-bit barrel shifter, one w-bit adder.  Delay = shifter + adder (the DFF
+/// sits at the pipeline boundary).
+ModuleCost shift_accumulator_cost(const Technology& tech, int bx, int h);
+
+/// Width of the shift-accumulator state: Bx + log2(H).
+int accumulator_width(int bx, int h);
+
+/// Result fusion: weighted sum of @p bw column results, each @p w bits wide,
+/// where column j carries bit-significance j.  The significance shifts are
+/// fixed wiring (free); only the bw-1 combining adders cost.  Built as a
+/// balanced binary tree; widths grow with the wired shifts.
+ModuleCost result_fusion_cost(const Technology& tech, int bw, int w);
+
+/// Output width of the fused result: w + Bw (one bit of growth per column
+/// significance plus carries folds into the recursive width computation).
+int fusion_output_width(int bw, int w);
+
+/// FP pre-alignment for H inputs with BE-bit exponents and BM-bit compute
+/// mantissas: (H-1)-comparator max tree with BE-bit 2:1 selection muxes,
+/// H BE-bit offset subtractors, H BM-bit alignment barrel shifters.
+ModuleCost pre_alignment_cost(const Technology& tech, int h, int be, int bm);
+
+/// INT-to-FP converter for a Br-bit fused integer result producing a BE-bit
+/// exponent: leading-one detection (Br OR gates, log-depth), Br-bit
+/// normalizing barrel shifter, BE-bit exponent adder.
+ModuleCost int_to_fp_cost(const Technology& tech, int br, int be);
+
+/// Input buffer: H rows x Bx bits of storage, streaming H*k bits per cycle
+/// over ceil(Bx/k) cycles.  H*Bx DFFs plus H*k slice-selection muxes
+/// (cycles:1 each).  Per-cycle energy amortizes the register load over the
+/// streaming cycles.
+ModuleCost input_buffer_cost(const Technology& tech, int h, int bx, int k);
+
+}  // namespace sega

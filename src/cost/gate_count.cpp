@@ -1,0 +1,57 @@
+#include "cost/gate_count.h"
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace sega {
+
+GateCount& GateCount::operator+=(const GateCount& other) {
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  return *this;
+}
+
+GateCount& GateCount::add_scaled(const GateCount& other, std::int64_t times) {
+  SEGA_EXPECTS(times >= 0);
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    counts[i] += other.counts[i] * times;
+  return *this;
+}
+
+double GateCount::area(const Technology& tech) const {
+  double a = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    a += static_cast<double>(counts[i]) *
+         tech.cell(static_cast<CellKind>(i)).area;
+  }
+  return a;
+}
+
+double GateCount::energy(const Technology& tech) const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    e += static_cast<double>(counts[i]) *
+         tech.cell(static_cast<CellKind>(i)).energy;
+  }
+  return e;
+}
+
+std::int64_t GateCount::total() const {
+  std::int64_t t = 0;
+  for (const auto c : counts) t += c;
+  return t;
+}
+
+std::string GateCount::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += strfmt("%s:%lld", cell_kind_name(static_cast<CellKind>(i)),
+                  static_cast<long long>(counts[i]));
+  }
+  return out + "}";
+}
+
+}  // namespace sega

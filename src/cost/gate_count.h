@@ -1,0 +1,49 @@
+// GateCount — integer census of leaf cells in a (sub)circuit.
+//
+// The cost models and the RTL generators both produce GateCounts; a test
+// asserts they agree cell-for-cell, which pins the analytical model to the
+// actual generated hardware.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "tech/technology.h"
+
+namespace sega {
+
+struct GateCount {
+  std::array<std::int64_t, kCellKindCount> counts{};
+
+  std::int64_t& operator[](CellKind kind) {
+    return counts[static_cast<std::size_t>(kind)];
+  }
+  std::int64_t operator[](CellKind kind) const {
+    return counts[static_cast<std::size_t>(kind)];
+  }
+
+  GateCount& operator+=(const GateCount& other);
+  friend GateCount operator+(GateCount a, const GateCount& b) {
+    a += b;
+    return a;
+  }
+
+  /// Add @p times copies of @p other.
+  GateCount& add_scaled(const GateCount& other, std::int64_t times);
+
+  /// Total normalized area of these cells under @p tech.
+  double area(const Technology& tech) const;
+
+  /// Total normalized switching energy (one event per cell) under @p tech.
+  double energy(const Technology& tech) const;
+
+  /// Total number of cells.
+  std::int64_t total() const;
+
+  bool operator==(const GateCount& other) const { return counts == other.counts; }
+
+  std::string to_string() const;
+};
+
+}  // namespace sega

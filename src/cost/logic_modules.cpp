@@ -1,0 +1,83 @@
+#include "cost/logic_modules.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace sega {
+
+ModuleCost& ModuleCost::operator+=(const ModuleCost& other) {
+  return add_series(other);
+}
+
+ModuleCost& ModuleCost::add_parallel(const ModuleCost& other,
+                                     std::int64_t times) {
+  SEGA_EXPECTS(times >= 0);
+  gates.add_scaled(other.gates, times);
+  area += other.area * static_cast<double>(times);
+  energy += other.energy * static_cast<double>(times);
+  if (times > 0) delay = std::max(delay, other.delay);
+  return *this;
+}
+
+ModuleCost& ModuleCost::add_series(const ModuleCost& other,
+                                   std::int64_t times) {
+  SEGA_EXPECTS(times >= 0);
+  gates.add_scaled(other.gates, times);
+  area += other.area * static_cast<double>(times);
+  energy += other.energy * static_cast<double>(times);
+  delay += other.delay * static_cast<double>(times);
+  return *this;
+}
+
+ModuleCost mul_cost(const Technology& tech, int n) {
+  SEGA_EXPECTS(n >= 1);
+  const CellCost& nor = tech.cell(CellKind::kNor);
+  ModuleCost m;
+  m.gates[CellKind::kNor] = n;
+  m.area = n * nor.area;
+  m.delay = nor.delay;
+  m.energy = n * nor.energy;
+  return m;
+}
+
+ModuleCost add_cost(const Technology& tech, int n) {
+  SEGA_EXPECTS(n >= 1);
+  const CellCost& fa = tech.cell(CellKind::kFa);
+  const CellCost& ha = tech.cell(CellKind::kHa);
+  ModuleCost m;
+  m.gates[CellKind::kFa] = n - 1;
+  m.gates[CellKind::kHa] = 1;
+  m.area = (n - 1) * fa.area + ha.area;
+  m.delay = (n - 1) * fa.delay + ha.delay;
+  m.energy = (n - 1) * fa.energy + ha.energy;
+  return m;
+}
+
+ModuleCost sel_cost(const Technology& tech, int n) {
+  SEGA_EXPECTS(n >= 1);
+  const CellCost& mux = tech.cell(CellKind::kMux2);
+  ModuleCost m;
+  m.gates[CellKind::kMux2] = n - 1;
+  m.area = (n - 1) * mux.area;
+  m.delay = ceil_log2(static_cast<std::uint64_t>(n)) * mux.delay;
+  m.energy = (n - 1) * mux.energy;
+  return m;
+}
+
+ModuleCost shift_cost(const Technology& tech, int n) {
+  SEGA_EXPECTS(n >= 1);
+  const ModuleCost sel = sel_cost(tech, n);
+  ModuleCost m;
+  m.gates.add_scaled(sel.gates, n);
+  m.area = n * sel.area;
+  // Paper Table II as printed: D_shift(N) = log2(N) * D_sel(N).
+  m.delay = ceil_log2(static_cast<std::uint64_t>(n)) * sel.delay;
+  m.energy = n * sel.energy;
+  return m;
+}
+
+ModuleCost comp_cost(const Technology& tech, int n) { return add_cost(tech, n); }
+
+}  // namespace sega

@@ -1,0 +1,57 @@
+// Table II — cost models of the digital logic modules DCIMs are built from.
+//
+// Each function returns a ModuleCost whose gate census matches the structure
+// the RTL generator emits, and whose area/delay/energy follow the paper's
+// closed forms:
+//
+//   1-bit*N-bit multiplier : A = N*A_NOR,           D = D_NOR,             E = N*E_NOR
+//   N-bit adder (ripple)   : A = (N-1)*A_FA + A_HA, D = (N-1)*D_FA + D_HA, E = (N-1)*E_FA + E_HA
+//   N:1 MUX (tree)         : A = (N-1)*A_MUX,       D = log2(N)*D_MUX,     E = (N-1)*E_MUX
+//   N-bit shifter (barrel) : A = N*A_sel(N),        D = log2(N)*D_sel(N),  E = N*E_sel(N)
+//   N-bit comparator       : same as N-bit adder
+//
+// The shifter delay follows the paper's printed form literally
+// (log2(N)*D_sel(N)); see DESIGN.md §4 for the discussion.
+#pragma once
+
+#include "cost/gate_count.h"
+#include "tech/technology.h"
+
+namespace sega {
+
+/// Cost of one combinational/sequential module.
+struct ModuleCost {
+  GateCount gates;     ///< leaf-cell census (drives area & energy)
+  double area = 0.0;   ///< normalized area  == gates.area(tech)
+  double delay = 0.0;  ///< normalized critical-path delay
+  double energy = 0.0; ///< normalized switching energy per operation
+                       ///< == gates.energy(tech)
+
+  ModuleCost& operator+=(const ModuleCost& other);
+
+  /// Accumulate @p times instances (area/energy scale; delay takes max).
+  ModuleCost& add_parallel(const ModuleCost& other, std::int64_t times = 1);
+
+  /// Accumulate a pipeline-free series stage (delay adds).
+  ModuleCost& add_series(const ModuleCost& other, std::int64_t times = 1);
+};
+
+/// 1-bit x N-bit multiplier built from N NOR gates (Fig. 5).  N >= 1.
+ModuleCost mul_cost(const Technology& tech, int n);
+
+/// N-bit carry-ripple adder: (N-1) full adders + 1 half adder.  N >= 1
+/// (N == 1 degenerates to a single half adder).
+ModuleCost add_cost(const Technology& tech, int n);
+
+/// N:1 one-bit selector from (N-1) MUX2 in a balanced tree.  N >= 1
+/// (N == 1 is a wire: zero cost).
+ModuleCost sel_cost(const Technology& tech, int n);
+
+/// N-bit barrel shifter modeled as N parallel N:1 selectors.  N >= 1.
+ModuleCost shift_cost(const Technology& tech, int n);
+
+/// N-bit comparator, simplified to an N-bit adder (the DCIM only needs
+/// "select the larger" in the exponent max tree).
+ModuleCost comp_cost(const Technology& tech, int n);
+
+}  // namespace sega

@@ -1,0 +1,197 @@
+#include "cost/macro_model.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace sega {
+
+std::array<double, 4> MacroMetrics::objectives() const {
+  return {area_mm2, delay_ns, energy_per_mvm_nj, -throughput_tops};
+}
+
+const char* objective_name(std::size_t index) {
+  switch (index) {
+    case 0: return "area_mm2";
+    case 1: return "delay_ns";
+    case 2: return "energy_per_mvm_nj";
+    case 3: return "neg_throughput_tops";
+  }
+  SEGA_ASSERT(false);
+  return "";
+}
+
+namespace {
+
+/// Shared assembly of the integer MAC body (SRAM array, compute units,
+/// adder trees, shift accumulators, result fusion, input buffer).
+/// For FP-CIM the caller passes the mantissa widths as bx/bw.
+struct MacroAssembly {
+  GateCount gates;
+  double area = 0.0;
+  double energy_per_cycle = 0.0;
+  double array_path_delay = 0.0;   ///< buffer sel + weight sel + mul + tree
+  double accu_delay = 0.0;         ///< shift accumulator loop
+  double fusion_delay = 0.0;       ///< fusion (+ converter, FP)
+  std::map<std::string, double> area_breakdown;
+  std::map<std::string, double> energy_breakdown;
+};
+
+MacroAssembly assemble_int_body(const Technology& tech, const DesignPoint& dp,
+                                int bx, int bw) {
+  MacroAssembly a;
+  const auto n = dp.n;
+  const auto h = dp.h;
+  const auto l = dp.l;
+  const int k = static_cast<int>(dp.k);
+  const std::int64_t cycles = static_cast<std::int64_t>(ceil_div(
+      static_cast<std::uint64_t>(bx), static_cast<std::uint64_t>(dp.k)));
+
+  auto account = [&a](const std::string& key, const ModuleCost& unit,
+                      std::int64_t copies, double energy_scale = 1.0) {
+    a.gates.add_scaled(unit.gates, copies);
+    const double area = unit.area * static_cast<double>(copies);
+    const double energy =
+        unit.energy * static_cast<double>(copies) * energy_scale;
+    a.area += area;
+    a.energy_per_cycle += energy;
+    a.area_breakdown[key] += area;
+    a.energy_breakdown[key] += energy;
+  };
+
+  // Memory array: N*H*L SRAM bit cells (zero read latency/power per Table III).
+  ModuleCost sram;
+  sram.gates[CellKind::kSram] = 1;
+  sram.area = tech.cell(CellKind::kSram).area;
+  sram.energy = tech.cell(CellKind::kSram).energy;
+  account("sram", sram, n * h * l);
+
+  // Compute units: per cell one L:1 1-bit weight selector + a 1xk multiplier.
+  const ModuleCost wsel = sel_cost(tech, static_cast<int>(l));
+  const ModuleCost mul = mul_cost(tech, k);
+  account("compute", wsel, n * h);
+  account("compute", mul, n * h);
+
+  // Column adder trees (optionally pipelined — extension knob).
+  const ModuleCost tree =
+      dp.pipelined_tree
+          ? adder_tree_pipelined_cost(tech, static_cast<int>(h), k)
+          : adder_tree_cost(tech, static_cast<int>(h), k);
+  account("adder_tree", tree, n);
+
+  // Shift accumulators (gated when the tree is pipelined).
+  const ModuleCost accu =
+      dp.pipelined_tree
+          ? shift_accumulator_gated_cost(tech, bx, static_cast<int>(h))
+          : shift_accumulator_cost(tech, bx, static_cast<int>(h));
+  account("accumulator", accu, n);
+
+  // Result fusion: one unit per Bw columns; fires once per streamed operand,
+  // amortized over the streaming cycles.
+  const int w = accumulator_width(bx, static_cast<int>(h));
+  const ModuleCost fusion = result_fusion_cost(tech, bw, w);
+  const std::int64_t fusion_units = static_cast<std::int64_t>(
+      ceil_div(static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(bw)));
+  account("fusion", fusion, fusion_units, 1.0 / static_cast<double>(cycles));
+
+  // Input buffer.
+  const ModuleCost buf = input_buffer_cost(tech, static_cast<int>(h), bx, k);
+  account("input_buffer", buf, 1);
+
+  a.array_path_delay = buf.delay + wsel.delay + mul.delay + tree.delay;
+  a.accu_delay = accu.delay;
+  a.fusion_delay = fusion.delay;
+  return a;
+}
+
+MacroMetrics finalize(const Technology& tech, const DesignPoint& dp,
+                      const EvalConditions& cond, const MacroAssembly& a,
+                      int bx, int bw) {
+  MacroMetrics m;
+  m.gates = a.gates;
+  m.area_gates = a.area;
+  m.energy_gates = a.energy_per_cycle;
+  m.delay_gates =
+      std::max({a.array_path_delay, a.accu_delay, a.fusion_delay});
+  m.area_breakdown = a.area_breakdown;
+  m.energy_breakdown = a.energy_breakdown;
+  m.cycles_per_input = static_cast<std::int64_t>(ceil_div(
+      static_cast<std::uint64_t>(bx), static_cast<std::uint64_t>(dp.k)));
+
+  m.area_um2 = tech.area_um2(m.area_gates);
+  m.area_mm2 = m.area_um2 * 1e-6;
+  m.delay_ns = tech.delay_ns(m.delay_gates, cond);
+  SEGA_ASSERT(m.delay_ns > 0.0);
+  m.freq_ghz = 1.0 / m.delay_ns;
+  m.energy_per_cycle_fj = tech.energy_fj(m.energy_gates, cond);
+  m.power_w = m.energy_per_cycle_fj * 1e-15 / (m.delay_ns * 1e-9);
+  m.energy_per_mvm_nj = m.energy_per_cycle_fj *
+                        static_cast<double>(m.cycles_per_input) * 1e-6;
+
+  // Throughput (Table V/VI): every group of Bw columns completes N*H/Bw
+  // MACs per ceil(Bx/k) cycles; 1 MAC = 2 ops.
+  const double macs_per_cycle =
+      static_cast<double>(dp.n) * static_cast<double>(dp.h) /
+      (static_cast<double>(bw) * static_cast<double>(m.cycles_per_input));
+  const double ops_per_s = 2.0 * macs_per_cycle / (m.delay_ns * 1e-9);
+  m.throughput_tops = ops_per_s * 1e-12;
+  m.tops_per_w = m.throughput_tops / m.power_w;
+  m.tops_per_mm2 = m.throughput_tops / m.area_mm2;
+  return m;
+}
+
+}  // namespace
+
+MacroMetrics evaluate_macro(const Technology& tech, const DesignPoint& dp,
+                            const EvalConditions& cond) {
+  SEGA_EXPECTS(dp.n >= 1 && dp.h >= 2 && dp.l >= 1 && dp.k >= 1);
+  SEGA_EXPECTS(dp.arch == arch_for(dp.precision));
+
+  const int bx = dp.precision.input_bits();
+  const int bw = dp.precision.weight_bits();
+  SEGA_EXPECTS(dp.k <= bx);
+
+  MacroAssembly a = assemble_int_body(tech, dp, bx, bw);
+
+  if (dp.arch == ArchKind::kFpCim) {
+    const int be = dp.precision.exp_bits;
+    const int bm = dp.precision.compute_mant_bits();
+    const std::int64_t cycles = static_cast<std::int64_t>(ceil_div(
+        static_cast<std::uint64_t>(bx), static_cast<std::uint64_t>(dp.k)));
+
+    // FP pre-alignment: processes a fresh input set once per streamed
+    // operand; amortized over the streaming cycles.
+    const ModuleCost alig =
+        pre_alignment_cost(tech, static_cast<int>(dp.h), be, bm);
+    a.gates.add_scaled(alig.gates, 1);
+    a.area += alig.area;
+    const double alig_energy = alig.energy / static_cast<double>(cycles);
+    a.energy_per_cycle += alig_energy;
+    a.area_breakdown["pre_alignment"] += alig.area;
+    a.energy_breakdown["pre_alignment"] += alig_energy;
+    // The pre-alignment is its own pipeline stage in front of the array.
+    a.array_path_delay = std::max(a.array_path_delay, alig.delay);
+
+    // INT-to-FP converters: one per fusion unit, on the fusion stage.
+    const int w = accumulator_width(bx, static_cast<int>(dp.h));
+    const int br = fusion_output_width(bw, w);
+    const ModuleCost convert = int_to_fp_cost(tech, br, be);
+    const std::int64_t fusion_units = static_cast<std::int64_t>(ceil_div(
+        static_cast<std::uint64_t>(dp.n), static_cast<std::uint64_t>(bw)));
+    a.gates.add_scaled(convert.gates, fusion_units);
+    const double conv_area = convert.area * static_cast<double>(fusion_units);
+    const double conv_energy = convert.energy *
+                               static_cast<double>(fusion_units) /
+                               static_cast<double>(cycles);
+    a.area += conv_area;
+    a.energy_per_cycle += conv_energy;
+    a.area_breakdown["int_to_fp"] += conv_area;
+    a.energy_breakdown["int_to_fp"] += conv_energy;
+    a.fusion_delay += convert.delay;
+  }
+
+  return finalize(tech, dp, cond, a, bx, bw);
+}
+
+}  // namespace sega

@@ -1,0 +1,61 @@
+// Tables V & VI — full-macro performance estimation for the two DCIM
+// architectures, plus absolute-unit metrics derived through a Technology.
+//
+// This is the objective function of the design-space explorer: the NSGA-II
+// optimizer minimizes [area, delay, energy, -throughput] as produced here
+// (eq. (2) for MUL-CIM and eq. (3) for FP-CIM).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "arch/design_point.h"
+#include "cost/components.h"
+
+namespace sega {
+
+/// Evaluation of one design point.  Normalized quantities are in NOR-gate
+/// units; absolute quantities are derived through the Technology and the
+/// EvalConditions.
+struct MacroMetrics {
+  // --- normalized (gate units) ---
+  GateCount gates;               ///< full leaf-cell census
+  double area_gates = 0.0;       ///< total area
+  double delay_gates = 0.0;      ///< pipeline-stage critical path
+  double energy_gates = 0.0;     ///< switching energy per cycle
+
+  // --- absolute ---
+  double area_um2 = 0.0;
+  double area_mm2 = 0.0;
+  double delay_ns = 0.0;           ///< clock period
+  double freq_ghz = 0.0;           ///< 1 / delay
+  double energy_per_cycle_fj = 0.0;
+  double power_w = 0.0;            ///< energy_per_cycle / delay
+  double energy_per_mvm_nj = 0.0;  ///< full-operand pass: E_cycle * cycles
+  double throughput_tops = 0.0;    ///< 2 * N * H / (Bw * cycles * delay)
+  double tops_per_w = 0.0;
+  double tops_per_mm2 = 0.0;
+
+  std::int64_t cycles_per_input = 0;
+
+  /// Per-component normalized area, keys: "sram", "compute", "adder_tree",
+  /// "accumulator", "fusion", "input_buffer", and for FP-CIM additionally
+  /// "pre_alignment", "int_to_fp".
+  std::map<std::string, double> area_breakdown;
+  /// Per-component normalized per-cycle energy, same keys.
+  std::map<std::string, double> energy_breakdown;
+
+  /// The four objectives of eq. (2)/(3) in minimization form:
+  /// [area_mm2, delay_ns, energy_per_mvm_nj, -throughput_tops].
+  std::array<double, 4> objectives() const;
+};
+
+/// Evaluate a validated design point.  Precondition: dp passes
+/// validate_design for its own wstore() (structure is self-consistent).
+MacroMetrics evaluate_macro(const Technology& tech, const DesignPoint& dp,
+                            const EvalConditions& cond = {});
+
+/// Name of each objective in MacroMetrics::objectives() order.
+const char* objective_name(std::size_t index);
+
+}  // namespace sega

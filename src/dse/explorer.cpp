@@ -1,0 +1,176 @@
+#include "dse/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sega {
+
+Objectives EvaluatedDesign::objectives() const {
+  const auto arr = metrics.objectives();
+  return Objectives(arr.begin(), arr.end());
+}
+
+EvaluatedDesign evaluate_design(const Technology& tech, const DesignPoint& dp,
+                                const EvalConditions& cond) {
+  return EvaluatedDesign{dp, evaluate_macro(tech, dp, cond)};
+}
+
+void sort_by_objectives(std::vector<EvaluatedDesign>* designs) {
+  std::sort(designs->begin(), designs->end(),
+            [](const EvaluatedDesign& a, const EvaluatedDesign& b) {
+              return a.objectives() < b.objectives();
+            });
+}
+
+std::vector<EvaluatedDesign> explore_nsga2(const DesignSpace& space,
+                                           const Technology& tech,
+                                           const EvalConditions& cond,
+                                           const Nsga2Options& options,
+                                           Nsga2Stats* stats) {
+  const ObjectiveFn objective = [&](const DesignPoint& dp) {
+    const auto arr = evaluate_macro(tech, dp, cond).objectives();
+    return Objectives(arr.begin(), arr.end());
+  };
+  const auto points = nsga2_optimize(space, objective, options, stats);
+  std::vector<EvaluatedDesign> out;
+  out.reserve(points.size());
+  for (const auto& dp : points) out.push_back(evaluate_design(tech, dp, cond));
+  sort_by_objectives(&out);
+  return out;
+}
+
+std::vector<EvaluatedDesign> explore_exhaustive(const DesignSpace& space,
+                                                const Technology& tech,
+                                                const EvalConditions& cond) {
+  const auto all = space.enumerate_all();
+  std::vector<EvaluatedDesign> evaluated;
+  std::vector<Objectives> objs;
+  evaluated.reserve(all.size());
+  objs.reserve(all.size());
+  for (const auto& dp : all) {
+    evaluated.push_back(evaluate_design(tech, dp, cond));
+    objs.push_back(evaluated.back().objectives());
+  }
+  const auto keep = non_dominated_indices(objs);
+  std::vector<EvaluatedDesign> front;
+  front.reserve(keep.size());
+  for (const std::size_t i : keep) front.push_back(evaluated[i]);
+  sort_by_objectives(&front);
+  return front;
+}
+
+std::vector<EvaluatedDesign> explore_random(const DesignSpace& space,
+                                            const Technology& tech,
+                                            const EvalConditions& cond,
+                                            int budget, std::uint64_t seed) {
+  SEGA_EXPECTS(budget > 0);
+  Rng rng(seed);
+  std::vector<EvaluatedDesign> evaluated;
+  std::vector<Objectives> objs;
+  for (int i = 0; i < budget; ++i) {
+    const auto dp = space.sample(rng);
+    if (!dp) break;
+    evaluated.push_back(evaluate_design(tech, *dp, cond));
+    objs.push_back(evaluated.back().objectives());
+  }
+  const auto keep = non_dominated_indices(objs);
+  std::vector<EvaluatedDesign> front;
+  for (const std::size_t i : keep) front.push_back(evaluated[i]);
+  // Random sampling can hit the same point repeatedly; dedupe.
+  sort_by_objectives(&front);
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const EvaluatedDesign& a, const EvaluatedDesign& b) {
+                            return a.point == b.point;
+                          }),
+              front.end());
+  return front;
+}
+
+std::vector<EvaluatedDesign> explore_multi_precision(
+    std::int64_t wstore, const std::vector<Precision>& precisions,
+    const Technology& tech, const EvalConditions& cond,
+    const Nsga2Options& options, const SpaceConstraints& limits) {
+  SEGA_EXPECTS(wstore > 0 && !precisions.empty());
+  std::vector<EvaluatedDesign> pool;
+  Nsga2Options opt = options;
+  for (std::size_t i = 0; i < precisions.size(); ++i) {
+    DesignSpace space(wstore, precisions[i], limits);
+    // Decorrelate the per-precision runs while keeping determinism.
+    opt.seed = options.seed + i;
+    auto front = explore_nsga2(space, tech, cond, opt);
+    pool.insert(pool.end(), std::make_move_iterator(front.begin()),
+                std::make_move_iterator(front.end()));
+  }
+  // Cross-precision non-dominated filter: the objectives are in common
+  // physical units, so INT and FP candidates compete directly.
+  std::vector<Objectives> objs;
+  objs.reserve(pool.size());
+  for (const auto& ed : pool) objs.push_back(ed.objectives());
+  const auto keep = non_dominated_indices(objs);
+  std::vector<EvaluatedDesign> merged;
+  merged.reserve(keep.size());
+  for (const std::size_t i : keep) merged.push_back(pool[i]);
+  sort_by_objectives(&merged);
+  return merged;
+}
+
+EvaluatedDesign explore_weighted_sum(const DesignSpace& space,
+                                     const Technology& tech,
+                                     const EvalConditions& cond,
+                                     const WeightedSumOptions& options) {
+  SEGA_EXPECTS(options.budget > 0);
+  Rng rng(options.seed);
+
+  // Normalize objectives with a quick probe so the weights act on
+  // comparable scales.
+  std::array<double, 4> scale{1.0, 1.0, 1.0, 1.0};
+  {
+    std::array<double, 4> best{};
+    bool first = true;
+    for (int i = 0; i < 32; ++i) {
+      const auto dp = space.sample(rng);
+      if (!dp) break;
+      const auto obj = evaluate_macro(tech, *dp, cond).objectives();
+      for (std::size_t j = 0; j < 4; ++j) {
+        const double mag = std::fabs(obj[j]);
+        best[j] = first ? mag : std::max(best[j], mag);
+      }
+      first = false;
+    }
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (best[j] > 0.0) scale[j] = 1.0 / best[j];
+    }
+  }
+
+  auto score = [&](const DesignPoint& dp) {
+    const auto obj = evaluate_macro(tech, dp, cond).objectives();
+    double s = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      s += options.weights[j] * obj[j] * scale[j];
+    }
+    return s;
+  };
+
+  // Random restarts + greedy neighbourhood descent over the enumerable
+  // space; with the small domains this reliably finds the scalar optimum.
+  const auto all = space.enumerate_all();
+  SEGA_EXPECTS(!all.empty());
+  DesignPoint best_dp = all.front();
+  double best_score = score(best_dp);
+  int spent = 1;
+  while (spent < options.budget) {
+    const auto dp = space.sample(rng);
+    ++spent;
+    if (!dp) break;
+    const double s = score(*dp);
+    if (s < best_score) {
+      best_score = s;
+      best_dp = *dp;
+    }
+  }
+  return evaluate_design(tech, best_dp, cond);
+}
+
+}  // namespace sega

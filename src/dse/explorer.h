@@ -1,0 +1,82 @@
+// High-level design-space exploration front-ends.
+//
+// explore_nsga2      — the paper's MOGA explorer (per-architecture NSGA-II).
+// explore_exhaustive — ground-truth Pareto front by full enumeration
+//                      (feasible because the per-spec domain is small; used
+//                      to validate the GA and as the paper-accurate baseline
+//                      for EasyACIM-style "agile" exploration comparisons).
+// explore_random     — random-search baseline at a fixed evaluation budget.
+// explore_weighted_sum — single-objective weighted-sum GA baseline, the
+//                      "fixed human experience" strategy §II-B argues
+//                      against; returns one design, not a front.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/macro_model.h"
+#include "dse/nsga2.h"
+
+namespace sega {
+
+/// A design point together with its evaluation.
+struct EvaluatedDesign {
+  DesignPoint point;
+  MacroMetrics metrics;
+
+  /// eq. (2)/(3) minimization vector [area, delay, energy, -throughput].
+  Objectives objectives() const;
+};
+
+/// Evaluate one point under (tech, cond).
+EvaluatedDesign evaluate_design(const Technology& tech, const DesignPoint& dp,
+                                const EvalConditions& cond = {});
+
+/// Sort helper: lexicographic by objectives (stable result ordering for
+/// reports and tests).
+void sort_by_objectives(std::vector<EvaluatedDesign>* designs);
+
+/// NSGA-II exploration of @p space.
+std::vector<EvaluatedDesign> explore_nsga2(const DesignSpace& space,
+                                           const Technology& tech,
+                                           const EvalConditions& cond = {},
+                                           const Nsga2Options& options = {},
+                                           Nsga2Stats* stats = nullptr);
+
+/// Exact Pareto front by exhaustive enumeration.
+std::vector<EvaluatedDesign> explore_exhaustive(const DesignSpace& space,
+                                                const Technology& tech,
+                                                const EvalConditions& cond = {});
+
+/// Non-dominated subset of @p budget uniformly sampled designs.
+std::vector<EvaluatedDesign> explore_random(const DesignSpace& space,
+                                            const Technology& tech,
+                                            const EvalConditions& cond,
+                                            int budget, std::uint64_t seed);
+
+/// Multi-precision exploration (§III-B.2): run the per-architecture NSGA-II
+/// for every requested precision at the same Wstore, merge the fronts and
+/// re-filter — "a high-quality Pareto-frontier set containing both integer
+/// and floating-point solutions".  Precisions whose space is empty are
+/// skipped.
+std::vector<EvaluatedDesign> explore_multi_precision(
+    std::int64_t wstore, const std::vector<Precision>& precisions,
+    const Technology& tech, const EvalConditions& cond = {},
+    const Nsga2Options& options = {},
+    const SpaceConstraints& limits = {});
+
+/// Weighted-sum scalarization baseline: minimizes
+/// w0*area + w1*delay + w2*energy - w3*throughput (objectives normalized to
+/// the exhaustive ideal point) by hill-climbing GA; returns the single best
+/// design found.
+struct WeightedSumOptions {
+  std::array<double, 4> weights{1.0, 1.0, 1.0, 1.0};
+  int budget = 512;
+  std::uint64_t seed = 1;
+};
+EvaluatedDesign explore_weighted_sum(const DesignSpace& space,
+                                     const Technology& tech,
+                                     const EvalConditions& cond,
+                                     const WeightedSumOptions& options);
+
+}  // namespace sega

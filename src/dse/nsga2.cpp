@@ -1,0 +1,236 @@
+#include "dse/nsga2.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/assert.h"
+
+namespace sega {
+
+namespace {
+
+struct Genome {
+  int n_exp = 0;
+  int h_exp = 0;
+  std::int64_t k = 1;
+
+  auto key() const { return std::tie(n_exp, h_exp, k); }
+  bool operator<(const Genome& other) const { return key() < other.key(); }
+  bool operator==(const Genome& other) const { return key() == other.key(); }
+};
+
+struct Individual {
+  Genome genome;
+  DesignPoint point;
+  Objectives objectives;
+  int rank = 0;
+  double crowding = 0.0;
+};
+
+/// Decode with local repair: if the exact genome is infeasible (derived L
+/// not integral or out of range), walk outward over neighbouring (n,h)
+/// exponents until a feasible decode is found.
+std::optional<DesignPoint> decode_with_repair(const DesignSpace& space,
+                                              Genome* g) {
+  if (auto dp = space.decode(g->n_exp, g->h_exp, g->k)) return dp;
+  for (int radius = 1; radius <= 4; ++radius) {
+    for (int dn = -radius; dn <= radius; ++dn) {
+      for (int dh = -radius; dh <= radius; ++dh) {
+        if (std::max(std::abs(dn), std::abs(dh)) != radius) continue;
+        const int ne = g->n_exp + dn;
+        const int he = g->h_exp + dh;
+        if (auto dp = space.decode(ne, he, g->k)) {
+          g->n_exp = ne;
+          g->h_exp = he;
+          return dp;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Genome random_genome(const DesignSpace& space, Rng& rng) {
+  Genome g;
+  g.n_exp = static_cast<int>(
+      rng.uniform_int(space.min_n_exp(), space.max_n_exp()));
+  g.h_exp = static_cast<int>(
+      rng.uniform_int(space.min_h_exp(), space.max_h_exp()));
+  g.k = rng.uniform_int(1, space.max_k());
+  return g;
+}
+
+/// Archive of every distinct genome evaluated during the run.  The returned
+/// front is the non-dominated subset of the archive, so information from any
+/// generation is never lost (elitist archive, standard NSGA-II practice).
+using Archive = std::map<Genome, std::pair<DesignPoint, Objectives>>;
+
+std::optional<Individual> make_individual(const DesignSpace& space,
+                                          const ObjectiveFn& objective,
+                                          Genome g, Nsga2Stats* stats,
+                                          Archive* archive) {
+  auto dp = decode_with_repair(space, &g);
+  if (!dp) return std::nullopt;
+  Individual ind;
+  ind.genome = g;
+  ind.point = *dp;
+  const auto cached = archive->find(g);
+  if (cached != archive->end()) {
+    ind.objectives = cached->second.second;
+  } else {
+    ind.objectives = objective(*dp);
+    if (stats) ++stats->evaluations;
+    archive->emplace(g, std::make_pair(*dp, ind.objectives));
+  }
+  return ind;
+}
+
+/// Binary tournament on (rank, crowding).
+const Individual& tournament(const std::vector<Individual>& pop, Rng& rng) {
+  const auto pick = [&]() -> const Individual& {
+    return pop[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1))];
+  };
+  const Individual& a = pick();
+  const Individual& b = pick();
+  if (a.rank != b.rank) return a.rank < b.rank ? a : b;
+  return a.crowding >= b.crowding ? a : b;
+}
+
+Genome crossover(const Genome& a, const Genome& b, Rng& rng) {
+  // Uniform per-gene crossover — genes are weakly coupled through the
+  // derived-L constraint, so gene exchange explores well.
+  Genome child;
+  child.n_exp = rng.chance(0.5) ? a.n_exp : b.n_exp;
+  child.h_exp = rng.chance(0.5) ? a.h_exp : b.h_exp;
+  child.k = rng.chance(0.5) ? a.k : b.k;
+  return child;
+}
+
+void mutate(Genome* g, const DesignSpace& space, double per_gene_prob,
+            Rng& rng) {
+  if (rng.chance(per_gene_prob)) {
+    g->n_exp += rng.chance(0.5) ? 1 : -1;
+    g->n_exp = std::clamp(g->n_exp, space.min_n_exp(), space.max_n_exp());
+  }
+  if (rng.chance(per_gene_prob)) {
+    g->h_exp += rng.chance(0.5) ? 1 : -1;
+    g->h_exp = std::clamp(g->h_exp, space.min_h_exp(), space.max_h_exp());
+  }
+  if (rng.chance(per_gene_prob)) {
+    // k mixes small steps with occasional uniform resets to jump between
+    // divisor regimes.
+    if (rng.chance(0.3)) {
+      g->k = rng.uniform_int(1, space.max_k());
+    } else {
+      g->k += rng.chance(0.5) ? 1 : -1;
+      g->k = std::clamp<std::int64_t>(g->k, 1, space.max_k());
+    }
+  }
+}
+
+/// Assign ranks and crowding to @p pop in place.
+void rank_population(std::vector<Individual>* pop) {
+  std::vector<Objectives> objs;
+  objs.reserve(pop->size());
+  for (const auto& ind : *pop) objs.push_back(ind.objectives);
+  const auto fronts = fast_non_dominated_sort(objs);
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    std::vector<Objectives> front_objs;
+    front_objs.reserve(fronts[f].size());
+    for (const std::size_t i : fronts[f]) front_objs.push_back(objs[i]);
+    const auto crowd = crowding_distances(front_objs);
+    for (std::size_t j = 0; j < fronts[f].size(); ++j) {
+      (*pop)[fronts[f][j]].rank = static_cast<int>(f);
+      (*pop)[fronts[f][j]].crowding = crowd[j];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<DesignPoint> nsga2_optimize(const DesignSpace& space,
+                                        const ObjectiveFn& objective,
+                                        const Nsga2Options& options,
+                                        Nsga2Stats* stats) {
+  SEGA_EXPECTS(options.population >= 4);
+  SEGA_EXPECTS(options.generations >= 1);
+  Rng rng(options.seed);
+  Nsga2Stats local_stats;
+  if (!stats) stats = &local_stats;
+
+  // --- initial population ---
+  Archive archive;
+  std::vector<Individual> pop;
+  for (int attempts = 0;
+       static_cast<int>(pop.size()) < options.population &&
+       attempts < options.population * 64;
+       ++attempts) {
+    if (auto ind = make_individual(space, objective,
+                                   random_genome(space, rng), stats,
+                                   &archive)) {
+      pop.push_back(std::move(*ind));
+    }
+  }
+  if (pop.empty()) return {};
+  rank_population(&pop);
+
+  // --- generational loop ---
+  for (int gen = 0; gen < options.generations; ++gen) {
+    std::vector<Individual> offspring;
+    offspring.reserve(pop.size());
+    while (offspring.size() < pop.size()) {
+      const Individual& p1 = tournament(pop, rng);
+      const Individual& p2 = tournament(pop, rng);
+      Genome child = rng.chance(options.crossover_prob)
+                         ? crossover(p1.genome, p2.genome, rng)
+                         : p1.genome;
+      mutate(&child, space, options.mutation_prob, rng);
+      if (auto ind =
+              make_individual(space, objective, child, stats, &archive)) {
+        offspring.push_back(std::move(*ind));
+      } else {
+        // Infeasible even after repair: inject a random immigrant to keep
+        // population pressure up.
+        if (auto imm = make_individual(space, objective,
+                                       random_genome(space, rng), stats,
+                                       &archive)) {
+          offspring.push_back(std::move(*imm));
+        }
+      }
+    }
+
+    // Environmental selection over parents + offspring.
+    std::vector<Individual> merged = std::move(pop);
+    merged.insert(merged.end(), std::make_move_iterator(offspring.begin()),
+                  std::make_move_iterator(offspring.end()));
+    rank_population(&merged);
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Individual& a, const Individual& b) {
+                       if (a.rank != b.rank) return a.rank < b.rank;
+                       return a.crowding > b.crowding;
+                     });
+    merged.resize(static_cast<std::size_t>(options.population));
+    pop = std::move(merged);
+    rank_population(&pop);
+    ++stats->generations_run;
+  }
+
+  // --- extract the non-dominated subset of everything evaluated ---
+  std::vector<DesignPoint> points;
+  std::vector<Objectives> objs;
+  points.reserve(archive.size());
+  objs.reserve(archive.size());
+  for (const auto& [g, entry] : archive) {
+    points.push_back(entry.first);
+    objs.push_back(entry.second);
+  }
+  const auto keep = non_dominated_indices(objs);
+  std::vector<DesignPoint> front;
+  front.reserve(keep.size());
+  for (const std::size_t i : keep) front.push_back(points[i]);
+  return front;
+}
+
+}  // namespace sega

@@ -1,0 +1,42 @@
+// NSGA-II — the paper's MOGA design-space explorer (§III-B.2).
+//
+// The genome is the design space's (log2 N, log2 H, k) coordinate; L is
+// derived from the storage equality constraint, so every decoded individual
+// is feasible by construction.  Objectives are the eq. (2)/(3) vector
+// [area, delay, energy, -throughput] in minimization form.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/space.h"
+#include "dse/pareto.h"
+
+namespace sega {
+
+struct Nsga2Options {
+  int population = 64;
+  int generations = 64;
+  double crossover_prob = 0.9;
+  double mutation_prob = 0.35;  ///< per-gene mutation probability
+  std::uint64_t seed = 1;
+};
+
+/// Statistics of one NSGA-II run.
+struct Nsga2Stats {
+  int generations_run = 0;
+  std::int64_t evaluations = 0;  ///< objective-function invocations
+};
+
+/// Objective callback: maps a valid design point to its minimization vector.
+using ObjectiveFn = std::function<Objectives(const DesignPoint&)>;
+
+/// Run NSGA-II over @p space.  Returns the final non-dominated set of
+/// *distinct* design points (duplicates removed).  @p stats is optional.
+std::vector<DesignPoint> nsga2_optimize(const DesignSpace& space,
+                                        const ObjectiveFn& objective,
+                                        const Nsga2Options& options,
+                                        Nsga2Stats* stats = nullptr);
+
+}  // namespace sega

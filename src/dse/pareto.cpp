@@ -1,0 +1,159 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace sega {
+
+bool dominates(const Objectives& u, const Objectives& v) {
+  SEGA_EXPECTS(u.size() == v.size() && !u.empty());
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (u[i] > v[i]) return false;
+    if (u[i] < v[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> non_dominated_indices(
+    const std::vector<Objectives>& points) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    const std::vector<Objectives>& points) {
+  const std::size_t n = points.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts;
+
+  std::vector<std::size_t> first;
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (dominates(points[p], points[q])) {
+        dominated_by[p].push_back(q);
+      } else if (dominates(points[q], points[p])) {
+        ++domination_count[p];
+      }
+    }
+    if (domination_count[p] == 0) first.push_back(p);
+  }
+  fronts.push_back(std::move(first));
+
+  while (!fronts.back().empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t p : fronts.back()) {
+      for (const std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    fronts.push_back(std::move(next));
+  }
+  fronts.pop_back();  // drop the trailing empty front
+  return fronts;
+}
+
+std::vector<double> crowding_distances(const std::vector<Objectives>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> dist(n, 0.0);
+  if (n == 0) return dist;
+  const std::size_t m = front[0].size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return front[a][obj] < front[b][obj];
+    });
+    dist[order.front()] = kInf;
+    dist[order.back()] = kInf;
+    const double span = front[order.back()][obj] - front[order.front()][obj];
+    if (span <= 0.0) continue;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      dist[order[i]] +=
+          (front[order[i + 1]][obj] - front[order[i - 1]][obj]) / span;
+    }
+  }
+  return dist;
+}
+
+double hypervolume_2d(const std::vector<Objectives>& front,
+                      const Objectives& ref) {
+  SEGA_EXPECTS(ref.size() == 2);
+  std::vector<Objectives> pts;
+  for (const auto& p : front) {
+    SEGA_EXPECTS(p.size() == 2);
+    if (p[0] < ref[0] && p[1] < ref[1]) pts.push_back(p);
+  }
+  if (pts.empty()) return 0.0;
+  std::sort(pts.begin(), pts.end());
+  double volume = 0.0;
+  double prev_y = ref[1];
+  for (const auto& p : pts) {
+    if (p[1] < prev_y) {
+      volume += (ref[0] - p[0]) * (prev_y - p[1]);
+      prev_y = p[1];
+    }
+  }
+  return volume;
+}
+
+double hypervolume_monte_carlo(const std::vector<Objectives>& front,
+                               const Objectives& ref, int samples,
+                               std::uint64_t seed) {
+  SEGA_EXPECTS(samples > 0);
+  if (front.empty()) return 0.0;
+  const std::size_t m = ref.size();
+
+  // Bounding box: [component-wise ideal, ref].
+  Objectives ideal = front[0];
+  for (const auto& p : front) {
+    SEGA_EXPECTS(p.size() == m);
+    for (std::size_t i = 0; i < m; ++i) ideal[i] = std::min(ideal[i], p[i]);
+  }
+  double box = 1.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double side = ref[i] - ideal[i];
+    if (side <= 0.0) return 0.0;
+    box *= side;
+  }
+
+  Rng rng(seed);
+  int dominated = 0;
+  Objectives sample(m);
+  for (int s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < m; ++i) {
+      sample[i] = ideal[i] + rng.uniform() * (ref[i] - ideal[i]);
+    }
+    for (const auto& p : front) {
+      bool dom = true;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (p[i] > sample[i]) {
+          dom = false;
+          break;
+        }
+      }
+      if (dom) {
+        ++dominated;
+        break;
+      }
+    }
+  }
+  return box * static_cast<double>(dominated) / static_cast<double>(samples);
+}
+
+}  // namespace sega

@@ -1,0 +1,45 @@
+// Pareto-dominance utilities: dominance test (eq. (1) of the paper),
+// non-dominated filtering, NSGA-II's fast non-dominated sort and crowding
+// distance, and hypervolume indicators for comparing explorer quality.
+//
+// All objective vectors are in *minimization* form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sega {
+
+using Objectives = std::vector<double>;
+
+/// Pareto dominance (minimization): u dominates v iff u is no worse in every
+/// objective and strictly better in at least one — eq. (1).
+bool dominates(const Objectives& u, const Objectives& v);
+
+/// Indices of the non-dominated points among @p points (first Pareto front).
+std::vector<std::size_t> non_dominated_indices(
+    const std::vector<Objectives>& points);
+
+/// NSGA-II fast non-dominated sort: partitions all points into fronts
+/// F1, F2, ... where F1 is non-dominated and Fi+1 is non-dominated once
+/// F1..Fi are removed.  Every index appears in exactly one front.
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    const std::vector<Objectives>& points);
+
+/// Crowding distance of each point within one front (Deb et al. 2002).
+/// Boundary points of every objective get +infinity.
+std::vector<double> crowding_distances(const std::vector<Objectives>& front);
+
+/// Exact hypervolume for 2-objective fronts w.r.t. reference point @p ref
+/// (every point must dominate ref).  Points not dominating ref contribute 0.
+double hypervolume_2d(const std::vector<Objectives>& front,
+                      const Objectives& ref);
+
+/// Monte-Carlo hypervolume estimate for any dimension: the fraction of the
+/// [ideal, ref] box dominated by the front, times the box volume.
+/// Deterministic for a given @p seed.
+double hypervolume_monte_carlo(const std::vector<Objectives>& front,
+                               const Objectives& ref, int samples,
+                               std::uint64_t seed);
+
+}  // namespace sega

@@ -1,0 +1,17 @@
+// DEF-lite writer: serializes a MacroLayout into a (subset of the) Design
+// Exchange Format that downstream P&R or visualization tools can ingest —
+// the artifact the paper's flow gets from Innovus.
+#pragma once
+
+#include <string>
+
+#include "layout/floorplan.h"
+
+namespace sega {
+
+/// DEF text for the floorplanned macro.  Placed standard cells appear as
+/// COMPONENTS with FIXED placements (DB units = 1000/um); the memory array
+/// appears as a single placed macro block; regions are emitted as REGIONS.
+std::string write_def(const MacroLayout& layout, const Netlist& nl);
+
+}  // namespace sega

@@ -1,0 +1,56 @@
+// Row-based standard-cell placer — the Innovus substitute's inner engine.
+//
+// Cells become fixed-height, variable-width tiles (width = area / row
+// height) packed greedily left-to-right into rows of a chosen width.  This
+// is a legal-by-construction abutment placement: no overlaps, all cells in
+// rows, per-row fill tracked, which is exactly the information the paper
+// extracts from its Innovus runs (macro dimensions and region areas).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/gate_count.h"
+#include "tech/technology.h"
+
+namespace sega {
+
+/// A placed rectangle (micrometres).
+struct PlacedCell {
+  std::size_t cell_index = 0;  ///< index into the source netlist
+  double x = 0.0;
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+};
+
+struct RowPlacement {
+  std::vector<PlacedCell> cells;
+  double row_height_um = 0.0;
+  double width_um = 0.0;    ///< bounding width actually used
+  double height_um = 0.0;   ///< rows * row height
+  double cell_area_um2 = 0.0;
+  int rows = 0;
+
+  /// cell area / bounding-box area.
+  double utilization() const;
+};
+
+struct PlacerOptions {
+  double row_height_um = 1.2;  ///< 28nm-class 9-track standard-cell row
+  double target_width_um = 0.0;  ///< 0 = derive from target utilization
+  double target_utilization = 0.8;
+  double cell_spacing_um = 0.0;  ///< optional abutment gap
+};
+
+/// Place cells of the given widths (um) into rows.  @p cell_indices names
+/// each tile (parallel to @p widths).
+RowPlacement place_rows(const std::vector<double>& widths,
+                        const std::vector<std::size_t>& cell_indices,
+                        const PlacerOptions& options);
+
+/// Width of a cell tile for @p kind under @p tech (area / row height).
+double cell_tile_width(const Technology& tech, CellKind kind,
+                       double row_height_um);
+
+}  // namespace sega

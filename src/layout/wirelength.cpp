@@ -1,0 +1,68 @@
+#include "layout/wirelength.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace sega {
+
+WirelengthReport estimate_wirelength(const MacroLayout& layout,
+                                     const Netlist& nl) {
+  // Terminal position per cell: placed cells at their centre; SRAM cells at
+  // the memory-tile centre.
+  struct Point {
+    double x = 0.0, y = 0.0;
+    bool known = false;
+  };
+  std::vector<Point> cell_pos(nl.cells().size());
+  for (const auto& region : layout.regions) {
+    for (const auto& pc : region.placement.cells) {
+      SEGA_ASSERT(pc.cell_index < cell_pos.size());
+      cell_pos[pc.cell_index] = {region.x_um + pc.x + pc.width / 2,
+                                 region.y_um + pc.y + pc.height / 2, true};
+    }
+  }
+  if (const RegionLayout* mem = layout.region("memory")) {
+    const Point centre{mem->x_um + mem->width_um / 2,
+                       mem->y_um + mem->height_um / 2, true};
+    for (std::size_t ci = 0; ci < nl.cells().size(); ++ci) {
+      if (nl.cells()[ci].kind == CellKind::kSram) cell_pos[ci] = centre;
+    }
+  }
+
+  // Net bounding boxes over all cell terminals.
+  struct Box {
+    double lo_x = 1e300, hi_x = -1e300, lo_y = 1e300, hi_y = -1e300;
+    int terminals = 0;
+    void add(const Point& p) {
+      lo_x = std::min(lo_x, p.x);
+      hi_x = std::max(hi_x, p.x);
+      lo_y = std::min(lo_y, p.y);
+      hi_y = std::max(hi_y, p.y);
+      ++terminals;
+    }
+  };
+  std::vector<Box> boxes(nl.net_count());
+  for (std::size_t ci = 0; ci < nl.cells().size(); ++ci) {
+    if (!cell_pos[ci].known) continue;
+    for (const NetId n : nl.cells()[ci].inputs) boxes[n].add(cell_pos[ci]);
+    for (const NetId n : nl.cells()[ci].outputs) boxes[n].add(cell_pos[ci]);
+  }
+
+  WirelengthReport report;
+  for (const auto& box : boxes) {
+    if (box.terminals < 2) continue;
+    const double hpwl = (box.hi_x - box.lo_x) + (box.hi_y - box.lo_y);
+    report.total_um += hpwl;
+    report.max_net_um = std::max(report.max_net_um, hpwl);
+    ++report.nets;
+  }
+  if (report.nets > 0) {
+    report.mean_net_um = report.total_um / static_cast<double>(report.nets);
+  }
+  const double area = layout.width_um * layout.height_um;
+  if (area > 0.0) report.demand_um_per_um2 = report.total_um / area;
+  return report;
+}
+
+}  // namespace sega

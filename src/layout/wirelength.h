@@ -1,0 +1,27 @@
+// Half-perimeter wirelength (HPWL) estimation over a floorplanned macro —
+// the standard pre-route congestion/quality metric a P&R tool (the paper's
+// Innovus) would report after placement.
+//
+// Each net's length is estimated as the half perimeter of the bounding box
+// of its terminals (driver + sinks), using the placed cell positions; SRAM
+// bit cells sit inside the memory tile and are approximated at the tile
+// centre (their wiring is internal to the array).
+#pragma once
+
+#include "layout/floorplan.h"
+
+namespace sega {
+
+struct WirelengthReport {
+  double total_um = 0.0;      ///< sum of net HPWLs
+  double max_net_um = 0.0;    ///< longest single net
+  double mean_net_um = 0.0;
+  std::size_t nets = 0;       ///< nets with >= 2 placed terminals
+  /// Total HPWL / core area — a first-order routing-demand indicator.
+  double demand_um_per_um2 = 0.0;
+};
+
+WirelengthReport estimate_wirelength(const MacroLayout& layout,
+                                     const Netlist& nl);
+
+}  // namespace sega

@@ -1,0 +1,147 @@
+#include "rtl/harness.h"
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace sega {
+
+DcimHarness::DcimHarness(const DesignPoint& dp)
+    : macro_(build_dcim_macro(dp)), sim_(macro_.netlist) {}
+
+void DcimHarness::load_weight(std::int64_t group, std::int64_t row,
+                              std::int64_t slot, std::uint64_t value) {
+  const int bw = macro_.dp.precision.weight_bits();
+  SEGA_EXPECTS(value < (std::uint64_t{1} << bw));
+  for (int j = 0; j < bw; ++j) {
+    const std::int64_t column = group * bw + j;
+    SEGA_EXPECTS(column < macro_.dp.n);
+    const bool bit = (value >> j) & 1u;
+    // Inverted storage: SRAM holds WB.
+    sim_.set_sram(macro_.sram_index(column, row, slot), !bit);
+  }
+}
+
+void DcimHarness::load_weights(
+    const std::vector<std::vector<std::uint64_t>>& weights,
+    std::int64_t slot) {
+  SEGA_EXPECTS(static_cast<int>(weights.size()) == macro_.groups);
+  for (std::size_t g = 0; g < weights.size(); ++g) {
+    SEGA_EXPECTS(static_cast<std::int64_t>(weights[g].size()) == macro_.dp.h);
+    for (std::size_t r = 0; r < weights[g].size(); ++r) {
+      load_weight(static_cast<std::int64_t>(g), static_cast<std::int64_t>(r),
+                  slot, weights[g][r]);
+    }
+  }
+}
+
+void DcimHarness::run_streaming(std::int64_t slot) {
+  SEGA_EXPECTS(slot >= 0 && slot < macro_.dp.l);
+  sim_.set_input("wsel", static_cast<std::uint64_t>(slot));
+  const int latency = macro_.tree_latency;
+  // Load the input buffer.
+  sim_.set_input("slice", 0);
+  if (latency > 0) sim_.set_input("valid", 0);
+  sim_.step();
+  // Clear accumulators (the buffer keeps recapturing the held operands).
+  for (const std::size_t ci : macro_.accumulator_dffs) {
+    sim_.set_register(ci, false);
+  }
+  // Stream the slices MSB-first.  With a pipelined tree the partial for the
+  // slice driven at step t reaches the accumulator at step t + latency, so
+  // the accumulate-enable window is shifted by the pipeline depth.
+  const int total = macro_.cycles + latency;
+  for (int t = 0; t < total; ++t) {
+    const int c = std::min(t, macro_.cycles - 1);
+    sim_.set_input("slice", static_cast<std::uint64_t>(c));
+    if (latency > 0) sim_.set_input("valid", t >= latency ? 1 : 0);
+    sim_.step();
+  }
+}
+
+std::vector<std::uint64_t> DcimHarness::compute_int(
+    const std::vector<std::uint64_t>& inputs, std::int64_t slot) {
+  SEGA_EXPECTS(macro_.dp.arch == ArchKind::kMulCim);
+  SEGA_EXPECTS(static_cast<std::int64_t>(inputs.size()) == macro_.dp.h);
+  const int bx = macro_.dp.precision.input_bits();
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    SEGA_EXPECTS(inputs[r] < (std::uint64_t{1} << bx));
+    const std::uint64_t mask = (std::uint64_t{1} << bx) - 1;
+    sim_.set_input(strfmt("inb%zu", r), ~inputs[r] & mask);
+  }
+  run_streaming(slot);
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(macro_.groups));
+  for (int g = 0; g < macro_.groups; ++g) {
+    out[static_cast<std::size_t>(g)] =
+        sim_.read_output(strfmt("out%d", g));
+  }
+  return out;
+}
+
+void DcimHarness::load_weight_signed(std::int64_t group, std::int64_t row,
+                                     std::int64_t slot, std::int64_t value) {
+  SEGA_EXPECTS(macro_.dp.signed_weights);
+  const int bw = macro_.dp.precision.weight_bits();
+  const std::int64_t lo = -(std::int64_t{1} << (bw - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bw - 1)) - 1;
+  SEGA_EXPECTS(value >= lo && value <= hi);
+  const std::uint64_t mask = (std::uint64_t{1} << bw) - 1;
+  load_weight(group, row, slot, static_cast<std::uint64_t>(value) & mask);
+}
+
+void DcimHarness::load_weights_signed(
+    const std::vector<std::vector<std::int64_t>>& weights, std::int64_t slot) {
+  SEGA_EXPECTS(static_cast<int>(weights.size()) == macro_.groups);
+  for (std::size_t g = 0; g < weights.size(); ++g) {
+    SEGA_EXPECTS(static_cast<std::int64_t>(weights[g].size()) == macro_.dp.h);
+    for (std::size_t r = 0; r < weights[g].size(); ++r) {
+      load_weight_signed(static_cast<std::int64_t>(g),
+                         static_cast<std::int64_t>(r), slot, weights[g][r]);
+    }
+  }
+}
+
+std::vector<std::int64_t> DcimHarness::compute_int_signed(
+    const std::vector<std::uint64_t>& inputs, std::int64_t slot) {
+  SEGA_EXPECTS(macro_.dp.signed_weights);
+  const auto raw = compute_int(inputs, slot);
+  std::vector<std::int64_t> out(raw.size());
+  const int width = macro_.out_width;
+  const std::uint64_t sign_bit = std::uint64_t{1} << (width - 1);
+  for (std::size_t g = 0; g < raw.size(); ++g) {
+    std::uint64_t v = raw[g];
+    if (v & sign_bit) v |= ~((sign_bit << 1) - 1);  // sign-extend
+    out[g] = static_cast<std::int64_t>(v);
+  }
+  return out;
+}
+
+DcimHarness::FpOutput DcimHarness::compute_fp(
+    const std::vector<std::uint64_t>& exponents,
+    const std::vector<std::uint64_t>& mantissas, std::int64_t slot) {
+  SEGA_EXPECTS(macro_.dp.arch == ArchKind::kFpCim);
+  SEGA_EXPECTS(static_cast<std::int64_t>(exponents.size()) == macro_.dp.h);
+  SEGA_EXPECTS(exponents.size() == mantissas.size());
+  const int be = macro_.dp.precision.exp_bits;
+  const int bm = macro_.dp.precision.input_bits();
+  for (std::size_t r = 0; r < exponents.size(); ++r) {
+    SEGA_EXPECTS(exponents[r] < (std::uint64_t{1} << be));
+    SEGA_EXPECTS(mantissas[r] < (std::uint64_t{1} << bm));
+    sim_.set_input(strfmt("exp%zu", r), exponents[r]);
+    sim_.set_input(strfmt("mant%zu", r), mantissas[r]);
+  }
+  run_streaming(slot);
+  FpOutput out;
+  out.mantissa.resize(static_cast<std::size_t>(macro_.groups));
+  out.exponent.resize(static_cast<std::size_t>(macro_.groups));
+  for (int g = 0; g < macro_.groups; ++g) {
+    out.mantissa[static_cast<std::size_t>(g)] =
+        sim_.read_output(strfmt("out_mant%d", g));
+    out.exponent[static_cast<std::size_t>(g)] =
+        sim_.read_output(strfmt("out_exp%d", g));
+  }
+  out.max_exp = sim_.read_output("max_exp");
+  return out;
+}
+
+}  // namespace sega

@@ -1,0 +1,73 @@
+// DcimHarness — drives a generated macro netlist through complete MVM
+// operations at the gate level.
+//
+// Protocol per operand batch (one weight slot):
+//   1. program weights (inverted bits into SRAM),
+//   2. present the operands on the input ports, clock once to load the
+//      input buffer,
+//   3. clear the accumulators (system reset; see DESIGN.md),
+//   4. stream ceil(Bx/k) slices MSB-first (slice = 0..cycles-1), one clock
+//      each,
+//   5. read the fused outputs.
+//
+// All arithmetic is unsigned (see DESIGN.md on signedness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/macro_builder.h"
+#include "rtl/sim.h"
+
+namespace sega {
+
+class DcimHarness {
+ public:
+  explicit DcimHarness(const DesignPoint& dp);
+
+  const DcimMacro& macro() const { return macro_; }
+
+  /// Program weight @p value (unsigned, < 2^Bw) for (group, row, slot).
+  void load_weight(std::int64_t group, std::int64_t row, std::int64_t slot,
+                   std::uint64_t value);
+
+  /// Convenience: weights[g][r] for slot @p slot.
+  void load_weights(const std::vector<std::vector<std::uint64_t>>& weights,
+                    std::int64_t slot);
+
+  /// Run one INT MVM against weight slot @p slot: inputs[r] unsigned < 2^Bx.
+  /// Returns the fused result per column group.
+  std::vector<std::uint64_t> compute_int(
+      const std::vector<std::uint64_t>& inputs, std::int64_t slot);
+
+  /// Signed-weight variants (macro built with signed_weights = true):
+  /// weights in [-2^(Bw-1), 2^(Bw-1)), stored as two's complement; outputs
+  /// read back sign-extended.
+  void load_weight_signed(std::int64_t group, std::int64_t row,
+                          std::int64_t slot, std::int64_t value);
+  void load_weights_signed(
+      const std::vector<std::vector<std::int64_t>>& weights,
+      std::int64_t slot);
+  std::vector<std::int64_t> compute_int_signed(
+      const std::vector<std::uint64_t>& inputs, std::int64_t slot);
+
+  /// Run one FP MVM (FP-CIM macros): per-row exponents and mantissas
+  /// (mantissa includes the implicit leading one, < 2^BM).  Returns the
+  /// converted {mantissa, exponent} per group plus the batch max exponent.
+  struct FpOutput {
+    std::vector<std::uint64_t> mantissa;
+    std::vector<std::uint64_t> exponent;
+    std::uint64_t max_exp = 0;
+  };
+  FpOutput compute_fp(const std::vector<std::uint64_t>& exponents,
+                      const std::vector<std::uint64_t>& mantissas,
+                      std::int64_t slot);
+
+ private:
+  void run_streaming(std::int64_t slot);
+
+  DcimMacro macro_;
+  GateSim sim_;
+};
+
+}  // namespace sega

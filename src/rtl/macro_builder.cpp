@@ -1,0 +1,182 @@
+#include "rtl/macro_builder.h"
+
+#include "cost/components.h"
+#include "rtl/builders.h"
+#include "util/assert.h"
+#include "util/math.h"
+#include "util/strings.h"
+
+namespace sega {
+
+std::size_t DcimMacro::sram_index(std::int64_t column, std::int64_t row,
+                                  std::int64_t slot) const {
+  SEGA_EXPECTS(column >= 0 && column < dp.n);
+  SEGA_EXPECTS(row >= 0 && row < dp.h);
+  SEGA_EXPECTS(slot >= 0 && slot < dp.l);
+  // Insertion order in build_dcim_macro: column-major, then row, then slot.
+  return static_cast<std::size_t>((column * dp.h + row) * dp.l + slot);
+}
+
+DcimMacro build_dcim_macro(const DesignPoint& dp) {
+  SEGA_EXPECTS(dp.n >= 1 && dp.h >= 2 && dp.l >= 1 && dp.k >= 1);
+  SEGA_EXPECTS(dp.arch == arch_for(dp.precision));
+  const int bx = dp.precision.input_bits();
+  const int bw = dp.precision.weight_bits();
+  SEGA_EXPECTS(dp.k <= bx);
+
+  DcimMacro macro(to_verilog_identifier(
+      strfmt("dcim_%s_n%lld_h%lld_l%lld_k%lld",
+             dp.precision.name.c_str(), static_cast<long long>(dp.n),
+             static_cast<long long>(dp.h), static_cast<long long>(dp.l),
+             static_cast<long long>(dp.k))));
+  macro.dp = dp;
+  Netlist& nl = macro.netlist;
+
+  const int k = static_cast<int>(dp.k);
+  const int cycles = static_cast<int>(
+      ceil_div(static_cast<std::uint64_t>(bx), static_cast<std::uint64_t>(k)));
+  macro.cycles = cycles;
+  macro.slice_bits = std::max(1, ceil_log2(static_cast<std::uint64_t>(cycles)));
+  macro.wsel_bits = std::max(1, ceil_log2(static_cast<std::uint64_t>(dp.l)));
+  const Bus slice = nl.add_input("slice", macro.slice_bits);
+  const Bus wsel = nl.add_input("wsel", macro.wsel_bits);
+  NetId valid = kNoNet;
+  if (dp.pipelined_tree) valid = nl.add_input("valid", 1)[0];
+
+  // ---- per-row inverted input operands (INB) ----
+  // INT: the inverted operand arrives directly.  FP: the pre-alignment
+  // front-end produces aligned mantissas, inverted into the buffer.
+  std::vector<Bus> row_inb;  // [h][bx], inverted polarity
+  row_inb.reserve(static_cast<std::size_t>(dp.h));
+  if (dp.arch == ArchKind::kMulCim) {
+    for (std::int64_t r = 0; r < dp.h; ++r) {
+      row_inb.push_back(nl.add_input(strfmt("inb%lld", static_cast<long long>(r)),
+                                     bx));
+    }
+  } else {
+    const int be = dp.precision.exp_bits;
+    std::vector<Bus> exps, mants;
+    for (std::int64_t r = 0; r < dp.h; ++r) {
+      exps.push_back(nl.add_input(strfmt("exp%lld", static_cast<long long>(r)),
+                                  be));
+      mants.push_back(nl.add_input(strfmt("mant%lld", static_cast<long long>(r)),
+                                   bx));
+    }
+    nl.set_active_group("pre_alignment");
+    Bus max_exp;
+    const auto aligned = build_pre_alignment(nl, exps, mants, &max_exp);
+    nl.add_output("max_exp", max_exp);
+    for (const Bus& a : aligned) {
+      Bus inb(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        inb[i] = nl.new_net();
+        nl.add_cell(CellKind::kInv, {a[i]}, {inb[i]});
+      }
+      row_inb.push_back(std::move(inb));
+    }
+  }
+
+  // ---- input buffer: register the inverted operands, then slice-select ----
+  // MSB-first streaming over the operand zero-extended to cycles*k bits:
+  // slice c carries extended bits [ck', (c+1)k') counted from the top (k' =
+  // k); pad positions (>= Bx) read inverted-zero = const1.  Padding at the
+  // MSB keeps the shift-accumulate reconstruction exact for any k.
+  nl.set_active_group("input_buffer");
+  std::vector<Bus> row_slice(static_cast<std::size_t>(dp.h));
+  for (std::int64_t r = 0; r < dp.h; ++r) {
+    Bus reg(static_cast<std::size_t>(bx));
+    for (int b = 0; b < bx; ++b) {
+      reg[static_cast<std::size_t>(b)] = nl.new_net();
+      nl.add_cell(CellKind::kDff,
+                  {row_inb[static_cast<std::size_t>(r)][static_cast<std::size_t>(b)]},
+                  {reg[static_cast<std::size_t>(b)]});
+    }
+    Bus sl(static_cast<std::size_t>(k));
+    for (int j = 0; j < k; ++j) {
+      Bus candidates(static_cast<std::size_t>(cycles));
+      for (int c = 0; c < cycles; ++c) {
+        const int src = cycles * k - (c + 1) * k + j;
+        candidates[static_cast<std::size_t>(c)] =
+            (src < bx) ? reg[static_cast<std::size_t>(src)] : nl.const1();
+      }
+      sl[static_cast<std::size_t>(j)] = build_selector(nl, candidates, slice);
+    }
+    row_slice[static_cast<std::size_t>(r)] = std::move(sl);
+  }
+
+  // ---- DCIM array: SRAM, weight selection, NOR multiply, adder trees ----
+  const int w_accu = accumulator_width(bx, static_cast<int>(dp.h));
+  std::vector<Bus> column_results;  // [n][w_accu]
+  column_results.reserve(static_cast<std::size_t>(dp.n));
+  for (std::int64_t col = 0; col < dp.n; ++col) {
+    std::vector<Bus> products;
+    products.reserve(static_cast<std::size_t>(dp.h));
+    for (std::int64_t r = 0; r < dp.h; ++r) {
+      // L inverted weight bits share this compute unit.
+      nl.set_active_group("sram");
+      Bus wb_slots(static_cast<std::size_t>(dp.l));
+      for (std::int64_t l = 0; l < dp.l; ++l) {
+        const NetId q = nl.new_net();
+        nl.add_cell(CellKind::kSram, {}, {q});
+        wb_slots[static_cast<std::size_t>(l)] = q;
+      }
+      nl.set_active_group("compute");
+      const NetId wb = build_selector(nl, wb_slots, wsel);
+      products.push_back(
+          build_mul(nl, row_slice[static_cast<std::size_t>(r)], wb));
+    }
+    nl.set_active_group("adder_tree");
+    const Bus tree_out =
+        dp.pipelined_tree
+            ? build_adder_tree_pipelined(nl, products, &macro.tree_latency)
+            : build_adder_tree(nl, products);
+
+    // ---- shift accumulator ----
+    nl.set_active_group("accumulator");
+    const std::size_t first_cell = nl.cells().size();
+    const Bus acc =
+        dp.pipelined_tree
+            ? build_shift_accumulator_gated(nl, tree_out, w_accu, k, valid)
+            : build_shift_accumulator(nl, tree_out, w_accu, k);
+    for (std::size_t ci = first_cell; ci < nl.cells().size(); ++ci) {
+      if (nl.cells()[ci].kind == CellKind::kDff) {
+        macro.accumulator_dffs.push_back(ci);
+      }
+    }
+    column_results.push_back(acc);
+  }
+
+  // ---- result fusion (one unit per Bw columns) + optional FP conversion ----
+  const std::int64_t groups = static_cast<std::int64_t>(ceil_div(
+      static_cast<std::uint64_t>(dp.n), static_cast<std::uint64_t>(bw)));
+  macro.groups = static_cast<int>(groups);
+  for (std::int64_t g = 0; g < groups; ++g) {
+    std::vector<Bus> cols;
+    for (std::int64_t j = 0; j < bw && g * bw + j < dp.n; ++j) {
+      cols.push_back(column_results[static_cast<std::size_t>(g * bw + j)]);
+    }
+    nl.set_active_group("fusion");
+    const bool signed_fusion =
+        dp.signed_weights && dp.arch == ArchKind::kMulCim && cols.size() >= 2;
+    const Bus fused = signed_fusion ? build_result_fusion_signed(nl, cols)
+                                    : build_result_fusion(nl, cols);
+    macro.out_width = static_cast<int>(fused.size());
+    if (dp.arch == ArchKind::kMulCim) {
+      nl.add_output(strfmt("out%lld", static_cast<long long>(g)), fused);
+    } else {
+      const int be = dp.precision.exp_bits;
+      const int bias = static_cast<int>(pow2(be - 1)) - 1;
+      nl.set_active_group("int_to_fp");
+      const FpResult fp = build_int_to_fp(nl, fused, bx, be, bias);
+      nl.add_output(strfmt("out_mant%lld", static_cast<long long>(g)),
+                    fp.mantissa);
+      nl.add_output(strfmt("out_exp%lld", static_cast<long long>(g)),
+                    fp.exponent);
+    }
+  }
+
+  SEGA_ENSURES(!nl.validate().has_value());
+  return macro;
+}
+
+}  // namespace sega

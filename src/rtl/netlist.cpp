@@ -1,0 +1,154 @@
+#include "rtl/netlist.h"
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace sega {
+
+Netlist::Netlist(std::string module_name) : name_(std::move(module_name)) {
+  SEGA_EXPECTS(is_verilog_identifier(name_));
+}
+
+NetId Netlist::new_net() {
+  SEGA_EXPECTS(net_count_ < kNoNet);
+  return static_cast<NetId>(net_count_++);
+}
+
+std::vector<NetId> Netlist::new_bus(int width) {
+  SEGA_EXPECTS(width >= 0);
+  std::vector<NetId> bus(static_cast<std::size_t>(width));
+  for (auto& n : bus) n = new_net();
+  return bus;
+}
+
+NetId Netlist::const0() {
+  if (!const0_) const0_ = new_net();
+  return *const0_;
+}
+
+NetId Netlist::const1() {
+  if (!const1_) const1_ = new_net();
+  return *const1_;
+}
+
+std::vector<NetId> Netlist::add_input(const std::string& name, int width) {
+  SEGA_EXPECTS(is_verilog_identifier(name));
+  SEGA_EXPECTS(find_port(name) == nullptr);
+  Port p;
+  p.name = name;
+  p.dir = PortDir::kInput;
+  p.nets = new_bus(width);
+  ports_.push_back(p);
+  return ports_.back().nets;
+}
+
+void Netlist::add_output(const std::string& name, std::vector<NetId> nets) {
+  SEGA_EXPECTS(is_verilog_identifier(name));
+  SEGA_EXPECTS(find_port(name) == nullptr);
+  Port p;
+  p.name = name;
+  p.dir = PortDir::kOutput;
+  p.nets = std::move(nets);
+  ports_.push_back(std::move(p));
+}
+
+const Port* Netlist::find_port(const std::string& name) const {
+  for (const auto& p : ports_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::pair<int, int> Netlist::cell_arity(CellKind kind) {
+  switch (kind) {
+    case CellKind::kNor: return {2, 1};
+    case CellKind::kOr: return {2, 1};
+    case CellKind::kInv: return {1, 1};
+    case CellKind::kMux2: return {3, 1};  // {d0, d1, sel}
+    case CellKind::kHa: return {2, 2};    // {a, b} -> {sum, carry}
+    case CellKind::kFa: return {3, 2};    // {a, b, cin} -> {sum, cout}
+    case CellKind::kDff: return {1, 1};   // {d} -> {q}, implicit clock
+    case CellKind::kSram: return {0, 1};  // programmed storage -> {q}
+  }
+  SEGA_ASSERT(false);
+  return {0, 0};
+}
+
+std::size_t Netlist::add_cell(CellKind kind, std::vector<NetId> inputs,
+                              std::vector<NetId> outputs) {
+  const auto [ni, no] = cell_arity(kind);
+  SEGA_EXPECTS(static_cast<int>(inputs.size()) == ni);
+  SEGA_EXPECTS(static_cast<int>(outputs.size()) == no);
+  for (const NetId n : inputs) SEGA_EXPECTS(n < net_count_);
+  for (const NetId n : outputs) SEGA_EXPECTS(n < net_count_);
+  cells_.push_back(RtlCell{kind, std::move(inputs), std::move(outputs)});
+  cell_group_.push_back(active_group_);
+  if (kind == CellKind::kSram) sram_cells_.push_back(cells_.size() - 1);
+  return cells_.size() - 1;
+}
+
+int Netlist::set_active_group(const std::string& name) {
+  for (std::size_t i = 0; i < group_names_.size(); ++i) {
+    if (group_names_[i] == name) {
+      active_group_ = static_cast<int>(i);
+      return active_group_;
+    }
+  }
+  group_names_.push_back(name);
+  active_group_ = static_cast<int>(group_names_.size()) - 1;
+  return active_group_;
+}
+
+int Netlist::cell_group(std::size_t cell_index) const {
+  SEGA_EXPECTS(cell_index < cell_group_.size());
+  return cell_group_[cell_index];
+}
+
+GateCount Netlist::census_of_group(int group) const {
+  GateCount gc;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cell_group_[i] == group) ++gc[cells_[i].kind];
+  }
+  return gc;
+}
+
+GateCount Netlist::census() const {
+  GateCount gc;
+  for (const auto& c : cells_) ++gc[c.kind];
+  return gc;
+}
+
+std::optional<std::string> Netlist::validate() const {
+  std::vector<int> driver_count(net_count_, 0);
+  for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
+    const auto& c = cells_[ci];
+    const auto [ni, no] = cell_arity(c.kind);
+    if (static_cast<int>(c.inputs.size()) != ni ||
+        static_cast<int>(c.outputs.size()) != no) {
+      return strfmt("cell %zu (%s) has wrong arity", ci,
+                    cell_kind_name(c.kind));
+    }
+    for (const NetId n : c.outputs) {
+      if (n >= net_count_) return strfmt("cell %zu drives unknown net", ci);
+      if (++driver_count[n] > 1) {
+        return strfmt("net %u has multiple drivers", n);
+      }
+    }
+  }
+  for (const auto& p : ports_) {
+    for (const NetId n : p.nets) {
+      if (n >= net_count_) {
+        return strfmt("port %s references unknown net", p.name.c_str());
+      }
+      if (p.dir == PortDir::kInput && driver_count[n] > 0) {
+        return strfmt("input port %s net %u is also cell-driven",
+                      p.name.c_str(), n);
+      }
+    }
+  }
+  if (const0_ && driver_count[*const0_] > 0) return "const0 net is driven";
+  if (const1_ && driver_count[*const1_] > 0) return "const1 net is driven";
+  return std::nullopt;
+}
+
+}  // namespace sega

@@ -1,0 +1,125 @@
+// Structural netlist IR — the output of the template-based generator and the
+// input of the gate-level simulator, the Verilog writer and the layout
+// engine.
+//
+// The netlist is flat: a single module whose cells are the leaf standard
+// cells of sega::tech (NOR/OR/INV/MUX2/HA/FA/DFF/SRAM bit).  Flatness keeps
+// the simulator and placer simple while remaining faithful: the paper's
+// generator also stitches leaf compute cells by script.
+//
+// Conventions:
+//  * Buses are std::vector<NetId>, least-significant bit first.
+//  * Every net has at most one driver (checked).
+//  * SRAM bit cells have no inputs; their stored value is test/program data
+//    set through the simulator (weights are pre-stored, per the paper).
+//  * DFF cells are clocked by the single implicit clock (the paper's macro
+//    is single-clock).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/gate_count.h"
+#include "tech/cells.h"
+
+namespace sega {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = 0xFFFFFFFFu;
+
+/// One leaf cell instance.
+struct RtlCell {
+  CellKind kind = CellKind::kNor;
+  std::vector<NetId> inputs;
+  std::vector<NetId> outputs;  ///< HA/FA have {sum, carry}; others one output
+};
+
+/// Port direction.
+enum class PortDir { kInput, kOutput };
+
+struct Port {
+  std::string name;
+  PortDir dir = PortDir::kInput;
+  std::vector<NetId> nets;  ///< LSB first
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string module_name);
+
+  const std::string& name() const { return name_; }
+
+  // --- nets ---
+  NetId new_net();
+  std::vector<NetId> new_bus(int width);
+  std::size_t net_count() const { return net_count_; }
+
+  /// Constant nets (created on first use; driven by no cell — the simulator
+  /// and the Verilog writer special-case them).
+  NetId const0();
+  NetId const1();
+  bool is_const0(NetId n) const { return const0_ && n == *const0_; }
+  bool is_const1(NetId n) const { return const1_ && n == *const1_; }
+  std::optional<NetId> const0_id() const { return const0_; }
+  std::optional<NetId> const1_id() const { return const1_; }
+
+  // --- ports ---
+  /// Declare a fresh input bus.
+  std::vector<NetId> add_input(const std::string& name, int width);
+  /// Declare existing nets as an output bus.
+  void add_output(const std::string& name, std::vector<NetId> nets);
+  const std::vector<Port>& ports() const { return ports_; }
+  /// Find a port by name; nullptr when absent.
+  const Port* find_port(const std::string& name) const;
+
+  // --- cells ---
+  std::size_t add_cell(CellKind kind, std::vector<NetId> inputs,
+                       std::vector<NetId> outputs);
+  const std::vector<RtlCell>& cells() const { return cells_; }
+
+  // --- component groups ---
+  // Generators tag the cells of each architectural component ("sram",
+  // "adder_tree", ...) so the layout engine can regionize the floorplan and
+  // tests can cross-check per-component censuses.  Cells added outside any
+  // group belong to group 0 ("core").
+  /// Make @p name the active group (created on first use); returns its id.
+  int set_active_group(const std::string& name);
+  int cell_group(std::size_t cell_index) const;
+  const std::vector<std::string>& group_names() const { return group_names_; }
+
+  /// Leaf-cell census (cross-checked against the cost models in tests).
+  GateCount census() const;
+
+  /// Census restricted to one component group.
+  GateCount census_of_group(int group) const;
+
+  /// Indices of all SRAM bit cells, in insertion order.  The macro builder
+  /// inserts them in a documented order (column-major, L-major inside the
+  /// compute unit) so weights can be loaded programmatically.
+  const std::vector<std::size_t>& sram_cells() const { return sram_cells_; }
+
+  /// Structural validation: every net has at most one driver, cell arities
+  /// match their kind, ports reference existing nets.  Returns an error
+  /// description, or nullopt when the netlist is well-formed.
+  std::optional<std::string> validate() const;
+
+  /// Expected input/output arity of a cell kind, e.g. NOR = {2,1}.
+  static std::pair<int, int> cell_arity(CellKind kind);
+
+ private:
+  std::string name_;
+  std::size_t net_count_ = 0;
+  std::vector<RtlCell> cells_;
+  std::vector<Port> ports_;
+  std::vector<std::size_t> sram_cells_;
+  std::optional<NetId> const0_;
+  std::optional<NetId> const1_;
+  std::vector<std::string> group_names_{"core"};
+  std::vector<int> cell_group_;
+  int active_group_ = 0;
+};
+
+}  // namespace sega

@@ -1,0 +1,212 @@
+#include "rtl/sim.h"
+
+#include <queue>
+
+#include "util/assert.h"
+
+namespace sega {
+
+namespace {
+
+bool is_sequential(CellKind kind) {
+  return kind == CellKind::kDff || kind == CellKind::kSram;
+}
+
+}  // namespace
+
+GateSim::GateSim(const Netlist& nl) : nl_(nl), values_(nl.net_count(), 0) {
+  const auto err = nl.validate();
+  SEGA_EXPECTS(!err.has_value());
+
+  // Per-net driver kind for energy tracing.
+  net_driver_kind_.assign(nl.net_count(), CellKind::kSram);
+  net_has_driver_.assign(nl.net_count(), 0);
+  for (const auto& cell : nl.cells()) {
+    for (const NetId out : cell.outputs) {
+      net_driver_kind_[out] = cell.kind;
+      net_has_driver_[out] = 1;
+    }
+  }
+
+  // Map each net to its combinational driver cell (if any).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> comb_driver(nl.net_count(), kNone);
+  const auto& cells = nl.cells();
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    if (is_sequential(cells[ci].kind)) {
+      if (cells[ci].kind == CellKind::kDff) dff_cells_.push_back(ci);
+      continue;
+    }
+    for (const NetId out : cells[ci].outputs) comb_driver[out] = ci;
+  }
+
+  // Kahn's algorithm over combinational dependencies.
+  std::vector<int> pending(cells.size(), 0);
+  std::vector<std::vector<std::size_t>> dependents(cells.size());
+  std::queue<std::size_t> ready;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    if (is_sequential(cells[ci].kind)) continue;
+    int deps = 0;
+    for (const NetId in : cells[ci].inputs) {
+      const std::size_t drv = comb_driver[in];
+      if (drv != kNone) {
+        ++deps;
+        dependents[drv].push_back(ci);
+      }
+    }
+    pending[ci] = deps;
+    if (deps == 0) ready.push(ci);
+  }
+  while (!ready.empty()) {
+    const std::size_t ci = ready.front();
+    ready.pop();
+    eval_order_.push_back(ci);
+    for (const std::size_t dep : dependents[ci]) {
+      if (--pending[dep] == 0) ready.push(dep);
+    }
+  }
+  std::size_t comb_cells = 0;
+  for (const auto& c : cells) {
+    if (!is_sequential(c.kind)) ++comb_cells;
+  }
+  // A shortfall means a combinational loop.
+  SEGA_ENSURES(eval_order_.size() == comb_cells);
+}
+
+void GateSim::eval_cell(const RtlCell& c) {
+  auto in = [&](std::size_t i) { return values_[c.inputs[i]] != 0; };
+  switch (c.kind) {
+    case CellKind::kNor:
+      values_[c.outputs[0]] = !(in(0) || in(1));
+      break;
+    case CellKind::kOr:
+      values_[c.outputs[0]] = in(0) || in(1);
+      break;
+    case CellKind::kInv:
+      values_[c.outputs[0]] = !in(0);
+      break;
+    case CellKind::kMux2:
+      values_[c.outputs[0]] = in(2) ? in(1) : in(0);
+      break;
+    case CellKind::kHa: {
+      const bool a = in(0), b = in(1);
+      values_[c.outputs[0]] = a != b;
+      values_[c.outputs[1]] = a && b;
+      break;
+    }
+    case CellKind::kFa: {
+      const int s = int{in(0)} + int{in(1)} + int{in(2)};
+      values_[c.outputs[0]] = (s & 1) != 0;
+      values_[c.outputs[1]] = s >= 2;
+      break;
+    }
+    case CellKind::kDff:
+    case CellKind::kSram:
+      SEGA_ASSERT(false);  // sequential cells never enter eval_order_
+  }
+}
+
+void GateSim::eval() {
+  if (!dirty_) return;
+  // Constants are undriven nets pinned every settle.
+  if (const auto c0 = nl_.const0_id()) values_[*c0] = 0;
+  if (const auto c1 = nl_.const1_id()) values_[*c1] = 1;
+  for (const std::size_t ci : eval_order_) eval_cell(nl_.cells()[ci]);
+  dirty_ = false;
+}
+
+void GateSim::set_input(const std::string& port, std::uint64_t value) {
+  const Port* p = nl_.find_port(port);
+  SEGA_EXPECTS(p != nullptr && p->dir == PortDir::kInput);
+  SEGA_EXPECTS(p->nets.size() <= 64);
+  for (std::size_t i = 0; i < p->nets.size(); ++i) {
+    values_[p->nets[i]] = (value >> i) & 1u;
+  }
+  dirty_ = true;
+}
+
+std::uint64_t GateSim::read_output(const std::string& port) {
+  const Port* p = nl_.find_port(port);
+  SEGA_EXPECTS(p != nullptr && p->dir == PortDir::kOutput);
+  SEGA_EXPECTS(p->nets.size() <= 64);
+  eval();
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < p->nets.size(); ++i) {
+    if (values_[p->nets[i]]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+void GateSim::set_sram(std::size_t i, bool value) {
+  SEGA_EXPECTS(i < nl_.sram_cells().size());
+  const auto& cell = nl_.cells()[nl_.sram_cells()[i]];
+  values_[cell.outputs[0]] = value ? 1 : 0;
+  dirty_ = true;
+}
+
+void GateSim::set_register(std::size_t cell, bool value) {
+  SEGA_EXPECTS(cell < nl_.cells().size());
+  const auto& c = nl_.cells()[cell];
+  SEGA_EXPECTS(c.kind == CellKind::kDff);
+  values_[c.outputs[0]] = value ? 1 : 0;
+  dirty_ = true;
+}
+
+void GateSim::clear_registers() {
+  for (const std::size_t ci : dff_cells_) {
+    values_[nl_.cells()[ci].outputs[0]] = 0;
+  }
+  dirty_ = true;
+}
+
+void GateSim::step() {
+  eval();
+  if (tracing_) record_toggles();
+  // Two-phase DFF update: sample all D inputs, then commit.
+  std::vector<std::uint8_t> next(dff_cells_.size());
+  for (std::size_t i = 0; i < dff_cells_.size(); ++i) {
+    next[i] = values_[nl_.cells()[dff_cells_[i]].inputs[0]];
+  }
+  for (std::size_t i = 0; i < dff_cells_.size(); ++i) {
+    values_[nl_.cells()[dff_cells_[i]].outputs[0]] = next[i];
+  }
+  dirty_ = true;
+}
+
+void GateSim::begin_energy_trace() {
+  eval();
+  tracing_ = true;
+  trace_prev_ = values_;
+  toggles_.fill(0);
+  traced_cycles_ = 0;
+}
+
+void GateSim::record_toggles() {
+  // Called on a settled state just before the clock edge: one cycle's
+  // steady-state transitions relative to the previous settled state.
+  for (std::size_t n = 0; n < values_.size(); ++n) {
+    if (!net_has_driver_[n]) continue;  // ports/constants cost nothing here
+    if (values_[n] != trace_prev_[n]) {
+      ++toggles_[static_cast<std::size_t>(net_driver_kind_[n])];
+    }
+  }
+  trace_prev_ = values_;
+  ++traced_cycles_;
+}
+
+double GateSim::traced_energy(const Technology& tech) const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < toggles_.size(); ++i) {
+    e += static_cast<double>(toggles_[i]) *
+         tech.cell(static_cast<CellKind>(i)).energy;
+  }
+  return e;
+}
+
+bool GateSim::net_value(NetId n) {
+  SEGA_EXPECTS(n < nl_.net_count());
+  eval();
+  return values_[n] != 0;
+}
+
+}  // namespace sega

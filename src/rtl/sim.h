@@ -1,0 +1,88 @@
+// Levelized gate-level simulator for sega::Netlist.
+//
+// Combinational cells are evaluated once per settle in topological order
+// (the constructor rejects combinational loops).  DFFs update on step();
+// SRAM bits are programmable storage.  This is the verification back-end
+// that proves the template-generated netlists compute the MVMs the
+// behavioral model and the cost model assume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace sega {
+
+class GateSim {
+ public:
+  /// Builds evaluation order; aborts (contract violation) on malformed
+  /// netlists or combinational loops.
+  explicit GateSim(const Netlist& nl);
+
+  /// Drive an input port with an unsigned value (width <= 64).
+  void set_input(const std::string& port, std::uint64_t value);
+
+  /// Read an output port as an unsigned value (width <= 64); settles
+  /// combinational logic first.
+  std::uint64_t read_output(const std::string& port);
+
+  /// Program the @p i-th SRAM bit cell (index into netlist.sram_cells()).
+  void set_sram(std::size_t i, bool value);
+
+  /// Force the state of the DFF at cell index @p cell (e.g. accumulator
+  /// clear between operands).
+  void set_register(std::size_t cell, bool value);
+
+  /// Set every DFF to 0.
+  void clear_registers();
+
+  /// One clock edge: settle combinational logic, then capture all DFF
+  /// inputs into their outputs.
+  void step();
+
+  /// Settle combinational logic without clocking.
+  void eval();
+
+  /// Current value of an arbitrary net (settles first).
+  bool net_value(NetId n);
+
+  // --- activity-based energy tracing ---
+  // Counts output transitions between consecutive settled clock cycles and
+  // weights them by the per-cell switching energies of a Technology: a
+  // gate-level dynamic-energy measurement to cross-check the analytical
+  // model (which assumes one event per cell per cycle before the activity
+  // factor).
+  /// Start (or restart) tracing; the current settled state becomes the
+  /// baseline.
+  void begin_energy_trace();
+  /// Switching events recorded per cell kind since begin_energy_trace.
+  const std::array<std::int64_t, kCellKindCount>& toggle_counts() const {
+    return toggles_;
+  }
+  /// Normalized traced energy: sum over events of the cell's Table III
+  /// switching energy.
+  double traced_energy(const Technology& tech) const;
+  /// Clock cycles observed since begin_energy_trace.
+  std::int64_t traced_cycles() const { return traced_cycles_; }
+
+ private:
+  const Netlist& nl_;
+  std::vector<std::uint8_t> values_;       // per net
+  std::vector<std::size_t> eval_order_;    // combinational cell indices
+  std::vector<std::size_t> dff_cells_;
+  bool dirty_ = true;
+
+  bool tracing_ = false;
+  std::vector<std::uint8_t> trace_prev_;   // per net, last settled cycle
+  std::array<std::int64_t, kCellKindCount> toggles_{};
+  std::vector<CellKind> net_driver_kind_;  // per net; kSram when undriven
+  std::vector<std::uint8_t> net_has_driver_;
+  std::int64_t traced_cycles_ = 0;
+
+  void eval_cell(const RtlCell& c);
+  void record_toggles();
+};
+
+}  // namespace sega

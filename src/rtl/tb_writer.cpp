@@ -1,0 +1,130 @@
+#include "rtl/tb_writer.h"
+
+#include "cost/components.h"
+#include "rtl/verilog.h"
+#include "sim/behavioral.h"
+#include "util/assert.h"
+#include "util/math.h"
+#include "util/strings.h"
+
+namespace sega {
+
+TestbenchBundle write_testbench(
+    const DcimMacro& macro,
+    const std::vector<std::vector<std::uint64_t>>& weights,
+    const std::vector<std::vector<std::uint64_t>>& input_vectors) {
+  const DesignPoint& dp = macro.dp;
+  SEGA_EXPECTS(dp.arch == ArchKind::kMulCim && !dp.signed_weights);
+  SEGA_EXPECTS(static_cast<int>(weights.size()) == macro.groups);
+  SEGA_EXPECTS(!input_vectors.empty());
+  const int bx = dp.precision.input_bits();
+  const int bw = dp.precision.weight_bits();
+  const std::uint64_t in_mask = (std::uint64_t{1} << bx) - 1;
+
+  // --- bake the weights into SRAM INIT values (inverted storage) ---
+  std::vector<bool> sram_init(macro.netlist.sram_cells().size(), true);
+  for (std::size_t g = 0; g < weights.size(); ++g) {
+    SEGA_EXPECTS(static_cast<std::int64_t>(weights[g].size()) == dp.h);
+    for (std::size_t r = 0; r < weights[g].size(); ++r) {
+      SEGA_EXPECTS(weights[g][r] < (std::uint64_t{1} << bw));
+      for (int j = 0; j < bw; ++j) {
+        const std::int64_t column = static_cast<std::int64_t>(g) * bw + j;
+        sram_init[macro.sram_index(column, static_cast<std::int64_t>(r),
+                                   /*slot=*/0)] =
+            !((weights[g][r] >> j) & 1u);
+      }
+    }
+  }
+
+  // --- expected outputs from the behavioral model ---
+  BehavioralDcim model(dp);
+  std::vector<std::vector<std::uint64_t>> expected;
+  for (const auto& vec : input_vectors) {
+    SEGA_EXPECTS(static_cast<std::int64_t>(vec.size()) == dp.h);
+    expected.push_back(model.mvm_int(vec, weights));
+  }
+
+  // --- testbench text ---
+  const std::string dut = macro.netlist.name();
+  const std::string top = "tb_" + dut;
+  // Flush length: enough zero-partial cycles to shift any accumulator
+  // residue out of its Bx + log2(H) bits.
+  const int w_accu = accumulator_width(bx, static_cast<int>(dp.h));
+  const int flush_edges =
+      static_cast<int>(ceil_div(static_cast<std::uint64_t>(w_accu),
+                                static_cast<std::uint64_t>(dp.k))) + 1;
+
+  std::string tb;
+  tb += strfmt("`timescale 1ns/1ps\nmodule %s;\n", top.c_str());
+  tb += "  reg clk = 1'b0;\n  always #5 clk = ~clk;\n";
+  tb += strfmt("  reg [%d:0] slice = 0;\n", macro.slice_bits - 1);
+  tb += strfmt("  reg [%d:0] wsel = 0;\n", macro.wsel_bits - 1);
+  for (std::int64_t r = 0; r < dp.h; ++r) {
+    tb += strfmt("  reg [%d:0] inb%lld = {%d{1'b1}};\n", bx - 1,
+                 static_cast<long long>(r), bx);
+  }
+  for (int g = 0; g < macro.groups; ++g) {
+    tb += strfmt("  wire [%d:0] out%d;\n", macro.out_width - 1, g);
+  }
+  tb += strfmt("  %s dut (\n    .clk(clk), .slice(slice), .wsel(wsel)",
+               dut.c_str());
+  for (std::int64_t r = 0; r < dp.h; ++r) {
+    tb += strfmt(",\n    .inb%lld(inb%lld)", static_cast<long long>(r),
+                 static_cast<long long>(r));
+  }
+  for (int g = 0; g < macro.groups; ++g) {
+    tb += strfmt(",\n    .out%d(out%d)", g, g);
+  }
+  tb += "\n  );\n\n";
+  tb += "  integer errors = 0;\n";
+  tb += "  task edge_; begin @(posedge clk); #1; end endtask\n\n";
+  tb += "  initial begin\n";
+
+  for (std::size_t v = 0; v < input_vectors.size(); ++v) {
+    tb += strfmt("    // ---- vector %zu ----\n", v);
+    // 1. zero operand + flush edges drains the accumulators.
+    for (std::int64_t r = 0; r < dp.h; ++r) {
+      tb += strfmt("    inb%lld = {%d{1'b1}};\n", static_cast<long long>(r),
+                   bx);
+    }
+    tb += strfmt("    repeat (%d) edge_;\n", flush_edges + 1);
+    // 2. present the operand (one edge to capture into the buffer; the
+    //    partial sums of that edge are still the zero operand's).
+    for (std::int64_t r = 0; r < dp.h; ++r) {
+      tb += strfmt("    inb%lld = %d'h%llx;\n", static_cast<long long>(r), bx,
+                   static_cast<unsigned long long>(
+                       ~input_vectors[v][static_cast<std::size_t>(r)] &
+                       in_mask));
+    }
+    tb += "    slice = 0; edge_;\n";
+    // 3. stream the slices MSB-first.
+    for (int c = 0; c < macro.cycles; ++c) {
+      tb += strfmt("    slice = %d; edge_;\n", c);
+    }
+    // 4. check.
+    for (int g = 0; g < macro.groups; ++g) {
+      tb += strfmt(
+          "    if (out%d !== %d'h%llx) begin\n"
+          "      $display(\"TB FAIL vector %zu group %d: got %%h want "
+          "%llx\", out%d);\n"
+          "      errors = errors + 1;\n"
+          "    end\n",
+          g, macro.out_width,
+          static_cast<unsigned long long>(expected[v][static_cast<std::size_t>(g)]),
+          v, g,
+          static_cast<unsigned long long>(expected[v][static_cast<std::size_t>(g)]),
+          g);
+    }
+  }
+  tb += "    if (errors == 0) $display(\"TB PASS\");\n";
+  tb += "    else $display(\"TB FAIL: %0d mismatches\", errors);\n";
+  tb += "    $finish;\n  end\nendmodule\n";
+
+  TestbenchBundle bundle;
+  bundle.netlist_verilog = write_verilog(macro.netlist, sram_init);
+  bundle.testbench_verilog = std::move(tb);
+  bundle.top_module = top;
+  return bundle;
+}
+
+}  // namespace sega

@@ -1,0 +1,42 @@
+// Self-checking Verilog testbench generator.
+//
+// Produces a complete, standalone simulation bundle for a generated
+// MUL-CIM macro: the primitive library, the macro netlist with weights
+// baked into the SRAM INIT parameters, and a testbench that drives the
+// streaming protocol (load buffer -> clear accumulators via the exposed
+// protocol-free trick of re-deriving expected values only after full
+// streaming) and $fatal()s on any mismatch against expectations computed by
+// the behavioral model.
+//
+// Because the netlist's accumulators have no reset port (see DESIGN.md),
+// the testbench streams TWO full operand rounds per vector and checks the
+// second: the first round flushes pipeline state, and the check round
+// starts from accumulators holding exactly the first round's result times
+// 2^(k*cycles) shifted out of range — so the testbench instead streams a
+// zero vector first, which drives the accumulators to zero, then the test
+// vector.  (Zero inputs produce zero partial sums regardless of weights.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/macro_builder.h"
+
+namespace sega {
+
+struct TestbenchBundle {
+  std::string netlist_verilog;  ///< macro with baked-in weights
+  std::string testbench_verilog;
+  std::string top_module;  ///< testbench module name
+};
+
+/// Generate a bundle for @p macro (MUL-CIM, unsigned weights), with the
+/// given weights[group][row] for slot 0 and the given input vectors.
+/// Expected outputs are computed internally with BehavioralDcim.
+TestbenchBundle write_testbench(
+    const DcimMacro& macro,
+    const std::vector<std::vector<std::uint64_t>>& weights,
+    const std::vector<std::vector<std::uint64_t>>& input_vectors);
+
+}  // namespace sega

@@ -1,0 +1,30 @@
+// Structural Verilog writer.
+//
+// Emits (a) a self-contained primitive-cell library (behavioral bodies for
+// simulation with any commercial or open-source tool) and (b) the flat macro
+// module instantiating those primitives.  The paper hands this netlist to
+// Innovus for synthesis/P&R; here it is also consumed by sega::layout.
+#pragma once
+
+#include <string>
+
+#include "rtl/netlist.h"
+
+namespace sega {
+
+/// Verilog source of the primitive cell library (sega_nor, sega_or,
+/// sega_inv, sega_mux2, sega_ha, sega_fa, sega_dff, sega_sram_bit).
+std::string verilog_cell_library();
+
+/// Verilog source of @p nl as one flat module.  Ports appear in declaration
+/// order plus a leading clk; nets are n<id>; SRAM bits carry an INIT
+/// parameter defaulting to 0 (weights are programmed at runtime).
+std::string write_verilog(const Netlist& nl);
+
+/// Same, with the SRAM bit cells' INIT parameters bound to @p sram_init
+/// (indexed like Netlist::sram_cells()) — a weight-programmed snapshot of
+/// the macro, ready for standalone simulation.
+std::string write_verilog(const Netlist& nl,
+                          const std::vector<bool>& sram_init);
+
+}  // namespace sega

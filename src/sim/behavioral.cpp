@@ -1,0 +1,203 @@
+#include "sim/behavioral.h"
+
+#include <cmath>
+
+#include "cost/components.h"
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace sega {
+
+BehavioralDcim::BehavioralDcim(const DesignPoint& dp) : dp_(dp) {
+  SEGA_EXPECTS(dp_.n >= 1 && dp_.h >= 1 && dp_.l >= 1 && dp_.k >= 1);
+  SEGA_EXPECTS(dp_.arch == arch_for(dp_.precision));
+  groups_ = static_cast<int>(
+      ceil_div(static_cast<std::uint64_t>(dp_.n),
+               static_cast<std::uint64_t>(dp_.precision.weight_bits())));
+}
+
+std::vector<std::uint64_t> BehavioralDcim::mvm_int(
+    const std::vector<std::uint64_t>& inputs,
+    const std::vector<std::vector<std::uint64_t>>& weights) const {
+  SEGA_EXPECTS(dp_.arch == ArchKind::kMulCim);
+  SEGA_EXPECTS(static_cast<std::int64_t>(inputs.size()) == dp_.h);
+  SEGA_EXPECTS(static_cast<int>(weights.size()) == groups_);
+  const int bx = dp_.precision.input_bits();
+  const int bw = dp_.precision.weight_bits();
+  // The bit-serial shift-accumulate reconstructs the exact product: the
+  // accumulator width Bx + log2(H) provably holds every partial sum, so the
+  // behavioral computation is the plain dot product (the gate-level
+  // equivalence test pins this).
+  std::vector<std::uint64_t> out(weights.size(), 0);
+  for (std::size_t g = 0; g < weights.size(); ++g) {
+    SEGA_EXPECTS(static_cast<std::int64_t>(weights[g].size()) == dp_.h);
+    std::uint64_t acc = 0;
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+      SEGA_EXPECTS(inputs[r] < pow2(bx));
+      SEGA_EXPECTS(weights[g][r] < pow2(bw));
+      acc += inputs[r] * weights[g][r];
+    }
+    out[g] = acc;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> BehavioralDcim::mvm_int_signed(
+    const std::vector<std::uint64_t>& inputs,
+    const std::vector<std::vector<std::int64_t>>& weights) const {
+  SEGA_EXPECTS(dp_.arch == ArchKind::kMulCim);
+  SEGA_EXPECTS(dp_.signed_weights);
+  SEGA_EXPECTS(static_cast<std::int64_t>(inputs.size()) == dp_.h);
+  SEGA_EXPECTS(static_cast<int>(weights.size()) == groups_);
+  const int bx = dp_.precision.input_bits();
+  const int bw = dp_.precision.weight_bits();
+  const std::int64_t lo = -(std::int64_t{1} << (bw - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bw - 1)) - 1;
+  std::vector<std::int64_t> out(weights.size(), 0);
+  for (std::size_t g = 0; g < weights.size(); ++g) {
+    SEGA_EXPECTS(static_cast<std::int64_t>(weights[g].size()) == dp_.h);
+    std::int64_t acc = 0;
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+      SEGA_EXPECTS(inputs[r] < pow2(bx));
+      SEGA_EXPECTS(weights[g][r] >= lo && weights[g][r] <= hi);
+      acc += static_cast<std::int64_t>(inputs[r]) * weights[g][r];
+    }
+    out[g] = acc;
+  }
+  return out;
+}
+
+namespace {
+
+/// Alignment with flush: offsets at or beyond the mantissa width shift
+/// everything out (the RTL's padded-candidate barrel shifter + flush gate).
+std::uint64_t align_mantissa(std::uint64_t mant, std::uint64_t offset) {
+  if (offset >= 64) return 0;
+  return mant >> offset;
+}
+
+}  // namespace
+
+BehavioralDcim::FpRawOutput BehavioralDcim::mvm_fp_raw(
+    const std::vector<std::uint64_t>& exponents,
+    const std::vector<std::uint64_t>& mantissas,
+    const std::vector<std::vector<std::uint64_t>>& weight_mantissas) const {
+  SEGA_EXPECTS(dp_.arch == ArchKind::kFpCim);
+  SEGA_EXPECTS(static_cast<std::int64_t>(exponents.size()) == dp_.h);
+  SEGA_EXPECTS(exponents.size() == mantissas.size());
+  SEGA_EXPECTS(static_cast<int>(weight_mantissas.size()) == groups_);
+  const int bm = dp_.precision.input_bits();
+  const int be = dp_.precision.exp_bits;
+  const int bias = fp_bias(dp_.precision);
+  const int w = bm + ilog2(static_cast<std::uint64_t>(dp_.h));
+  const int br = fusion_output_width(dp_.precision.weight_bits(), w);
+
+  FpRawOutput out;
+  std::uint64_t emax = 0;
+  for (const std::uint64_t e : exponents) {
+    SEGA_EXPECTS(e < pow2(be));
+    emax = std::max(emax, e);
+  }
+  out.max_exp = emax;
+
+  std::vector<std::uint64_t> aligned(mantissas.size());
+  for (std::size_t r = 0; r < mantissas.size(); ++r) {
+    SEGA_EXPECTS(mantissas[r] < pow2(bm));
+    aligned[r] = align_mantissa(mantissas[r], emax - exponents[r]);
+  }
+
+  out.mantissa.resize(weight_mantissas.size());
+  out.exponent.resize(weight_mantissas.size());
+  for (std::size_t g = 0; g < weight_mantissas.size(); ++g) {
+    SEGA_EXPECTS(static_cast<std::int64_t>(weight_mantissas[g].size()) ==
+                 dp_.h);
+    std::uint64_t acc = 0;
+    for (std::size_t r = 0; r < aligned.size(); ++r) {
+      SEGA_EXPECTS(weight_mantissas[g][r] < pow2(bm));
+      acc += aligned[r] * weight_mantissas[g][r];
+    }
+    if (acc == 0) {
+      out.mantissa[g] = 0;
+      out.exponent[g] = 0;
+      continue;
+    }
+    const int p = bit_width(acc) - 1;
+    // Normalize to br bits, keep the top bm (the RTL converter).
+    const std::uint64_t norm = acc << (br - 1 - p);
+    out.mantissa[g] = (norm >> (br - bm)) & (pow2(bm) - 1);
+    // The exponent datapath is a be-bit bus: congruent mod 2^BE.
+    out.exponent[g] =
+        static_cast<std::uint64_t>(p + bias) & (pow2(be) - 1);
+  }
+  return out;
+}
+
+double BehavioralDcim::dot_fp_values(const std::vector<double>& inputs,
+                                     const std::vector<double>& weights) const {
+  SEGA_EXPECTS(dp_.arch == ArchKind::kFpCim);
+  SEGA_EXPECTS(inputs.size() == weights.size());
+  SEGA_EXPECTS(!inputs.empty());
+  const Precision& p = dp_.precision;
+  const int mb = p.mant_bits;
+  const int bias = fp_bias(p);
+
+  // Quantize and decode the operands.
+  std::vector<FpParts> x(inputs.size()), wgt(weights.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    x[i] = fp_decode(p, fp_from_double(p, inputs[i]));
+    wgt[i] = fp_decode(p, fp_from_double(p, weights[i]));
+  }
+
+  // Input alignment to the batch max exponent (runtime pre-alignment).
+  int emax = 0;
+  for (const auto& xi : x) {
+    if (!xi.is_zero()) emax = std::max(emax, xi.exponent);
+  }
+  // Weight offline alignment to the group max exponent (pre-stored
+  // mantissas).
+  int wemax = 0;
+  for (const auto& wi : wgt) {
+    if (!wi.is_zero()) wemax = std::max(wemax, wi.exponent);
+  }
+
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (x[i].is_zero() || wgt[i].is_zero()) continue;
+    const std::uint64_t xa = align_mantissa(
+        x[i].mantissa, static_cast<std::uint64_t>(emax - x[i].exponent));
+    const std::uint64_t wa = align_mantissa(
+        wgt[i].mantissa, static_cast<std::uint64_t>(wemax - wgt[i].exponent));
+    const std::int64_t prod = static_cast<std::int64_t>(xa * wa);
+    acc += (x[i].sign != wgt[i].sign) ? -prod : prod;
+  }
+  if (acc == 0) return 0.0;
+
+  // INT-to-FP conversion truncates the magnitude to the format's compute
+  // mantissa width.
+  const bool neg = acc < 0;
+  std::uint64_t mag = static_cast<std::uint64_t>(neg ? -acc : acc);
+  const int pbit = bit_width(mag) - 1;
+  const int keep = p.compute_mant_bits();
+  if (pbit + 1 > keep) {
+    const int drop = pbit + 1 - keep;
+    mag = (mag >> drop) << drop;
+  }
+  const double value =
+      std::ldexp(static_cast<double>(mag),
+                 (emax - bias - mb) + (wemax - bias - mb));
+  return neg ? -value : value;
+}
+
+double BehavioralDcim::dot_fp_reference(
+    const std::vector<double>& inputs,
+    const std::vector<double>& weights) const {
+  SEGA_EXPECTS(inputs.size() == weights.size());
+  const Precision& p = dp_.precision;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    acc += fp_quantize(p, inputs[i]) * fp_quantize(p, weights[i]);
+  }
+  return acc;
+}
+
+}  // namespace sega

@@ -1,0 +1,79 @@
+// Word-level behavioral model of the DCIM macro.
+//
+// Computes exactly what the gate-level netlist computes — including the
+// bit-serial streaming, the FP alignment truncation and the INT-to-FP
+// normalization — but at word granularity, so it scales to the full-size
+// macros the explorer selects (the gate-level simulator is for small-config
+// equivalence tests).
+//
+// Two API layers:
+//  * raw layer (mvm_int / mvm_fp_raw): mirrors the netlist ports bit-exactly
+//    (unsigned operands); used for RTL-equivalence testing.
+//  * value layer (mvm_fp_values / quantized INT helpers): full FP pipeline on
+//    doubles — quantize operands into the target format, offline-align the
+//    weights, run the raw pipeline, reconstruct doubles — used by examples
+//    and accuracy studies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/design_point.h"
+#include "sim/softfloat.h"
+
+namespace sega {
+
+class BehavioralDcim {
+ public:
+  explicit BehavioralDcim(const DesignPoint& dp);
+
+  const DesignPoint& design() const { return dp_; }
+  int groups() const { return groups_; }
+
+  /// Unsigned integer MVM: inputs[h] (< 2^Bx), weights[groups][h] (< 2^Bw).
+  /// Mirrors DcimHarness::compute_int.
+  std::vector<std::uint64_t> mvm_int(
+      const std::vector<std::uint64_t>& inputs,
+      const std::vector<std::vector<std::uint64_t>>& weights) const;
+
+  /// Signed-weight MVM (design built with signed_weights): weights in
+  /// [-2^(Bw-1), 2^(Bw-1)), unsigned activations.  Mirrors
+  /// DcimHarness::compute_int_signed.
+  std::vector<std::int64_t> mvm_int_signed(
+      const std::vector<std::uint64_t>& inputs,
+      const std::vector<std::vector<std::int64_t>>& weights) const;
+
+  /// Raw FP pipeline mirroring DcimHarness::compute_fp: unsigned exponent /
+  /// mantissa operands, returns converted {mantissa, exponent} per group and
+  /// the input max exponent.
+  struct FpRawOutput {
+    std::vector<std::uint64_t> mantissa;
+    std::vector<std::uint64_t> exponent;
+    std::uint64_t max_exp = 0;
+  };
+  FpRawOutput mvm_fp_raw(
+      const std::vector<std::uint64_t>& exponents,
+      const std::vector<std::uint64_t>& mantissas,
+      const std::vector<std::vector<std::uint64_t>>& weight_mantissas) const;
+
+  /// Full FP dot-product pipeline on real values (one group): quantizes
+  /// inputs and weights into the design's format, offline-aligns the weight
+  /// mantissas to the group's max weight exponent (with truncation, as the
+  /// paper's pre-stored mantissas imply), runs the aligned integer MAC with
+  /// input alignment truncation, and reconstructs the result as a double.
+  /// Signs are handled arithmetically (the sign datapath is XOR/two's
+  /// complement glue the cost model does not itemize).
+  double dot_fp_values(const std::vector<double>& inputs,
+                       const std::vector<double>& weights) const;
+
+  /// Exact reference for dot_fp_values error studies (quantized operands,
+  /// exact accumulation).
+  double dot_fp_reference(const std::vector<double>& inputs,
+                          const std::vector<double>& weights) const;
+
+ private:
+  DesignPoint dp_;
+  int groups_ = 0;
+};
+
+}  // namespace sega

@@ -1,0 +1,115 @@
+#include "sim/softfloat.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace sega {
+
+int fp_bias(const Precision& p) {
+  SEGA_EXPECTS(p.is_float());
+  return static_cast<int>(pow2(p.exp_bits - 1)) - 1;
+}
+
+double fp_max(const Precision& p) {
+  SEGA_EXPECTS(p.is_float());
+  const int emax = static_cast<int>(pow2(p.exp_bits)) - 1 - fp_bias(p);
+  const double frac =
+      2.0 - std::ldexp(1.0, -p.mant_bits);  // 1.111...1 in binary
+  return std::ldexp(frac, emax);
+}
+
+FpParts fp_decode(const Precision& p, std::uint64_t bits) {
+  SEGA_EXPECTS(p.is_float());
+  SEGA_EXPECTS(bits < pow2(p.total_bits()));
+  const std::uint64_t mant_mask = pow2(p.mant_bits) - 1;
+  const std::uint64_t exp_mask = pow2(p.exp_bits) - 1;
+  FpParts parts;
+  parts.sign = ((bits >> (p.exp_bits + p.mant_bits)) & 1u) != 0;
+  parts.exponent = static_cast<int>((bits >> p.mant_bits) & exp_mask);
+  const std::uint64_t stored = bits & mant_mask;
+  if (parts.exponent == 0) {
+    // Subnormal (or zero): flush to zero.
+    parts.mantissa = 0;
+    parts.exponent = 0;
+  } else {
+    parts.mantissa = stored | pow2(p.mant_bits);  // implicit one
+  }
+  return parts;
+}
+
+std::uint64_t fp_encode(const Precision& p, const FpParts& parts) {
+  SEGA_EXPECTS(p.is_float());
+  if (parts.is_zero()) {
+    return parts.sign ? pow2(p.exp_bits + p.mant_bits) : 0;
+  }
+  SEGA_EXPECTS(parts.mantissa >= pow2(p.mant_bits));
+  SEGA_EXPECTS(parts.mantissa < pow2(p.compute_mant_bits()));
+  SEGA_EXPECTS(parts.exponent >= 1);
+  SEGA_EXPECTS(parts.exponent < static_cast<int>(pow2(p.exp_bits)));
+  std::uint64_t bits = parts.mantissa & (pow2(p.mant_bits) - 1);
+  bits |= static_cast<std::uint64_t>(parts.exponent) << p.mant_bits;
+  if (parts.sign) bits |= pow2(p.exp_bits + p.mant_bits);
+  return bits;
+}
+
+double fp_to_double(const Precision& p, std::uint64_t bits) {
+  const FpParts parts = fp_decode(p, bits);
+  if (parts.is_zero()) return parts.sign ? -0.0 : 0.0;
+  const double mag = std::ldexp(
+      static_cast<double>(parts.mantissa),
+      parts.exponent - fp_bias(p) - p.mant_bits);
+  return parts.sign ? -mag : mag;
+}
+
+std::uint64_t fp_from_double(const Precision& p, double value) {
+  SEGA_EXPECTS(p.is_float());
+  SEGA_EXPECTS(std::isfinite(value));
+  FpParts parts;
+  parts.sign = std::signbit(value);
+  const double mag = std::fabs(value);
+  if (mag == 0.0) return fp_encode(p, parts);
+
+  // Saturate beyond the largest finite value.
+  const double vmax = fp_max(p);
+  if (mag >= vmax) {
+    parts.exponent = static_cast<int>(pow2(p.exp_bits)) - 1;
+    parts.mantissa = pow2(p.compute_mant_bits()) - 1;
+    return fp_encode(p, parts);
+  }
+
+  int e2 = 0;
+  const double frac = std::frexp(mag, &e2);  // frac in [0.5, 1)
+  // Normalized target: mantissa in [2^mant_bits, 2^(mant_bits+1)).
+  double scaled = std::ldexp(frac, p.mant_bits + 1);  // in [2^mb, 2^(mb+1))
+  std::uint64_t mant = static_cast<std::uint64_t>(scaled);
+  const double rem = scaled - static_cast<double>(mant);
+  // Round to nearest even.
+  if (rem > 0.5 || (rem == 0.5 && (mant & 1u))) ++mant;
+  int exponent = e2 - 1 + fp_bias(p);
+  if (mant == pow2(p.compute_mant_bits())) {
+    mant >>= 1;
+    ++exponent;
+    if (exponent >= static_cast<int>(pow2(p.exp_bits))) {
+      // Rounded past the top: saturate.
+      parts.exponent = static_cast<int>(pow2(p.exp_bits)) - 1;
+      parts.mantissa = pow2(p.compute_mant_bits()) - 1;
+      return fp_encode(p, parts);
+    }
+  }
+  if (exponent < 1) {
+    // Subnormal range: flush to zero.
+    parts.mantissa = 0;
+    return fp_encode(p, parts);
+  }
+  parts.exponent = exponent;
+  parts.mantissa = mant;
+  return fp_encode(p, parts);
+}
+
+double fp_quantize(const Precision& p, double value) {
+  return fp_to_double(p, fp_from_double(p, value));
+}
+
+}  // namespace sega

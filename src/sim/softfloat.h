@@ -1,0 +1,53 @@
+// Softfloat-lite: encode/decode for the custom floating-point formats the
+// compiler supports (FP8 E4M3, FP16, BF16, FP32), independent of host FPU
+// behavior.
+//
+// Accelerator-style semantics (documented deviations from IEEE-754):
+//  * subnormals flush to zero on both encode and decode (FTZ/DAZ),
+//  * values beyond the format's range saturate to the largest finite value,
+//  * NaN is not representable; encoding a NaN is a precondition violation.
+// These match the arithmetic the DCIM datapath implements and keep the
+// behavioral model bit-exact against the RTL.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/precision.h"
+
+namespace sega {
+
+/// Decoded fields of a floating-point value.
+struct FpParts {
+  bool sign = false;
+  int exponent = 0;        ///< biased exponent field
+  std::uint64_t mantissa = 0;  ///< compute mantissa incl. the implicit one
+                               ///< (0 when the value is zero)
+  bool is_zero() const { return mantissa == 0; }
+};
+
+/// Exponent bias of a format: 2^(BE-1) - 1.
+int fp_bias(const Precision& p);
+
+/// Largest finite value of the format.
+double fp_max(const Precision& p);
+
+/// Decode raw bits (width p.total_bits()) to fields.  Subnormals decode as
+/// zero.
+FpParts fp_decode(const Precision& p, std::uint64_t bits);
+
+/// Encode fields to raw bits.  Precondition: mantissa fits compute width and
+/// is normalized (MSB set) unless zero; exponent within field range.
+std::uint64_t fp_encode(const Precision& p, const FpParts& parts);
+
+/// Convert raw bits to double (exact: every supported format fits in a
+/// double).
+double fp_to_double(const Precision& p, std::uint64_t bits);
+
+/// Convert a double to the nearest representable value (round to nearest
+/// even, saturating, FTZ).  Precondition: value is finite.
+std::uint64_t fp_from_double(const Precision& p, double value);
+
+/// Quantize a double through the format: fp_to_double(fp_from_double(v)).
+double fp_quantize(const Precision& p, double value);
+
+}  // namespace sega

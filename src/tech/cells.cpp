@@ -1,0 +1,48 @@
+#include "tech/cells.h"
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace sega {
+
+const char* cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kNor: return "NOR";
+    case CellKind::kOr: return "OR";
+    case CellKind::kInv: return "INV";
+    case CellKind::kMux2: return "MUX2";
+    case CellKind::kHa: return "HA";
+    case CellKind::kFa: return "FA";
+    case CellKind::kDff: return "DFF";
+    case CellKind::kSram: return "SRAM";
+  }
+  SEGA_ASSERT(false);
+  return "";
+}
+
+std::optional<CellKind> cell_kind_from_name(const std::string& name) {
+  const std::string u = to_upper(name);
+  for (int i = 0; i < kCellKindCount; ++i) {
+    const auto kind = static_cast<CellKind>(i);
+    if (u == cell_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+CellCost table3_cost(CellKind kind) {
+  // Table III of the paper, normalized to the NOR gate on TSMC28.
+  switch (kind) {
+    case CellKind::kNor: return {1.0, 1.0, 1.0};
+    case CellKind::kOr: return {1.3, 1.0, 2.3};
+    case CellKind::kInv: return {0.7, 0.7, 0.7};  // extension; see header.
+    case CellKind::kMux2: return {2.2, 2.2, 3.0};
+    case CellKind::kHa: return {4.3, 2.5, 6.9};
+    case CellKind::kFa: return {5.7, 3.3, 8.4};
+    case CellKind::kDff: return {6.6, 0.0, 9.6};
+    case CellKind::kSram: return {2.2, 0.0, 0.0};
+  }
+  SEGA_ASSERT(false);
+  return {};
+}
+
+}  // namespace sega

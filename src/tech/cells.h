@@ -1,0 +1,50 @@
+// Standard-cell cost database — the paper's Table III.
+//
+// All costs are *normalized to a NOR gate* exactly as in the paper: area in
+// multiples of A_gate, delay in multiples of D_gate, switching energy in
+// multiples of E_gate.  The absolute scale factors (um^2 / ns / fJ per gate
+// unit) live in sega::Technology and are the only technology-dependent
+// numbers in the whole cost model.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace sega {
+
+/// The leaf cells the DCIM templates are built from.
+enum class CellKind {
+  kNor,    ///< 2-input NOR — the unit gate all costs are normalized to.
+  kOr,     ///< 2-input OR.
+  kInv,    ///< inverter (not in the paper's Table III; used only by RTL
+           ///< netlists for input conditioning, never counted by cost models).
+  kMux2,   ///< 2:1 multiplexer.
+  kHa,     ///< 1-bit half adder.
+  kFa,     ///< 1-bit full adder.
+  kDff,    ///< D flip-flop.
+  kSram,   ///< 6T SRAM bit cell (weights are hard-wired to the compute unit;
+           ///< the paper models its delay and read power as zero).
+};
+
+/// Number of distinct CellKind values.
+inline constexpr int kCellKindCount = 8;
+
+/// Normalized {area, delay, energy} of one cell.
+struct CellCost {
+  double area = 0.0;    ///< in units of A_gate
+  double delay = 0.0;   ///< in units of D_gate
+  double energy = 0.0;  ///< in units of E_gate (per switching event)
+};
+
+/// Printable name ("NOR", "MUX2", ...).
+const char* cell_kind_name(CellKind kind);
+
+/// Inverse of cell_kind_name (case-insensitive); nullopt when unknown.
+std::optional<CellKind> cell_kind_from_name(const std::string& name);
+
+/// The paper's Table III values for @p kind.  DFF delay is listed as "N/A" in
+/// the paper because register clk-to-q never sits on the modeled critical
+/// paths; we store 0 for it.
+CellCost table3_cost(CellKind kind);
+
+}  // namespace sega

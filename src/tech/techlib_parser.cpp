@@ -1,0 +1,269 @@
+#include "tech/techlib_parser.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace sega {
+
+namespace {
+
+struct Token {
+  enum class Kind { Ident, Number, String, LBrace, RBrace, End } kind;
+  std::string text;
+  double number = 0.0;
+  std::size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  std::optional<std::vector<Token>> run(std::string* error) {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '{') {
+        tokens.push_back({Token::Kind::LBrace, "{", 0.0, pos_++});
+        continue;
+      }
+      if (c == '}') {
+        tokens.push_back({Token::Kind::RBrace, "}", 0.0, pos_++});
+        continue;
+      }
+      if (c == '"') {
+        const std::size_t start = ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+        if (pos_ >= text_.size()) {
+          if (error) *error = "unterminated string literal";
+          return std::nullopt;
+        }
+        tokens.push_back({Token::Kind::String,
+                          text_.substr(start, pos_ - start), 0.0, start});
+        ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.') {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == '-' ||
+                text_[pos_] == '+' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+          ++pos_;
+        }
+        const std::string lit = text_.substr(start, pos_ - start);
+        try {
+          tokens.push_back({Token::Kind::Number, lit, std::stod(lit), start});
+        } catch (...) {
+          if (error)
+            *error = strfmt("bad number '%s' at offset %zu", lit.c_str(), start);
+          return std::nullopt;
+        }
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        tokens.push_back(
+            {Token::Kind::Ident, text_.substr(start, pos_ - start), 0.0, start});
+        continue;
+      }
+      if (error) *error = strfmt("unexpected character '%c' at offset %zu", c, pos_);
+      return std::nullopt;
+    }
+    tokens.push_back({Token::Kind::End, "", 0.0, pos_});
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+class TechlibParser {
+ public:
+  TechlibParser(std::vector<Token> tokens, std::string* error)
+      : tokens_(std::move(tokens)), error_(error) {}
+
+  std::optional<Technology> run() {
+    if (!expect_ident("technology")) return std::nullopt;
+    const Token* name = next();
+    if (name->kind != Token::Kind::String) {
+      fail("expected technology name string");
+      return std::nullopt;
+    }
+    if (!expect(Token::Kind::LBrace)) return std::nullopt;
+
+    std::map<std::string, double> units;
+    std::map<std::string, CellCost> cells;
+
+    while (peek()->kind != Token::Kind::RBrace) {
+      const Token* key = next();
+      if (key->kind != Token::Kind::Ident) {
+        fail("expected 'units' or 'cell'");
+        return std::nullopt;
+      }
+      if (key->text == "units") {
+        if (!parse_kv_block(&units)) return std::nullopt;
+      } else if (key->text == "cell") {
+        const Token* cname = next();
+        if (cname->kind != Token::Kind::Ident) {
+          fail("expected cell name");
+          return std::nullopt;
+        }
+        if (!cell_kind_from_name(cname->text)) {
+          fail(strfmt("unknown cell '%s'", cname->text.c_str()));
+          return std::nullopt;
+        }
+        std::map<std::string, double> kv;
+        if (!parse_kv_block(&kv)) return std::nullopt;
+        CellCost cost{};
+        if (!fetch(kv, "area", &cost.area) ||
+            !fetch(kv, "delay", &cost.delay) ||
+            !fetch(kv, "energy", &cost.energy)) {
+          return std::nullopt;
+        }
+        cells[to_upper(cname->text)] = cost;
+      } else {
+        fail(strfmt("unknown section '%s'", key->text.c_str()));
+        return std::nullopt;
+      }
+    }
+    next();  // consume '}'
+    if (peek()->kind != Token::Kind::End) {
+      fail("trailing tokens after technology block");
+      return std::nullopt;
+    }
+
+    double area = 0.0, delay = 0.0, energy = 0.0, vdd = 0.9;
+    if (!fetch(units, "area_um2_per_gate", &area) ||
+        !fetch(units, "delay_ns_per_gate", &delay) ||
+        !fetch(units, "energy_fj_per_gate", &energy)) {
+      return std::nullopt;
+    }
+    if (units.count("nominal_supply_v")) vdd = units.at("nominal_supply_v");
+    if (area <= 0.0 || delay <= 0.0 || energy <= 0.0 || vdd <= 0.0) {
+      fail("unit scales must be positive");
+      return std::nullopt;
+    }
+
+    Technology tech(name->text, area, delay, energy, vdd);
+    for (const auto& [cname, cost] : cells) {
+      tech.set_cell(*cell_kind_from_name(cname), cost);
+    }
+    return tech;
+  }
+
+ private:
+  const Token* peek() { return &tokens_[pos_]; }
+  const Token* next() {
+    const Token* t = &tokens_[pos_];
+    if (t->kind != Token::Kind::End) ++pos_;
+    return t;
+  }
+
+  void fail(const std::string& msg) {
+    if (error_ && error_->empty()) {
+      *error_ = strfmt("techlib parse error near offset %zu: %s",
+                       tokens_[pos_].offset, msg.c_str());
+    }
+  }
+
+  bool expect(Token::Kind kind) {
+    if (peek()->kind != kind) {
+      fail("unexpected token");
+      return false;
+    }
+    next();
+    return true;
+  }
+
+  bool expect_ident(const std::string& text) {
+    if (peek()->kind != Token::Kind::Ident || peek()->text != text) {
+      fail(strfmt("expected '%s'", text.c_str()));
+      return false;
+    }
+    next();
+    return true;
+  }
+
+  bool parse_kv_block(std::map<std::string, double>* out) {
+    if (!expect(Token::Kind::LBrace)) return false;
+    while (peek()->kind != Token::Kind::RBrace) {
+      const Token* key = next();
+      if (key->kind != Token::Kind::Ident) {
+        fail("expected key identifier");
+        return false;
+      }
+      const Token* val = next();
+      if (val->kind != Token::Kind::Number) {
+        fail(strfmt("expected numeric value for '%s'", key->text.c_str()));
+        return false;
+      }
+      (*out)[key->text] = val->number;
+    }
+    next();  // consume '}'
+    return true;
+  }
+
+  bool fetch(const std::map<std::string, double>& kv, const std::string& key,
+             double* out) {
+    auto it = kv.find(key);
+    if (it == kv.end()) {
+      fail(strfmt("missing required key '%s'", key.c_str()));
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Technology> parse_techlib(const std::string& text,
+                                        std::string* error) {
+  if (error) error->clear();
+  auto tokens = Lexer(text).run(error);
+  if (!tokens) return std::nullopt;
+  return TechlibParser(std::move(*tokens), error).run();
+}
+
+std::string write_techlib(const Technology& tech) {
+  std::string out = strfmt("technology \"%s\" {\n", tech.name().c_str());
+  out += strfmt(
+      "  units { area_um2_per_gate %.9g  delay_ns_per_gate %.9g  "
+      "energy_fj_per_gate %.9g  nominal_supply_v %.9g }\n",
+      tech.area_um2_per_gate(), tech.delay_ns_per_gate(),
+      tech.energy_fj_per_gate(), tech.nominal_supply_v());
+  for (int i = 0; i < kCellKindCount; ++i) {
+    const auto kind = static_cast<CellKind>(i);
+    const CellCost& c = tech.cell(kind);
+    out += strfmt("  cell %s { area %.9g  delay %.9g  energy %.9g }\n",
+                  cell_kind_name(kind), c.area, c.delay, c.energy);
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sega

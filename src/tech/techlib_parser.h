@@ -1,0 +1,36 @@
+// Liberty-lite (.techlib) parser.
+//
+// The paper's flow consumes "technology files" (standard cell libraries, DRC
+// and LVS decks).  For the estimation models only the per-cell normalized
+// costs and three absolute unit scales matter, so the on-disk format here is a
+// deliberately small Liberty-flavoured syntax:
+//
+//   # comment
+//   technology "mytech" {
+//     units { area_um2_per_gate 0.139  delay_ns_per_gate 0.010
+//             energy_fj_per_gate 0.040  nominal_supply_v 0.9 }
+//     cell NOR  { area 1.0  delay 1.0  energy 1.0 }
+//     cell MUX2 { area 2.2  delay 2.2  energy 3.0 }
+//     ...
+//   }
+//
+// Unlisted cells keep their Table III defaults.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "tech/technology.h"
+
+namespace sega {
+
+/// Parse a .techlib document.  Returns nullopt and fills @p error on
+/// malformed input.
+std::optional<Technology> parse_techlib(const std::string& text,
+                                        std::string* error = nullptr);
+
+/// Serialize a Technology back to the .techlib syntax (round-trips through
+/// parse_techlib).
+std::string write_techlib(const Technology& tech);
+
+}  // namespace sega

@@ -1,0 +1,82 @@
+#include "tech/technology.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sega {
+
+Technology::Technology(std::string name, double area_um2_per_gate,
+                       double delay_ns_per_gate, double energy_fj_per_gate,
+                       double nominal_supply_v)
+    : name_(std::move(name)),
+      area_um2_per_gate_(area_um2_per_gate),
+      delay_ns_per_gate_(delay_ns_per_gate),
+      energy_fj_per_gate_(energy_fj_per_gate),
+      nominal_supply_v_(nominal_supply_v) {
+  SEGA_EXPECTS(area_um2_per_gate_ > 0.0);
+  SEGA_EXPECTS(delay_ns_per_gate_ > 0.0);
+  SEGA_EXPECTS(energy_fj_per_gate_ > 0.0);
+  SEGA_EXPECTS(nominal_supply_v_ > 0.0);
+  for (int i = 0; i < kCellKindCount; ++i) {
+    cells_[static_cast<std::size_t>(i)] =
+        table3_cost(static_cast<CellKind>(i));
+  }
+}
+
+Technology Technology::tsmc28() {
+  // Calibration: area chosen so the Fig. 6 INT8 macro (N=32, L=16, H=128,
+  // 8K INT8 weights) lands near the paper's 0.079 mm^2 after layout; delay
+  // chosen so the Fig. 7 delay band (1.2 ns INT2 .. 10.9 ns FP32 averages)
+  // is bracketed; energy chosen so the Fig. 8 design-A/B energy efficiency
+  // lands near the paper's 22 / 20.2 TOPS/W.  See EXPERIMENTS.md for the
+  // measured comparison.
+  return Technology("tsmc28", /*area_um2_per_gate=*/0.118,
+                    /*delay_ns_per_gate=*/0.020,
+                    /*energy_fj_per_gate=*/0.095,
+                    /*nominal_supply_v=*/0.9);
+}
+
+Technology Technology::generic40() {
+  // Rough 28nm -> 40nm scaling: ~2x area, ~1.4x delay, ~2x energy.
+  return Technology("generic40", 0.236, 0.028, 0.240, 1.1);
+}
+
+const CellCost& Technology::cell(CellKind kind) const {
+  return cells_[static_cast<std::size_t>(kind)];
+}
+
+void Technology::set_cell(CellKind kind, CellCost cost) {
+  SEGA_EXPECTS(cost.area >= 0.0 && cost.delay >= 0.0 && cost.energy >= 0.0);
+  cells_[static_cast<std::size_t>(kind)] = cost;
+}
+
+double Technology::area_um2(double gate_units) const {
+  SEGA_EXPECTS(gate_units >= 0.0);
+  return gate_units * area_um2_per_gate_;
+}
+
+double Technology::delay_ns(double gate_units,
+                            const EvalConditions& cond) const {
+  SEGA_EXPECTS(gate_units >= 0.0);
+  SEGA_EXPECTS(cond.supply_v > 0.0);
+  // First-order alpha-power approximation: gate delay scales inversely with
+  // the supply voltage relative to nominal.  Adequate for the +-20 % supply
+  // range the paper's comparisons use.
+  const double v_scale = nominal_supply_v_ / cond.supply_v;
+  return gate_units * delay_ns_per_gate_ * v_scale;
+}
+
+double Technology::energy_fj(double gate_units,
+                             const EvalConditions& cond) const {
+  SEGA_EXPECTS(gate_units >= 0.0);
+  SEGA_EXPECTS(cond.input_sparsity >= 0.0 && cond.input_sparsity < 1.0);
+  SEGA_EXPECTS(cond.activity > 0.0 && cond.activity <= 1.0);
+  // Dynamic energy ~ C * V^2; zero input bits do not toggle the datapath.
+  const double v2 = (cond.supply_v / nominal_supply_v_) *
+                    (cond.supply_v / nominal_supply_v_);
+  return gate_units * energy_fj_per_gate_ * v2 * cond.activity *
+         (1.0 - cond.input_sparsity);
+}
+
+}  // namespace sega

@@ -1,0 +1,73 @@
+// Technology model: normalized cell costs plus the absolute calibration
+// constants that map normalized gate units to um^2 / ns / fJ.
+//
+// This stands in for the paper's "Technology files ... standard cell
+// libraries, DRC & LVS rules" input.  The paper's estimation models are
+// expressed entirely in NOR-gate units (Table III), so a PDK contributes only
+// (1) per-cell normalized costs and (2) three absolute scale factors; both are
+// captured here and both can be overridden from a .techlib file (see
+// techlib_parser.h).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "tech/cells.h"
+
+namespace sega {
+
+/// Operating conditions under which a design is evaluated.  The paper reports
+/// Fig. 8 "at 0.9 V supply voltage and 10 % sparsity".
+struct EvalConditions {
+  double supply_v = 0.9;       ///< operating supply voltage [V]
+  double input_sparsity = 0.0; ///< fraction of zero input bits in [0,1);
+                               ///< zero bits do not toggle the datapath
+  /// Average switching activity of the datapath relative to the Table III
+  /// per-event energies, before sparsity is applied.  Absorbed into energy
+  /// calibration; exposed for ablations.
+  double activity = 1.0;
+};
+
+/// A process technology: named cell library + absolute unit scale.
+class Technology {
+ public:
+  /// Construct from explicit scale factors and the Table III default costs.
+  Technology(std::string name, double area_um2_per_gate,
+             double delay_ns_per_gate, double energy_fj_per_gate,
+             double nominal_supply_v = 0.9);
+
+  /// The TSMC28-like preset the paper's numbers are normalized against.
+  /// Scale factors are calibrated so that the reproduced experiments land in
+  /// the decades the paper reports (see EXPERIMENTS.md for the comparison).
+  static Technology tsmc28();
+
+  /// A coarser 40nm-class preset (area/delay/energy scaled up) used by tests
+  /// and ablations to demonstrate technology retargeting.
+  static Technology generic40();
+
+  const std::string& name() const { return name_; }
+
+  /// Normalized cost of a cell (Table III by default, overridable).
+  const CellCost& cell(CellKind kind) const;
+  void set_cell(CellKind kind, CellCost cost);
+
+  /// Absolute conversion of normalized units.
+  double area_um2(double gate_units) const;
+  double delay_ns(double gate_units, const EvalConditions& cond = {}) const;
+  double energy_fj(double gate_units, const EvalConditions& cond = {}) const;
+
+  double area_um2_per_gate() const { return area_um2_per_gate_; }
+  double delay_ns_per_gate() const { return delay_ns_per_gate_; }
+  double energy_fj_per_gate() const { return energy_fj_per_gate_; }
+  double nominal_supply_v() const { return nominal_supply_v_; }
+
+ private:
+  std::string name_;
+  double area_um2_per_gate_;
+  double delay_ns_per_gate_;
+  double energy_fj_per_gate_;
+  double nominal_supply_v_;
+  std::array<CellCost, kCellKindCount> cells_;
+};
+
+}  // namespace sega

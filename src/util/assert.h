@@ -1,0 +1,43 @@
+// Contract-style assertion macros used across the SEGA-DCIM code base.
+//
+// Following the C++ Core Guidelines (I.6 "Prefer Expects()", I.8 "Prefer
+// Ensures()") we distinguish precondition, postcondition and invariant
+// checks.  All of them are active in every build type: this library spends
+// its time in design-space exploration, where a silently corrupted design
+// point is far more expensive than a branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sega::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[sega] %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace sega::detail
+
+#define SEGA_EXPECTS(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::sega::detail::contract_failure("precondition", #cond, __FILE__,      \
+                                       __LINE__);                            \
+  } while (false)
+
+#define SEGA_ENSURES(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::sega::detail::contract_failure("postcondition", #cond, __FILE__,     \
+                                       __LINE__);                            \
+  } while (false)
+
+#define SEGA_ASSERT(cond)                                                    \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::sega::detail::contract_failure("invariant", #cond, __FILE__,         \
+                                       __LINE__);                            \
+  } while (false)

@@ -1,0 +1,85 @@
+// Minimal JSON value type with a writer and a recursive-descent parser.
+//
+// SEGA-DCIM emits machine-readable compilation reports (Pareto fronts, layout
+// summaries, experiment records) and reads user specs; a full third-party JSON
+// dependency is deliberately avoided to keep the compiler self-contained.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sega {
+
+/// A dynamically-typed JSON value (null / bool / number / string / array /
+/// object).  Numbers are stored as double, which is lossless for the integer
+/// ranges this library serializes (< 2^53).
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double d) : type_(Type::Number), num_(d) {}
+  Json(int i) : type_(Type::Number), num_(i) {}
+  Json(std::int64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : type_(Type::Number), num_(static_cast<double>(u)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; precondition: matching type.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  void push_back(Json v);
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+
+  /// Object access.  operator[] inserts a null member when missing (and
+  /// converts a fresh null value to an object, mirroring common JSON APIs).
+  Json& operator[](const std::string& key);
+  bool contains(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  const std::map<std::string, Json>& items() const;
+  const std::vector<Json>& elements() const;
+
+  /// Serialize.  @p indent < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Parse; returns std::nullopt (and fills *error if given) on malformed
+  /// input.
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace sega

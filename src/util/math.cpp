@@ -1,0 +1,37 @@
+#include "util/math.h"
+
+#include "util/assert.h"
+
+namespace sega {
+
+int ilog2(std::uint64_t x) {
+  SEGA_EXPECTS(x > 0);
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+int ceil_log2(std::uint64_t x) {
+  SEGA_EXPECTS(x > 0);
+  const int f = ilog2(x);
+  return is_pow2(x) ? f : f + 1;
+}
+
+std::uint64_t pow2(int e) {
+  SEGA_EXPECTS(e >= 0 && e < 64);
+  return std::uint64_t{1} << e;
+}
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  SEGA_EXPECTS(b > 0);
+  return (a + b - 1) / b;
+}
+
+int bit_width(std::uint64_t x) { return x == 0 ? 0 : ilog2(x) + 1; }
+
+std::uint64_t next_pow2(std::uint64_t x) {
+  SEGA_EXPECTS(x >= 1);
+  return is_pow2(x) ? x : pow2(ilog2(x) + 1);
+}
+
+}  // namespace sega

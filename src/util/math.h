@@ -1,0 +1,30 @@
+// Small integer-math helpers shared by the cost models, the design-space
+// domain (which works in log2 space) and the RTL generators.
+#pragma once
+
+#include <cstdint>
+
+namespace sega {
+
+/// True iff @p x is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Floor of log2(x).  Precondition: x > 0.
+int ilog2(std::uint64_t x);
+
+/// Ceiling of log2(x).  Precondition: x > 0.  ceil_log2(1) == 0.
+int ceil_log2(std::uint64_t x);
+
+/// 2^e as an unsigned 64-bit value.  Precondition: 0 <= e < 64.
+std::uint64_t pow2(int e);
+
+/// ceil(a / b).  Precondition: b > 0.
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b);
+
+/// Number of bits needed to represent the unsigned value @p x (bit_width(0)==0).
+int bit_width(std::uint64_t x);
+
+/// Smallest power of two >= x.  Precondition: x >= 1.
+std::uint64_t next_pow2(std::uint64_t x);
+
+}  // namespace sega

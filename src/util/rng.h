@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generator used by the design-space
+// explorer and the simulators' stimulus generators.
+//
+// We deliberately do not use std::mt19937 + std::uniform_int_distribution:
+// distribution results are not reproducible across standard-library
+// implementations, and reproducibility of a DSE run from its seed is part of
+// this library's contract (a Pareto front must be re-derivable from a report).
+#pragma once
+
+#include <cstdint>
+
+namespace sega {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, and with a stable
+/// bit-exact output sequence that we own end-to-end.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sega

@@ -1,0 +1,41 @@
+// String formatting helpers (engineering-unit pretty printing, joining,
+// identifier mangling for generated RTL).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sega {
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Format a value with an SI engineering prefix, e.g. 1.25e-9 s -> "1.25 ns".
+/// @p unit is appended after the prefix.
+std::string si_format(double value, const char* unit, int precision = 3);
+
+/// Join @p parts with @p sep.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True iff @p s is a legal Verilog simple identifier.
+bool is_verilog_identifier(const std::string& s);
+
+/// Mangle an arbitrary string into a legal Verilog identifier.
+std::string to_verilog_identifier(const std::string& s);
+
+/// Upper-case ASCII copy.
+std::string to_upper(std::string s);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string s);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Split on a delimiter character; empty fields preserved.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// True iff @p s starts with @p prefix.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+}  // namespace sega

@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace sega {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SEGA_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  SEGA_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) line += " | ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Right-trim so rows have no trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(header_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c) out += "-+-";
+    out.append(widths[c], '-');
+  }
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace sega

@@ -1,0 +1,33 @@
+// ASCII table printer used by the benchmark harness to render the paper's
+// tables and figure series as aligned text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sega {
+
+/// Column-aligned text table.  Collects rows of strings and renders with a
+/// header rule, e.g.:
+///
+///   precision | avg area (mm^2) | avg delay (ns)
+///   ----------+-----------------+---------------
+///   INT2      | 0.21            | 1.3
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render the table as a multi-line string (trailing newline included).
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sega

@@ -1,0 +1,47 @@
+#include "workload/mapping.h"
+
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace sega {
+
+MappingReport map_workload(const Workload& workload,
+                           const EvaluatedDesign& design) {
+  SEGA_EXPECTS(workload.precision == design.point.precision);
+  SEGA_EXPECTS(!workload.layers.empty());
+  const DesignPoint& dp = design.point;
+  const MacroMetrics& m = design.metrics;
+  const std::int64_t wstore = dp.wstore();
+
+  MappingReport report;
+  double tops_weighted_macs = 0.0;
+  for (const auto& layer : workload.layers) {
+    LayerMapping lm;
+    lm.layer = layer.name;
+    lm.passes = static_cast<std::int64_t>(
+        ceil_div(static_cast<std::uint64_t>(layer.weights()),
+                 static_cast<std::uint64_t>(wstore)));
+    lm.weight_reloads = lm.passes - 1;
+    // One pass = L selection rounds x ceil(Bx/k) streaming cycles.
+    const double cycles_per_pass =
+        static_cast<double>(dp.l) * static_cast<double>(m.cycles_per_input);
+    lm.cycles = static_cast<double>(lm.passes) * cycles_per_pass;
+    lm.latency_ns = lm.cycles * m.delay_ns;
+    lm.energy_nj = lm.cycles * m.energy_per_cycle_fj * 1e-6;
+    const double macs = static_cast<double>(layer.macs_per_input());
+    lm.effective_tops = 2.0 * macs / (lm.latency_ns * 1e-9) * 1e-12;
+    lm.array_utilization =
+        macs / (static_cast<double>(lm.passes) * static_cast<double>(wstore));
+    report.total_latency_ns += lm.latency_ns;
+    report.total_energy_nj += lm.energy_nj;
+    report.mean_utilization += lm.array_utilization;
+    tops_weighted_macs += macs;
+    report.layers.push_back(std::move(lm));
+  }
+  report.mean_utilization /= static_cast<double>(report.layers.size());
+  report.effective_tops =
+      2.0 * tops_weighted_macs / (report.total_latency_ns * 1e-9) * 1e-12;
+  return report;
+}
+
+}  // namespace sega

@@ -1,0 +1,39 @@
+// Mapping model: how a candidate DCIM design executes a workload.
+//
+// Weight-stationary execution: a layer of W_l weights runs in
+// ceil(W_l / Wstore) passes; within a pass every stored weight is consumed
+// over the L selection rounds, each round streaming one operand batch in
+// ceil(Bx/k) cycles.  Weight reloads between passes are counted — they are
+// precisely the memory-wall traffic DCIM exists to avoid, so designs whose
+// Wstore undershoots the workload pay visibly.
+#pragma once
+
+#include "dse/explorer.h"
+#include "workload/workload.h"
+
+namespace sega {
+
+struct LayerMapping {
+  std::string layer;
+  std::int64_t passes = 0;        ///< weight tiles
+  std::int64_t weight_reloads = 0;///< passes - 1 (per input batch)
+  double cycles = 0.0;            ///< compute cycles per input vector
+  double latency_ns = 0.0;
+  double energy_nj = 0.0;
+  double effective_tops = 0.0;    ///< 2*MACs / latency
+  double array_utilization = 0.0; ///< fraction of stored weights doing work
+};
+
+struct MappingReport {
+  std::vector<LayerMapping> layers;
+  double total_latency_ns = 0.0;
+  double total_energy_nj = 0.0;
+  double effective_tops = 0.0;
+  double mean_utilization = 0.0;
+};
+
+/// Map @p workload onto @p design.  Precondition: matching precision.
+MappingReport map_workload(const Workload& workload,
+                           const EvaluatedDesign& design);
+
+}  // namespace sega

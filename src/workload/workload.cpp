@@ -1,0 +1,79 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/math.h"
+#include "util/strings.h"
+
+namespace sega {
+
+std::int64_t Workload::total_weights() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l.weights();
+  return total;
+}
+
+std::int64_t Workload::total_macs_per_input() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l.macs_per_input();
+  return total;
+}
+
+const LayerSpec& Workload::largest_layer() const {
+  SEGA_EXPECTS(!layers.empty());
+  return *std::max_element(layers.begin(), layers.end(),
+                           [](const LayerSpec& a, const LayerSpec& b) {
+                             return a.weights() < b.weights();
+                           });
+}
+
+std::int64_t Workload::recommended_wstore() const {
+  const std::int64_t biggest = largest_layer().weights();
+  const std::int64_t clamped = std::clamp<std::int64_t>(biggest, 4096, 131072);
+  return static_cast<std::int64_t>(
+      next_pow2(static_cast<std::uint64_t>(clamped)));
+}
+
+Workload make_transformer_block(std::int64_t d_model, std::int64_t ffn_mult,
+                                const Precision& precision) {
+  SEGA_EXPECTS(d_model >= 1 && ffn_mult >= 1);
+  Workload w;
+  w.name = strfmt("transformer_d%lld", static_cast<long long>(d_model));
+  w.precision = precision;
+  for (const char* proj : {"q_proj", "k_proj", "v_proj", "o_proj"}) {
+    w.layers.push_back({proj, d_model, d_model});
+  }
+  w.layers.push_back({"ffn_up", d_model, d_model * ffn_mult});
+  w.layers.push_back({"ffn_down", d_model * ffn_mult, d_model});
+  return w;
+}
+
+Workload make_cnn_backbone(const std::vector<ConvSpec>& convs,
+                           const Precision& precision) {
+  SEGA_EXPECTS(!convs.empty());
+  Workload w;
+  w.name = "cnn_backbone";
+  w.precision = precision;
+  for (const auto& c : convs) {
+    SEGA_EXPECTS(c.cin >= 1 && c.cout >= 1 && c.kh >= 1 && c.kw >= 1);
+    w.layers.push_back({c.name, c.cin * c.kh * c.kw, c.cout});
+  }
+  return w;
+}
+
+Workload make_gnn(std::int64_t feature_dim, int layer_count,
+                  const Precision& precision) {
+  SEGA_EXPECTS(feature_dim >= 1 && layer_count >= 1);
+  Workload w;
+  w.name = strfmt("gnn_f%lld", static_cast<long long>(feature_dim));
+  w.precision = precision;
+  for (int i = 0; i < layer_count; ++i) {
+    w.layers.push_back(
+        {strfmt("message_%d", i), feature_dim, feature_dim});
+    w.layers.push_back({strfmt("update_%d", i), 2 * feature_dim, feature_dim});
+  }
+  return w;
+}
+
+}  // namespace sega

@@ -1,0 +1,60 @@
+// NN workload descriptions — the "versatile applications" of Fig. 1
+// (Transformer, CNN, GNN) that drive the compiler's user specifications.
+//
+// A workload is a set of weight-stationary GEMM layers (rows = reduction
+// length K, cols = output channels); the mapping model in mapping.h reports
+// how a candidate DCIM design executes it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/precision.h"
+
+namespace sega {
+
+struct LayerSpec {
+  std::string name;
+  std::int64_t rows = 0;  ///< reduction dimension (weights per output)
+  std::int64_t cols = 0;  ///< output dimension
+
+  std::int64_t weights() const { return rows * cols; }
+  /// MACs to apply the layer to one input vector.
+  std::int64_t macs_per_input() const { return rows * cols; }
+};
+
+struct Workload {
+  std::string name;
+  Precision precision;
+  std::vector<LayerSpec> layers;
+
+  std::int64_t total_weights() const;
+  std::int64_t total_macs_per_input() const;
+  /// Largest single layer (the unit the macro must tile).
+  const LayerSpec& largest_layer() const;
+
+  /// Smallest power-of-two Wstore holding the largest layer, clamped to
+  /// [4K, 128K] (the paper's validated range).
+  std::int64_t recommended_wstore() const;
+};
+
+/// Transformer encoder block projections (the Fig. 1 attention scenario):
+/// Q/K/V/O projections (d_model x d_model) plus the two FFN GEMMs.
+Workload make_transformer_block(std::int64_t d_model, std::int64_t ffn_mult,
+                                const Precision& precision);
+
+/// CNN backbone: conv layers lowered to GEMM (K = Cin*kh*kw, N = Cout).
+struct ConvSpec {
+  std::string name;
+  std::int64_t cin = 0, cout = 0, kh = 3, kw = 3;
+};
+Workload make_cnn_backbone(const std::vector<ConvSpec>& convs,
+                           const Precision& precision);
+
+/// GNN aggregation + update (the Fig. 1 graph scenario): message GEMM
+/// (feature x feature) and update GEMM per layer.
+Workload make_gnn(std::int64_t feature_dim, int layer_count,
+                  const Precision& precision);
+
+}  // namespace sega

@@ -1,0 +1,125 @@
+#include "arch/design_point.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+DesignPoint fig6_int8() {
+  // The paper's Fig. 6(a): N=32, L=16, H=128, 8K INT8 weights, k=8.
+  DesignPoint dp;
+  dp.arch = ArchKind::kMulCim;
+  dp.precision = precision_int8();
+  dp.n = 32;
+  dp.h = 128;
+  dp.l = 16;
+  dp.k = 8;
+  return dp;
+}
+
+TEST(DesignPointTest, Fig6DerivedQuantities) {
+  const DesignPoint dp = fig6_int8();
+  EXPECT_EQ(dp.wstore(), 8192);          // 8K weights
+  EXPECT_EQ(dp.sram_bits(), 65536);      // 64 Kbit, as printed in Fig. 6
+  EXPECT_EQ(dp.cycles_per_input(), 1);   // k == Bx
+}
+
+TEST(DesignPointTest, CyclesCeilForPartialSlices) {
+  DesignPoint dp = fig6_int8();
+  dp.k = 3;
+  EXPECT_EQ(dp.cycles_per_input(), 3);  // ceil(8/3)
+  dp.k = 1;
+  EXPECT_EQ(dp.cycles_per_input(), 8);
+}
+
+TEST(DesignPointTest, ArchForPrecision) {
+  EXPECT_EQ(arch_for(precision_int4()), ArchKind::kMulCim);
+  EXPECT_EQ(arch_for(precision_bf16()), ArchKind::kFpCim);
+}
+
+TEST(DesignPointTest, ToStringMentionsEverything) {
+  const std::string s = fig6_int8().to_string();
+  EXPECT_NE(s.find("MUL-CIM"), std::string::npos);
+  EXPECT_NE(s.find("INT8"), std::string::npos);
+  EXPECT_NE(s.find("N=32"), std::string::npos);
+  EXPECT_NE(s.find("k=8"), std::string::npos);
+}
+
+TEST(ValidateTest, Fig6DesignIsValid) {
+  const Validity v = validate_design(fig6_int8(), 8192, SpaceConstraints{});
+  EXPECT_TRUE(v.ok) << v.reason;
+}
+
+TEST(ValidateTest, RejectsWrongArchitecture) {
+  DesignPoint dp = fig6_int8();
+  dp.arch = ArchKind::kFpCim;
+  EXPECT_FALSE(validate_design(dp, 8192, {}).ok);
+}
+
+TEST(ValidateTest, RejectsNonPow2N) {
+  DesignPoint dp = fig6_int8();
+  dp.n = 33;
+  const Validity v = validate_design(dp, 8448, {});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("power of two"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsKLargerThanInput) {
+  DesignPoint dp = fig6_int8();
+  dp.k = 9;
+  EXPECT_FALSE(validate_design(dp, 8192, {}).ok);
+}
+
+TEST(ValidateTest, RejectsExcessiveL) {
+  DesignPoint dp = fig6_int8();
+  dp.l = 128;
+  dp.n = 4;  // keep storage product consistent: 4*128*128 = 65536
+  EXPECT_FALSE(validate_design(dp, 8192, {}).ok);
+}
+
+TEST(ValidateTest, RejectsExcessiveH) {
+  DesignPoint dp = fig6_int8();
+  dp.h = 4096;
+  dp.n = 1;
+  EXPECT_FALSE(validate_design(dp, 8192, {}).ok);
+}
+
+TEST(ValidateTest, RejectsNBelowFourBw) {
+  DesignPoint dp = fig6_int8();
+  dp.n = 16;  // 4*Bw = 32 for INT8
+  dp.l = 32;  // keep N*H*L = 65536
+  const Validity v = validate_design(dp, 8192, {});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("4*Bw"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsStorageMismatch) {
+  const Validity v = validate_design(fig6_int8(), 4096, {});
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("storage"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsNonPositiveParams) {
+  DesignPoint dp = fig6_int8();
+  dp.k = 0;
+  EXPECT_FALSE(validate_design(dp, 8192, {}).ok);
+  dp = fig6_int8();
+  dp.h = -128;
+  EXPECT_FALSE(validate_design(dp, 8192, {}).ok);
+}
+
+TEST(ValidateTest, FpDesignStorageUsesMantissaBits) {
+  // BF16: Bw = 8 (7 stored mantissa bits + implicit one).
+  DesignPoint dp;
+  dp.arch = ArchKind::kFpCim;
+  dp.precision = precision_bf16();
+  dp.n = 32;
+  dp.h = 128;
+  dp.l = 16;
+  dp.k = 8;
+  EXPECT_EQ(dp.wstore(), 8192);  // Fig. 6(b): same geometry, 8K BF16 weights
+  EXPECT_TRUE(validate_design(dp, 8192, {}).ok);
+}
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,83 @@
+#include "arch/precision.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+TEST(PrecisionTest, IntPresets) {
+  EXPECT_EQ(precision_int2().input_bits(), 2);
+  EXPECT_EQ(precision_int4().weight_bits(), 4);
+  EXPECT_EQ(precision_int8().total_bits(), 8);
+  EXPECT_EQ(precision_int16().input_bits(), 16);
+  EXPECT_FALSE(precision_int8().is_float());
+}
+
+TEST(PrecisionTest, Fp8E4M3Layout) {
+  const Precision p = precision_fp8_e4m3();
+  EXPECT_TRUE(p.is_float());
+  EXPECT_EQ(p.exp_bits, 4);
+  EXPECT_EQ(p.mant_bits, 3);
+  EXPECT_EQ(p.compute_mant_bits(), 4);
+  EXPECT_EQ(p.total_bits(), 8);
+}
+
+TEST(PrecisionTest, Fp16Layout) {
+  const Precision p = precision_fp16();
+  EXPECT_EQ(p.exp_bits, 5);
+  EXPECT_EQ(p.mant_bits, 10);
+  EXPECT_EQ(p.compute_mant_bits(), 11);
+  EXPECT_EQ(p.total_bits(), 16);
+}
+
+TEST(PrecisionTest, Bf16Layout) {
+  const Precision p = precision_bf16();
+  EXPECT_EQ(p.exp_bits, 8);
+  EXPECT_EQ(p.mant_bits, 7);
+  EXPECT_EQ(p.compute_mant_bits(), 8);
+  EXPECT_EQ(p.total_bits(), 16);
+}
+
+TEST(PrecisionTest, Fp32Layout) {
+  const Precision p = precision_fp32();
+  EXPECT_EQ(p.exp_bits, 8);
+  EXPECT_EQ(p.mant_bits, 23);
+  EXPECT_EQ(p.compute_mant_bits(), 24);
+  EXPECT_EQ(p.total_bits(), 32);
+}
+
+TEST(PrecisionTest, FloatInputBitsAreComputeMantissa) {
+  // The FP-CIM array computes on aligned mantissas (incl. the implicit one).
+  EXPECT_EQ(precision_bf16().input_bits(), 8);
+  EXPECT_EQ(precision_fp16().weight_bits(), 11);
+  EXPECT_EQ(precision_fp32().input_bits(), 24);
+}
+
+TEST(PrecisionTest, AllPresetsInFig7Order) {
+  const auto all = all_precisions();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].name, "INT2");
+  EXPECT_EQ(all[3].name, "INT16");
+  EXPECT_EQ(all[4].name, "FP8");
+  EXPECT_EQ(all[7].name, "FP32");
+}
+
+TEST(PrecisionTest, ParseNames) {
+  EXPECT_EQ(precision_from_name("int8")->name, "INT8");
+  EXPECT_EQ(precision_from_name(" BF16 ")->name, "BF16");
+  EXPECT_EQ(precision_from_name("bfloat16")->name, "BF16");
+  EXPECT_EQ(precision_from_name("FP8_E4M3")->name, "FP8");
+  EXPECT_EQ(precision_from_name("half")->name, "FP16");
+  EXPECT_EQ(precision_from_name("float")->name, "FP32");
+  EXPECT_FALSE(precision_from_name("INT7").has_value());
+  EXPECT_FALSE(precision_from_name("").has_value());
+}
+
+TEST(PrecisionTest, Equality) {
+  EXPECT_TRUE(precision_int8() == precision_int8());
+  EXPECT_FALSE(precision_int8() == precision_int4());
+  EXPECT_FALSE(precision_bf16() == precision_fp16());
+}
+
+}  // namespace
+}  // namespace sega

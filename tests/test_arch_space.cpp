@@ -1,0 +1,123 @@
+#include "arch/space.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sega {
+namespace {
+
+TEST(SpaceTest, DecodeFig6Point) {
+  DesignSpace space(8192, precision_int8());
+  auto dp = space.decode(/*n_exp=*/5, /*h_exp=*/7, /*k=*/8);
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(dp->n, 32);
+  EXPECT_EQ(dp->h, 128);
+  EXPECT_EQ(dp->l, 16);
+  EXPECT_EQ(dp->k, 8);
+}
+
+TEST(SpaceTest, DecodeRejectsInfeasibleL) {
+  DesignSpace space(8192, precision_int8());
+  // N=2^13, H=2: L = 65536/16384 = 4 -> fine; N=2^13, H=2048 -> L < 1.
+  EXPECT_FALSE(space.decode(13, 11, 1).has_value());
+}
+
+TEST(SpaceTest, DecodeRejectsOutOfBounds) {
+  DesignSpace space(8192, precision_int8());
+  EXPECT_FALSE(space.decode(4, 7, 8).has_value());   // N=16 < 4*Bw
+  EXPECT_FALSE(space.decode(5, 12, 8).has_value());  // H > 2048
+  EXPECT_FALSE(space.decode(5, 7, 9).has_value());   // k > Bx
+  EXPECT_FALSE(space.decode(5, 7, 0).has_value());   // k < 1
+}
+
+TEST(SpaceTest, EnumerationAllValid) {
+  DesignSpace space(4096, precision_int4());
+  const auto all = space.enumerate_all();
+  ASSERT_FALSE(all.empty());
+  for (const auto& dp : all) {
+    const Validity v = validate_design(dp, 4096, space.limits());
+    EXPECT_TRUE(v.ok) << dp.to_string() << ": " << v.reason;
+  }
+}
+
+TEST(SpaceTest, EnumerationHasNoDuplicates) {
+  DesignSpace space(8192, precision_int8());
+  const auto all = space.enumerate_all();
+  std::set<std::string> seen;
+  for (const auto& dp : all) seen.insert(dp.to_string());
+  EXPECT_EQ(seen.size(), all.size());
+}
+
+TEST(SpaceTest, EnumerationCoversPaperSizes) {
+  // The paper sweeps Wstore from 4K to 128K; every size must have a
+  // non-empty INT8 and BF16 space.
+  for (std::int64_t w = 4096; w <= 131072; w *= 2) {
+    EXPECT_FALSE(DesignSpace(w, precision_int8()).enumerate_all().empty())
+        << "INT8 Wstore=" << w;
+    EXPECT_FALSE(DesignSpace(w, precision_bf16()).enumerate_all().empty())
+        << "BF16 Wstore=" << w;
+  }
+}
+
+TEST(SpaceTest, Fp16SpaceNonEmptyDespiteOddMantissa) {
+  // FP16 -> Bw = 11 bits: N*H*L = 11*Wstore requires L divisible by 11.
+  DesignSpace space(65536, precision_fp16());
+  const auto all = space.enumerate_all();
+  ASSERT_FALSE(all.empty());
+  for (const auto& dp : all) {
+    EXPECT_EQ(dp.l % 11, 0) << dp.to_string();
+  }
+}
+
+TEST(SpaceTest, SampleReturnsValidPoints) {
+  DesignSpace space(65536, precision_bf16());
+  Rng rng(123);
+  for (int i = 0; i < 50; ++i) {
+    auto dp = space.sample(rng);
+    ASSERT_TRUE(dp.has_value());
+    EXPECT_TRUE(validate_design(*dp, 65536, space.limits()).ok);
+  }
+}
+
+TEST(SpaceTest, SampleIsDeterministicGivenSeed) {
+  DesignSpace space(65536, precision_int8());
+  Rng a(99), b(99);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(space.sample(a)->to_string(), space.sample(b)->to_string());
+  }
+}
+
+TEST(SpaceTest, SampleEventuallyCoversSpace) {
+  DesignSpace space(4096, precision_int2());
+  const auto all = space.enumerate_all();
+  Rng rng(7);
+  std::set<std::string> seen;
+  for (int i = 0; i < 4000; ++i) {
+    seen.insert(space.sample(rng)->to_string());
+  }
+  // Random sampling should reach a large majority of a small space.
+  EXPECT_GT(seen.size() * 10, all.size() * 7);
+}
+
+class SpacePerPrecisionTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpacePerPrecisionTest, SixtyFourKSpaceIsNonEmptyAndConsistent) {
+  const auto precision = precision_from_name(GetParam());
+  ASSERT_TRUE(precision.has_value());
+  DesignSpace space(65536, *precision);
+  const auto all = space.enumerate_all();
+  ASSERT_FALSE(all.empty()) << GetParam();
+  for (const auto& dp : all) {
+    EXPECT_EQ(dp.wstore(), 65536);
+    EXPECT_EQ(dp.arch, arch_for(*precision));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, SpacePerPrecisionTest,
+                         ::testing::Values("INT2", "INT4", "INT8", "INT16",
+                                           "FP8", "FP16", "BF16", "FP32"));
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,162 @@
+#include "compiler/cli.h"
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sega {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+class CliTempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sega_cli_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  const CliRun r = cli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  const CliRun r = cli({"synthesize"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, PrecisionsListsAllEight) {
+  const CliRun r = cli({"precisions"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* p :
+       {"INT2", "INT4", "INT8", "INT16", "FP8", "FP16", "BF16", "FP32"}) {
+    EXPECT_NE(r.out.find(p), std::string::npos) << p;
+  }
+}
+
+TEST(CliTest, TechlibDumpRoundTrips) {
+  const CliRun r = cli({"techlib"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("technology \"tsmc28\""), std::string::npos);
+  EXPECT_NE(r.out.find("cell FA"), std::string::npos);
+}
+
+TEST(CliTest, ExploreRequiresMandatoryFlags) {
+  EXPECT_EQ(cli({"explore"}).code, 2);
+  EXPECT_EQ(cli({"explore", "--wstore", "8192"}).code, 2);
+}
+
+TEST(CliTest, ExplorePrintsFront) {
+  const CliRun r = cli({"explore", "--wstore", "8192", "--precision", "INT8",
+                        "--population", "24", "--generations", "12"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Pareto designs"), std::string::npos);
+  EXPECT_NE(r.out.find("MUL-CIM INT8"), std::string::npos);
+}
+
+TEST(CliTest, ExploreRejectsBadValues) {
+  EXPECT_EQ(cli({"explore", "--wstore", "nope", "--precision", "INT8"}).code, 2);
+  EXPECT_EQ(cli({"explore", "--wstore", "8192", "--precision", "INT3"}).code, 2);
+  EXPECT_EQ(cli({"explore", "--wstore", "8192", "--precision", "INT8",
+                 "--sparsity", "2"}).code, 2);
+}
+
+TEST(CliTest, RejectsUnknownFlag) {
+  const CliRun r = cli({"explore", "--wstore", "8192", "--precision", "INT8",
+                        "--populaton", "24"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--populaton"), std::string::npos);
+}
+
+TEST(CliTest, RejectsDanglingFlag) {
+  const CliRun r = cli({"explore", "--wstore"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST_F(CliTempDir, CompileWritesArtifacts) {
+  const auto spec_path = dir_ / "spec.json";
+  {
+    std::ofstream f(spec_path);
+    f << R"({"wstore": 4096, "precision": "INT4", "population": 24,
+             "generations": 12, "generate_def": true})";
+  }
+  const auto out_dir = dir_ / "out";
+  const CliRun r = cli({"compile", "--spec", spec_path.string(), "--out",
+                        out_dir.string()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(std::filesystem::exists(out_dir / "report.json"));
+  EXPECT_TRUE(std::filesystem::exists(out_dir / "front.txt"));
+  bool has_verilog = false, has_def = false;
+  for (const auto& entry : std::filesystem::directory_iterator(out_dir)) {
+    if (entry.path().extension() == ".v") has_verilog = true;
+    if (entry.path().extension() == ".def") has_def = true;
+  }
+  EXPECT_TRUE(has_verilog);
+  EXPECT_TRUE(has_def);
+
+  // The written report parses and contains the front.
+  std::ifstream rf(out_dir / "report.json");
+  std::stringstream buf;
+  buf << rf.rdbuf();
+  const auto report = Json::parse(buf.str());
+  ASSERT_TRUE(report.has_value());
+  EXPECT_GT(report->at("pareto_front").size(), 0u);
+}
+
+TEST_F(CliTempDir, CompileRejectsBadSpec) {
+  const auto spec_path = dir_ / "bad.json";
+  {
+    std::ofstream f(spec_path);
+    f << R"({"wstore": 4096, "precsion": "INT4"})";  // typo key
+  }
+  const CliRun r = cli({"compile", "--spec", spec_path.string(), "--out",
+                        (dir_ / "out").string()});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("precsion"), std::string::npos);
+}
+
+TEST_F(CliTempDir, CompileRejectsMissingSpecFile) {
+  const CliRun r = cli({"compile", "--spec", (dir_ / "nope.json").string(),
+                        "--out", (dir_ / "out").string()});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST_F(CliTempDir, ExploreWithCustomTechlib) {
+  const auto tech_path = dir_ / "my.techlib";
+  {
+    std::ofstream f(tech_path);
+    f << "technology \"custom\" { units { area_um2_per_gate 0.2 "
+         "delay_ns_per_gate 0.02 energy_fj_per_gate 0.1 } }";
+  }
+  const CliRun r = cli({"explore", "--wstore", "4096", "--precision", "INT8",
+                        "--population", "16", "--generations", "8",
+                        "--tech", tech_path.string()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const CliRun bad = cli({"explore", "--wstore", "4096", "--precision",
+                          "INT8", "--tech", (dir_ / "missing.lib").string()});
+  EXPECT_EQ(bad.code, 2);
+}
+
+}  // namespace
+}  // namespace sega

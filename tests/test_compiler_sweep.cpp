@@ -1,0 +1,90 @@
+#include "compiler/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+SweepSpec small_sweep() {
+  SweepSpec spec;
+  spec.wstores = {4096, 8192};
+  spec.precisions = {precision_int8(), precision_bf16()};
+  spec.dse.population = 24;
+  spec.dse.generations = 12;
+  spec.dse.seed = 2;
+  return spec;
+}
+
+TEST(SweepTest, CoversFullGrid) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult result = run_sweep(compiler, small_sweep());
+  EXPECT_EQ(result.cells.size(), 4u);
+  for (const auto& cell : result.cells) {
+    EXPECT_GT(cell.front_size, 0u);
+    EXPECT_GT(cell.evaluations, 0);
+    EXPECT_EQ(cell.knee.point.wstore(), cell.wstore);
+    EXPECT_TRUE(cell.knee.point.precision == cell.precision);
+  }
+}
+
+TEST(SweepTest, JsonExportMatchesCells) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult result = run_sweep(compiler, small_sweep());
+  const Json j = result.to_json();
+  ASSERT_EQ(j.size(), result.cells.size());
+  EXPECT_EQ(j.at(0).at("precision").as_string(),
+            result.cells[0].precision.name);
+  EXPECT_EQ(j.at(0).at("wstore").as_int(), result.cells[0].wstore);
+  // Round-trips as text.
+  const auto back = Json::parse(j.dump(2));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == j);
+}
+
+TEST(SweepTest, CsvHasHeaderAndOneRowPerCell) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult result = run_sweep(compiler, small_sweep());
+  const std::string csv = result.to_csv();
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, result.cells.size() + 1);
+  EXPECT_EQ(csv.rfind("wstore,precision,", 0), 0u);
+  // Every row has the full column count.
+  std::size_t pos = csv.find('\n') + 1;
+  while (pos < csv.size()) {
+    const std::size_t end = csv.find('\n', pos);
+    const std::string row = csv.substr(pos, end - pos);
+    std::size_t commas = 0;
+    for (const char c : row) {
+      if (c == ',') ++commas;
+    }
+    EXPECT_EQ(commas, 13u) << row;
+    pos = end + 1;
+  }
+}
+
+TEST(SweepTest, DeterministicForSeed) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult a = run_sweep(compiler, small_sweep());
+  const SweepResult b = run_sweep(compiler, small_sweep());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+}
+
+TEST(SweepTest, SkipsEmptyCellsGracefully) {
+  SweepSpec spec = small_sweep();
+  // A Wstore too small for any valid BF16 geometry under tight limits.
+  spec.wstores = {4096};
+  spec.limits.max_h = 2;
+  spec.limits.max_l = 1;
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult result = run_sweep(compiler, spec);
+  // Either empty or partially filled — but never crashes and never lies.
+  for (const auto& cell : result.cells) {
+    EXPECT_GT(cell.front_size, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,169 @@
+#include "cost/components.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+
+namespace sega {
+namespace {
+
+class ComponentsTest : public ::testing::Test {
+ protected:
+  Technology tech = Technology::tsmc28();
+};
+
+TEST_F(ComponentsTest, AdderTreeGoldenH8K4) {
+  // Levels: 4 adders of 4b, 2 of 5b, 1 of 6b.
+  const ModuleCost t = adder_tree_cost(tech, 8, 4);
+  EXPECT_EQ(t.gates[CellKind::kFa], 4 * 3 + 2 * 4 + 5);
+  EXPECT_EQ(t.gates[CellKind::kHa], 7);
+  const double a4 = 3 * 5.7 + 4.3, a5 = 4 * 5.7 + 4.3, a6 = 5 * 5.7 + 4.3;
+  EXPECT_DOUBLE_EQ(t.area, 4 * a4 + 2 * a5 + a6);
+  const double d4 = 3 * 3.3 + 2.5, d5 = 4 * 3.3 + 2.5, d6 = 5 * 3.3 + 2.5;
+  EXPECT_DOUBLE_EQ(t.delay, d4 + d5 + d6);
+}
+
+TEST_F(ComponentsTest, AdderTreeUsesHMinus1Adders) {
+  for (int h : {2, 4, 8, 16, 64, 256}) {
+    const ModuleCost t = adder_tree_cost(tech, h, 8);
+    EXPECT_EQ(t.gates[CellKind::kHa], h - 1) << "h=" << h;
+  }
+}
+
+TEST_F(ComponentsTest, AdderTreeTrivialH1) {
+  const ModuleCost t = adder_tree_cost(tech, 1, 8);
+  EXPECT_EQ(t.gates.total(), 0);
+  EXPECT_DOUBLE_EQ(t.delay, 0.0);
+}
+
+TEST_F(ComponentsTest, AdderTreeDepthIsLogH) {
+  // Delay strictly grows with each doubling of H (one more level).
+  double prev = 0.0;
+  for (int h : {2, 4, 8, 16, 32}) {
+    const double d = adder_tree_cost(tech, h, 4).delay;
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST_F(ComponentsTest, AccumulatorWidthFollowsPaper) {
+  EXPECT_EQ(accumulator_width(8, 128), 8 + 7);
+  EXPECT_EQ(accumulator_width(4, 2), 5);
+  EXPECT_EQ(accumulator_width(24, 2048), 24 + 11);
+}
+
+TEST_F(ComponentsTest, ShiftAccumulatorGolden) {
+  // Bx=8, H=128 -> w=15: 15 DFF + 15-bit shifter + 15-bit adder.
+  const ModuleCost a = shift_accumulator_cost(tech, 8, 128);
+  EXPECT_EQ(a.gates[CellKind::kDff], 15);
+  EXPECT_EQ(a.gates[CellKind::kMux2], 15 * 14);
+  EXPECT_EQ(a.gates[CellKind::kFa], 14);
+  EXPECT_EQ(a.gates[CellKind::kHa], 1);
+  const double shifter_delay = 4 * (4 * 2.2);  // ceil(log2 15)=4
+  const double adder_delay = 14 * 3.3 + 2.5;
+  EXPECT_DOUBLE_EQ(a.delay, shifter_delay + adder_delay);
+}
+
+TEST_F(ComponentsTest, FusionSingleColumnIsFree) {
+  const ModuleCost f = result_fusion_cost(tech, 1, 12);
+  EXPECT_EQ(f.gates.total(), 0);
+  EXPECT_DOUBLE_EQ(f.delay, 0.0);
+}
+
+TEST_F(ComponentsTest, FusionUsesBwMinus1Adders) {
+  for (int bw : {2, 3, 4, 8, 11, 16}) {
+    const ModuleCost f = result_fusion_cost(tech, bw, 10);
+    EXPECT_EQ(f.gates[CellKind::kHa], bw - 1) << "bw=" << bw;
+  }
+}
+
+TEST_F(ComponentsTest, FusionTwoColumnsGolden) {
+  // Two w=8 columns: out width = max(8, 1+8)+1 = 10, one 10-bit adder.
+  const ModuleCost f = result_fusion_cost(tech, 2, 8);
+  EXPECT_EQ(f.gates[CellKind::kFa], 9);
+  EXPECT_EQ(f.gates[CellKind::kHa], 1);
+  EXPECT_EQ(fusion_output_width(2, 8), 10);
+}
+
+TEST_F(ComponentsTest, FusionDelayIsLogDepth) {
+  // Balanced tree: doubling columns adds ~one adder stage, far less than 2x.
+  const double d4 = result_fusion_cost(tech, 4, 10).delay;
+  const double d8 = result_fusion_cost(tech, 8, 10).delay;
+  EXPECT_GT(d8, d4);
+  EXPECT_LT(d8, 2 * d4);
+}
+
+TEST_F(ComponentsTest, FusionOutputWidthCoversFullProduct) {
+  // Fused result must hold w + bw bits of significance.
+  for (int bw : {2, 4, 8, 11}) {
+    for (int w : {8, 12, 15}) {
+      EXPECT_GE(fusion_output_width(bw, w), w + ceil_log2(static_cast<std::uint64_t>(bw)))
+          << "bw=" << bw << " w=" << w;
+      EXPECT_LE(fusion_output_width(bw, w), w + 2 * bw);
+    }
+  }
+}
+
+TEST_F(ComponentsTest, PreAlignmentGoldenH4) {
+  // H=4, BE=8, BM=8: 3 comparators + 3*8 mux + 4 subtractors + 4 shifters.
+  const ModuleCost p = pre_alignment_cost(tech, 4, 8, 8);
+  // comparators+subtractors: (3 + 4) 8-bit adders.
+  EXPECT_EQ(p.gates[CellKind::kFa], 7 * 7);
+  EXPECT_EQ(p.gates[CellKind::kHa], 7);
+  // mux census: 3*8 (max-tree selectors) + 4 shifters of 8*7.
+  EXPECT_EQ(p.gates[CellKind::kMux2], 24 + 4 * 56);
+  const double comp_delay = 7 * 3.3 + 2.5;
+  const double tree_delay = 2 * (comp_delay + 2.2);
+  const double shifter_delay = 3 * (3 * 2.2);
+  EXPECT_DOUBLE_EQ(p.delay, tree_delay + comp_delay + shifter_delay);
+}
+
+TEST_F(ComponentsTest, PreAlignmentScalesLinearlyInH) {
+  const ModuleCost p64 = pre_alignment_cost(tech, 64, 8, 8);
+  const ModuleCost p128 = pre_alignment_cost(tech, 128, 8, 8);
+  EXPECT_NEAR(p128.area / p64.area, 2.0, 0.1);
+  // Depth grows by one comparator stage only.
+  EXPECT_GT(p128.delay, p64.delay);
+  EXPECT_LT(p128.delay - p64.delay, 40.0);
+}
+
+TEST_F(ComponentsTest, IntToFpGolden) {
+  const ModuleCost c = int_to_fp_cost(tech, 16, 8);
+  EXPECT_EQ(c.gates[CellKind::kOr], 16);
+  EXPECT_EQ(c.gates[CellKind::kMux2], 16 * 15);  // 16-bit barrel shifter
+  EXPECT_EQ(c.gates[CellKind::kFa], 7);
+  EXPECT_EQ(c.gates[CellKind::kHa], 1);
+  const double lzd_delay = 4 * 1.0;
+  const double shift_delay = 4 * (4 * 2.2);
+  const double add_delay = 7 * 3.3 + 2.5;
+  EXPECT_DOUBLE_EQ(c.delay, lzd_delay + shift_delay + add_delay);
+}
+
+TEST_F(ComponentsTest, InputBufferGolden) {
+  // H=4, Bx=8, k=2 -> 4 cycles: 32 DFF + 8 4:1 muxes (3 MUX2 each).
+  const ModuleCost b = input_buffer_cost(tech, 4, 8, 2);
+  EXPECT_EQ(b.gates[CellKind::kDff], 32);
+  EXPECT_EQ(b.gates[CellKind::kMux2], 8 * 3);
+  // Register energy amortized over 4 cycles.
+  EXPECT_DOUBLE_EQ(b.energy, 32 * 9.6 / 4 + 8 * (3 * 3.0));
+}
+
+TEST_F(ComponentsTest, InputBufferFullParallelHasNoMuxes) {
+  const ModuleCost b = input_buffer_cost(tech, 16, 8, 8);
+  EXPECT_EQ(b.gates[CellKind::kMux2], 0);
+  EXPECT_DOUBLE_EQ(b.delay, 0.0);
+}
+
+TEST_F(ComponentsTest, EnergyMatchesCensusExceptAmortized) {
+  // For components without amortization the census energy must match.
+  for (const ModuleCost& m :
+       {adder_tree_cost(tech, 16, 4), shift_accumulator_cost(tech, 8, 64),
+        result_fusion_cost(tech, 8, 12), pre_alignment_cost(tech, 8, 5, 11),
+        int_to_fp_cost(tech, 20, 8)}) {
+    EXPECT_NEAR(m.energy, m.gates.energy(tech), 1e-9);
+    EXPECT_NEAR(m.area, m.gates.area(tech), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sega

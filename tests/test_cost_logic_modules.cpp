@@ -1,0 +1,129 @@
+#include "cost/logic_modules.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+class LogicModulesTest : public ::testing::Test {
+ protected:
+  Technology tech = Technology::tsmc28();
+};
+
+// Golden values hand-computed from Tables II + III.
+
+TEST_F(LogicModulesTest, MultiplierIsKNorGates) {
+  const ModuleCost m = mul_cost(tech, 8);
+  EXPECT_EQ(m.gates[CellKind::kNor], 8);
+  EXPECT_DOUBLE_EQ(m.area, 8.0);
+  EXPECT_DOUBLE_EQ(m.delay, 1.0);
+  EXPECT_DOUBLE_EQ(m.energy, 8.0);
+}
+
+TEST_F(LogicModulesTest, MultiplierSingleBit) {
+  const ModuleCost m = mul_cost(tech, 1);
+  EXPECT_EQ(m.gates[CellKind::kNor], 1);
+  EXPECT_DOUBLE_EQ(m.area, 1.0);
+}
+
+TEST_F(LogicModulesTest, AdderEightBitGolden) {
+  const ModuleCost m = add_cost(tech, 8);
+  EXPECT_EQ(m.gates[CellKind::kFa], 7);
+  EXPECT_EQ(m.gates[CellKind::kHa], 1);
+  EXPECT_DOUBLE_EQ(m.area, 7 * 5.7 + 4.3);    // 44.2
+  EXPECT_DOUBLE_EQ(m.delay, 7 * 3.3 + 2.5);   // 25.6
+  EXPECT_DOUBLE_EQ(m.energy, 7 * 8.4 + 6.9);  // 65.7
+}
+
+TEST_F(LogicModulesTest, AdderOneBitDegeneratesToHalfAdder) {
+  const ModuleCost m = add_cost(tech, 1);
+  EXPECT_EQ(m.gates[CellKind::kFa], 0);
+  EXPECT_EQ(m.gates[CellKind::kHa], 1);
+  EXPECT_DOUBLE_EQ(m.area, 4.3);
+  EXPECT_DOUBLE_EQ(m.delay, 2.5);
+}
+
+TEST_F(LogicModulesTest, SelectorSixteenGolden) {
+  const ModuleCost m = sel_cost(tech, 16);
+  EXPECT_EQ(m.gates[CellKind::kMux2], 15);
+  EXPECT_DOUBLE_EQ(m.area, 15 * 2.2);
+  EXPECT_DOUBLE_EQ(m.delay, 4 * 2.2);
+  EXPECT_DOUBLE_EQ(m.energy, 15 * 3.0);
+}
+
+TEST_F(LogicModulesTest, SelectorOfOneIsAWire) {
+  const ModuleCost m = sel_cost(tech, 1);
+  EXPECT_EQ(m.gates.total(), 0);
+  EXPECT_DOUBLE_EQ(m.area, 0.0);
+  EXPECT_DOUBLE_EQ(m.delay, 0.0);
+}
+
+TEST_F(LogicModulesTest, SelectorNonPow2UsesCeilDepth) {
+  const ModuleCost m = sel_cost(tech, 5);
+  EXPECT_EQ(m.gates[CellKind::kMux2], 4);
+  EXPECT_DOUBLE_EQ(m.delay, 3 * 2.2);  // ceil(log2 5) = 3
+}
+
+TEST_F(LogicModulesTest, ShifterEightGolden) {
+  // A_shift(N) = N * A_sel(N); D_shift(N) = log2(N) * D_sel(N) as printed.
+  const ModuleCost m = shift_cost(tech, 8);
+  EXPECT_EQ(m.gates[CellKind::kMux2], 8 * 7);
+  EXPECT_DOUBLE_EQ(m.area, 8 * (7 * 2.2));
+  EXPECT_DOUBLE_EQ(m.delay, 3 * (3 * 2.2));
+  EXPECT_DOUBLE_EQ(m.energy, 8 * (7 * 3.0));
+}
+
+TEST_F(LogicModulesTest, ComparatorEqualsAdder) {
+  for (int n : {2, 5, 8, 16}) {
+    const ModuleCost c = comp_cost(tech, n);
+    const ModuleCost a = add_cost(tech, n);
+    EXPECT_DOUBLE_EQ(c.area, a.area);
+    EXPECT_DOUBLE_EQ(c.delay, a.delay);
+    EXPECT_DOUBLE_EQ(c.energy, a.energy);
+    EXPECT_TRUE(c.gates == a.gates);
+  }
+}
+
+TEST_F(LogicModulesTest, AreaEqualsGateCensusArea) {
+  for (int n : {1, 2, 3, 8, 17, 32}) {
+    for (auto mk : {mul_cost, add_cost, sel_cost, shift_cost, comp_cost}) {
+      const ModuleCost m = mk(tech, n);
+      EXPECT_NEAR(m.area, m.gates.area(tech), 1e-9);
+      EXPECT_NEAR(m.energy, m.gates.energy(tech), 1e-9);
+    }
+  }
+}
+
+TEST_F(LogicModulesTest, CombinatorsParallelAndSeries) {
+  ModuleCost total;
+  const ModuleCost a = add_cost(tech, 4);
+  total.add_parallel(a, 3);
+  EXPECT_DOUBLE_EQ(total.area, 3 * a.area);
+  EXPECT_DOUBLE_EQ(total.delay, a.delay);  // parallel: max
+  total.add_series(a);
+  EXPECT_DOUBLE_EQ(total.delay, 2 * a.delay);  // series: sum
+  EXPECT_DOUBLE_EQ(total.area, 4 * a.area);
+}
+
+// Monotonicity sweep: all module costs grow with bit width.
+class LogicMonotonicityTest : public ::testing::TestWithParam<int> {
+ protected:
+  Technology tech = Technology::tsmc28();
+};
+
+TEST_P(LogicMonotonicityTest, CostsGrowWithWidth) {
+  const int n = GetParam();
+  for (auto mk : {mul_cost, add_cost, sel_cost, shift_cost}) {
+    const ModuleCost smaller = mk(tech, n);
+    const ModuleCost larger = mk(tech, n + 1);
+    EXPECT_GE(larger.area, smaller.area);
+    EXPECT_GE(larger.energy, smaller.energy);
+    EXPECT_GE(larger.delay, smaller.delay);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LogicMonotonicityTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 15, 16, 23, 31));
+
+}  // namespace
+}  // namespace sega

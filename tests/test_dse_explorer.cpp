@@ -1,0 +1,153 @@
+#include "dse/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sega {
+namespace {
+
+class ExplorerTest : public ::testing::Test {
+ protected:
+  Technology tech = Technology::tsmc28();
+};
+
+TEST_F(ExplorerTest, EvaluateDesignWrapsMacroModel) {
+  DesignPoint dp;
+  dp.arch = ArchKind::kMulCim;
+  dp.precision = precision_int8();
+  dp.n = 32;
+  dp.h = 128;
+  dp.l = 16;
+  dp.k = 8;
+  const EvaluatedDesign ed = evaluate_design(tech, dp);
+  EXPECT_GT(ed.metrics.area_mm2, 0.0);
+  EXPECT_EQ(ed.objectives().size(), 4u);
+  EXPECT_DOUBLE_EQ(ed.objectives()[0], ed.metrics.area_mm2);
+}
+
+TEST_F(ExplorerTest, ExhaustiveFrontIsNonDominated) {
+  DesignSpace space(16384, precision_int8());
+  const auto front = explore_exhaustive(space, tech);
+  ASSERT_FALSE(front.empty());
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      if (a.point == b.point) continue;
+      EXPECT_FALSE(dominates(a.objectives(), b.objectives()));
+    }
+  }
+}
+
+TEST_F(ExplorerTest, ExhaustiveFrontDominatesEverythingElse) {
+  DesignSpace space(8192, precision_int4());
+  const auto front = explore_exhaustive(space, tech);
+  const auto all = space.enumerate_all();
+  // Every enumerated design must be dominated by or equal to a front member
+  // (or itself be on the front).
+  for (const auto& dp : all) {
+    const auto ed = evaluate_design(tech, dp);
+    bool on_front_or_dominated = false;
+    for (const auto& f : front) {
+      if (f.point == dp || dominates(f.objectives(), ed.objectives()) ||
+          f.objectives() == ed.objectives()) {
+        on_front_or_dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(on_front_or_dominated) << dp.to_string();
+  }
+}
+
+TEST_F(ExplorerTest, ExhaustiveSortedByObjectives) {
+  DesignSpace space(16384, precision_bf16());
+  const auto front = explore_exhaustive(space, tech);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LE(front[i - 1].objectives(), front[i].objectives());
+  }
+}
+
+TEST_F(ExplorerTest, RandomSearchProducesValidFront) {
+  DesignSpace space(32768, precision_int8());
+  const auto front = explore_random(space, tech, {}, 200, 11);
+  ASSERT_FALSE(front.empty());
+  for (const auto& a : front) {
+    EXPECT_TRUE(validate_design(a.point, 32768, space.limits()).ok);
+    for (const auto& b : front) {
+      if (a.point == b.point) continue;
+      EXPECT_FALSE(dominates(a.objectives(), b.objectives()));
+    }
+  }
+}
+
+TEST_F(ExplorerTest, RandomSearchDeterministicForSeed) {
+  DesignSpace space(16384, precision_int8());
+  const auto a = explore_random(space, tech, {}, 100, 42);
+  const auto b = explore_random(space, tech, {}, 100, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].point == b[i].point);
+  }
+}
+
+TEST_F(ExplorerTest, WeightedSumAreaOnlyFindsMinArea) {
+  DesignSpace space(16384, precision_int8());
+  WeightedSumOptions opt;
+  opt.weights = {1.0, 0.0, 0.0, 0.0};
+  opt.budget = 4096;  // generous budget on a small space
+  opt.seed = 3;
+  const EvaluatedDesign found = explore_weighted_sum(space, tech, {}, opt);
+
+  double min_area = found.metrics.area_mm2;
+  for (const auto& dp : space.enumerate_all()) {
+    min_area = std::min(min_area, evaluate_design(tech, dp).metrics.area_mm2);
+  }
+  EXPECT_NEAR(found.metrics.area_mm2, min_area, min_area * 0.05);
+}
+
+TEST_F(ExplorerTest, WeightedSumThroughputOnlyFindsFastDesign) {
+  DesignSpace space(16384, precision_int8());
+  WeightedSumOptions opt;
+  opt.weights = {0.0, 0.0, 0.0, 1.0};
+  opt.budget = 4096;
+  const EvaluatedDesign found = explore_weighted_sum(space, tech, {}, opt);
+
+  // Must be within 10 % of the best throughput in the space.
+  double best = 0.0;
+  for (const auto& dp : space.enumerate_all()) {
+    best = std::max(best, evaluate_design(tech, dp).metrics.throughput_tops);
+  }
+  EXPECT_GE(found.metrics.throughput_tops, 0.9 * best);
+}
+
+TEST_F(ExplorerTest, WeightedSumSingleDesignLiesOnParetoFrontier) {
+  DesignSpace space(8192, precision_int8());
+  WeightedSumOptions opt;
+  opt.budget = 2048;
+  const EvaluatedDesign found = explore_weighted_sum(space, tech, {}, opt);
+  // A scalarization optimum with positive weights is always Pareto-optimal.
+  const auto truth = explore_exhaustive(space, tech);
+  bool on_front = false;
+  for (const auto& f : truth) {
+    if (f.point == found.point) on_front = true;
+  }
+  EXPECT_TRUE(on_front) << found.point.to_string();
+}
+
+TEST_F(ExplorerTest, EvalConditionsPropagate) {
+  DesignSpace space(8192, precision_int8());
+  EvalConditions sparse{.supply_v = 0.9, .input_sparsity = 0.1};
+  const auto dense_front = explore_exhaustive(space, tech, {});
+  const auto sparse_front = explore_exhaustive(space, tech, sparse);
+  ASSERT_FALSE(dense_front.empty());
+  ASSERT_FALSE(sparse_front.empty());
+  // Sparsity only scales energy, so the frontier sets coincide point-wise.
+  ASSERT_EQ(dense_front.size(), sparse_front.size());
+  for (std::size_t i = 0; i < dense_front.size(); ++i) {
+    EXPECT_TRUE(dense_front[i].point == sparse_front[i].point);
+    EXPECT_LT(sparse_front[i].metrics.power_w,
+              dense_front[i].metrics.power_w);
+  }
+}
+
+}  // namespace
+}  // namespace sega

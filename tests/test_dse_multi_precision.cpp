@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dse/explorer.h"
+
+namespace sega {
+namespace {
+
+Nsga2Options fast() {
+  Nsga2Options opt;
+  opt.population = 48;
+  opt.generations = 32;
+  opt.seed = 4;
+  return opt;
+}
+
+TEST(MultiPrecisionTest, MergedFrontContainsBothArchitectures) {
+  const Technology tech = Technology::tsmc28();
+  const auto merged = explore_multi_precision(
+      65536, {precision_int8(), precision_bf16()}, tech, {}, fast());
+  ASSERT_FALSE(merged.empty());
+  bool has_int = false, has_fp = false;
+  for (const auto& ed : merged) {
+    has_int |= ed.point.arch == ArchKind::kMulCim;
+    has_fp |= ed.point.arch == ArchKind::kFpCim;
+  }
+  // INT8 and BF16 have near-identical cost structure (the paper's headline
+  // claim), so survivors from both templates are expected.
+  EXPECT_TRUE(has_int);
+  EXPECT_TRUE(has_fp);
+}
+
+TEST(MultiPrecisionTest, MergedFrontIsMutuallyNonDominated) {
+  const Technology tech = Technology::tsmc28();
+  const auto merged = explore_multi_precision(
+      16384, {precision_int4(), precision_int8(), precision_fp8_e4m3()}, tech,
+      {}, fast());
+  for (const auto& a : merged) {
+    for (const auto& b : merged) {
+      if (a.point == b.point && a.point.precision == b.point.precision)
+        continue;
+      EXPECT_FALSE(dominates(a.objectives(), b.objectives()))
+          << a.point.to_string() << " dominates " << b.point.to_string();
+    }
+  }
+}
+
+TEST(MultiPrecisionTest, SubsetOfPerPrecisionFronts) {
+  // Every merged design must come from its own precision's front.
+  const Technology tech = Technology::tsmc28();
+  const std::vector<Precision> precisions = {precision_int8(),
+                                             precision_bf16()};
+  Nsga2Options opt = fast();
+  std::set<std::string> union_keys;
+  for (std::size_t i = 0; i < precisions.size(); ++i) {
+    DesignSpace space(32768, precisions[i]);
+    Nsga2Options o = opt;
+    o.seed = opt.seed + i;  // the merger's per-precision seeding
+    for (const auto& ed : explore_nsga2(space, tech, {}, o)) {
+      union_keys.insert(ed.point.to_string());
+    }
+  }
+  const auto merged =
+      explore_multi_precision(32768, precisions, tech, {}, opt);
+  for (const auto& ed : merged) {
+    EXPECT_TRUE(union_keys.count(ed.point.to_string()))
+        << ed.point.to_string();
+  }
+}
+
+TEST(MultiPrecisionTest, LowerPrecisionDominatesCheapRegion) {
+  // INT2 designs should occupy the low-area low-energy end of a merged
+  // INT2+INT16 front; INT16 survives only where its throughput/capability
+  // is not dominated... which, at equal Wstore and these objectives, it is.
+  const Technology tech = Technology::tsmc28();
+  const auto merged = explore_multi_precision(
+      16384, {precision_int2(), precision_int16()}, tech, {}, fast());
+  ASSERT_FALSE(merged.empty());
+  // The cheapest (first after sorting by objectives = min area) is INT2.
+  EXPECT_TRUE(merged.front().point.precision == precision_int2());
+}
+
+TEST(MultiPrecisionTest, SinglePrecisionDegeneratesToPlainFront) {
+  const Technology tech = Technology::tsmc28();
+  Nsga2Options opt = fast();
+  const auto merged =
+      explore_multi_precision(8192, {precision_int8()}, tech, {}, opt);
+  DesignSpace space(8192, precision_int8());
+  const auto plain = explore_nsga2(space, tech, {}, opt);
+  ASSERT_EQ(merged.size(), plain.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_TRUE(merged[i].point == plain[i].point);
+  }
+}
+
+TEST(MultiPrecisionTest, DeterministicForSeed) {
+  const Technology tech = Technology::tsmc28();
+  const std::vector<Precision> ps = {precision_int8(), precision_fp16()};
+  const auto a = explore_multi_precision(16384, ps, tech, {}, fast());
+  const auto b = explore_multi_precision(16384, ps, tech, {}, fast());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].point == b[i].point);
+  }
+}
+
+}  // namespace
+}  // namespace sega

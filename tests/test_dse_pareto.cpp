@@ -1,0 +1,183 @@
+#include "dse/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+
+namespace sega {
+namespace {
+
+TEST(DominanceTest, StrictDominance) {
+  EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}));
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 2.0}));  // equal allowed in one
+  EXPECT_FALSE(dominates({2.0, 2.0}, {1.0, 1.0}));
+}
+
+TEST(DominanceTest, EqualVectorsDoNotDominate) {
+  EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0}));
+}
+
+TEST(DominanceTest, IncomparableVectors) {
+  EXPECT_FALSE(dominates({1.0, 3.0}, {3.0, 1.0}));
+  EXPECT_FALSE(dominates({3.0, 1.0}, {1.0, 3.0}));
+}
+
+TEST(DominanceTest, FourObjectives) {
+  EXPECT_TRUE(dominates({1, 2, 3, -5}, {1, 2, 4, -5}));
+  EXPECT_FALSE(dominates({1, 2, 3, -5}, {1, 2, 3, -6}));
+}
+
+TEST(NonDominatedTest, SimpleFront) {
+  const std::vector<Objectives> pts = {
+      {1.0, 4.0}, {2.0, 3.0}, {3.0, 2.0}, {2.5, 3.5}, {4.0, 1.0}, {5.0, 5.0}};
+  const auto front = non_dominated_indices(pts);
+  const std::set<std::size_t> s(front.begin(), front.end());
+  EXPECT_EQ(s, (std::set<std::size_t>{0, 1, 2, 4}));
+}
+
+TEST(NonDominatedTest, AllEqualPointsAllSurvive) {
+  const std::vector<Objectives> pts = {{1, 1}, {1, 1}, {1, 1}};
+  EXPECT_EQ(non_dominated_indices(pts).size(), 3u);
+}
+
+TEST(NonDominatedTest, EmptyInput) {
+  EXPECT_TRUE(non_dominated_indices({}).empty());
+}
+
+TEST(FastSortTest, PartitionsAllPoints) {
+  Rng rng(3);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  const auto fronts = fast_non_dominated_sort(pts);
+  std::set<std::size_t> seen;
+  for (const auto& f : fronts) {
+    for (const auto i : f) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), pts.size());
+}
+
+TEST(FastSortTest, FirstFrontMatchesNonDominatedFilter) {
+  Rng rng(11);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 80; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform()});
+  }
+  const auto fronts = fast_non_dominated_sort(pts);
+  auto expected = non_dominated_indices(pts);
+  auto got = fronts[0];
+  std::sort(expected.begin(), expected.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(FastSortTest, LaterFrontsAreDominatedByEarlier) {
+  Rng rng(17);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({rng.uniform(), rng.uniform()});
+  const auto fronts = fast_non_dominated_sort(pts);
+  for (std::size_t f = 1; f < fronts.size(); ++f) {
+    for (const auto q : fronts[f]) {
+      bool dominated_by_prev = false;
+      for (const auto p : fronts[f - 1]) {
+        if (dominates(pts[p], pts[q])) {
+          dominated_by_prev = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(dominated_by_prev);
+    }
+  }
+}
+
+TEST(FastSortTest, ChainOfDominatedPoints) {
+  // Strictly ordered chain -> every point its own front.
+  const std::vector<Objectives> pts = {{3, 3}, {1, 1}, {2, 2}, {4, 4}};
+  const auto fronts = fast_non_dominated_sort(pts);
+  ASSERT_EQ(fronts.size(), 4u);
+  EXPECT_EQ(fronts[0], std::vector<std::size_t>{1});
+  EXPECT_EQ(fronts[3], std::vector<std::size_t>{3});
+}
+
+TEST(CrowdingTest, BoundariesGetInfinity) {
+  const std::vector<Objectives> front = {
+      {1.0, 5.0}, {2.0, 4.0}, {3.0, 3.0}, {4.0, 2.0}, {5.0, 1.0}};
+  const auto d = crowding_distances(front);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[4]));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(d[i]));
+    EXPECT_GT(d[i], 0.0);
+  }
+}
+
+TEST(CrowdingTest, DenserRegionScoresLower) {
+  // Points 1 and 2 are crowded together; point 3 is isolated mid-front.
+  const std::vector<Objectives> front = {
+      {0.0, 10.0}, {1.0, 8.9}, {1.2, 8.7}, {6.0, 2.0}, {10.0, 0.0}};
+  const auto d = crowding_distances(front);
+  EXPECT_LT(d[2], d[3]);
+}
+
+TEST(CrowdingTest, DegenerateEqualObjective) {
+  const std::vector<Objectives> front = {{1.0, 1.0}, {1.0, 1.0}};
+  const auto d = crowding_distances(front);
+  EXPECT_EQ(d.size(), 2u);  // must not divide by zero
+}
+
+TEST(Hypervolume2dTest, SinglePointRectangle) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{1.0, 1.0}}, {3.0, 4.0}), 2.0 * 3.0);
+}
+
+TEST(Hypervolume2dTest, StaircaseUnion) {
+  // Two points: (1,3) and (2,1) w.r.t. ref (4,4):
+  // (1,3): 3x1 strip; (2,1) adds 2x2 -> total 3 + 4 = 7.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{1, 3}, {2, 1}}, {4, 4}), 7.0);
+}
+
+TEST(Hypervolume2dTest, DominatedPointAddsNothing) {
+  const double hv1 = hypervolume_2d({{1, 1}}, {4, 4});
+  const double hv2 = hypervolume_2d({{1, 1}, {2, 2}}, {4, 4});
+  EXPECT_DOUBLE_EQ(hv1, hv2);
+}
+
+TEST(Hypervolume2dTest, PointsOutsideRefIgnored) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{5, 5}}, {4, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, {4, 4}), 0.0);
+}
+
+TEST(HypervolumeMcTest, MatchesExact2d) {
+  const std::vector<Objectives> front = {{1, 3}, {2, 1}, {0.5, 3.5}};
+  const Objectives ref = {4, 4};
+  const double exact = hypervolume_2d(front, ref);
+  const double mc = hypervolume_monte_carlo(front, ref, 200000, 42);
+  EXPECT_NEAR(mc, exact, exact * 0.03);
+}
+
+TEST(HypervolumeMcTest, DeterministicForSeed) {
+  const std::vector<Objectives> front = {{1, 2, 3}, {3, 2, 1}};
+  const Objectives ref = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(hypervolume_monte_carlo(front, ref, 1000, 7),
+                   hypervolume_monte_carlo(front, ref, 1000, 7));
+}
+
+TEST(HypervolumeMcTest, MoreCoverageMeansMoreVolume) {
+  const Objectives ref = {10, 10, 10, 10};
+  const std::vector<Objectives> small = {{9, 9, 9, 9}};
+  const std::vector<Objectives> large = {{1, 1, 1, 1}};
+  // Identical boxes are sampled relative to their own ideal; compare via
+  // shared ideal by adding the ideal point to both fronts.
+  const std::vector<Objectives> small_n = {{9, 9, 9, 9}, {1, 10, 10, 10}};
+  const std::vector<Objectives> large_n = {{1, 1, 1, 1}, {1, 10, 10, 10}};
+  EXPECT_LT(hypervolume_monte_carlo(small_n, ref, 50000, 3),
+            hypervolume_monte_carlo(large_n, ref, 50000, 3));
+}
+
+}  // namespace
+}  // namespace sega

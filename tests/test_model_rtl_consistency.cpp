@@ -1,0 +1,103 @@
+// Broad cross-substrate consistency sweep: for a grid of INT geometries with
+// power-of-two accumulator widths, the analytical macro model (Tables V) and
+// the generated netlist must agree cell-for-cell, and the layout must
+// physically contain exactly the model's cell area.
+#include <gtest/gtest.h>
+
+#include "cost/macro_model.h"
+#include "layout/floorplan.h"
+#include "rtl/macro_builder.h"
+#include "util/math.h"
+
+namespace sega {
+namespace {
+
+struct Geometry {
+  const char* precision;
+  std::int64_t n, h, l, k;
+};
+
+std::string geometry_name(const ::testing::TestParamInfo<Geometry>& info) {
+  const auto& g = info.param;
+  return std::string(g.precision) + "_n" + std::to_string(g.n) + "_h" +
+         std::to_string(g.h) + "_l" + std::to_string(g.l) + "_k" +
+         std::to_string(g.k);
+}
+
+class ModelRtlConsistencyTest : public ::testing::TestWithParam<Geometry> {
+ protected:
+  DesignPoint point() const {
+    const auto& g = GetParam();
+    DesignPoint dp;
+    dp.precision = *precision_from_name(g.precision);
+    dp.arch = arch_for(dp.precision);
+    dp.n = g.n;
+    dp.h = g.h;
+    dp.l = g.l;
+    dp.k = g.k;
+    return dp;
+  }
+  Technology tech = Technology::tsmc28();
+};
+
+TEST_P(ModelRtlConsistencyTest, CensusExact) {
+  const DesignPoint dp = point();
+  // The exact-census contract holds when the accumulator width (Bx+log2 H)
+  // and the streaming-slice count are powers of two (see DESIGN.md §4);
+  // the grid below is chosen accordingly.
+  ASSERT_TRUE(is_pow2(static_cast<std::uint64_t>(
+      accumulator_width(dp.precision.input_bits(), static_cast<int>(dp.h)))));
+  const DcimMacro macro = build_dcim_macro(dp);
+  const MacroMetrics model = evaluate_macro(tech, dp);
+  EXPECT_TRUE(macro.netlist.census() == model.gates)
+      << "netlist " << macro.netlist.census().to_string() << "\n model  "
+      << model.gates.to_string();
+}
+
+TEST_P(ModelRtlConsistencyTest, LayoutContainsModelArea) {
+  const DesignPoint dp = point();
+  const DcimMacro macro = build_dcim_macro(dp);
+  const MacroMetrics model = evaluate_macro(tech, dp);
+  const MacroLayout layout = floorplan_macro(tech, macro);
+  // Physical containment: the floorplan's bounding box holds all cell area.
+  EXPECT_GE(layout.area_mm2, model.area_mm2 * 0.99);
+  // ... without absurd padding (utilization floor).
+  EXPECT_LE(layout.area_mm2, model.area_mm2 / 0.5);
+}
+
+TEST_P(ModelRtlConsistencyTest, GroupBreakdownMatchesModelBreakdown) {
+  const DesignPoint dp = point();
+  const DcimMacro macro = build_dcim_macro(dp);
+  const MacroMetrics model = evaluate_macro(tech, dp);
+  const Netlist& nl = macro.netlist;
+  // Per-component normalized area from the tagged netlist groups must equal
+  // the model's per-component breakdown (keys align by construction).
+  for (std::size_t gi = 0; gi < nl.group_names().size(); ++gi) {
+    const std::string& name = nl.group_names()[gi];
+    if (name == "core") continue;
+    const double rtl_area = nl.census_of_group(static_cast<int>(gi)).area(tech);
+    ASSERT_TRUE(model.area_breakdown.count(name)) << name;
+    EXPECT_NEAR(rtl_area, model.area_breakdown.at(name),
+                model.area_breakdown.at(name) * 1e-9)
+        << name;
+  }
+}
+
+// Grid: Bx + log2(H) a power of two, k | Bx, Bw | N.
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ModelRtlConsistencyTest,
+    ::testing::Values(Geometry{"INT2", 8, 4, 2, 1},     // w = 4
+                      Geometry{"INT2", 8, 4, 4, 2},     // w = 4
+                      Geometry{"INT4", 16, 16, 2, 1},   // w = 8
+                      Geometry{"INT4", 16, 16, 4, 2},   // w = 8
+                      Geometry{"INT4", 16, 16, 8, 4},   // w = 8
+                      Geometry{"INT4", 32, 16, 2, 4},   // w = 8
+                      Geometry{"INT8", 32, 256, 1, 1},  // w = 16
+                      Geometry{"INT8", 32, 256, 2, 2},  // w = 16
+                      Geometry{"INT8", 64, 256, 1, 4},  // w = 16
+                      Geometry{"INT8", 32, 256, 2, 8}   // w = 16
+                      ),
+    geometry_name);
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,98 @@
+#include "rtl/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+TEST(NetlistTest, NetAndBusCreation) {
+  Netlist nl("t");
+  const NetId a = nl.new_net();
+  const NetId b = nl.new_net();
+  EXPECT_NE(a, b);
+  const auto bus = nl.new_bus(8);
+  EXPECT_EQ(bus.size(), 8u);
+  EXPECT_EQ(nl.net_count(), 10u);
+}
+
+TEST(NetlistTest, ConstNetsAreSingletons) {
+  Netlist nl("t");
+  EXPECT_EQ(nl.const0(), nl.const0());
+  EXPECT_EQ(nl.const1(), nl.const1());
+  EXPECT_NE(nl.const0(), nl.const1());
+  EXPECT_TRUE(nl.is_const0(nl.const0()));
+  EXPECT_FALSE(nl.is_const0(nl.const1()));
+}
+
+TEST(NetlistTest, PortsRoundTrip) {
+  Netlist nl("t");
+  const auto in = nl.add_input("data", 4);
+  nl.add_output("result", in);
+  ASSERT_NE(nl.find_port("data"), nullptr);
+  EXPECT_EQ(nl.find_port("data")->dir, PortDir::kInput);
+  EXPECT_EQ(nl.find_port("result")->nets, in);
+  EXPECT_EQ(nl.find_port("missing"), nullptr);
+}
+
+TEST(NetlistTest, CellArities) {
+  EXPECT_EQ(Netlist::cell_arity(CellKind::kNor), (std::pair<int, int>{2, 1}));
+  EXPECT_EQ(Netlist::cell_arity(CellKind::kMux2), (std::pair<int, int>{3, 1}));
+  EXPECT_EQ(Netlist::cell_arity(CellKind::kFa), (std::pair<int, int>{3, 2}));
+  EXPECT_EQ(Netlist::cell_arity(CellKind::kDff), (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(Netlist::cell_arity(CellKind::kSram), (std::pair<int, int>{0, 1}));
+}
+
+TEST(NetlistTest, CensusCountsKinds) {
+  Netlist nl("t");
+  const auto in = nl.add_input("x", 2);
+  const NetId y = nl.new_net();
+  nl.add_cell(CellKind::kNor, {in[0], in[1]}, {y});
+  const NetId q = nl.new_net();
+  nl.add_cell(CellKind::kSram, {}, {q});
+  const GateCount gc = nl.census();
+  EXPECT_EQ(gc[CellKind::kNor], 1);
+  EXPECT_EQ(gc[CellKind::kSram], 1);
+  EXPECT_EQ(gc[CellKind::kFa], 0);
+  EXPECT_EQ(nl.sram_cells().size(), 1u);
+}
+
+TEST(NetlistTest, ValidatesCleanDesign) {
+  Netlist nl("t");
+  const auto in = nl.add_input("x", 2);
+  const NetId y = nl.new_net();
+  nl.add_cell(CellKind::kNor, {in[0], in[1]}, {y});
+  nl.add_output("y", {y});
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(NetlistTest, DetectsMultipleDrivers) {
+  Netlist nl("t");
+  const auto in = nl.add_input("x", 2);
+  const NetId y = nl.new_net();
+  nl.add_cell(CellKind::kNor, {in[0], in[1]}, {y});
+  nl.add_cell(CellKind::kOr, {in[0], in[1]}, {y});
+  const auto err = nl.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("multiple drivers"), std::string::npos);
+}
+
+TEST(NetlistTest, DetectsDrivenInputPort) {
+  Netlist nl("t");
+  const auto in = nl.add_input("x", 2);
+  nl.add_cell(CellKind::kInv, {in[0]}, {in[1]});
+  const auto err = nl.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("cell-driven"), std::string::npos);
+}
+
+TEST(NetlistTest, DetectsDrivenConstant) {
+  Netlist nl("t");
+  const auto in = nl.add_input("x", 1);
+  nl.add_cell(CellKind::kInv, {in[0]}, {nl.const0()});
+  const auto err = nl.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("const0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sega

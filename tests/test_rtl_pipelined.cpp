@@ -1,0 +1,201 @@
+// Pipelined adder tree extension: inter-level registers + gated
+// accumulator trade DFF/MUX area for a one-adder clock period.
+#include <gtest/gtest.h>
+
+#include "cost/macro_model.h"
+#include "rtl/builders.h"
+#include "rtl/harness.h"
+#include "rtl/sim.h"
+#include "rtl/sta.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace sega {
+namespace {
+
+TEST(PipelinedTreeTest, SumsWithLatency) {
+  Netlist nl("ptree");
+  std::vector<Bus> ins;
+  for (int r = 0; r < 8; ++r) {
+    ins.push_back(nl.add_input("x" + std::to_string(r), 4));
+  }
+  int latency = 0;
+  nl.add_output("sum", build_adder_tree_pipelined(nl, ins, &latency));
+  EXPECT_EQ(latency, 2);  // log2(8) - 1
+  GateSim sim(nl);
+  Rng rng(3);
+  // Stream distinct vectors back-to-back and check each result emerges
+  // `latency` cycles later (full pipelining, one result per cycle).
+  std::vector<std::uint64_t> expected;
+  for (int t = 0; t < 10; ++t) {
+    std::uint64_t sum = 0;
+    for (int r = 0; r < 8; ++r) {
+      const std::uint64_t v = static_cast<std::uint64_t>(rng.uniform_int(0, 15));
+      sim.set_input("x" + std::to_string(r), v);
+      sum += v;
+    }
+    expected.push_back(sum);
+    if (t >= latency) {
+      EXPECT_EQ(sim.read_output("sum"),
+                expected[static_cast<std::size_t>(t - latency)])
+          << "t=" << t;
+    }
+    sim.step();
+  }
+}
+
+TEST(PipelinedTreeTest, CensusMatchesCostModel) {
+  const Technology tech = Technology::tsmc28();
+  for (const auto& [h, k] : {std::pair{4, 2}, {8, 4}, {16, 8}}) {
+    Netlist nl("ptree");
+    std::vector<Bus> ins;
+    for (int r = 0; r < h; ++r) {
+      ins.push_back(nl.add_input("x" + std::to_string(r), k));
+    }
+    build_adder_tree_pipelined(nl, ins);
+    int model_latency = 0;
+    const ModuleCost model =
+        adder_tree_pipelined_cost(tech, h, k, &model_latency);
+    EXPECT_TRUE(nl.census() == model.gates) << h << "x" << k;
+  }
+}
+
+TEST(PipelinedTreeTest, StaConfirmsFrequencyGain) {
+  // The pipelined tree's register-to-register paths must be much shorter
+  // than the combinational tree's full depth.
+  const Technology tech = Technology::tsmc28();
+  DesignPoint dp;
+  dp.precision = *precision_from_name("INT4");
+  dp.arch = ArchKind::kMulCim;
+  dp.n = 16;
+  dp.h = 16;
+  dp.l = 4;
+  dp.k = 2;
+  const DcimMacro flat = build_dcim_macro(dp);
+  dp.pipelined_tree = true;
+  const DcimMacro piped = build_dcim_macro(dp);
+  const double flat_setup = run_sta(flat.netlist, tech).worst_register_setup();
+  const double piped_setup =
+      run_sta(piped.netlist, tech).worst_register_setup();
+  EXPECT_LT(piped_setup, flat_setup);
+}
+
+TEST(PipelinedTreeTest, CostModelShowsTradeOff) {
+  const Technology tech = Technology::tsmc28();
+  DesignPoint dp;
+  dp.precision = precision_int8();
+  dp.arch = ArchKind::kMulCim;
+  dp.n = 32;
+  dp.h = 128;
+  dp.l = 16;
+  dp.k = 8;
+  const MacroMetrics flat = evaluate_macro(tech, dp);
+  dp.pipelined_tree = true;
+  const MacroMetrics piped = evaluate_macro(tech, dp);
+  EXPECT_GT(piped.area_mm2, flat.area_mm2);        // DFD/MUX overhead
+  EXPECT_LT(piped.delay_ns, flat.delay_ns);        // shorter clock
+  EXPECT_GT(piped.throughput_tops, flat.throughput_tops);
+}
+
+TEST(GatedAccumulatorTest, HoldsWhenInvalid) {
+  Netlist nl("gaccu");
+  const auto partial = nl.add_input("p", 2);
+  const auto valid = nl.add_input("v", 1);
+  const Bus acc = build_shift_accumulator_gated(nl, partial, 8, 2, valid[0]);
+  nl.add_output("acc", acc);
+  GateSim sim(nl);
+  sim.clear_registers();
+  sim.set_input("v", 1);
+  sim.set_input("p", 3);
+  sim.step();  // acc = 3
+  EXPECT_EQ(sim.read_output("acc"), 3u);
+  sim.set_input("v", 0);
+  sim.set_input("p", 2);
+  sim.step();  // held
+  sim.step();  // held
+  EXPECT_EQ(sim.read_output("acc"), 3u);
+  sim.set_input("v", 1);
+  sim.step();  // acc = (3<<2) + 2
+  EXPECT_EQ(sim.read_output("acc"), 14u);
+}
+
+struct PipedConfig {
+  const char* precision;
+  std::int64_t n, h, l, k;
+};
+
+class PipelinedMacroTest : public ::testing::TestWithParam<PipedConfig> {};
+
+TEST_P(PipelinedMacroTest, GateLevelMatchesReference) {
+  const auto cfg = GetParam();
+  DesignPoint dp;
+  dp.precision = *precision_from_name(cfg.precision);
+  dp.arch = arch_for(dp.precision);
+  dp.n = cfg.n;
+  dp.h = cfg.h;
+  dp.l = cfg.l;
+  dp.k = cfg.k;
+  dp.pipelined_tree = true;
+  DcimHarness harness(dp);
+  EXPECT_EQ(harness.macro().tree_latency,
+            ilog2(static_cast<std::uint64_t>(cfg.h)) - 1);
+  const int groups = harness.macro().groups;
+  const int bx = dp.precision.input_bits();
+  const int bw = dp.precision.weight_bits();
+
+  Rng rng(31);
+  std::vector<std::vector<std::uint64_t>> weights(
+      static_cast<std::size_t>(groups),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(cfg.h)));
+  for (auto& g : weights) {
+    for (auto& w : g) {
+      w = static_cast<std::uint64_t>(rng.uniform_int(0, (1 << bw) - 1));
+    }
+  }
+  if (dp.arch == ArchKind::kMulCim) {
+    harness.load_weights(weights, 0);
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<std::uint64_t> inputs(static_cast<std::size_t>(cfg.h));
+      for (auto& x : inputs) {
+        x = static_cast<std::uint64_t>(rng.uniform_int(0, (1 << bx) - 1));
+      }
+      const auto out = harness.compute_int(inputs, 0);
+      for (int g = 0; g < groups; ++g) {
+        std::uint64_t expect = 0;
+        for (std::size_t r = 0; r < inputs.size(); ++r) {
+          expect += inputs[r] * weights[static_cast<std::size_t>(g)][r];
+        }
+        EXPECT_EQ(out[static_cast<std::size_t>(g)], expect) << "g=" << g;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PipelinedMacroTest,
+                         ::testing::Values(PipedConfig{"INT4", 16, 8, 2, 2},
+                                           PipedConfig{"INT4", 16, 16, 1, 4},
+                                           PipedConfig{"INT8", 32, 4, 2, 3},
+                                           PipedConfig{"INT8", 32, 8, 1, 8}));
+
+TEST(PipelinedMacroTest, BackToBackOperands) {
+  DesignPoint dp;
+  dp.precision = *precision_from_name("INT4");
+  dp.arch = ArchKind::kMulCim;
+  dp.n = 16;
+  dp.h = 8;
+  dp.l = 2;
+  dp.k = 2;
+  dp.pipelined_tree = true;
+  DcimHarness harness(dp);
+  std::vector<std::vector<std::uint64_t>> weights(
+      static_cast<std::size_t>(harness.macro().groups),
+      std::vector<std::uint64_t>(8, 5));
+  harness.load_weights(weights, 0);
+  const auto a = harness.compute_int({1, 1, 1, 1, 1, 1, 1, 1}, 0);
+  const auto b = harness.compute_int({2, 0, 2, 0, 2, 0, 2, 0}, 0);
+  for (const auto v : a) EXPECT_EQ(v, 8u * 5u);
+  for (const auto v : b) EXPECT_EQ(v, 4u * 2u * 5u);
+}
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,175 @@
+// Signed-weight support: two's-complement MSB-column subtraction in the
+// result fusion (signed weights x unsigned activations, the post-ReLU CNN
+// case).
+#include <gtest/gtest.h>
+
+#include "rtl/builders.h"
+#include "rtl/harness.h"
+#include "rtl/sim.h"
+#include "sim/behavioral.h"
+#include "util/rng.h"
+
+namespace sega {
+namespace {
+
+TEST(SubtractorTest, TwosComplementExhaustive) {
+  Netlist nl("sub");
+  const auto a = nl.add_input("a", 5);
+  const auto b = nl.add_input("b", 5);
+  nl.add_output("d", build_subtractor(nl, a, b));
+  GateSim sim(nl);
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    for (std::uint64_t y = 0; y < 32; ++y) {
+      sim.set_input("a", x);
+      sim.set_input("b", y);
+      EXPECT_EQ(sim.read_output("d"), (x - y) & 0x1F) << x << "-" << y;
+    }
+  }
+}
+
+TEST(SubtractorTest, CensusIsAllFullAdders) {
+  Netlist nl("sub");
+  const auto a = nl.add_input("a", 8);
+  const auto b = nl.add_input("b", 8);
+  build_subtractor(nl, a, b);
+  const GateCount gc = nl.census();
+  EXPECT_EQ(gc[CellKind::kFa], 8);
+  EXPECT_EQ(gc[CellKind::kHa], 0);
+  EXPECT_EQ(gc[CellKind::kInv], 8);
+}
+
+TEST(SignedFusionTest, WeightsSignificanceWithNegativeMsb) {
+  // 4 columns of width 5: value = c0 + 2*c1 + 4*c2 - 8*c3.
+  Netlist nl("sfusion");
+  std::vector<Bus> cols;
+  for (int j = 0; j < 4; ++j) {
+    cols.push_back(nl.add_input("c" + std::to_string(j), 5));
+  }
+  const Bus out = build_result_fusion_signed(nl, cols);
+  nl.add_output("f", out);
+  GateSim sim(nl);
+  Rng rng(3);
+  const int width = static_cast<int>(out.size());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::int64_t expect = 0;
+    for (int j = 0; j < 4; ++j) {
+      const std::uint64_t v = static_cast<std::uint64_t>(rng.uniform_int(0, 31));
+      sim.set_input("c" + std::to_string(j), v);
+      expect += (j == 3 ? -8 : (std::int64_t{1} << j)) *
+                static_cast<std::int64_t>(v);
+    }
+    const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+    EXPECT_EQ(sim.read_output("f"),
+              static_cast<std::uint64_t>(expect) & mask);
+  }
+}
+
+struct SignedConfig {
+  const char* precision;
+  std::int64_t n, h, l, k;
+};
+
+class SignedMacroTest : public ::testing::TestWithParam<SignedConfig> {};
+
+TEST_P(SignedMacroTest, GateLevelMatchesSignedReference) {
+  const auto cfg = GetParam();
+  DesignPoint dp;
+  dp.precision = *precision_from_name(cfg.precision);
+  dp.arch = ArchKind::kMulCim;
+  dp.n = cfg.n;
+  dp.h = cfg.h;
+  dp.l = cfg.l;
+  dp.k = cfg.k;
+  dp.signed_weights = true;
+  DcimHarness harness(dp);
+  BehavioralDcim model(dp);
+  const int groups = harness.macro().groups;
+  const int bx = dp.precision.input_bits();
+  const int bw = dp.precision.weight_bits();
+
+  Rng rng(77);
+  std::vector<std::vector<std::int64_t>> weights(
+      static_cast<std::size_t>(groups),
+      std::vector<std::int64_t>(static_cast<std::size_t>(cfg.h)));
+  for (auto& g : weights) {
+    for (auto& w : g) {
+      w = rng.uniform_int(-(1 << (bw - 1)), (1 << (bw - 1)) - 1);
+    }
+  }
+  harness.load_weights_signed(weights, 0);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint64_t> inputs(static_cast<std::size_t>(cfg.h));
+    for (auto& x : inputs) {
+      x = static_cast<std::uint64_t>(rng.uniform_int(0, (1 << bx) - 1));
+    }
+    const auto gate = harness.compute_int_signed(inputs, 0);
+    const auto behavioral = model.mvm_int_signed(inputs, weights);
+    ASSERT_EQ(gate.size(), behavioral.size());
+    for (std::size_t g = 0; g < gate.size(); ++g) {
+      std::int64_t expect = 0;
+      for (std::size_t r = 0; r < inputs.size(); ++r) {
+        expect += static_cast<std::int64_t>(inputs[r]) * weights[g][r];
+      }
+      EXPECT_EQ(gate[g], expect) << "group " << g;
+      EXPECT_EQ(behavioral[g], expect) << "group " << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SignedMacroTest,
+                         ::testing::Values(SignedConfig{"INT4", 16, 4, 4, 2},
+                                           SignedConfig{"INT4", 16, 8, 2, 4},
+                                           SignedConfig{"INT8", 32, 4, 2, 3},
+                                           SignedConfig{"INT8", 32, 8, 1, 8}));
+
+TEST(SignedMacroTest, AllNegativeWeights) {
+  DesignPoint dp;
+  dp.precision = *precision_from_name("INT4");
+  dp.arch = ArchKind::kMulCim;
+  dp.n = 16;
+  dp.h = 4;
+  dp.l = 2;
+  dp.k = 4;
+  dp.signed_weights = true;
+  DcimHarness harness(dp);
+  std::vector<std::vector<std::int64_t>> weights(
+      static_cast<std::size_t>(harness.macro().groups),
+      std::vector<std::int64_t>(4, -8));  // most negative INT4
+  harness.load_weights_signed(weights, 0);
+  const auto out = harness.compute_int_signed({15, 15, 15, 15}, 0);
+  for (const auto v : out) EXPECT_EQ(v, -8 * 15 * 4);
+}
+
+TEST(SignedMacroTest, UnsignedPathUnaffectedByFlag) {
+  // signed_weights=false must keep the existing unsigned behavior.
+  DesignPoint dp;
+  dp.precision = *precision_from_name("INT4");
+  dp.arch = ArchKind::kMulCim;
+  dp.n = 16;
+  dp.h = 4;
+  dp.l = 2;
+  dp.k = 4;
+  DcimHarness harness(dp);
+  std::vector<std::vector<std::uint64_t>> weights(
+      static_cast<std::size_t>(harness.macro().groups),
+      std::vector<std::uint64_t>(4, 15));
+  harness.load_weights(weights, 0);
+  const auto out = harness.compute_int({1, 2, 3, 4}, 0);
+  for (const auto v : out) EXPECT_EQ(v, 10u * 15u);
+}
+
+TEST(SignedMacroTest, SignedRejectedOnUnsignedMacro) {
+  DesignPoint dp;
+  dp.precision = *precision_from_name("INT4");
+  dp.arch = ArchKind::kMulCim;
+  dp.n = 16;
+  dp.h = 4;
+  dp.l = 2;
+  dp.k = 4;
+  DcimHarness harness(dp);
+  EXPECT_DEATH(harness.compute_int_signed({0, 0, 0, 0}, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace sega

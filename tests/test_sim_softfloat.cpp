@@ -1,0 +1,141 @@
+#include "sim/softfloat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace sega {
+namespace {
+
+TEST(SoftfloatTest, Biases) {
+  EXPECT_EQ(fp_bias(precision_fp8_e4m3()), 7);
+  EXPECT_EQ(fp_bias(precision_fp16()), 15);
+  EXPECT_EQ(fp_bias(precision_bf16()), 127);
+  EXPECT_EQ(fp_bias(precision_fp32()), 127);
+}
+
+TEST(SoftfloatTest, KnownFp16Values) {
+  const Precision p = precision_fp16();
+  // 1.0 = 0x3C00, 2.0 = 0x4000, -1.5 = 0xBE00, 0.5 = 0x3800 in IEEE half.
+  EXPECT_EQ(fp_from_double(p, 1.0), 0x3C00u);
+  EXPECT_EQ(fp_from_double(p, 2.0), 0x4000u);
+  EXPECT_EQ(fp_from_double(p, -1.5), 0xBE00u);
+  EXPECT_EQ(fp_from_double(p, 0.5), 0x3800u);
+  EXPECT_DOUBLE_EQ(fp_to_double(p, 0x3C00), 1.0);
+  EXPECT_DOUBLE_EQ(fp_to_double(p, 0xBE00), -1.5);
+}
+
+TEST(SoftfloatTest, KnownFp8Values) {
+  const Precision p = precision_fp8_e4m3();
+  // E4M3: 1.0 = exp 7, mant 0 -> 0x38; 1.5 -> 0x3C.
+  EXPECT_EQ(fp_from_double(p, 1.0), 0x38u);
+  EXPECT_EQ(fp_from_double(p, 1.5), 0x3Cu);
+  EXPECT_DOUBLE_EQ(fp_to_double(p, 0x38), 1.0);
+  EXPECT_DOUBLE_EQ(fp_to_double(p, 0x3C), 1.5);
+}
+
+TEST(SoftfloatTest, Fp32MatchesHostFloat) {
+  const Precision p = precision_fp32();
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = (rng.uniform() - 0.5) * std::ldexp(1.0, static_cast<int>(rng.uniform_int(-30, 30)));
+    const float host = static_cast<float>(v);
+    if (std::fpclassify(host) == FP_SUBNORMAL) continue;  // we flush to zero
+    std::uint32_t host_bits;
+    std::memcpy(&host_bits, &host, 4);
+    EXPECT_EQ(fp_from_double(p, v), host_bits) << v;
+  }
+}
+
+TEST(SoftfloatTest, Bf16MatchesTruncatedRoundedFloat) {
+  const Precision p = precision_bf16();
+  // BF16 is the top 16 bits of FP32 with round-to-nearest-even.
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = (rng.uniform() - 0.5) * std::ldexp(1.0, static_cast<int>(rng.uniform_int(-20, 20)));
+    const std::uint64_t got = fp_from_double(p, v);
+    const double back = fp_to_double(p, got);
+    // Round-trip error bounded by half ULP: 2^-8 relative.
+    EXPECT_NEAR(back, v, std::fabs(v) * (1.0 / 256.0) + 1e-300) << v;
+  }
+}
+
+TEST(SoftfloatTest, EncodeDecodeRoundTripAllFp8) {
+  const Precision p = precision_fp8_e4m3();
+  for (std::uint64_t bits = 0; bits < 256; ++bits) {
+    const FpParts parts = fp_decode(p, bits);
+    if (parts.is_zero()) continue;  // subnormals flush: not round-trippable
+    EXPECT_EQ(fp_encode(p, parts), bits);
+  }
+}
+
+TEST(SoftfloatTest, QuantizeIdempotent) {
+  for (const Precision& p :
+       {precision_fp8_e4m3(), precision_fp16(), precision_bf16()}) {
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+      const double v = (rng.uniform() - 0.5) * 100.0;
+      const double q = fp_quantize(p, v);
+      EXPECT_DOUBLE_EQ(fp_quantize(p, q), q) << p.name << " " << v;
+    }
+  }
+}
+
+TEST(SoftfloatTest, QuantizeErrorBounded) {
+  // Relative quantization error <= 2^-(mant_bits+1) for normal values.
+  for (const Precision& p :
+       {precision_fp8_e4m3(), precision_fp16(), precision_bf16(),
+        precision_fp32()}) {
+    Rng rng(9);
+    const double tol = std::ldexp(1.0, -(p.mant_bits + 1));
+    for (int i = 0; i < 500; ++i) {
+      const double v = (rng.uniform() + 0.1) * 8.0;
+      EXPECT_NEAR(fp_quantize(p, v), v, v * tol * 1.0000001) << p.name;
+    }
+  }
+}
+
+TEST(SoftfloatTest, SaturatesAtMax) {
+  const Precision p = precision_fp8_e4m3();
+  const double vmax = fp_max(p);
+  EXPECT_DOUBLE_EQ(fp_to_double(p, fp_from_double(p, vmax * 100)), vmax);
+  EXPECT_DOUBLE_EQ(fp_to_double(p, fp_from_double(p, -vmax * 100)), -vmax);
+}
+
+TEST(SoftfloatTest, FlushesSubnormalsToZero) {
+  const Precision p = precision_fp16();
+  const double tiny = std::ldexp(1.0, -20);  // below 2^-14 normal min
+  EXPECT_DOUBLE_EQ(fp_quantize(p, tiny), 0.0);
+  // Decoding an explicit subnormal pattern also gives zero.
+  EXPECT_DOUBLE_EQ(fp_to_double(p, 0x0001), 0.0);
+}
+
+TEST(SoftfloatTest, SignedZeroPreserved) {
+  const Precision p = precision_bf16();
+  EXPECT_TRUE(std::signbit(fp_to_double(p, fp_from_double(p, -0.0))));
+  EXPECT_FALSE(std::signbit(fp_to_double(p, fp_from_double(p, 0.0))));
+}
+
+TEST(SoftfloatTest, RoundToNearestEven) {
+  const Precision p = precision_fp8_e4m3();  // 3 stored mantissa bits
+  // Halfway between 1.0 (mant 1000) and 1.125 (mant 1001) is 1.0625:
+  // rounds to even mantissa 1000 -> 1.0.
+  EXPECT_DOUBLE_EQ(fp_quantize(p, 1.0625), 1.0);
+  // Halfway between 1.125 and 1.25 is 1.1875: rounds to even 1.25.
+  EXPECT_DOUBLE_EQ(fp_quantize(p, 1.1875), 1.25);
+}
+
+TEST(SoftfloatTest, MaxValues) {
+  // Uniform accelerator semantics: the all-ones exponent is finite in every
+  // format (no inf/NaN), so FP16 tops out at 2^16*(2-2^-10) rather than the
+  // IEEE 65504.
+  EXPECT_DOUBLE_EQ(fp_max(precision_fp16()), 131008.0);
+  // E4M3 likewise: 2^8 * (2 - 2^-3) = 480.
+  EXPECT_DOUBLE_EQ(fp_max(precision_fp8_e4m3()), 480.0);
+}
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,75 @@
+#include "tech/cells.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+// Pin the paper's Table III values exactly — these coefficients ARE the model.
+TEST(CellsTest, Table3Nor) {
+  const CellCost c = table3_cost(CellKind::kNor);
+  EXPECT_DOUBLE_EQ(c.area, 1.0);
+  EXPECT_DOUBLE_EQ(c.delay, 1.0);
+  EXPECT_DOUBLE_EQ(c.energy, 1.0);
+}
+
+TEST(CellsTest, Table3Or) {
+  const CellCost c = table3_cost(CellKind::kOr);
+  EXPECT_DOUBLE_EQ(c.area, 1.3);
+  EXPECT_DOUBLE_EQ(c.delay, 1.0);
+  EXPECT_DOUBLE_EQ(c.energy, 2.3);
+}
+
+TEST(CellsTest, Table3Mux2) {
+  const CellCost c = table3_cost(CellKind::kMux2);
+  EXPECT_DOUBLE_EQ(c.area, 2.2);
+  EXPECT_DOUBLE_EQ(c.delay, 2.2);
+  EXPECT_DOUBLE_EQ(c.energy, 3.0);
+}
+
+TEST(CellsTest, Table3HalfAdder) {
+  const CellCost c = table3_cost(CellKind::kHa);
+  EXPECT_DOUBLE_EQ(c.area, 4.3);
+  EXPECT_DOUBLE_EQ(c.delay, 2.5);
+  EXPECT_DOUBLE_EQ(c.energy, 6.9);
+}
+
+TEST(CellsTest, Table3FullAdder) {
+  const CellCost c = table3_cost(CellKind::kFa);
+  EXPECT_DOUBLE_EQ(c.area, 5.7);
+  EXPECT_DOUBLE_EQ(c.delay, 3.3);
+  EXPECT_DOUBLE_EQ(c.energy, 8.4);
+}
+
+TEST(CellsTest, Table3Dff) {
+  const CellCost c = table3_cost(CellKind::kDff);
+  EXPECT_DOUBLE_EQ(c.area, 6.6);
+  EXPECT_DOUBLE_EQ(c.delay, 0.0);  // "N/A" in the paper
+  EXPECT_DOUBLE_EQ(c.energy, 9.6);
+}
+
+TEST(CellsTest, Table3SramIsFree) {
+  // Weights are hard-wired to the compute unit: zero latency, ~zero power.
+  const CellCost c = table3_cost(CellKind::kSram);
+  EXPECT_DOUBLE_EQ(c.area, 2.2);
+  EXPECT_DOUBLE_EQ(c.delay, 0.0);
+  EXPECT_DOUBLE_EQ(c.energy, 0.0);
+}
+
+TEST(CellsTest, NamesRoundTrip) {
+  for (int i = 0; i < kCellKindCount; ++i) {
+    const auto kind = static_cast<CellKind>(i);
+    const auto back = cell_kind_from_name(cell_kind_name(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+}
+
+TEST(CellsTest, NameLookupCaseInsensitive) {
+  EXPECT_EQ(cell_kind_from_name("nor"), CellKind::kNor);
+  EXPECT_EQ(cell_kind_from_name("Mux2"), CellKind::kMux2);
+  EXPECT_FALSE(cell_kind_from_name("NAND3").has_value());
+}
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,105 @@
+#include "tech/techlib_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+constexpr const char* kSample = R"(
+# example technology
+technology "mytech" {
+  units { area_um2_per_gate 0.2  delay_ns_per_gate 0.02
+          energy_fj_per_gate 0.05  nominal_supply_v 1.0 }
+  cell NOR  { area 1.1  delay 1.0  energy 1.0 }
+  cell MUX2 { area 2.5  delay 2.0  energy 3.1 }
+}
+)";
+
+TEST(TechlibTest, ParsesSample) {
+  std::string err;
+  auto t = parse_techlib(kSample, &err);
+  ASSERT_TRUE(t.has_value()) << err;
+  EXPECT_EQ(t->name(), "mytech");
+  EXPECT_DOUBLE_EQ(t->area_um2_per_gate(), 0.2);
+  EXPECT_DOUBLE_EQ(t->nominal_supply_v(), 1.0);
+  EXPECT_DOUBLE_EQ(t->cell(CellKind::kNor).area, 1.1);
+  EXPECT_DOUBLE_EQ(t->cell(CellKind::kMux2).energy, 3.1);
+}
+
+TEST(TechlibTest, UnlistedCellsKeepTable3Defaults) {
+  auto t = parse_techlib(kSample);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(t->cell(CellKind::kFa).area, 5.7);
+  EXPECT_DOUBLE_EQ(t->cell(CellKind::kDff).energy, 9.6);
+}
+
+TEST(TechlibTest, DefaultSupplyWhenOmitted) {
+  auto t = parse_techlib(
+      "technology \"x\" { units { area_um2_per_gate 1 delay_ns_per_gate 1 "
+      "energy_fj_per_gate 1 } }");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(t->nominal_supply_v(), 0.9);
+}
+
+TEST(TechlibTest, RejectsMissingUnits) {
+  std::string err;
+  auto t = parse_techlib("technology \"x\" { units { area_um2_per_gate 1 } }",
+                         &err);
+  EXPECT_FALSE(t.has_value());
+  EXPECT_NE(err.find("delay_ns_per_gate"), std::string::npos);
+}
+
+TEST(TechlibTest, RejectsUnknownCell) {
+  std::string err;
+  auto t = parse_techlib(
+      "technology \"x\" { units { area_um2_per_gate 1 delay_ns_per_gate 1 "
+      "energy_fj_per_gate 1 } cell NAND4 { area 1 delay 1 energy 1 } }",
+      &err);
+  EXPECT_FALSE(t.has_value());
+  EXPECT_NE(err.find("NAND4"), std::string::npos);
+}
+
+TEST(TechlibTest, RejectsNegativeUnits) {
+  std::string err;
+  auto t = parse_techlib(
+      "technology \"x\" { units { area_um2_per_gate -1 delay_ns_per_gate 1 "
+      "energy_fj_per_gate 1 } }",
+      &err);
+  EXPECT_FALSE(t.has_value());
+}
+
+TEST(TechlibTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_techlib("not a techlib").has_value());
+  EXPECT_FALSE(parse_techlib("technology { }").has_value());
+  EXPECT_FALSE(parse_techlib("technology \"x\" {").has_value());
+  EXPECT_FALSE(parse_techlib("").has_value());
+}
+
+TEST(TechlibTest, CommentsIgnored) {
+  auto t = parse_techlib(
+      "# header\ntechnology \"c\" { # inline\n units { area_um2_per_gate 1 "
+      "delay_ns_per_gate 1 energy_fj_per_gate 1 } }");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->name(), "c");
+}
+
+TEST(TechlibTest, WriteParseRoundTrip) {
+  Technology orig = Technology::tsmc28();
+  orig.set_cell(CellKind::kOr, {1.4, 1.1, 2.5});
+  std::string err;
+  auto back = parse_techlib(write_techlib(orig), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->name(), orig.name());
+  EXPECT_DOUBLE_EQ(back->area_um2_per_gate(), orig.area_um2_per_gate());
+  EXPECT_DOUBLE_EQ(back->delay_ns_per_gate(), orig.delay_ns_per_gate());
+  EXPECT_DOUBLE_EQ(back->energy_fj_per_gate(), orig.energy_fj_per_gate());
+  for (int i = 0; i < kCellKindCount; ++i) {
+    const auto kind = static_cast<CellKind>(i);
+    EXPECT_DOUBLE_EQ(back->cell(kind).area, orig.cell(kind).area);
+    EXPECT_DOUBLE_EQ(back->cell(kind).delay, orig.cell(kind).delay);
+    EXPECT_DOUBLE_EQ(back->cell(kind).energy, orig.cell(kind).energy);
+  }
+}
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,65 @@
+#include "tech/technology.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+TEST(TechnologyTest, Tsmc28PresetLoadsTable3) {
+  const Technology t = Technology::tsmc28();
+  EXPECT_EQ(t.name(), "tsmc28");
+  EXPECT_DOUBLE_EQ(t.cell(CellKind::kFa).area, 5.7);
+  EXPECT_DOUBLE_EQ(t.cell(CellKind::kSram).energy, 0.0);
+  EXPECT_GT(t.area_um2_per_gate(), 0.0);
+}
+
+TEST(TechnologyTest, AbsoluteConversionsScaleLinearly) {
+  const Technology t("unit", 2.0, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(t.area_um2(10.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.delay_ns(10.0), 30.0);
+  EXPECT_DOUBLE_EQ(t.energy_fj(10.0), 40.0);
+}
+
+TEST(TechnologyTest, DelayScalesInverselyWithSupply) {
+  const Technology t("unit", 1.0, 1.0, 1.0, /*nominal_supply_v=*/0.9);
+  EvalConditions lo{.supply_v = 0.45};
+  EvalConditions hi{.supply_v = 1.8};
+  EXPECT_DOUBLE_EQ(t.delay_ns(1.0, lo), 2.0);
+  EXPECT_DOUBLE_EQ(t.delay_ns(1.0, hi), 0.5);
+}
+
+TEST(TechnologyTest, EnergyScalesWithVSquared) {
+  const Technology t("unit", 1.0, 1.0, 1.0, 1.0);
+  EvalConditions half{.supply_v = 0.5};
+  EXPECT_DOUBLE_EQ(t.energy_fj(1.0, half), 0.25);
+}
+
+TEST(TechnologyTest, SparsityReducesEnergy) {
+  const Technology t("unit", 1.0, 1.0, 1.0, 0.9);
+  EvalConditions sparse{.supply_v = 0.9, .input_sparsity = 0.1};
+  EXPECT_NEAR(t.energy_fj(100.0, sparse), 90.0, 1e-9);
+}
+
+TEST(TechnologyTest, ActivityReducesEnergy) {
+  const Technology t("unit", 1.0, 1.0, 1.0, 0.9);
+  EvalConditions cond{.supply_v = 0.9, .input_sparsity = 0.0, .activity = 0.5};
+  EXPECT_DOUBLE_EQ(t.energy_fj(10.0, cond), 5.0);
+}
+
+TEST(TechnologyTest, CellOverrideSticks) {
+  Technology t = Technology::tsmc28();
+  t.set_cell(CellKind::kFa, {6.0, 3.5, 9.0});
+  EXPECT_DOUBLE_EQ(t.cell(CellKind::kFa).area, 6.0);
+  EXPECT_DOUBLE_EQ(t.cell(CellKind::kFa).delay, 3.5);
+}
+
+TEST(TechnologyTest, Generic40IsCoarserThan28) {
+  const Technology t28 = Technology::tsmc28();
+  const Technology t40 = Technology::generic40();
+  EXPECT_GT(t40.area_um2_per_gate(), t28.area_um2_per_gate());
+  EXPECT_GT(t40.delay_ns_per_gate(), t28.delay_ns_per_gate());
+  EXPECT_GT(t40.energy_fj_per_gate(), t28.energy_fj_per_gate());
+}
+
+}  // namespace
+}  // namespace sega

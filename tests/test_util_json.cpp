@@ -1,0 +1,126 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+TEST(JsonTest, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_EQ(Json(true).as_bool(), true);
+  EXPECT_DOUBLE_EQ(Json(3.5).as_number(), 3.5);
+  EXPECT_EQ(Json(42).as_int(), 42);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+}
+
+TEST(JsonTest, ObjectBuilding) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"]["nested"] = "x";
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_TRUE(j.at("b").is_object());
+  EXPECT_EQ(j.at("b").at("nested").as_string(), "x");
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(JsonTest, ArrayBuilding) {
+  Json j = Json::array();
+  j.push_back(1);
+  j.push_back("two");
+  j.push_back(Json::object());
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.at(0).as_int(), 1);
+  EXPECT_EQ(j.at(1).as_string(), "two");
+  EXPECT_TRUE(j.at(2).is_object());
+}
+
+TEST(JsonTest, DumpCompact) {
+  Json j = Json::object();
+  j["n"] = 32;
+  j["name"] = "MUL-CIM";
+  EXPECT_EQ(j.dump(), R"({"n":32,"name":"MUL-CIM"})");
+}
+
+TEST(JsonTest, DumpEscapesStrings) {
+  Json j = Json("line\n\"quoted\"\\");
+  EXPECT_EQ(j.dump(), R"("line\n\"quoted\"\\")");
+}
+
+TEST(JsonTest, DumpIntegersWithoutDecimals) {
+  EXPECT_EQ(Json(64).dump(), "64");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json(65536).dump(), "65536");
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_EQ(Json::parse("true")->as_bool(), true);
+  EXPECT_EQ(Json::parse("false")->as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e3")->as_number(), -2500.0);
+  EXPECT_EQ(Json::parse("\"s\"")->as_string(), "s");
+}
+
+TEST(JsonTest, ParseNested) {
+  auto j = Json::parse(R"({"a":[1,2,{"b":null}],"c":"x"})");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->at("a").size(), 3u);
+  EXPECT_TRUE(j->at("a").at(2).at("b").is_null());
+  EXPECT_EQ(j->at("c").as_string(), "x");
+}
+
+TEST(JsonTest, ParseWhitespaceTolerant) {
+  auto j = Json::parse("  {\n\t\"k\" :  [ 1 , 2 ]\n}  ");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->at("k").size(), 2u);
+}
+
+TEST(JsonTest, ParseRejectsMalformed) {
+  std::string err;
+  EXPECT_FALSE(Json::parse("{", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());
+  EXPECT_FALSE(Json::parse("nul").has_value());
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  auto j = Json::parse(R"("Aé")");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->as_string(), "A\xC3\xA9");
+}
+
+TEST(JsonTest, RoundTripCompact) {
+  const std::string src =
+      R"({"arch":"FP-CIM","objectives":[0.085,1.2,-20.2],"valid":true})";
+  auto j = Json::parse(src);
+  ASSERT_TRUE(j.has_value());
+  auto j2 = Json::parse(j->dump());
+  ASSERT_TRUE(j2.has_value());
+  EXPECT_TRUE(*j == *j2);
+}
+
+TEST(JsonTest, RoundTripPretty) {
+  Json j = Json::object();
+  j["list"] = Json::array();
+  j["list"].push_back(1.5);
+  j["list"].push_back("two");
+  j["obj"]["deep"] = true;
+  auto parsed = Json::parse(j.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == j);
+}
+
+TEST(JsonTest, NumberPrecisionRoundTrips) {
+  const double vals[] = {0.079, 1e-15, 123456789.123, 2.0 / 3.0};
+  for (double v : vals) {
+    auto j = Json::parse(Json(v).dump());
+    ASSERT_TRUE(j.has_value());
+    EXPECT_DOUBLE_EQ(j->as_number(), v);
+  }
+}
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,89 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+TEST(MathTest, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(MathTest, Ilog2Exact) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ilog2(1ull << 63), 63);
+}
+
+TEST(MathTest, Ilog2Floors) {
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2(1025), 10);
+}
+
+TEST(MathTest, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(MathTest, Pow2) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(pow2(63), 1ull << 63);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(16, 3), 6u);
+}
+
+TEST(MathTest, BitWidth) {
+  EXPECT_EQ(bit_width(0), 0);
+  EXPECT_EQ(bit_width(1), 1);
+  EXPECT_EQ(bit_width(2), 2);
+  EXPECT_EQ(bit_width(255), 8);
+  EXPECT_EQ(bit_width(256), 9);
+}
+
+TEST(MathTest, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+// Property sweep: pow2/ilog2/ceil_log2 are mutually consistent.
+class MathPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MathPropertyTest, LogPowRoundTrip) {
+  const int e = GetParam();
+  const std::uint64_t p = pow2(e);
+  EXPECT_EQ(ilog2(p), e);
+  EXPECT_EQ(ceil_log2(p), e);
+  if (e > 1) {
+    EXPECT_EQ(ilog2(p - 1), e - 1);
+    EXPECT_EQ(ceil_log2(p - 1), e);
+    EXPECT_EQ(ceil_log2(p + 1), e + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExponents, MathPropertyTest,
+                         ::testing::Range(0, 63));
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,74 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+TEST(StringsTest, Strfmt) {
+  EXPECT_EQ(strfmt("x=%d y=%s", 3, "ok"), "x=3 y=ok");
+  EXPECT_EQ(strfmt("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(StringsTest, SiFormatPicksPrefix) {
+  EXPECT_EQ(si_format(1.25e-9, "s", 2), "1.25 ns");
+  EXPECT_EQ(si_format(2.5e12, "OPS", 1), "2.5 TOPS");
+  EXPECT_EQ(si_format(0.079e-6, "m^2", 0), "79 nm^2");
+  EXPECT_EQ(si_format(3.0, "V", 0), "3 V");
+}
+
+TEST(StringsTest, SiFormatZeroAndNegative) {
+  EXPECT_EQ(si_format(0.0, "J"), "0 J");
+  EXPECT_EQ(si_format(-2.2e-3, "A", 1), "-2.2 mA");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, VerilogIdentifierValidation) {
+  EXPECT_TRUE(is_verilog_identifier("adder_tree_8"));
+  EXPECT_TRUE(is_verilog_identifier("_x$y"));
+  EXPECT_FALSE(is_verilog_identifier(""));
+  EXPECT_FALSE(is_verilog_identifier("2fast"));
+  EXPECT_FALSE(is_verilog_identifier("has space"));
+  EXPECT_FALSE(is_verilog_identifier("dash-ed"));
+}
+
+TEST(StringsTest, VerilogIdentifierMangling) {
+  EXPECT_EQ(to_verilog_identifier("adder tree"), "adder_tree");
+  EXPECT_EQ(to_verilog_identifier("8wide"), "_8wide");
+  EXPECT_EQ(to_verilog_identifier(""), "_");
+  EXPECT_TRUE(is_verilog_identifier(to_verilog_identifier("a-b.c/d")));
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(to_upper("bf16"), "BF16");
+  EXPECT_EQ(to_lower("INT8"), "int8");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\r "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(split("a,,c", ',')[1], "");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("x", ',')[0], "x");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("INT8", "INT"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("IN", "INT"));
+}
+
+}  // namespace
+}  // namespace sega

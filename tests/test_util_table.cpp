@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRule) {
+  TextTable t({"a", "bb"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a | bb"), std::string::npos);
+  EXPECT_NE(out.find("--+---"), std::string::npos);
+}
+
+TEST(TableTest, AlignsColumns) {
+  TextTable t({"precision", "area"});
+  t.add_row({"INT2", "0.2"});
+  t.add_row({"FP32", "60.1"});
+  const std::string out = t.render();
+  // Every line should place '|' at the same offset.
+  std::size_t bar = out.find('|');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t nl = out.find('\n', pos);
+    const std::string line = out.substr(pos, nl - pos);
+    if (!line.empty() && line.find('|') != std::string::npos) {
+      EXPECT_EQ(line.find('|'), bar);
+    }
+    pos = nl + 1;
+  }
+}
+
+TEST(TableTest, WideCellGrowsColumn) {
+  TextTable t({"x"});
+  t.add_row({"a-very-long-cell"});
+  EXPECT_NE(t.render().find("a-very-long-cell"), std::string::npos);
+}
+
+TEST(TableTest, RowCount) {
+  TextTable t({"x", "y"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, NoTrailingSpaces) {
+  TextTable t({"col", "other"});
+  t.add_row({"x", "y"});
+  const std::string out = t.render();
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t nl = out.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    if (nl > pos) {
+      EXPECT_NE(out[nl - 1], ' ');
+    }
+    pos = nl + 1;
+  }
+}
+
+}  // namespace
+}  // namespace sega

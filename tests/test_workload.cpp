@@ -1,0 +1,116 @@
+#include "workload/mapping.h"
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace sega {
+namespace {
+
+TEST(WorkloadTest, TransformerBlockLayers) {
+  const Workload w = make_transformer_block(512, 4, precision_bf16());
+  ASSERT_EQ(w.layers.size(), 6u);
+  EXPECT_EQ(w.layers[0].weights(), 512 * 512);
+  EXPECT_EQ(w.layers[4].weights(), 512 * 2048);  // ffn_up
+  EXPECT_EQ(w.total_weights(), 4 * 512 * 512 + 2 * 512 * 2048);
+  EXPECT_EQ(w.largest_layer().name, "ffn_up");
+}
+
+TEST(WorkloadTest, CnnLoweringToGemm) {
+  const Workload w = make_cnn_backbone(
+      {{"conv1", 3, 64, 3, 3}, {"conv2", 64, 128, 3, 3}}, precision_int8());
+  ASSERT_EQ(w.layers.size(), 2u);
+  EXPECT_EQ(w.layers[0].rows, 3 * 3 * 3);
+  EXPECT_EQ(w.layers[0].cols, 64);
+  EXPECT_EQ(w.layers[1].weights(), 64 * 9 * 128);
+}
+
+TEST(WorkloadTest, GnnLayers) {
+  const Workload w = make_gnn(128, 2, precision_fp16());
+  ASSERT_EQ(w.layers.size(), 4u);
+  EXPECT_EQ(w.layers[0].weights(), 128 * 128);
+  EXPECT_EQ(w.layers[1].rows, 256);  // concat(message, state)
+}
+
+TEST(WorkloadTest, RecommendedWstoreIsPow2InPaperRange) {
+  const Workload small = make_gnn(16, 1, precision_int8());
+  EXPECT_EQ(small.recommended_wstore(), 4096);  // clamped up
+  const Workload big = make_transformer_block(4096, 4, precision_bf16());
+  EXPECT_EQ(big.recommended_wstore(), 131072);  // clamped down
+  const Workload mid = make_transformer_block(256, 1, precision_int8());
+  EXPECT_EQ(mid.recommended_wstore(), 65536);
+}
+
+class MappingTest : public ::testing::Test {
+ protected:
+  EvaluatedDesign make_design() {
+    DesignPoint dp;
+    dp.arch = ArchKind::kMulCim;
+    dp.precision = precision_int8();
+    dp.n = 32;
+    dp.h = 128;
+    dp.l = 16;
+    dp.k = 8;
+    return evaluate_design(Technology::tsmc28(), dp);  // Wstore = 8192
+  }
+};
+
+TEST_F(MappingTest, SingleTileLayerFitsInOnePass) {
+  Workload w;
+  w.name = "tiny";
+  w.precision = precision_int8();
+  w.layers.push_back({"fc", 64, 128});  // 8192 weights exactly
+  const MappingReport r = map_workload(w, make_design());
+  ASSERT_EQ(r.layers.size(), 1u);
+  EXPECT_EQ(r.layers[0].passes, 1);
+  EXPECT_EQ(r.layers[0].weight_reloads, 0);
+  EXPECT_DOUBLE_EQ(r.layers[0].array_utilization, 1.0);
+}
+
+TEST_F(MappingTest, OversizedLayerTiles) {
+  Workload w;
+  w.name = "big";
+  w.precision = precision_int8();
+  w.layers.push_back({"fc", 256, 128});  // 32768 weights = 4 tiles
+  const MappingReport r = map_workload(w, make_design());
+  EXPECT_EQ(r.layers[0].passes, 4);
+  EXPECT_EQ(r.layers[0].weight_reloads, 3);
+}
+
+TEST_F(MappingTest, LatencyScalesWithPasses) {
+  Workload one, four;
+  one.precision = four.precision = precision_int8();
+  one.layers.push_back({"a", 64, 128});
+  four.layers.push_back({"a", 256, 128});
+  const auto d = make_design();
+  const MappingReport r1 = map_workload(one, d);
+  const MappingReport r4 = map_workload(four, d);
+  EXPECT_NEAR(r4.total_latency_ns / r1.total_latency_ns, 4.0, 1e-9);
+  EXPECT_NEAR(r4.total_energy_nj / r1.total_energy_nj, 4.0, 1e-9);
+}
+
+TEST_F(MappingTest, EffectiveTopsBoundedByPeak) {
+  const auto d = make_design();
+  Workload w = make_cnn_backbone({{"c", 64, 128, 3, 3}}, precision_int8());
+  const MappingReport r = map_workload(w, d);
+  EXPECT_LE(r.effective_tops, d.metrics.throughput_tops * 1.0001);
+  EXPECT_GT(r.effective_tops, 0.0);
+}
+
+TEST_F(MappingTest, PerfectlySizedWorkloadHitsPeak) {
+  // A layer that exactly fills the array reaches peak throughput.
+  Workload w;
+  w.precision = precision_int8();
+  w.layers.push_back({"fit", 64, 128});  // = Wstore
+  const auto d = make_design();
+  const MappingReport r = map_workload(w, d);
+  EXPECT_NEAR(r.effective_tops, d.metrics.throughput_tops,
+              d.metrics.throughput_tops * 1e-6);
+}
+
+TEST_F(MappingTest, RejectsPrecisionMismatch) {
+  Workload w = make_gnn(64, 1, precision_bf16());
+  EXPECT_DEATH(map_workload(w, make_design()), "precondition");
+}
+
+}  // namespace
+}  // namespace sega

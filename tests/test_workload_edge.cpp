@@ -1,0 +1,95 @@
+// Edge-case and property coverage for the workload/mapping layer.
+#include <gtest/gtest.h>
+
+#include "workload/mapping.h"
+#include "workload/workload.h"
+
+namespace sega {
+namespace {
+
+EvaluatedDesign design_with_wstore(std::int64_t n, std::int64_t h,
+                                   std::int64_t l) {
+  DesignPoint dp;
+  dp.arch = ArchKind::kMulCim;
+  dp.precision = precision_int8();
+  dp.n = n;
+  dp.h = h;
+  dp.l = l;
+  dp.k = 8;
+  return evaluate_design(Technology::tsmc28(), dp);
+}
+
+TEST(WorkloadEdgeTest, SingleLayerWorkload) {
+  Workload w;
+  w.name = "one";
+  w.precision = precision_int8();
+  w.layers.push_back({"fc", 1, 1});
+  EXPECT_EQ(w.total_weights(), 1);
+  EXPECT_EQ(w.largest_layer().name, "fc");
+  EXPECT_EQ(w.recommended_wstore(), 4096);  // clamped to the paper's floor
+}
+
+TEST(WorkloadEdgeTest, TransformerFfnMultOne) {
+  const Workload w = make_transformer_block(128, 1, precision_int8());
+  // All six layers are then 128x128.
+  for (const auto& l : w.layers) {
+    EXPECT_EQ(l.weights(), 128 * 128);
+  }
+}
+
+TEST(WorkloadEdgeTest, Conv1x1Lowering) {
+  const Workload w =
+      make_cnn_backbone({{"pw", 64, 128, 1, 1}}, precision_int8());
+  EXPECT_EQ(w.layers[0].rows, 64);
+  EXPECT_EQ(w.layers[0].cols, 128);
+}
+
+TEST(MappingEdgeTest, TinyLayerUnderutilizesArray) {
+  const auto design = design_with_wstore(32, 128, 16);  // Wstore = 8192
+  Workload w;
+  w.precision = precision_int8();
+  w.layers.push_back({"tiny", 8, 8});  // 64 weights in an 8K array
+  const MappingReport r = map_workload(w, design);
+  EXPECT_EQ(r.layers[0].passes, 1);
+  EXPECT_NEAR(r.layers[0].array_utilization, 64.0 / 8192.0, 1e-12);
+  EXPECT_LT(r.effective_tops, design.metrics.throughput_tops * 0.05);
+}
+
+TEST(MappingEdgeTest, ExactMultipleHasNoWaste) {
+  const auto design = design_with_wstore(32, 128, 16);
+  Workload w;
+  w.precision = precision_int8();
+  w.layers.push_back({"x4", 256, 128});  // exactly 4 * Wstore
+  const MappingReport r = map_workload(w, design);
+  EXPECT_EQ(r.layers[0].passes, 4);
+  EXPECT_DOUBLE_EQ(r.layers[0].array_utilization, 1.0);
+}
+
+TEST(MappingEdgeTest, TotalsAreLayerSums) {
+  const auto design = design_with_wstore(32, 128, 16);
+  const Workload w = make_gnn(64, 3, precision_int8());
+  const MappingReport r = map_workload(w, design);
+  double lat = 0.0, energy = 0.0;
+  for (const auto& lm : r.layers) {
+    lat += lm.latency_ns;
+    energy += lm.energy_nj;
+  }
+  EXPECT_NEAR(r.total_latency_ns, lat, lat * 1e-12);
+  EXPECT_NEAR(r.total_energy_nj, energy, energy * 1e-12);
+}
+
+TEST(MappingEdgeTest, BiggerArrayNeverSlowerPerInference) {
+  // Property: for the same workload, a design with 4x the storage needs at
+  // most the same number of passes per layer.
+  const auto small = design_with_wstore(32, 128, 16);   // 8K
+  const auto large = design_with_wstore(32, 128, 64);   // 32K
+  const Workload w = make_transformer_block(128, 4, precision_int8());
+  const MappingReport rs = map_workload(w, small);
+  const MappingReport rl = map_workload(w, large);
+  for (std::size_t i = 0; i < rs.layers.size(); ++i) {
+    EXPECT_LE(rl.layers[i].passes, rs.layers[i].passes);
+  }
+}
+
+}  // namespace
+}  // namespace sega

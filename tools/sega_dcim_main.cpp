@@ -1,0 +1,12 @@
+// The sega_dcim command-line tool; all logic lives in compiler/cli.h so it
+// is testable in-process.
+#include <iostream>
+#include <vector>
+
+#include "compiler/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return sega::run_cli(args, std::cout, std::cerr);
+}
