@@ -20,7 +20,7 @@ constexpr const char* kUsage =
     "  compile --spec <spec.json> --out <dir> [--tech <file.techlib>]\n"
     "  explore --wstore <n> --precision <name> [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
-    "          [--generations <n>] [--tech <file.techlib>]\n"
+    "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
     "  precisions\n"
     "  techlib\n";
 
@@ -167,12 +167,15 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
       spec.dse.population = std::stoi(flags.at("population"));
     if (flags.count("generations"))
       spec.dse.generations = std::stoi(flags.at("generations"));
+    if (flags.count("threads"))
+      spec.dse.threads = std::stoi(flags.at("threads"));
   } catch (...) {
     err << "bad numeric option value\n";
     return 2;
   }
   if (spec.wstore < 1 || spec.conditions.input_sparsity < 0 ||
-      spec.conditions.input_sparsity >= 1 || spec.conditions.supply_v <= 0) {
+      spec.conditions.input_sparsity >= 1 || spec.conditions.supply_v <= 0 ||
+      spec.dse.threads < 0) {
     err << "option value out of range\n";
     return 2;
   }
@@ -205,7 +208,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "explore") {
     if (!check_known(flags,
                      {"wstore", "precision", "sparsity", "supply", "seed",
-                      "population", "generations", "tech"},
+                      "population", "generations", "threads", "tech"},
                      err)) {
       return 2;
     }

@@ -71,6 +71,9 @@ std::optional<CompilerSpec> CompilerSpec::from_json(const Json& json,
       spec.dse.generations = static_cast<int>(value.as_int());
     } else if (key == "seed") {
       spec.dse.seed = static_cast<std::uint64_t>(value.as_int());
+    } else if (key == "threads") {
+      spec.dse.threads = static_cast<int>(value.as_int());
+      if (spec.dse.threads < 0) return fail("threads must be >= 0");
     } else if (key == "distill") {
       const auto p = distill_policy_from_name(value.as_string());
       if (!p) return fail(strfmt("unknown distill policy '%s'",
@@ -105,6 +108,7 @@ Json CompilerSpec::to_json() const {
   j["population"] = dse.population;
   j["generations"] = dse.generations;
   j["seed"] = static_cast<std::int64_t>(dse.seed);
+  j["threads"] = dse.threads;
   j["distill"] = distill_policy_name(distill);
   j["max_selected"] = max_selected;
   j["generate_rtl"] = generate_rtl;

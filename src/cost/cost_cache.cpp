@@ -1,0 +1,68 @@
+#include "cost/cost_cache.h"
+
+namespace sega {
+
+CostCache::CostCache(const Technology& tech, EvalConditions cond)
+    : tech_(&tech), cond_(cond) {}
+
+CostCache::Key CostCache::key_of(const DesignPoint& dp) {
+  return Key(static_cast<int>(dp.arch), static_cast<int>(dp.precision.kind),
+             dp.precision.int_bits, dp.precision.exp_bits,
+             dp.precision.mant_bits, dp.n, dp.h, dp.l, dp.k,
+             dp.signed_weights, dp.pipelined_tree);
+}
+
+CostCache::Shard& CostCache::shard_of(const Key& key) {
+  // Cheap mix of the geometry coordinates; precision/arch vary little within
+  // one run, so (n, h, l, k) carry the entropy.
+  const auto n = static_cast<std::uint64_t>(std::get<5>(key));
+  const auto h = static_cast<std::uint64_t>(std::get<6>(key));
+  const auto l = static_cast<std::uint64_t>(std::get<7>(key));
+  const auto k = static_cast<std::uint64_t>(std::get<8>(key));
+  const std::uint64_t mixed =
+      (n * 0x9E3779B97F4A7C15ull) ^ (h * 0xC2B2AE3D27D4EB4Full) ^
+      (l * 0x165667B19E3779F9ull) ^ k;
+  return shards_[mixed % kShards];
+}
+
+MacroMetrics CostCache::evaluate(const DesignPoint& dp) {
+  const Key key = key_of(dp);
+  Shard& shard = shard_of(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Evaluate outside the lock: the model is pure, so a concurrent duplicate
+  // evaluation of the same cold key is wasted work, never wrong results.
+  MacroMetrics metrics = evaluate_macro(*tech_, dp, cond_);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.table.emplace(key, metrics);
+  }
+  return metrics;
+}
+
+std::size_t CostCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.table.size();
+  }
+  return total;
+}
+
+void CostCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.table.clear();
+  }
+  hits_.store(0);
+  misses_.store(0);
+}
+
+}  // namespace sega

@@ -1,0 +1,74 @@
+// Memoizing front-end for evaluate_macro.
+//
+// NSGA-II revisits the same genome many times across generations (elitism,
+// crossover of similar parents, repair walks converging on the same decode),
+// and the multi-precision merge re-evaluates every front member.  The macro
+// model is a pure function of (Technology, EvalConditions, DesignPoint), so
+// one CostCache instance — bound to a fixed technology and conditions —
+// makes every repeated evaluation a lookup.
+//
+// Thread safety: evaluate() may be called concurrently from the DSE thread
+// pool.  The table is sharded 16 ways to keep lock contention off the hot
+// path.  Under a race on a cold key the model may be evaluated twice, but
+// both evaluations produce identical metrics (pure function), so the cache
+// stays consistent and results stay deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "cost/macro_model.h"
+
+namespace sega {
+
+class CostCache {
+ public:
+  /// The cache keeps a pointer to @p tech; the technology must outlive it.
+  explicit CostCache(const Technology& tech, EvalConditions cond = {});
+
+  CostCache(const CostCache&) = delete;
+  CostCache& operator=(const CostCache&) = delete;
+
+  const Technology& tech() const { return *tech_; }
+  const EvalConditions& conditions() const { return cond_; }
+
+  /// Cached evaluate_macro(tech, dp, cond).
+  MacroMetrics evaluate(const DesignPoint& dp);
+
+  /// Number of distinct design points evaluated so far.
+  std::size_t size() const;
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+
+  void clear();
+
+ private:
+  // Every cost-affecting field of DesignPoint, ordered.  (signed_weights is
+  // census-identical by design but is still keyed — correctness over reuse.)
+  using Key = std::tuple<int,           // arch
+                         int,           // precision.kind
+                         int, int, int, // int_bits, exp_bits, mant_bits
+                         std::int64_t, std::int64_t, std::int64_t,
+                         std::int64_t, // n, h, l, k
+                         bool, bool>;  // signed_weights, pipelined_tree
+  static Key key_of(const DesignPoint& dp);
+
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<Key, MacroMetrics> table;
+  };
+  Shard& shard_of(const Key& key);
+
+  const Technology* tech_;
+  EvalConditions cond_;
+  Shard shards_[kShards];
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace sega

@@ -3,9 +3,48 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cost/cost_cache.h"
 #include "util/assert.h"
+#include "util/threadpool.h"
 
 namespace sega {
+
+namespace {
+
+/// Evaluate @p points on the shared pool, one private result slot per index
+/// (deterministic irrespective of scheduling; a size-1 pool runs inline).
+std::vector<EvaluatedDesign> evaluate_points(
+    const Technology& tech, const std::vector<DesignPoint>& points,
+    const EvalConditions& cond) {
+  std::vector<EvaluatedDesign> evaluated(points.size());
+  ThreadPool::global().parallel_for(points.size(), [&](std::size_t i) {
+    evaluated[i] = evaluate_design(tech, points[i], cond);
+  });
+  return evaluated;
+}
+
+/// NSGA-II over @p space with a caller-provided memoizing cache, so
+/// multi-precision exploration shares one cache across its per-precision
+/// runs and the final front re-evaluation is pure lookup.
+std::vector<EvaluatedDesign> explore_nsga2_cached(const DesignSpace& space,
+                                                  CostCache& cache,
+                                                  const Nsga2Options& options,
+                                                  Nsga2Stats* stats) {
+  const ObjectiveFn objective = [&cache](const DesignPoint& dp) {
+    const auto arr = cache.evaluate(dp).objectives();
+    return Objectives(arr.begin(), arr.end());
+  };
+  const auto points = nsga2_optimize(space, objective, options, stats);
+  std::vector<EvaluatedDesign> out;
+  out.reserve(points.size());
+  for (const auto& dp : points) {
+    out.push_back(EvaluatedDesign{dp, cache.evaluate(dp)});
+  }
+  sort_by_objectives(&out);
+  return out;
+}
+
+}  // namespace
 
 Objectives EvaluatedDesign::objectives() const {
   const auto arr = metrics.objectives();
@@ -29,30 +68,17 @@ std::vector<EvaluatedDesign> explore_nsga2(const DesignSpace& space,
                                            const EvalConditions& cond,
                                            const Nsga2Options& options,
                                            Nsga2Stats* stats) {
-  const ObjectiveFn objective = [&](const DesignPoint& dp) {
-    const auto arr = evaluate_macro(tech, dp, cond).objectives();
-    return Objectives(arr.begin(), arr.end());
-  };
-  const auto points = nsga2_optimize(space, objective, options, stats);
-  std::vector<EvaluatedDesign> out;
-  out.reserve(points.size());
-  for (const auto& dp : points) out.push_back(evaluate_design(tech, dp, cond));
-  sort_by_objectives(&out);
-  return out;
+  CostCache cache(tech, cond);
+  return explore_nsga2_cached(space, cache, options, stats);
 }
 
 std::vector<EvaluatedDesign> explore_exhaustive(const DesignSpace& space,
                                                 const Technology& tech,
                                                 const EvalConditions& cond) {
-  const auto all = space.enumerate_all();
-  std::vector<EvaluatedDesign> evaluated;
+  const auto evaluated = evaluate_points(tech, space.enumerate_all(), cond);
   std::vector<Objectives> objs;
-  evaluated.reserve(all.size());
-  objs.reserve(all.size());
-  for (const auto& dp : all) {
-    evaluated.push_back(evaluate_design(tech, dp, cond));
-    objs.push_back(evaluated.back().objectives());
-  }
+  objs.reserve(evaluated.size());
+  for (const auto& ed : evaluated) objs.push_back(ed.objectives());
   const auto keep = non_dominated_indices(objs);
   std::vector<EvaluatedDesign> front;
   front.reserve(keep.size());
@@ -67,14 +93,19 @@ std::vector<EvaluatedDesign> explore_random(const DesignSpace& space,
                                             int budget, std::uint64_t seed) {
   SEGA_EXPECTS(budget > 0);
   Rng rng(seed);
-  std::vector<EvaluatedDesign> evaluated;
-  std::vector<Objectives> objs;
+  // Sampling consumes the RNG stream serially; evaluation is pure and runs
+  // on the pool afterwards.
+  std::vector<DesignPoint> points;
+  points.reserve(static_cast<std::size_t>(budget));
   for (int i = 0; i < budget; ++i) {
     const auto dp = space.sample(rng);
     if (!dp) break;
-    evaluated.push_back(evaluate_design(tech, *dp, cond));
-    objs.push_back(evaluated.back().objectives());
+    points.push_back(*dp);
   }
+  const auto evaluated = evaluate_points(tech, points, cond);
+  std::vector<Objectives> objs;
+  objs.reserve(evaluated.size());
+  for (const auto& ed : evaluated) objs.push_back(ed.objectives());
   const auto keep = non_dominated_indices(objs);
   std::vector<EvaluatedDesign> front;
   for (const std::size_t i : keep) front.push_back(evaluated[i]);
@@ -95,11 +126,14 @@ std::vector<EvaluatedDesign> explore_multi_precision(
   SEGA_EXPECTS(wstore > 0 && !precisions.empty());
   std::vector<EvaluatedDesign> pool;
   Nsga2Options opt = options;
+  // One cache across all per-precision runs: precisions key differently so
+  // entries never alias, and the final merge re-evaluations are lookups.
+  CostCache cache(tech, cond);
   for (std::size_t i = 0; i < precisions.size(); ++i) {
     DesignSpace space(wstore, precisions[i], limits);
     // Decorrelate the per-precision runs while keeping determinism.
     opt.seed = options.seed + i;
-    auto front = explore_nsga2(space, tech, cond, opt);
+    auto front = explore_nsga2_cached(space, cache, opt, nullptr);
     pool.insert(pool.end(), std::make_move_iterator(front.begin()),
                 std::make_move_iterator(front.end()));
   }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <set>
 #include <tuple>
 
 #include "util/assert.h"
+#include "util/threadpool.h"
 
 namespace sega {
 
@@ -66,24 +69,58 @@ Genome random_genome(const DesignSpace& space, Rng& rng) {
 /// generation is never lost (elitist archive, standard NSGA-II practice).
 using Archive = std::map<Genome, std::pair<DesignPoint, Objectives>>;
 
-std::optional<Individual> make_individual(const DesignSpace& space,
-                                          const ObjectiveFn& objective,
-                                          Genome g, Nsga2Stats* stats,
-                                          Archive* archive) {
-  auto dp = decode_with_repair(space, &g);
-  if (!dp) return std::nullopt;
-  Individual ind;
-  ind.genome = g;
-  ind.point = *dp;
-  const auto cached = archive->find(g);
-  if (cached != archive->end()) {
-    ind.objectives = cached->second.second;
-  } else {
-    ind.objectives = objective(*dp);
-    if (stats) ++stats->evaluations;
-    archive->emplace(g, std::make_pair(*dp, ind.objectives));
+/// One batch of feasible (genome, decoded point) candidates.  Batches are
+/// produced serially — decode_with_repair consumes no randomness, so the RNG
+/// stream is identical to the historical generate-and-evaluate-inline path —
+/// and evaluated afterwards, possibly concurrently.
+struct CandidateBatch {
+  std::vector<Genome> genomes;
+  std::vector<DesignPoint> points;
+
+  std::size_t size() const { return genomes.size(); }
+  void add(const Genome& g, const DesignPoint& dp) {
+    genomes.push_back(g);
+    points.push_back(dp);
   }
-  return ind;
+};
+
+/// Fold a batch into the archive.  Genomes not yet archived are deduplicated
+/// in first-occurrence order, evaluated on @p pool, and inserted in that
+/// same fixed order — so archive contents and stats->evaluations are
+/// bit-identical for every thread count.
+void evaluate_batch(const ObjectiveFn& objective, const CandidateBatch& batch,
+                    Archive* archive, Nsga2Stats* stats, ThreadPool& pool) {
+  std::vector<std::size_t> miss;
+  std::set<Genome> pending;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (archive->count(batch.genomes[i]) != 0) continue;
+    if (!pending.insert(batch.genomes[i]).second) continue;
+    miss.push_back(i);
+  }
+  std::vector<Objectives> results(miss.size());
+  pool.parallel_for(miss.size(), [&](std::size_t j) {
+    results[j] = objective(batch.points[miss[j]]);
+  });
+  for (std::size_t j = 0; j < miss.size(); ++j) {
+    archive->emplace(batch.genomes[miss[j]],
+                     std::make_pair(batch.points[miss[j]], results[j]));
+    if (stats) ++stats->evaluations;
+  }
+}
+
+/// Materialize the batch as individuals from the (fully populated) archive.
+std::vector<Individual> individuals_from(const CandidateBatch& batch,
+                                         const Archive& archive) {
+  std::vector<Individual> out;
+  out.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Individual ind;
+    ind.genome = batch.genomes[i];
+    ind.point = batch.points[i];
+    ind.objectives = archive.at(batch.genomes[i]).second;
+    out.push_back(std::move(ind));
+  }
+  return out;
 }
 
 /// Binary tournament on (rank, crowding).
@@ -160,46 +197,49 @@ std::vector<DesignPoint> nsga2_optimize(const DesignSpace& space,
   Nsga2Stats local_stats;
   if (!stats) stats = &local_stats;
 
+  // Default to the shared pool (one set of workers per process); a private
+  // pool only for an explicit thread-count override.  A size-1 pool spawns
+  // no workers and parallel_for runs inline, so the serial path is free.
+  std::unique_ptr<ThreadPool> owned;
+  if (options.threads > 0) owned = std::make_unique<ThreadPool>(options.threads);
+  ThreadPool& pool = owned ? *owned : ThreadPool::global();
+
   // --- initial population ---
   Archive archive;
-  std::vector<Individual> pop;
+  CandidateBatch init;
   for (int attempts = 0;
-       static_cast<int>(pop.size()) < options.population &&
+       static_cast<int>(init.size()) < options.population &&
        attempts < options.population * 64;
        ++attempts) {
-    if (auto ind = make_individual(space, objective,
-                                   random_genome(space, rng), stats,
-                                   &archive)) {
-      pop.push_back(std::move(*ind));
-    }
+    Genome g = random_genome(space, rng);
+    if (auto dp = decode_with_repair(space, &g)) init.add(g, *dp);
   }
-  if (pop.empty()) return {};
+  if (init.size() == 0) return {};
+  evaluate_batch(objective, init, &archive, stats, pool);
+  std::vector<Individual> pop = individuals_from(init, archive);
   rank_population(&pop);
 
   // --- generational loop ---
   for (int gen = 0; gen < options.generations; ++gen) {
-    std::vector<Individual> offspring;
-    offspring.reserve(pop.size());
-    while (offspring.size() < pop.size()) {
+    CandidateBatch batch;
+    while (batch.size() < pop.size()) {
       const Individual& p1 = tournament(pop, rng);
       const Individual& p2 = tournament(pop, rng);
       Genome child = rng.chance(options.crossover_prob)
                          ? crossover(p1.genome, p2.genome, rng)
                          : p1.genome;
       mutate(&child, space, options.mutation_prob, rng);
-      if (auto ind =
-              make_individual(space, objective, child, stats, &archive)) {
-        offspring.push_back(std::move(*ind));
+      if (auto dp = decode_with_repair(space, &child)) {
+        batch.add(child, *dp);
       } else {
         // Infeasible even after repair: inject a random immigrant to keep
         // population pressure up.
-        if (auto imm = make_individual(space, objective,
-                                       random_genome(space, rng), stats,
-                                       &archive)) {
-          offspring.push_back(std::move(*imm));
-        }
+        Genome imm = random_genome(space, rng);
+        if (auto dpi = decode_with_repair(space, &imm)) batch.add(imm, *dpi);
       }
     }
+    evaluate_batch(objective, batch, &archive, stats, pool);
+    std::vector<Individual> offspring = individuals_from(batch, archive);
 
     // Environmental selection over parents + offspring.
     std::vector<Individual> merged = std::move(pop);

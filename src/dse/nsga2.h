@@ -21,6 +21,14 @@ struct Nsga2Options {
   double crossover_prob = 0.9;
   double mutation_prob = 0.35;  ///< per-gene mutation probability
   std::uint64_t seed = 1;
+
+  /// Worker threads for candidate evaluation.  0 = auto (the SEGA_THREADS
+  /// environment variable, else hardware concurrency); 1 = serial.  The
+  /// result is bit-identical for every thread count: genome generation stays
+  /// on one RNG stream and evaluations are pure functions reduced in a fixed
+  /// order.  When the effective count is > 1 the ObjectiveFn must be safe to
+  /// call concurrently.
+  int threads = 0;
 };
 
 /// Statistics of one NSGA-II run.

@@ -1,0 +1,68 @@
+// Small fixed-size thread pool used to parallelize the DSE hot loop.
+//
+// Design notes:
+//  - parallel_for gives every task a private index; callers write results
+//    into per-index slots and reduce serially afterwards, so the outcome is
+//    bit-identical regardless of scheduling (the determinism contract the
+//    explorer relies on).
+//  - The worker count defaults to the SEGA_THREADS environment variable when
+//    set to a positive integer, else std::thread::hardware_concurrency().
+//  - A pool of size 1 executes everything inline on the calling thread —
+//    no worker threads are spawned, which keeps single-core and debugging
+//    runs trivially serial.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sega {
+
+class ThreadPool {
+ public:
+  /// @p threads <= 0 resolves to default_threads().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that can make progress concurrently (>= 1; counts the
+  /// calling thread, which participates in parallel_for batches).
+  int size() const { return size_; }
+
+  /// Enqueue one task.  The future resolves when the task finishes and
+  /// rethrows anything the task threw.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for every i in [0, n); blocks until all calls return.
+  /// The calling thread helps execute the batch.  If any invocation throws,
+  /// the remaining indices are abandoned and the first exception (by
+  /// completion order) is rethrown here.  parallel_for(0, fn) is a no-op.
+  /// Not reentrant: do not call parallel_for from inside a task.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// SEGA_THREADS env var when a positive integer (clamped to 256), else
+  /// hardware_concurrency(), else 1.
+  static int default_threads();
+
+  /// Lazily constructed process-wide pool of default_threads() threads.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace sega

@@ -1,0 +1,145 @@
+#include "cost/cost_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/space.h"
+#include "util/threadpool.h"
+
+namespace sega {
+namespace {
+
+DesignPoint int8_point(std::int64_t n, std::int64_t h, std::int64_t l,
+                       std::int64_t k) {
+  DesignPoint dp;
+  dp.arch = ArchKind::kMulCim;
+  dp.precision = precision_int8();
+  dp.n = n;
+  dp.h = h;
+  dp.l = l;
+  dp.k = k;
+  return dp;
+}
+
+void expect_same_metrics(const MacroMetrics& a, const MacroMetrics& b) {
+  EXPECT_EQ(a.area_gates, b.area_gates);
+  EXPECT_EQ(a.delay_gates, b.delay_gates);
+  EXPECT_EQ(a.energy_gates, b.energy_gates);
+  EXPECT_EQ(a.area_mm2, b.area_mm2);
+  EXPECT_EQ(a.delay_ns, b.delay_ns);
+  EXPECT_EQ(a.energy_per_mvm_nj, b.energy_per_mvm_nj);
+  EXPECT_EQ(a.throughput_tops, b.throughput_tops);
+  EXPECT_EQ(a.cycles_per_input, b.cycles_per_input);
+  EXPECT_EQ(a.area_breakdown, b.area_breakdown);
+  EXPECT_EQ(a.energy_breakdown, b.energy_breakdown);
+}
+
+TEST(CostCacheTest, HitReturnsSameCostAsColdEvaluation) {
+  const Technology tech = Technology::tsmc28();
+  CostCache cache(tech);
+  const DesignPoint dp = int8_point(32, 128, 16, 8);
+
+  const MacroMetrics direct = evaluate_macro(tech, dp);
+  const MacroMetrics cold = cache.evaluate(dp);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const MacroMetrics warm = cache.evaluate(dp);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  expect_same_metrics(direct, cold);
+  expect_same_metrics(cold, warm);
+}
+
+TEST(CostCacheTest, DistinctDesignPointsNeverCollide) {
+  const Technology tech = Technology::tsmc28();
+  CostCache cache(tech);
+
+  // Every valid INT8 point at this Wstore: all must round-trip through the
+  // cache to their own metrics.
+  const DesignSpace space(1 << 13, precision_int8());
+  const auto all = space.enumerate_all();
+  ASSERT_GT(all.size(), 10u);
+  for (const auto& dp : all) cache.evaluate(dp);  // populate
+  EXPECT_EQ(cache.size(), all.size());
+  for (const auto& dp : all) {
+    expect_same_metrics(cache.evaluate(dp), evaluate_macro(tech, dp));
+  }
+  EXPECT_EQ(cache.misses(), all.size());
+}
+
+TEST(CostCacheTest, PipelinedTreeVariantIsADistinctKey) {
+  const Technology tech = Technology::tsmc28();
+  CostCache cache(tech);
+  DesignPoint plain = int8_point(32, 128, 16, 8);
+  DesignPoint pipelined = plain;
+  pipelined.pipelined_tree = true;
+
+  const auto m_plain = cache.evaluate(plain);
+  const auto m_pipe = cache.evaluate(pipelined);
+  EXPECT_EQ(cache.size(), 2u);
+  // The pipelined tree changes the critical path, so aliasing the two keys
+  // would be observable.
+  EXPECT_NE(m_plain.delay_gates, m_pipe.delay_gates);
+}
+
+TEST(CostCacheTest, DifferentPrecisionsAreDistinctKeys) {
+  const Technology tech = Technology::tsmc28();
+  CostCache cache(tech);
+  DesignPoint int8 = int8_point(64, 64, 16, 4);
+  DesignPoint int4 = int8;
+  int4.precision = precision_int4();  // same (n, h, l, k), different format
+
+  cache.evaluate(int8);
+  cache.evaluate(int4);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CostCacheTest, ConditionsAreBoundAtConstruction) {
+  const Technology tech = Technology::tsmc28();
+  EvalConditions low_voltage;
+  low_voltage.supply_v = 0.6;
+  CostCache nominal(tech);
+  CostCache scaled(tech, low_voltage);
+  const DesignPoint dp = int8_point(32, 128, 16, 8);
+
+  expect_same_metrics(nominal.evaluate(dp), evaluate_macro(tech, dp));
+  expect_same_metrics(scaled.evaluate(dp),
+                      evaluate_macro(tech, dp, low_voltage));
+}
+
+TEST(CostCacheTest, ConcurrentEvaluationIsConsistent) {
+  const Technology tech = Technology::tsmc28();
+  CostCache cache(tech);
+  const DesignSpace space(1 << 13, precision_int8());
+  const auto all = space.enumerate_all();
+
+  ThreadPool pool(8);
+  // Hammer the same key set from many threads, several passes, so cold
+  // misses and warm hits race.
+  std::vector<MacroMetrics> results(all.size() * 4);
+  pool.parallel_for(results.size(), [&](std::size_t i) {
+    results[i] = cache.evaluate(all[i % all.size()]);
+  });
+  EXPECT_EQ(cache.size(), all.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expect_same_metrics(results[i], evaluate_macro(tech, all[i % all.size()]));
+  }
+}
+
+TEST(CostCacheTest, ClearResetsTableAndCounters) {
+  const Technology tech = Technology::tsmc28();
+  CostCache cache(tech);
+  cache.evaluate(int8_point(32, 128, 16, 8));
+  cache.evaluate(int8_point(32, 128, 16, 8));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  cache.evaluate(int8_point(32, 128, 16, 8));
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,98 @@
+// ISSUE #1: the parallel explorer must be bit-identical to the serial path
+// for a fixed RNG seed — genome generation stays on one RNG stream and
+// evaluation results are folded in a fixed order, so thread count must not
+// be observable in the output.
+#include <gtest/gtest.h>
+
+#include "dse/explorer.h"
+
+namespace sega {
+namespace {
+
+Nsga2Options options_with_threads(int threads, std::uint64_t seed) {
+  Nsga2Options opt;
+  opt.population = 32;
+  opt.generations = 16;
+  opt.seed = seed;
+  opt.threads = threads;
+  return opt;
+}
+
+void expect_identical_fronts(const std::vector<EvaluatedDesign>& a,
+                             const std::vector<EvaluatedDesign>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].point == b[i].point) << "front differs at " << i << ": "
+                                          << a[i].point.to_string() << " vs "
+                                          << b[i].point.to_string();
+    const auto oa = a[i].objectives();
+    const auto ob = b[i].objectives();
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t j = 0; j < oa.size(); ++j) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(oa[j], ob[j]) << "objective " << j << " at front index " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, SerialAndParallelNsga2FrontsMatch) {
+  const Technology tech = Technology::tsmc28();
+  const DesignSpace space(1 << 13, precision_int8());
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto serial =
+        explore_nsga2(space, tech, {}, options_with_threads(1, seed));
+    const auto parallel =
+        explore_nsga2(space, tech, {}, options_with_threads(8, seed));
+    ASSERT_FALSE(serial.empty());
+    expect_identical_fronts(serial, parallel);
+  }
+}
+
+TEST(ParallelDeterminismTest, StatsMatchAcrossThreadCounts) {
+  const Technology tech = Technology::tsmc28();
+  const DesignSpace space(1 << 13, precision_int8());
+  Nsga2Stats serial_stats;
+  Nsga2Stats parallel_stats;
+  explore_nsga2(space, tech, {}, options_with_threads(1, 5),
+                &serial_stats);
+  explore_nsga2(space, tech, {}, options_with_threads(8, 5),
+                &parallel_stats);
+  EXPECT_EQ(serial_stats.generations_run, parallel_stats.generations_run);
+  EXPECT_EQ(serial_stats.evaluations, parallel_stats.evaluations);
+}
+
+TEST(ParallelDeterminismTest, FloatPrecisionFrontsMatch) {
+  const Technology tech = Technology::tsmc28();
+  const DesignSpace space(1 << 12, precision_fp16());
+  const auto serial =
+      explore_nsga2(space, tech, {}, options_with_threads(1, 3));
+  const auto parallel =
+      explore_nsga2(space, tech, {}, options_with_threads(4, 3));
+  ASSERT_FALSE(serial.empty());
+  expect_identical_fronts(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, MultiPrecisionMergeMatches) {
+  const Technology tech = Technology::tsmc28();
+  const std::vector<Precision> precisions = {precision_int4(),
+                                             precision_int8(),
+                                             precision_fp16()};
+  const auto serial = explore_multi_precision(
+      1 << 12, precisions, tech, {}, options_with_threads(1, 9));
+  const auto parallel = explore_multi_precision(
+      1 << 12, precisions, tech, {}, options_with_threads(8, 9));
+  ASSERT_FALSE(serial.empty());
+  expect_identical_fronts(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, RepeatedParallelRunsAreStable) {
+  // Not just serial == parallel: parallel runs must agree with themselves.
+  const Technology tech = Technology::tsmc28();
+  const DesignSpace space(1 << 13, precision_int8());
+  const auto a = explore_nsga2(space, tech, {}, options_with_threads(8, 11));
+  const auto b = explore_nsga2(space, tech, {}, options_with_threads(8, 11));
+  expect_identical_fronts(a, b);
+}
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,114 @@
+#include "util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sega {
+namespace {
+
+TEST(ThreadPoolTest, SizeIsAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool stays usable after a task threw.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> slots(kN);
+    pool.parallel_for(kN, [&](std::size_t i) { ++slots[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(slots[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroTasksDoesNotDeadlock) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+  // And the pool still works afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(5, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [](std::size_t i) {
+                            if (i == 13) throw std::runtime_error("unlucky");
+                          }),
+        std::runtime_error);
+    // Usable after the failed batch.
+    std::atomic<int> counter{0};
+    pool.parallel_for(8, [&](std::size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 8);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForResultsAreDeterministic) {
+  // Each index owns a slot, so the reduced value is scheduling-independent.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> slots(500);
+    pool.parallel_for(slots.size(),
+                      [&](std::size_t i) { slots[i] = 1.0 / (1.0 + i); });
+    return std::accumulate(slots.begin(), slots.end(), 0.0);
+  };
+  const double serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPoolTest, DefaultThreadsHonorsEnvOverride) {
+  // setenv/unsetenv: this test mutates process state, but gtest runs tests
+  // in one thread so there is no racing reader.
+  const char* saved = std::getenv("SEGA_THREADS");
+  const std::string saved_value = saved ? saved : "";
+
+  ::setenv("SEGA_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3);
+  ::setenv("SEGA_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1);  // falls back to hardware
+  ::setenv("SEGA_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+
+  if (saved) {
+    ::setenv("SEGA_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("SEGA_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace sega
