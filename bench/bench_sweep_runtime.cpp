@@ -1,0 +1,118 @@
+// Grid-sweep engine runtime: the §IV validation grid scheduled cell-by-cell
+// onto the thread pool with one shared cost cache, versus the serial path.
+// Output is byte-identical at every thread count (asserted per iteration in
+// the checked variant and covered by test_compiler_sweep), so any delta is
+// pure scheduling.  Run on >= 8 cores to see the grid-level speedup; the
+// checkpointed variant measures the streaming-JSONL overhead per cell.
+//
+// Also measures the NSGA-II non-dominated sort: the ENS-BS implementation
+// behind fast_non_dominated_sort against the textbook O(n^2 * objectives)
+// dominance-count baseline it replaced, at population sizes around and
+// above the crossover point (>= 512).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "compiler/sweep.h"
+#include "dse/pareto.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sega;
+
+SweepSpec bench_spec(int threads) {
+  SweepSpec spec;
+  spec.wstores = {4096, 8192, 16384, 32768};
+  spec.precisions = {precision_int8(), precision_bf16(), precision_fp16()};
+  spec.dse.population = 32;
+  spec.dse.generations = 16;
+  spec.dse.seed = 42;
+  spec.dse.threads = threads;
+  return spec;
+}
+
+/// One full grid sweep at a fixed thread count; threads == 1 is the serial
+/// baseline for the speedup comparison.
+void BM_SweepGridThreads(benchmark::State& state) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepSpec spec = bench_spec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sweep(compiler, spec));
+  }
+  state.counters["cells"] = static_cast<double>(
+      spec.wstores.size() * spec.precisions.size());
+}
+
+/// Serial and parallel at the same seed, aborting on any output mismatch —
+/// a determinism regression cannot hide behind a speedup number.
+void BM_SweepGridParallelChecked(benchmark::State& state) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepSpec serial_spec = bench_spec(1);
+  const SweepSpec parallel_spec = bench_spec(8);
+  for (auto _ : state) {
+    const SweepResult a = run_sweep(compiler, serial_spec);
+    const SweepResult b = run_sweep(compiler, parallel_spec);
+    if (a.to_csv() != b.to_csv()) {
+      state.SkipWithError("serial/parallel sweep output mismatch");
+      return;
+    }
+    benchmark::DoNotOptimize(b);
+  }
+}
+
+/// Streaming-checkpoint overhead: the same grid with one JSONL line
+/// appended and flushed per completed cell.
+void BM_SweepGridCheckpointed(benchmark::State& state) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = bench_spec(static_cast<int>(state.range(0)));
+  const auto path = std::filesystem::temp_directory_path() /
+                    "sega_bench_sweep.ckpt.jsonl";
+  for (auto _ : state) {
+    std::filesystem::remove(path);  // fresh file: measure writes, not resume
+    spec.checkpoint = path.string();
+    benchmark::DoNotOptimize(run_sweep(compiler, spec));
+  }
+  std::filesystem::remove(path);
+}
+
+std::vector<Objectives> random_objectives(std::size_t n, std::size_t dims,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Objectives> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Objectives o(dims);
+    for (auto& v : o) v = rng.uniform();
+    pts.push_back(std::move(o));
+  }
+  return pts;
+}
+
+void BM_NonDominatedSortEns(benchmark::State& state) {
+  const auto pts = random_objectives(
+      static_cast<std::size_t>(state.range(0)), 4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fast_non_dominated_sort(pts));
+  }
+}
+
+void BM_NonDominatedSortBaseline(benchmark::State& state) {
+  const auto pts = random_objectives(
+      static_cast<std::size_t>(state.range(0)), 4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fast_non_dominated_sort_baseline(pts));
+  }
+}
+
+BENCHMARK(BM_SweepGridThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepGridParallelChecked)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepGridCheckpointed)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NonDominatedSortEns)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+BENCHMARK(BM_NonDominatedSortBaseline)
+    ->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+}  // namespace

@@ -2,6 +2,10 @@
 // precisions, print the knee summary per cell, and write sweep.csv /
 // sweep.json for downstream analysis.
 //
+// The grid runs on the parallel sweep engine with a JSONL checkpoint in the
+// output directory — kill it mid-run and rerun to resume; completed cells
+// are not recomputed and the final output is byte-identical either way.
+//
 //   $ ./sweep_grid [outdir]
 #include <cstdio>
 #include <filesystem>
@@ -22,7 +26,13 @@ int main(int argc, char** argv) {
   spec.dse.population = 48;
   spec.dse.generations = 32;
   spec.dse.seed = 42;
-  const SweepResult result = run_sweep(compiler, spec);
+  spec.checkpoint = (outdir / "sweep.ckpt.jsonl").string();
+  std::string error;
+  const SweepResult result = run_sweep(compiler, spec, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
 
   TextTable table({"Wstore", "precision", "front", "knee design",
                    "area (mm^2)", "TOPS/W", "TOPS/mm^2"});

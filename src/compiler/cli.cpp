@@ -4,8 +4,10 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 
 #include "compiler/compiler.h"
+#include "compiler/sweep.h"
 #include "tech/techlib_parser.h"
 #include "util/strings.h"
 
@@ -21,6 +23,11 @@ constexpr const char* kUsage =
     "  explore --wstore <n> --precision <name> [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
+    "  sweep   [--spec <sweep.json>] [--out <dir>] [--checkpoint <path>]\n"
+    "          [--wstores <n,n,...>] [--precisions <name,name,...>]\n"
+    "          [--sparsity <f>] [--supply <v>] [--seed <n>]\n"
+    "          [--population <n>] [--generations <n>] [--threads <n>]\n"
+    "          [--tech <file.techlib>]\n"
     "  precisions\n"
     "  techlib\n";
 
@@ -137,6 +144,39 @@ int cmd_compile(const std::map<std::string, std::string>& flags,
   return 0;
 }
 
+/// The --sparsity/--supply/--seed/--population/--generations/--threads
+/// flags and their range validation, shared by explore and sweep.  The
+/// ranges mirror the explorer preconditions so a bad value is a diagnostic
+/// and exit 2, never a contract abort inside a pool worker.
+bool parse_dse_flags(const std::map<std::string, std::string>& flags,
+                     EvalConditions* cond, Nsga2Options* dse,
+                     std::ostream& err) {
+  try {
+    if (flags.count("sparsity"))
+      cond->input_sparsity = std::stod(flags.at("sparsity"));
+    if (flags.count("supply"))
+      cond->supply_v = std::stod(flags.at("supply"));
+    if (flags.count("seed"))
+      dse->seed = static_cast<std::uint64_t>(std::stoull(flags.at("seed")));
+    if (flags.count("population"))
+      dse->population = std::stoi(flags.at("population"));
+    if (flags.count("generations"))
+      dse->generations = std::stoi(flags.at("generations"));
+    if (flags.count("threads"))
+      dse->threads = std::stoi(flags.at("threads"));
+  } catch (...) {
+    err << "bad numeric option value\n";
+    return false;
+  }
+  if (cond->input_sparsity < 0 || cond->input_sparsity >= 1 ||
+      cond->supply_v <= 0 || dse->population < 4 || dse->generations < 1 ||
+      dse->threads < 0) {
+    err << "option value out of range\n";
+    return false;
+  }
+  return true;
+}
+
 int cmd_explore(const std::map<std::string, std::string>& flags,
                 std::ostream& out, std::ostream& err) {
   if (!flags.count("wstore") || !flags.count("precision")) {
@@ -156,26 +196,8 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
     return 2;
   }
   spec.precision = *precision;
-  try {
-    if (flags.count("sparsity"))
-      spec.conditions.input_sparsity = std::stod(flags.at("sparsity"));
-    if (flags.count("supply"))
-      spec.conditions.supply_v = std::stod(flags.at("supply"));
-    if (flags.count("seed"))
-      spec.dse.seed = static_cast<std::uint64_t>(std::stoull(flags.at("seed")));
-    if (flags.count("population"))
-      spec.dse.population = std::stoi(flags.at("population"));
-    if (flags.count("generations"))
-      spec.dse.generations = std::stoi(flags.at("generations"));
-    if (flags.count("threads"))
-      spec.dse.threads = std::stoi(flags.at("threads"));
-  } catch (...) {
-    err << "bad numeric option value\n";
-    return 2;
-  }
-  if (spec.wstore < 1 || spec.conditions.input_sparsity < 0 ||
-      spec.conditions.input_sparsity >= 1 || spec.conditions.supply_v <= 0 ||
-      spec.dse.threads < 0) {
+  if (!parse_dse_flags(flags, &spec.conditions, &spec.dse, err)) return 2;
+  if (spec.wstore < 1) {
     err << "option value out of range\n";
     return 2;
   }
@@ -186,6 +208,101 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
   if (!tech) return 2;
   const Compiler compiler(*tech);
   out << compiler.run(spec).summary();
+  return 0;
+}
+
+/// The full §IV validation grid (or a subset), run on the parallel sweep
+/// engine with optional JSONL checkpoint/resume.  CSV goes to stdout;
+/// --out additionally writes sweep.json and sweep.csv.
+int cmd_sweep(const std::map<std::string, std::string>& flags,
+              std::ostream& out, std::ostream& err) {
+  SweepSpec spec;
+  if (flags.count("spec")) {
+    std::ifstream in(flags.at("spec"));
+    if (!in) {
+      err << "cannot open spec '" << flags.at("spec") << "'\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string jerr;
+    const auto json = Json::parse(buf.str(), &jerr);
+    if (!json) {
+      err << jerr << "\n";
+      return 2;
+    }
+    std::string serr;
+    const auto parsed = SweepSpec::from_json(*json, &serr);
+    if (!parsed) {
+      err << serr << "\n";
+      return 2;
+    }
+    spec = *parsed;
+  }
+  try {
+    if (flags.count("wstores")) {
+      spec.wstores.clear();
+      for (const auto& field : split(flags.at("wstores"), ',')) {
+        spec.wstores.push_back(std::stoll(trim(field)));
+        if (spec.wstores.back() < 1) throw std::invalid_argument("wstore");
+      }
+    }
+  } catch (...) {
+    err << "bad numeric option value\n";
+    return 2;
+  }
+  if (!parse_dse_flags(flags, &spec.conditions, &spec.dse, err)) return 2;
+  if (flags.count("precisions")) {
+    spec.precisions.clear();
+    for (const auto& field : split(flags.at("precisions"), ',')) {
+      const auto p = precision_from_name(trim(field));
+      if (!p) {
+        err << "unknown precision '" << trim(field) << "'\n";
+        return 2;
+      }
+      spec.precisions.push_back(*p);
+    }
+    if (spec.precisions.empty()) {
+      err << "--precisions must name at least one precision\n";
+      return 2;
+    }
+  }
+  if (flags.count("checkpoint")) spec.checkpoint = flags.at("checkpoint");
+  if (spec.wstores.empty()) {
+    err << "option value out of range\n";
+    return 2;
+  }
+
+  const auto tech = load_technology(flags, err);
+  if (!tech) return 2;
+  const Compiler compiler(*tech);
+  std::string sweep_err;
+  const SweepResult result = run_sweep(compiler, spec, &sweep_err);
+  if (!sweep_err.empty()) {
+    err << sweep_err << "\n";
+    return 2;
+  }
+
+  if (flags.count("out")) {
+    const std::filesystem::path outdir = flags.at("out");
+    std::error_code ec;
+    std::filesystem::create_directories(outdir, ec);
+    if (ec) {
+      err << "cannot create output directory '" << outdir.string() << "'\n";
+      return 2;
+    }
+    {
+      std::ofstream f(outdir / "sweep.json");
+      f << result.to_json().dump(2) << "\n";
+    }
+    {
+      std::ofstream f(outdir / "sweep.csv");
+      f << result.to_csv();
+    }
+    err << strfmt("wrote %zu cell(s) to %s/sweep.{csv,json}\n",
+                  result.cells.size(), outdir.string().c_str());
+  }
+  out << result.to_csv();
   return 0;
 }
 
@@ -213,6 +330,16 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return 2;
     }
     return cmd_explore(flags, out, err);
+  }
+  if (command == "sweep") {
+    if (!check_known(flags,
+                     {"spec", "out", "checkpoint", "wstores", "precisions",
+                      "sparsity", "supply", "seed", "population",
+                      "generations", "threads", "tech"},
+                     err)) {
+      return 2;
+    }
+    return cmd_sweep(flags, out, err);
   }
   if (command == "precisions") {
     for (const auto& p : all_precisions()) out << p.name << "\n";

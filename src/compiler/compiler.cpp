@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "cost/cost_cache.h"
 #include "util/assert.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -106,14 +107,21 @@ std::vector<std::size_t> Compiler::distill(
 }
 
 CompilerResult Compiler::run(const CompilerSpec& spec) const {
+  return run(spec, nullptr);
+}
+
+CompilerResult Compiler::run(const CompilerSpec& spec,
+                             CostCache* cache) const {
   CompilerResult result;
   result.spec = spec;
 
   // --- MOGA-based design space exploration ---
   const auto dse_start = Clock::now();
   DesignSpace space(spec.wstore, spec.precision, spec.limits);
-  result.pareto_front = explore_nsga2(space, tech_, spec.conditions, spec.dse,
-                                      &result.dse_stats);
+  result.pareto_front =
+      cache ? explore_nsga2(space, *cache, spec.dse, &result.dse_stats)
+            : explore_nsga2(space, tech_, spec.conditions, spec.dse,
+                            &result.dse_stats);
   result.dse_seconds = seconds_since(dse_start);
 
   // --- user distillation ---

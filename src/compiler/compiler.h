@@ -46,6 +46,12 @@ class Compiler {
   /// Run the full pipeline.
   CompilerResult run(const CompilerSpec& spec) const;
 
+  /// Run the full pipeline with a shared memoizing cost cache (e.g. one
+  /// cache across every cell of a grid sweep).  @p cache must be bound to
+  /// this compiler's technology and to spec.conditions; nullptr behaves
+  /// like run(spec).  Thread-safe for concurrent calls sharing one cache.
+  CompilerResult run(const CompilerSpec& spec, CostCache* cache) const;
+
   /// Distillation as a standalone step (exposed for tests/ablations):
   /// indices into @p front selected by @p policy, best first, at most
   /// @p max_selected entries.

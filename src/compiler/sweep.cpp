@@ -1,34 +1,468 @@
 #include "compiler/sweep.h"
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "cost/cost_cache.h"
+#include "tech/techlib_parser.h"
 #include "util/assert.h"
 #include "util/strings.h"
+#include "util/threadpool.h"
 
 namespace sega {
 
-SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec) {
+namespace {
+
+// ------------------------------------------------------------- spec JSON
+
+std::optional<SweepSpec> spec_fail(const std::string& msg,
+                                   std::string* error) {
+  if (error) *error = msg;
+  return std::nullopt;
+}
+
+/// The result-affecting fields in JSON form — the shared core of to_json()
+/// and the checkpoint config fingerprint, so the two can never drift.
+/// Excludes threads and the checkpoint path (neither changes results).
+Json result_affecting_json(const SweepSpec& spec) {
+  Json j = Json::object();
+  Json ws = Json::array();
+  for (const std::int64_t w : spec.wstores) ws.push_back(w);
+  j["wstores"] = std::move(ws);
+  Json ps = Json::array();
+  for (const Precision& p : spec.precisions) ps.push_back(p.name);
+  j["precisions"] = std::move(ps);
+  j["supply_v"] = spec.conditions.supply_v;
+  j["sparsity"] = spec.conditions.input_sparsity;
+  j["activity"] = spec.conditions.activity;
+  j["max_l"] = spec.limits.max_l;
+  j["max_h"] = spec.limits.max_h;
+  j["max_n"] = spec.limits.max_n;
+  j["min_n_over_bw"] = spec.limits.min_n_over_bw;
+  j["population"] = spec.dse.population;
+  j["generations"] = spec.dse.generations;
+  j["crossover_prob"] = spec.dse.crossover_prob;
+  j["mutation_prob"] = spec.dse.mutation_prob;
+  j["seed"] = static_cast<std::int64_t>(spec.dse.seed);
+  return j;
+}
+
+}  // namespace
+
+std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
+                                              std::string* error) {
+  if (!json.is_object()) return spec_fail("sweep spec must be a JSON object",
+                                          error);
+  SweepSpec spec;
+  for (const auto& [key, value] : json.items()) {
+    // Scalar keys are type-checked before the typed accessors: a wrong type
+    // must be a parse error, never a precondition abort.
+    const bool is_scalar_key =
+        key != "wstores" && key != "precisions" && key != "checkpoint";
+    if (is_scalar_key && !value.is_number()) {
+      return spec_fail(strfmt("spec key '%s' must be a number", key.c_str()),
+                       error);
+    }
+    if (key == "wstores") {
+      if (!value.is_array() || value.size() == 0) {
+        return spec_fail("wstores must be a non-empty array", error);
+      }
+      spec.wstores.clear();
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        if (!value.at(i).is_number() || value.at(i).as_int() < 1) {
+          return spec_fail("wstores entries must be positive integers", error);
+        }
+        spec.wstores.push_back(value.at(i).as_int());
+      }
+    } else if (key == "precisions") {
+      if (!value.is_array() || value.size() == 0) {
+        return spec_fail("precisions must be a non-empty array", error);
+      }
+      spec.precisions.clear();
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        if (!value.at(i).is_string()) {
+          return spec_fail("precisions entries must be strings", error);
+        }
+        const auto p = precision_from_name(value.at(i).as_string());
+        if (!p) {
+          return spec_fail(strfmt("unknown precision '%s'",
+                                  value.at(i).as_string().c_str()),
+                           error);
+        }
+        spec.precisions.push_back(*p);
+      }
+    } else if (key == "supply_v") {
+      spec.conditions.supply_v = value.as_number();
+      if (spec.conditions.supply_v <= 0) {
+        return spec_fail("supply_v must be > 0", error);
+      }
+    } else if (key == "sparsity") {
+      spec.conditions.input_sparsity = value.as_number();
+      if (spec.conditions.input_sparsity < 0 ||
+          spec.conditions.input_sparsity >= 1) {
+        return spec_fail("sparsity must be in [0, 1)", error);
+      }
+    } else if (key == "activity") {
+      spec.conditions.activity = value.as_number();
+    } else if (key == "max_l") {
+      spec.limits.max_l = value.as_int();
+    } else if (key == "max_h") {
+      spec.limits.max_h = value.as_int();
+    } else if (key == "max_n") {
+      spec.limits.max_n = value.as_int();
+    } else if (key == "min_n_over_bw") {
+      spec.limits.min_n_over_bw = value.as_int();
+      if (spec.limits.min_n_over_bw < 1) {
+        return spec_fail("min_n_over_bw must be >= 1", error);
+      }
+    } else if (key == "population") {
+      spec.dse.population = static_cast<int>(value.as_int());
+      if (spec.dse.population < 4) {
+        return spec_fail("population must be >= 4", error);
+      }
+    } else if (key == "generations") {
+      spec.dse.generations = static_cast<int>(value.as_int());
+      if (spec.dse.generations < 1) {
+        return spec_fail("generations must be >= 1", error);
+      }
+    } else if (key == "crossover_prob") {
+      spec.dse.crossover_prob = value.as_number();
+      if (spec.dse.crossover_prob < 0 || spec.dse.crossover_prob > 1) {
+        return spec_fail("crossover_prob must be in [0, 1]", error);
+      }
+    } else if (key == "mutation_prob") {
+      spec.dse.mutation_prob = value.as_number();
+      if (spec.dse.mutation_prob < 0 || spec.dse.mutation_prob > 1) {
+        return spec_fail("mutation_prob must be in [0, 1]", error);
+      }
+    } else if (key == "seed") {
+      spec.dse.seed = static_cast<std::uint64_t>(value.as_int());
+    } else if (key == "threads") {
+      spec.dse.threads = static_cast<int>(value.as_int());
+      if (spec.dse.threads < 0) return spec_fail("threads must be >= 0", error);
+    } else if (key == "checkpoint") {
+      if (!value.is_string()) {
+        return spec_fail("checkpoint must be a string path", error);
+      }
+      spec.checkpoint = value.as_string();
+    } else {
+      return spec_fail(strfmt("unknown sweep spec key '%s'", key.c_str()),
+                       error);
+    }
+  }
+  return spec;
+}
+
+Json SweepSpec::to_json() const {
+  Json j = result_affecting_json(*this);
+  j["threads"] = dse.threads;
+  if (!checkpoint.empty()) j["checkpoint"] = checkpoint;
+  return j;
+}
+
+namespace {
+
+// ----------------------------------------------------------- checkpoint
+
+/// Everything that changes cell results: the spec's result-affecting fields
+/// plus the full technology (serialized techlib — name, unit scales, and
+/// every cell cost), so resuming under a different --tech is caught.
+/// Thread count and the checkpoint path itself are deliberately excluded:
+/// resuming with different parallelism is legitimate (and yields
+/// byte-identical output).
+Json config_fingerprint(const SweepSpec& spec, const Technology& tech) {
+  Json j = result_affecting_json(spec);
+  j["techlib"] = write_techlib(tech);
+  return j;
+}
+
+Json header_line(const SweepSpec& spec, const Technology& tech) {
+  Json j = Json::object();
+  j["sega_sweep_checkpoint"] = 1;
+  j["config"] = config_fingerprint(spec, tech);
+  return j;
+}
+
+/// One completed cell as a checkpoint line.  The knee metrics are NOT
+/// stored: evaluate_macro is a pure function of the design point, so resume
+/// re-derives them through the shared cache — bit-identical by construction
+/// and immune to serialization rounding.
+Json cell_line(const SweepCell& cell, bool empty) {
+  Json c = Json::object();
+  c["wstore"] = cell.wstore;
+  c["precision"] = cell.precision.name;
+  c["front_size"] = static_cast<std::int64_t>(empty ? 0 : cell.front_size);
+  if (!empty) {
+    c["evaluations"] = cell.evaluations;
+    Json k = Json::object();
+    k["arch"] = arch_kind_name(cell.knee.point.arch);
+    k["n"] = cell.knee.point.n;
+    k["h"] = cell.knee.point.h;
+    k["l"] = cell.knee.point.l;
+    k["k"] = cell.knee.point.k;
+    k["signed_weights"] = cell.knee.point.signed_weights;
+    k["pipelined_tree"] = cell.knee.point.pipelined_tree;
+    c["knee"] = std::move(k);
+  }
+  Json j = Json::object();
+  j["cell"] = std::move(c);
+  return j;
+}
+
+/// Typed lookups that tolerate corrupt lines instead of tripping the Json
+/// precondition aborts.
+bool get_int(const Json& obj, const char* key, std::int64_t* out) {
+  if (!obj.contains(key) || !obj.at(key).is_number()) return false;
+  *out = obj.at(key).as_int();
+  return true;
+}
+
+bool get_bool(const Json& obj, const char* key, bool* out) {
+  if (!obj.contains(key) || !obj.at(key).is_bool()) return false;
+  *out = obj.at(key).as_bool();
+  return true;
+}
+
+/// A cell recovered from the checkpoint; empty == true means the cell was
+/// completed but produced no front (excluded from the fold, not recomputed).
+struct RecoveredCell {
+  bool empty = false;
+  SweepCell cell;
+};
+
+/// Parse one checkpoint cell line into @p out.  Returns false (recompute the
+/// cell) on any structural or semantic mismatch — a checkpoint may be
+/// truncated or hand-edited, and a corrupt line must never become a result.
+bool recover_cell(const Json& line, const SweepSpec& spec, CostCache& cache,
+                  RecoveredCell* out) {
+  if (!line.is_object() || !line.contains("cell")) return false;
+  const Json& c = line.at("cell");
+  if (!c.is_object()) return false;
+  std::int64_t wstore = 0;
+  std::int64_t front_size = 0;
+  if (!get_int(c, "wstore", &wstore) ||
+      !get_int(c, "front_size", &front_size) || wstore < 1 ||
+      front_size < 0) {
+    return false;
+  }
+  if (!c.contains("precision") || !c.at("precision").is_string()) return false;
+  const auto precision = precision_from_name(c.at("precision").as_string());
+  if (!precision) return false;
+
+  out->cell = SweepCell{};
+  out->cell.wstore = wstore;
+  out->cell.precision = *precision;
+  if (front_size == 0) {
+    out->empty = true;
+    return true;
+  }
+  out->empty = false;
+  out->cell.front_size = static_cast<std::size_t>(front_size);
+  if (!get_int(c, "evaluations", &out->cell.evaluations) ||
+      out->cell.evaluations < 1) {
+    return false;
+  }
+  if (!c.contains("knee") || !c.at("knee").is_object()) return false;
+  const Json& k = c.at("knee");
+  DesignPoint dp;
+  dp.precision = *precision;
+  dp.arch = arch_for(*precision);
+  if (!k.contains("arch") || !k.at("arch").is_string() ||
+      k.at("arch").as_string() != arch_kind_name(dp.arch)) {
+    return false;
+  }
+  if (!get_int(k, "n", &dp.n) || !get_int(k, "h", &dp.h) ||
+      !get_int(k, "l", &dp.l) || !get_int(k, "k", &dp.k) ||
+      !get_bool(k, "signed_weights", &dp.signed_weights) ||
+      !get_bool(k, "pipelined_tree", &dp.pipelined_tree)) {
+    return false;
+  }
+  // The recovered knee must be a structurally valid member of this cell's
+  // design space (also the precondition of evaluate_macro).
+  if (!validate_design(dp, wstore, spec.limits).ok) return false;
+  out->cell.knee.point = dp;
+  out->cell.knee.metrics = cache.evaluate(dp);
+  return true;
+}
+
+SweepResult checkpoint_fail(const std::string& msg, std::string* error) {
+  if (error) {
+    *error = msg;
+    return {};
+  }
+  std::fprintf(stderr, "[sega] %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
+                      std::string* error) {
   SEGA_EXPECTS(!spec.wstores.empty() && !spec.precisions.empty());
-  SweepResult result;
+  if (error) error->clear();
+
+  // Fixed grid order (Wstore-major) — the fold order, the output order, and
+  // the key space of the checkpoint.
+  struct GridCell {
+    std::int64_t wstore;
+    Precision precision;
+  };
+  std::vector<GridCell> grid;
+  grid.reserve(spec.wstores.size() * spec.precisions.size());
   for (const std::int64_t wstore : spec.wstores) {
     for (const Precision& precision : spec.precisions) {
-      CompilerSpec cs;
-      cs.wstore = wstore;
-      cs.precision = precision;
-      cs.conditions = spec.conditions;
-      cs.dse = spec.dse;
-      cs.limits = spec.limits;
-      cs.distill = DistillPolicy::kKnee;
-      cs.generate_rtl = false;
-      cs.generate_layout = false;
-      const CompilerResult run = compiler.run(cs);
-      if (run.pareto_front.empty()) continue;
-      SweepCell cell;
-      cell.wstore = wstore;
-      cell.precision = precision;
-      cell.front_size = run.pareto_front.size();
-      cell.evaluations = run.dse_stats.evaluations;
-      cell.knee = run.selected.front().design;
-      result.cells.push_back(std::move(cell));
+      grid.push_back(GridCell{wstore, precision});
     }
+  }
+
+  // One memoizing cache across the whole grid: cells at the same Wstore (and
+  // neighbouring ones — the genome space overlaps heavily) revisit the same
+  // design points, and checkpoint recovery re-derives knee metrics from it.
+  CostCache cache(compiler.technology(), spec.conditions);
+
+  // --- checkpoint load ---
+  using CellKey = std::pair<std::int64_t, std::string>;
+  std::map<CellKey, RecoveredCell> recovered;
+  std::unique_ptr<std::ofstream> ckpt;
+  std::mutex ckpt_mu;
+  if (!spec.checkpoint.empty()) {
+    bool have_header = false;
+    std::error_code ec;
+    if (std::filesystem::exists(spec.checkpoint, ec)) {
+      std::ifstream in(spec.checkpoint);
+      if (!in) {
+        return checkpoint_fail(
+            strfmt("cannot read checkpoint '%s'", spec.checkpoint.c_str()),
+            error);
+      }
+      std::string line;
+      bool first_content_line = true;
+      while (std::getline(in, line)) {
+        if (trim(line).empty()) continue;
+        const auto parsed = Json::parse(line);
+        if (first_content_line) {
+          first_content_line = false;
+          // The header must match this sweep's configuration exactly; a
+          // checkpoint from a different sweep must never be mixed in.
+          if (!parsed || !parsed->is_object() ||
+              !parsed->contains("sega_sweep_checkpoint") ||
+              !parsed->contains("config")) {
+            return checkpoint_fail(
+                strfmt("checkpoint '%s' has a missing or malformed header",
+                       spec.checkpoint.c_str()),
+                error);
+          }
+          if (!(parsed->at("config") ==
+                config_fingerprint(spec, compiler.technology()))) {
+            return checkpoint_fail(
+                strfmt("checkpoint '%s' was written for a different sweep "
+                       "configuration; delete it or fix the spec",
+                       spec.checkpoint.c_str()),
+                error);
+          }
+          have_header = true;
+          continue;
+        }
+        // Cell lines: tolerate truncated/corrupt lines (a killed writer may
+        // leave a partial tail) by simply recomputing those cells.
+        if (!parsed) continue;
+        RecoveredCell rc;
+        if (!recover_cell(*parsed, spec, cache, &rc)) continue;
+        recovered[CellKey{rc.cell.wstore, rc.cell.precision.name}] =
+            std::move(rc);
+      }
+      // No content lines at all (a run killed before the header flush, or a
+      // pre-created empty file): treat as fresh and write the header below.
+    }
+    // A killed writer can leave a partial final line without a newline;
+    // appending straight after it would merge the next cell into garbage.
+    bool needs_leading_newline = false;
+    if (have_header) {
+      std::ifstream tail(spec.checkpoint, std::ios::binary);
+      tail.seekg(0, std::ios::end);
+      if (tail.tellg() > 0) {
+        tail.seekg(-1, std::ios::end);
+        needs_leading_newline = tail.get() != '\n';
+      }
+    }
+    ckpt = std::make_unique<std::ofstream>(spec.checkpoint, std::ios::app);
+    if (!*ckpt) {
+      return checkpoint_fail(
+          strfmt("cannot open checkpoint '%s' for append",
+                 spec.checkpoint.c_str()),
+          error);
+    }
+    if (needs_leading_newline) *ckpt << '\n';
+    if (!have_header) {
+      *ckpt << header_line(spec, compiler.technology()).dump() << '\n';
+      ckpt->flush();
+    }
+  }
+
+  // --- schedule the remaining cells onto the pool ---
+  std::vector<std::size_t> todo;  // grid positions not covered by recovery
+  std::vector<RecoveredCell> slots(grid.size());
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    const auto it = recovered.find(
+        CellKey{grid[gi].wstore, grid[gi].precision.name});
+    if (it != recovered.end()) {
+      slots[gi] = it->second;
+    } else {
+      todo.push_back(gi);
+    }
+  }
+
+  std::unique_ptr<ThreadPool> owned;
+  if (spec.dse.threads > 0) {
+    owned = std::make_unique<ThreadPool>(spec.dse.threads);
+  }
+  ThreadPool& pool = owned ? *owned : ThreadPool::global();
+  pool.parallel_for(todo.size(), [&](std::size_t t) {
+    const std::size_t gi = todo[t];
+    CompilerSpec cs;
+    cs.wstore = grid[gi].wstore;
+    cs.precision = grid[gi].precision;
+    cs.conditions = spec.conditions;
+    cs.dse = spec.dse;
+    cs.dse.threads = 0;  // inherit this task's thread (no nested pools)
+    cs.limits = spec.limits;
+    cs.distill = DistillPolicy::kKnee;
+    cs.generate_rtl = false;
+    cs.generate_layout = false;
+    const CompilerResult run = compiler.run(cs, &cache);
+
+    RecoveredCell& slot = slots[gi];
+    slot.cell.wstore = grid[gi].wstore;
+    slot.cell.precision = grid[gi].precision;
+    if (run.pareto_front.empty()) {
+      slot.empty = true;
+    } else {
+      slot.empty = false;
+      slot.cell.front_size = run.pareto_front.size();
+      slot.cell.evaluations = run.dse_stats.evaluations;
+      slot.cell.knee = run.selected.front().design;
+    }
+    if (ckpt) {
+      // Streamed so a kill at any point loses at most the in-flight line;
+      // completion order varies with scheduling, but resume keys cells by
+      // (wstore, precision), not by file position.
+      const std::string line = cell_line(slot.cell, slot.empty).dump();
+      std::lock_guard<std::mutex> lock(ckpt_mu);
+      *ckpt << line << '\n';
+      ckpt->flush();
+    }
+  });
+
+  // --- fold in fixed grid order ---
+  SweepResult result;
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    if (slots[gi].empty) continue;
+    result.cells.push_back(std::move(slots[gi].cell));
   }
   return result;
 }

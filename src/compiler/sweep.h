@@ -1,8 +1,18 @@
 // Batch sweep runner — the paper's §IV validation grid ("a wide range of
 // Wstore, from 4K to 128K" across eight precisions), producing one knee
 // summary per (Wstore, precision) cell with JSON and CSV export.
+//
+// The grid is evaluated as a parallel sweep engine: every (Wstore,
+// precision) cell is one task on the DSE thread pool, all cells share one
+// memoizing CostCache, and results are folded in fixed grid order — so the
+// JSON/CSV output is byte-identical to the serial path for a fixed seed at
+// any thread count.  An optional JSONL checkpoint makes long sweeps
+// interruptible: each completed cell is appended (and flushed) as one line,
+// and a restarted sweep skips cells the checkpoint already covers.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "compiler/compiler.h"
@@ -16,6 +26,24 @@ struct SweepSpec {
   EvalConditions conditions;
   Nsga2Options dse;
   SpaceConstraints limits;
+
+  /// JSONL checkpoint/resume file; empty disables checkpointing.  The first
+  /// line records the sweep configuration; each later line is one completed
+  /// cell.  Resuming against a checkpoint written for a different
+  /// configuration is an error (a stale checkpoint must not silently mix
+  /// into fresh results).  Truncated trailing lines — the signature of a
+  /// killed run — are tolerated and recomputed.
+  std::string checkpoint;
+
+  /// Parse from JSON, e.g.:
+  ///   {"wstores": [4096, 8192], "precisions": ["INT8", "BF16"],
+  ///    "sparsity": 0.1, "seed": 42, "threads": 8,
+  ///    "checkpoint": "sweep.ckpt.jsonl"}
+  /// Omitted "wstores"/"precisions" keep the full §IV defaults.  Unknown
+  /// keys are rejected.
+  static std::optional<SweepSpec> from_json(const Json& json,
+                                            std::string* error = nullptr);
+  Json to_json() const;
 };
 
 struct SweepCell {
@@ -34,8 +62,14 @@ struct SweepResult {
   std::string to_csv() const;
 };
 
-/// Run DSE (no generation) over the whole grid.  Cells whose design space
-/// is empty are skipped.
-SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec);
+/// Run DSE (no generation) over the whole grid on the thread pool
+/// (spec.dse.threads; 0 = auto via SEGA_THREADS / hardware concurrency,
+/// 1 = serial).  Cells whose design space is empty are skipped.
+///
+/// Checkpoint failures (stale configuration, unreadable/unwritable file)
+/// set *error and return an empty result when @p error is non-null, and
+/// abort otherwise — a sweep must never silently drop its checkpoint.
+SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
+                      std::string* error = nullptr);
 
 }  // namespace sega

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "cost/cost_cache.h"
 #include "util/assert.h"
@@ -21,27 +22,6 @@ std::vector<EvaluatedDesign> evaluate_points(
     evaluated[i] = evaluate_design(tech, points[i], cond);
   });
   return evaluated;
-}
-
-/// NSGA-II over @p space with a caller-provided memoizing cache, so
-/// multi-precision exploration shares one cache across its per-precision
-/// runs and the final front re-evaluation is pure lookup.
-std::vector<EvaluatedDesign> explore_nsga2_cached(const DesignSpace& space,
-                                                  CostCache& cache,
-                                                  const Nsga2Options& options,
-                                                  Nsga2Stats* stats) {
-  const ObjectiveFn objective = [&cache](const DesignPoint& dp) {
-    const auto arr = cache.evaluate(dp).objectives();
-    return Objectives(arr.begin(), arr.end());
-  };
-  const auto points = nsga2_optimize(space, objective, options, stats);
-  std::vector<EvaluatedDesign> out;
-  out.reserve(points.size());
-  for (const auto& dp : points) {
-    out.push_back(EvaluatedDesign{dp, cache.evaluate(dp)});
-  }
-  sort_by_objectives(&out);
-  return out;
 }
 
 }  // namespace
@@ -69,7 +49,25 @@ std::vector<EvaluatedDesign> explore_nsga2(const DesignSpace& space,
                                            const Nsga2Options& options,
                                            Nsga2Stats* stats) {
   CostCache cache(tech, cond);
-  return explore_nsga2_cached(space, cache, options, stats);
+  return explore_nsga2(space, cache, options, stats);
+}
+
+std::vector<EvaluatedDesign> explore_nsga2(const DesignSpace& space,
+                                           CostCache& cache,
+                                           const Nsga2Options& options,
+                                           Nsga2Stats* stats) {
+  const ObjectiveFn objective = [&cache](const DesignPoint& dp) {
+    const auto arr = cache.evaluate(dp).objectives();
+    return Objectives(arr.begin(), arr.end());
+  };
+  const auto points = nsga2_optimize(space, objective, options, stats);
+  std::vector<EvaluatedDesign> out;
+  out.reserve(points.size());
+  for (const auto& dp : points) {
+    out.push_back(EvaluatedDesign{dp, cache.evaluate(dp)});
+  }
+  sort_by_objectives(&out);
+  return out;
 }
 
 std::vector<EvaluatedDesign> explore_exhaustive(const DesignSpace& space,
@@ -124,16 +122,30 @@ std::vector<EvaluatedDesign> explore_multi_precision(
     const Technology& tech, const EvalConditions& cond,
     const Nsga2Options& options, const SpaceConstraints& limits) {
   SEGA_EXPECTS(wstore > 0 && !precisions.empty());
-  std::vector<EvaluatedDesign> pool;
-  Nsga2Options opt = options;
   // One cache across all per-precision runs: precisions key differently so
   // entries never alias, and the final merge re-evaluations are lookups.
   CostCache cache(tech, cond);
-  for (std::size_t i = 0; i < precisions.size(); ++i) {
+
+  // The per-precision runs are independent (each gets its own decorrelated
+  // seed and RNG stream), so whole runs are scheduled as pool tasks with one
+  // private result slot per precision.  Inside a task the explorer's own
+  // parallel_for degrades to the inline serial path (nested-parallelism
+  // guard), so each run is bit-identical to its serial execution and the
+  // fixed-order merge below is thread-count-invariant.
+  std::unique_ptr<ThreadPool> owned;
+  if (options.threads > 0) owned = std::make_unique<ThreadPool>(options.threads);
+  ThreadPool& workers = owned ? *owned : ThreadPool::global();
+  std::vector<std::vector<EvaluatedDesign>> fronts(precisions.size());
+  workers.parallel_for(precisions.size(), [&](std::size_t i) {
     DesignSpace space(wstore, precisions[i], limits);
+    Nsga2Options opt = options;
     // Decorrelate the per-precision runs while keeping determinism.
     opt.seed = options.seed + i;
-    auto front = explore_nsga2_cached(space, cache, opt, nullptr);
+    opt.threads = 0;  // inherit this task's thread (no nested pools)
+    fronts[i] = explore_nsga2(space, cache, opt, nullptr);
+  });
+  std::vector<EvaluatedDesign> pool;
+  for (auto& front : fronts) {
     pool.insert(pool.end(), std::make_move_iterator(front.begin()),
                 std::make_move_iterator(front.end()));
   }

@@ -19,6 +19,8 @@
 
 namespace sega {
 
+class CostCache;
+
 /// A design point together with its evaluation.
 struct EvaluatedDesign {
   DesignPoint point;
@@ -40,6 +42,17 @@ void sort_by_objectives(std::vector<EvaluatedDesign>* designs);
 std::vector<EvaluatedDesign> explore_nsga2(const DesignSpace& space,
                                            const Technology& tech,
                                            const EvalConditions& cond = {},
+                                           const Nsga2Options& options = {},
+                                           Nsga2Stats* stats = nullptr);
+
+/// NSGA-II exploration with a caller-provided memoizing cost cache (which
+/// fixes the technology and conditions).  Sharing one cache across runs —
+/// per-precision runs of a multi-precision merge, or every cell of a grid
+/// sweep — makes repeated evaluations lookups without changing any result
+/// (the cache memoizes a pure function).  Safe to call concurrently from
+/// several threads on the same cache.
+std::vector<EvaluatedDesign> explore_nsga2(const DesignSpace& space,
+                                           CostCache& cache,
                                            const Nsga2Options& options = {},
                                            Nsga2Stats* stats = nullptr);
 

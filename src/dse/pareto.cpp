@@ -35,6 +35,62 @@ std::vector<std::size_t> non_dominated_indices(
 std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
     const std::vector<Objectives>& points) {
   const std::size_t n = points.size();
+  if (n == 0) return {};
+
+  // Lexicographic processing order (ties broken by index so the pass is
+  // deterministic).  Any dominator of a point strictly precedes it in this
+  // order, so every point's potential dominators are placed before it and
+  // placed ranks are final.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a] != points[b]) return points[a] < points[b];
+    return a < b;
+  });
+
+  // Fronts in insertion order; checked newest-member-first because lex-close
+  // members are the likeliest dominators (the standard ENS heuristic).
+  std::vector<std::vector<std::size_t>> placed;
+  std::vector<int> rank(n, 0);
+  const auto front_dominates = [&](const std::vector<std::size_t>& front,
+                                   const Objectives& p) {
+    for (auto it = front.rbegin(); it != front.rend(); ++it) {
+      if (dominates(points[*it], p)) return true;
+    }
+    return false;
+  };
+  for (const std::size_t idx : order) {
+    // Smallest k with no dominator in front k; "has a dominator" is true on
+    // a prefix of fronts (transitivity), so binary search applies.
+    std::size_t lo = 0;
+    std::size_t hi = placed.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (front_dominates(placed[mid], points[idx])) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == placed.size()) placed.emplace_back();
+    placed[lo].push_back(idx);
+    rank[idx] = static_cast<int>(lo);
+  }
+
+  // Re-bucket by ascending original index (the public ordering contract).
+  std::vector<std::vector<std::size_t>> fronts(placed.size());
+  for (std::size_t f = 0; f < placed.size(); ++f) {
+    fronts[f].reserve(placed[f].size());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    fronts[static_cast<std::size_t>(rank[i])].push_back(i);
+  }
+  return fronts;
+}
+
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort_baseline(
+    const std::vector<Objectives>& points) {
+  const std::size_t n = points.size();
   std::vector<std::vector<std::size_t>> dominated_by(n);
   std::vector<int> domination_count(n, 0);
   std::vector<std::vector<std::size_t>> fronts;

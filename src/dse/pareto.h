@@ -22,8 +22,25 @@ std::vector<std::size_t> non_dominated_indices(
 
 /// NSGA-II fast non-dominated sort: partitions all points into fronts
 /// F1, F2, ... where F1 is non-dominated and Fi+1 is non-dominated once
-/// F1..Fi are removed.  Every index appears in exactly one front.
+/// F1..Fi are removed.  Every index appears in exactly one front, and each
+/// front lists its indices in ascending order.
+///
+/// Implementation: ENS-BS (efficient non-dominated sort with binary search,
+/// Zhang et al. 2015).  Points are pre-sorted lexicographically so a point
+/// can only be dominated by points already placed; its front is then found
+/// by binary search over the existing fronts (front membership of a placed
+/// point is final, and "front k contains a dominator" is monotone in k by
+/// dominance transitivity).  This skips the O(n^2) dominated-by bookkeeping
+/// of the textbook algorithm and is markedly faster at population >= 512.
 std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    const std::vector<Objectives>& points);
+
+/// Textbook Deb et al. 2002 dominance-count implementation (O(n^2 *
+/// objectives) time and memory).  Kept as the reference oracle for
+/// equivalence tests and benchmarks; produces the same partition as
+/// fast_non_dominated_sort, though later fronts may list indices in a
+/// different (traversal) order.
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort_baseline(
     const std::vector<Objectives>& points);
 
 /// Crowding distance of each point within one front (Deb et al. 2002).

@@ -15,7 +15,20 @@ int clamp_threads(long value) {
   return static_cast<int>(value);
 }
 
+// Set while the current thread runs a pool task; nested parallel_for calls
+// observe it and fall back to the inline serial loop.
+thread_local bool tl_inside_pool_task = false;
+
+/// RAII flag for the scope of one task execution.
+struct TaskScope {
+  bool previous;
+  TaskScope() : previous(tl_inside_pool_task) { tl_inside_pool_task = true; }
+  ~TaskScope() { tl_inside_pool_task = previous; }
+};
+
 }  // namespace
+
+bool ThreadPool::inside_pool_task() { return tl_inside_pool_task; }
 
 int ThreadPool::default_threads() {
   if (const char* env = std::getenv("SEGA_THREADS")) {
@@ -61,6 +74,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    TaskScope scope;
     task();
   }
 }
@@ -73,6 +87,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   if (workers_.empty()) {
     // Size-1 pool: run inline.  The packaged_task still captures exceptions
     // into the future, matching the threaded path's contract.
+    TaskScope scope;
     (*packaged)();
     return future;
   }
@@ -90,6 +105,15 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   SEGA_EXPECTS(fn != nullptr);
 
+  // Nested call from inside a pool task: the outer batch already owns the
+  // workers, so fan out no further — run the loop inline.  Determinism is
+  // unaffected (each index still gets a private slot); only the schedule
+  // changes.
+  if (tl_inside_pool_task) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
   struct Batch {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -104,6 +128,7 @@ void ThreadPool::parallel_for(std::size_t n,
   batch->total = n;
 
   const auto run_slice = [fn, batch] {
+    TaskScope scope;
     for (;;) {
       const std::size_t i = batch->next.fetch_add(1);
       if (i >= batch->total) return;

@@ -10,6 +10,12 @@
 //  - A pool of size 1 executes everything inline on the calling thread —
 //    no worker threads are spawned, which keeps single-core and debugging
 //    runs trivially serial.
+//  - Nested parallelism is safe and deterministic: a parallel_for issued
+//    from inside any pool task (of this or any other pool) runs its whole
+//    loop inline on the issuing thread instead of fanning out again.  Outer
+//    batches therefore own the hardware, and inner loops degrade to the
+//    serial path — exactly what a grid sweep scheduling whole NSGA-II runs
+//    as tasks wants.
 #pragma once
 
 #include <condition_variable>
@@ -44,8 +50,14 @@ class ThreadPool {
   /// The calling thread helps execute the batch.  If any invocation throws,
   /// the remaining indices are abandoned and the first exception (by
   /// completion order) is rethrown here.  parallel_for(0, fn) is a no-op.
-  /// Not reentrant: do not call parallel_for from inside a task.
+  /// Reentrant-safe: when called from inside a pool task (a submit()ted
+  /// task or another parallel_for body, on any pool) the loop runs inline
+  /// serially on the calling thread, so nested parallelism cannot deadlock
+  /// or oversubscribe.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True while the calling thread is executing a pool task (any pool).
+  static bool inside_pool_task();
 
   /// SEGA_THREADS env var when a positive integer (clamped to 256), else
   /// hardware_concurrency(), else 1.

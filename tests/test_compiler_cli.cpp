@@ -142,6 +142,63 @@ TEST_F(CliTempDir, CompileRejectsMissingSpecFile) {
   EXPECT_EQ(r.code, 2);
 }
 
+TEST_F(CliTempDir, SweepWritesCsvAndJson) {
+  const auto out_dir = dir_ / "sweep_out";
+  const CliRun r = cli({"sweep", "--wstores", "4096,8192", "--precisions",
+                        "INT8,BF16", "--population", "24", "--generations",
+                        "12", "--seed", "2", "--out", out_dir.string()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // stdout carries the CSV: header + one row per cell.
+  EXPECT_EQ(r.out.rfind("wstore,precision,", 0), 0u);
+  EXPECT_TRUE(std::filesystem::exists(out_dir / "sweep.csv"));
+  EXPECT_TRUE(std::filesystem::exists(out_dir / "sweep.json"));
+  std::ifstream jf(out_dir / "sweep.json");
+  std::stringstream buf;
+  buf << jf.rdbuf();
+  const auto j = Json::parse(buf.str());
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->size(), 4u);
+}
+
+TEST_F(CliTempDir, SweepFromSpecFileWithCheckpoint) {
+  const auto spec_path = dir_ / "sweep.json";
+  {
+    std::ofstream f(spec_path);
+    f << R"({"wstores": [4096], "precisions": ["INT8"],
+             "population": 24, "generations": 12, "seed": 2})";
+  }
+  const auto ckpt = dir_ / "sweep.ckpt.jsonl";
+  const CliRun first = cli({"sweep", "--spec", spec_path.string(),
+                            "--checkpoint", ckpt.string()});
+  EXPECT_EQ(first.code, 0) << first.err;
+  EXPECT_TRUE(std::filesystem::exists(ckpt));
+  // Resuming over the complete checkpoint recomputes nothing and emits the
+  // identical CSV.
+  const CliRun second = cli({"sweep", "--spec", spec_path.string(),
+                             "--checkpoint", ckpt.string()});
+  EXPECT_EQ(second.code, 0) << second.err;
+  EXPECT_EQ(first.out, second.out);
+  // A conflicting run against the same checkpoint must fail loudly.
+  const CliRun conflict = cli({"sweep", "--spec", spec_path.string(),
+                               "--seed", "3", "--checkpoint", ckpt.string()});
+  EXPECT_EQ(conflict.code, 2);
+  EXPECT_NE(conflict.err.find("configuration"), std::string::npos);
+}
+
+TEST_F(CliTempDir, SweepRejectsBadValues) {
+  EXPECT_EQ(cli({"sweep", "--wstores", "nope"}).code, 2);
+  EXPECT_EQ(cli({"sweep", "--precisions", "INT3"}).code, 2);
+  EXPECT_EQ(cli({"sweep", "--wstores", "4096", "--sparsity", "2"}).code, 2);
+  // Explorer preconditions are diagnostics with exit 2, not aborts.
+  EXPECT_EQ(cli({"sweep", "--wstores", "4096", "--population", "2"}).code, 2);
+  EXPECT_EQ(cli({"sweep", "--wstores", "4096", "--generations", "0"}).code, 2);
+  EXPECT_EQ(cli({"explore", "--wstore", "4096", "--precision", "INT8",
+                 "--population", "2"}).code, 2);
+  const CliRun r = cli({"sweep", "--checkpont", "x.jsonl"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--checkpont"), std::string::npos);
+}
+
 TEST_F(CliTempDir, ExploreWithCustomTechlib) {
   const auto tech_path = dir_ / "my.techlib";
   {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
 namespace sega {
 namespace {
 
@@ -84,6 +89,265 @@ TEST(SweepTest, SkipsEmptyCellsGracefully) {
   for (const auto& cell : result.cells) {
     EXPECT_GT(cell.front_size, 0u);
   }
+}
+
+// --- parallel engine & checkpoint/resume -----------------------------------
+
+class SweepCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sega_sweep_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string ckpt(const char* name) const { return (dir_ / name).string(); }
+
+  static std::vector<std::string> lines_of(const std::string& path) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST(SweepTest, ByteIdenticalAcrossThreadCounts) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec serial = small_sweep();
+  serial.dse.threads = 1;
+  const SweepResult a = run_sweep(compiler, serial);
+  for (const int threads : {2, 8}) {
+    SweepSpec parallel = small_sweep();
+    parallel.dse.threads = threads;
+    const SweepResult b = run_sweep(compiler, parallel);
+    EXPECT_EQ(a.to_csv(), b.to_csv()) << threads << " threads";
+    EXPECT_EQ(a.to_json().dump(2), b.to_json().dump(2)) << threads
+                                                        << " threads";
+  }
+}
+
+TEST(SweepTest, MultiPrecisionExplorerMatchesAcrossThreadCounts) {
+  // The sweep's sibling entry point shares the same contract: fronts are
+  // byte-identical whether the per-precision runs are serial or pooled.
+  const Technology tech = Technology::tsmc28();
+  Nsga2Options opt;
+  opt.population = 24;
+  opt.generations = 12;
+  opt.seed = 6;
+  opt.threads = 1;
+  const auto serial = explore_multi_precision(
+      8192, {precision_int4(), precision_int8(), precision_bf16()}, tech, {},
+      opt);
+  opt.threads = 8;
+  const auto parallel = explore_multi_precision(
+      8192, {precision_int4(), precision_int8(), precision_bf16()}, tech, {},
+      opt);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].point == parallel[i].point);
+    EXPECT_EQ(serial[i].objectives(), parallel[i].objectives());
+  }
+}
+
+TEST_F(SweepCheckpointTest, CheckpointedRunMatchesPlainRun) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult plain = run_sweep(compiler, small_sweep());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("full.jsonl");
+  std::string error;
+  const SweepResult checkpointed = run_sweep(compiler, spec, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(plain.to_csv(), checkpointed.to_csv());
+  // Header + one line per grid cell.
+  EXPECT_EQ(lines_of(spec.checkpoint).size(), 1u + 4u);
+}
+
+TEST_F(SweepCheckpointTest, ResumeAfterKillCompletesAndMatches) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("killed.jsonl");
+  std::string error;
+  const SweepResult full = run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const auto all_lines = lines_of(spec.checkpoint);
+  ASSERT_EQ(all_lines.size(), 5u);
+
+  // Simulate a run killed after k completed cells (plus a partial line the
+  // writer was mid-append on) for every k, then resume.
+  for (std::size_t k = 0; k <= 4; ++k) {
+    const std::string partial = ckpt("partial.jsonl");
+    {
+      std::ofstream f(partial, std::ios::trunc);
+      for (std::size_t i = 0; i <= k; ++i) f << all_lines[i] << "\n";
+      f << R"({"cell":{"evaluations":12,"front_si)";  // torn final write
+    }
+    SweepSpec resume = small_sweep();
+    resume.checkpoint = partial;
+    std::string resume_error;
+    const SweepResult resumed = run_sweep(compiler, resume, &resume_error);
+    EXPECT_TRUE(resume_error.empty()) << resume_error;
+    EXPECT_EQ(full.to_csv(), resumed.to_csv()) << "killed after " << k;
+    EXPECT_EQ(full.to_json().dump(2), resumed.to_json().dump(2))
+        << "killed after " << k;
+    // The resumed file covers the whole grid again: the torn line is dead
+    // weight, every missing cell was recomputed and appended.
+    EXPECT_GE(lines_of(partial).size(), 1u + 4u) << "killed after " << k;
+  }
+}
+
+TEST_F(SweepCheckpointTest, ResumeSkipsCompletedCells) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("skip.jsonl");
+  std::string error;
+  run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const auto before = lines_of(spec.checkpoint);
+  // A second run over a complete checkpoint recomputes nothing.
+  const SweepResult again = run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(lines_of(spec.checkpoint), before);
+  EXPECT_EQ(again.cells.size(), 4u);
+}
+
+TEST_F(SweepCheckpointTest, MismatchedConfigIsAnError) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("mismatch.jsonl");
+  std::string error;
+  run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  SweepSpec other = small_sweep();
+  other.dse.seed = spec.dse.seed + 1;  // any result-affecting change
+  other.checkpoint = spec.checkpoint;
+  const SweepResult result = run_sweep(compiler, other, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(result.cells.empty());
+}
+
+TEST_F(SweepCheckpointTest, DifferentTechnologyIsAnError) {
+  // The fingerprint covers the full techlib: knee points chosen under one
+  // technology must never be recovered into a sweep under another.
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("tech.jsonl");
+  std::string error;
+  run_sweep(Compiler(Technology::tsmc28()), spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const SweepResult result =
+      run_sweep(Compiler(Technology::generic40()), spec, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(result.cells.empty());
+}
+
+TEST_F(SweepCheckpointTest, CorruptCellFieldsAreRecomputedNotTrusted) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("corrupt.jsonl");
+  std::string error;
+  const SweepResult full = run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  // Tamper with every cell line: negative front_size, wrong-typed wstore,
+  // and an out-of-space knee must all be recomputed, never emitted.
+  const auto lines = lines_of(spec.checkpoint);
+  ASSERT_EQ(lines.size(), 5u);
+  {
+    std::ofstream f(spec.checkpoint, std::ios::trunc);
+    f << lines[0] << "\n";
+    f << R"({"cell":{"wstore":4096,"precision":"INT8","front_size":-3,)"
+      << R"("evaluations":10,"knee":{}}})" << "\n";
+    f << R"({"cell":{"wstore":"4096","precision":"BF16","front_size":5}})"
+      << "\n";
+    f << R"({"cell":{"wstore":8192,"precision":"INT8","front_size":5,)"
+      << R"("evaluations":10,"knee":{"arch":"MUL-CIM","n":1,"h":1,"l":1,)"
+      << R"("k":1,"signed_weights":false,"pipelined_tree":false}}})" << "\n";
+  }
+  const SweepResult resumed = run_sweep(compiler, spec, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(full.to_csv(), resumed.to_csv());
+}
+
+TEST_F(SweepCheckpointTest, EmptyCheckpointFileIsTreatedAsFresh) {
+  // A run killed before the header flush leaves a zero-byte file; that must
+  // resume as a fresh sweep, not dead-end as "malformed header".
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("empty.jsonl");
+  { std::ofstream f(spec.checkpoint); }  // 0 bytes
+  std::string error;
+  const SweepResult result = run_sweep(compiler, spec, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(lines_of(spec.checkpoint).size(), 1u + 4u);
+}
+
+TEST_F(SweepCheckpointTest, MalformedHeaderIsAnError) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("garbage.jsonl");
+  {
+    std::ofstream f(spec.checkpoint);
+    f << "this is not a checkpoint\n";
+  }
+  std::string error;
+  const SweepResult result = run_sweep(compiler, spec, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(result.cells.empty());
+}
+
+TEST(SweepSpecJsonTest, RoundTripsAndRejectsUnknownKeys) {
+  const auto parsed = SweepSpec::from_json(*Json::parse(
+      R"({"wstores": [4096, 8192], "precisions": ["INT8", "BF16"],
+          "sparsity": 0.1, "seed": 7, "threads": 2, "population": 24,
+          "generations": 12, "checkpoint": "ck.jsonl"})"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->wstores, (std::vector<std::int64_t>{4096, 8192}));
+  ASSERT_EQ(parsed->precisions.size(), 2u);
+  EXPECT_EQ(parsed->precisions[1].name, "BF16");
+  EXPECT_DOUBLE_EQ(parsed->conditions.input_sparsity, 0.1);
+  EXPECT_EQ(parsed->dse.seed, 7u);
+  EXPECT_EQ(parsed->dse.threads, 2);
+  EXPECT_EQ(parsed->checkpoint, "ck.jsonl");
+
+  // to_json -> from_json round trip.
+  const auto back = SweepSpec::from_json(parsed->to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->to_json().dump(), parsed->to_json().dump());
+
+  std::string error;
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"wstoers": [1]})"),
+                                    &error)
+                   .has_value());
+  EXPECT_NE(error.find("wstoers"), std::string::npos);
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"precisions": []})"))
+                   .has_value());
+  EXPECT_FALSE(
+      SweepSpec::from_json(*Json::parse(R"({"precisions": ["INT3"]})"))
+          .has_value());
+  // Explorer preconditions surface as parse errors, not aborts.
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"population": 2})"))
+                   .has_value());
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"generations": 0})"))
+                   .has_value());
+  // Wrong-typed scalars are parse errors too, never precondition aborts.
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"seed": "42"})"))
+                   .has_value());
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"supply_v": true})"))
+                   .has_value());
+  // GA probabilities and the N/Bw floor are spec'able and validated.
+  const auto ga = SweepSpec::from_json(*Json::parse(
+      R"({"crossover_prob": 0.8, "mutation_prob": 0.2, "min_n_over_bw": 2})"));
+  ASSERT_TRUE(ga.has_value());
+  EXPECT_DOUBLE_EQ(ga->dse.crossover_prob, 0.8);
+  EXPECT_DOUBLE_EQ(ga->dse.mutation_prob, 0.2);
+  EXPECT_EQ(ga->limits.min_n_over_bw, 2);
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"mutation_prob": 1.5})"))
+                   .has_value());
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -103,6 +104,74 @@ TEST(FastSortTest, ChainOfDominatedPoints) {
   ASSERT_EQ(fronts.size(), 4u);
   EXPECT_EQ(fronts[0], std::vector<std::size_t>{1});
   EXPECT_EQ(fronts[3], std::vector<std::size_t>{3});
+}
+
+// --- ENS-BS vs. textbook dominance-count equivalence -----------------------
+
+/// Partition equality up to intra-front order (the baseline lists later
+/// fronts in traversal order; the ENS contract is ascending index).
+void expect_same_partition(const std::vector<Objectives>& pts) {
+  auto fast = fast_non_dominated_sort(pts);
+  auto base = fast_non_dominated_sort_baseline(pts);
+  ASSERT_EQ(fast.size(), base.size());
+  for (std::size_t f = 0; f < fast.size(); ++f) {
+    auto sorted_base = base[f];
+    std::sort(sorted_base.begin(), sorted_base.end());
+    EXPECT_EQ(fast[f], sorted_base) << "front " << f << " differs";
+  }
+}
+
+TEST(EnsSortTest, MatchesBaselineOnRandomObjectives) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    for (const std::size_t dims : {2u, 3u, 4u}) {
+      Rng rng(seed * 100 + dims);
+      std::vector<Objectives> pts;
+      for (int i = 0; i < 300; ++i) {
+        Objectives o(dims);
+        for (auto& v : o) v = rng.uniform();
+        pts.push_back(std::move(o));
+      }
+      expect_same_partition(pts);
+    }
+  }
+}
+
+TEST(EnsSortTest, MatchesBaselineWithDuplicatesAndTies) {
+  // Quantized coordinates force many exact per-objective ties and whole
+  // duplicate vectors — the regime where a sort bug would hide.
+  Rng rng(99);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({static_cast<double>(rng.uniform_int(0, 4)),
+                   static_cast<double>(rng.uniform_int(0, 4)),
+                   static_cast<double>(rng.uniform_int(0, 4))});
+  }
+  expect_same_partition(pts);
+}
+
+TEST(EnsSortTest, MatchesBaselineOnDegenerateInputs) {
+  expect_same_partition({});                          // empty
+  expect_same_partition({{1.0, 2.0}});                // single point
+  expect_same_partition({{1, 1}, {1, 1}, {1, 1}});    // all identical
+  expect_same_partition({{1, 1}, {2, 2}, {3, 3}});    // strict chain
+  expect_same_partition({{1, 3}, {3, 1}, {2, 2}});    // one incomparable front
+}
+
+TEST(EnsSortTest, FrontsListIndicesAscending) {
+  Rng rng(5);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform(), rng.uniform(),
+                   rng.uniform()});
+  }
+  for (const auto& front : fast_non_dominated_sort(pts)) {
+    EXPECT_TRUE(std::is_sorted(front.begin(), front.end()));
+  }
+}
+
+TEST(EnsSortTest, EmptyInputYieldsNoFronts) {
+  EXPECT_TRUE(fast_non_dominated_sort({}).empty());
+  EXPECT_TRUE(fast_non_dominated_sort_baseline({}).empty());
 }
 
 TEST(CrowdingTest, BoundariesGetInfinity) {

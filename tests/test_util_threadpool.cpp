@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -88,6 +89,52 @@ TEST(ThreadPoolTest, ParallelForResultsAreDeterministic) {
   const double serial = run(1);
   EXPECT_EQ(serial, run(2));
   EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineAndCoversAllIndices) {
+  // A parallel_for issued from inside a pool task (the sweep engine's
+  // shape: whole NSGA-II runs as tasks) must degrade to the inline serial
+  // loop instead of fanning out again — no deadlock, no index lost.
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kOuter = 16;
+    constexpr std::size_t kInner = 32;
+    std::vector<std::array<std::atomic<int>, kInner>> slots(kOuter);
+    std::vector<int> inline_observed(kOuter, 0);
+    pool.parallel_for(kOuter, [&](std::size_t o) {
+      EXPECT_TRUE(ThreadPool::inside_pool_task());
+      // Any pool's parallel_for must inline here — use the global pool to
+      // model the explorer calling into it from a sweep task.
+      ThreadPool::global().parallel_for(kInner, [&, o](std::size_t i) {
+        ++slots[o][i];
+      });
+      inline_observed[o] = 1;
+    });
+    EXPECT_FALSE(ThreadPool::inside_pool_task());
+    for (std::size_t o = 0; o < kOuter; ++o) {
+      ASSERT_EQ(inline_observed[o], 1);
+      for (std::size_t i = 0; i < kInner; ++i) {
+        ASSERT_EQ(slots[o][i].load(), 1)
+            << "outer " << o << " inner " << i << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmittedTaskSeesInsidePoolTask) {
+  for (const int threads : {1, 2}) {
+    ThreadPool pool(threads);
+    auto future = pool.submit([] {
+      EXPECT_TRUE(ThreadPool::inside_pool_task());
+      // Nested parallel_for from a submitted task is inline-serial too.
+      std::vector<int> slots(8, 0);
+      ThreadPool::global().parallel_for(slots.size(),
+                                        [&](std::size_t i) { slots[i] = 1; });
+      for (const int s : slots) EXPECT_EQ(s, 1);
+    });
+    future.get();
+    EXPECT_FALSE(ThreadPool::inside_pool_task());
+  }
 }
 
 TEST(ThreadPoolTest, DefaultThreadsHonorsEnvOverride) {
