@@ -1,8 +1,17 @@
 // Microbenchmarks of the estimation models (Tables II-VI) and the
 // generation path — the costs that bound the compiler's interactive loop.
+//
+// The CostModelScalarVsBatched family compares the scalar evaluate_macro
+// reference against AnalyticCostModel::evaluate_batch at batch sizes
+// 1/64/1024 for INT8/FP16/FP32 — the speedup the layered engine buys the
+// DSE hot loop.  Throughput is reported as items_per_second (design points
+// evaluated per second); results land in the CI bench-smoke JSON artifacts.
 #include <benchmark/benchmark.h>
 
-#include "cost/macro_model.h"
+#include <vector>
+
+#include "arch/space.h"
+#include "cost/cost_model.h"
 #include "layout/floorplan.h"
 #include "rtl/macro_builder.h"
 #include "rtl/verilog.h"
@@ -21,6 +30,83 @@ DesignPoint fig6(const char* precision_name) {
   dp.k = 8;
   return dp;
 }
+
+/// A realistic batch: the valid design points of one (Wstore, precision)
+/// space, cycled to the requested size — the shape of the chunks NSGA-II and
+/// the sweep grid submit.
+std::vector<DesignPoint> batch_of(const char* precision_name,
+                                  std::size_t size) {
+  const DesignSpace space(1 << 13, *precision_from_name(precision_name));
+  const auto all = space.enumerate_all();
+  std::vector<DesignPoint> batch;
+  batch.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) batch.push_back(all[i % all.size()]);
+  return batch;
+}
+
+void BM_CostModelScalar(benchmark::State& state, const char* precision_name) {
+  const Technology tech = Technology::tsmc28();
+  const auto batch = batch_of(precision_name,
+                              static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const DesignPoint& dp : batch) {
+      benchmark::DoNotOptimize(evaluate_macro(tech, dp));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+
+void BM_CostModelBatched(benchmark::State& state, const char* precision_name) {
+  const Technology tech = Technology::tsmc28();
+  const AnalyticCostModel model(tech);
+  const auto batch = batch_of(precision_name,
+                              static_cast<std::size_t>(state.range(0)));
+  std::vector<MacroMetrics> out(batch.size());
+  for (auto _ : state) {
+    model.evaluate_batch(Span<const DesignPoint>(batch),
+                         Span<MacroMetrics>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+
+BENCHMARK_CAPTURE(BM_CostModelScalar, INT8, "INT8")
+    ->Arg(1)->Arg(64)->Arg(1024);
+BENCHMARK_CAPTURE(BM_CostModelBatched, INT8, "INT8")
+    ->Arg(1)->Arg(64)->Arg(1024);
+BENCHMARK_CAPTURE(BM_CostModelScalar, FP16, "FP16")
+    ->Arg(1)->Arg(64)->Arg(1024);
+BENCHMARK_CAPTURE(BM_CostModelBatched, FP16, "FP16")
+    ->Arg(1)->Arg(64)->Arg(1024);
+BENCHMARK_CAPTURE(BM_CostModelScalar, FP32, "FP32")
+    ->Arg(1)->Arg(64)->Arg(1024);
+BENCHMARK_CAPTURE(BM_CostModelBatched, FP32, "FP32")
+    ->Arg(1)->Arg(64)->Arg(1024);
+
+/// Checked variant: asserts batched == scalar bit-for-bit on every pass, so
+/// the benchmark itself guards the bit-exactness contract it measures.
+void BM_CostModelBatchedChecked(benchmark::State& state) {
+  const Technology tech = Technology::tsmc28();
+  const AnalyticCostModel model(tech);
+  const auto batch = batch_of("FP16", 64);
+  std::vector<MacroMetrics> out(batch.size());
+  for (auto _ : state) {
+    model.evaluate_batch(Span<const DesignPoint>(batch),
+                         Span<MacroMetrics>(out));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const MacroMetrics ref = evaluate_macro(tech, batch[i]);
+      if (out[i].area_mm2 != ref.area_mm2 || out[i].delay_ns != ref.delay_ns ||
+          out[i].energy_per_mvm_nj != ref.energy_per_mvm_nj ||
+          out[i].throughput_tops != ref.throughput_tops) {
+        state.SkipWithError("batched evaluation diverged from scalar");
+        return;
+      }
+    }
+  }
+}
+BENCHMARK(BM_CostModelBatchedChecked);
 
 void BM_EvaluateMacroInt(benchmark::State& state) {
   const Technology tech = Technology::tsmc28();

@@ -1,5 +1,6 @@
 #include "compiler/cli.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -20,10 +21,13 @@ constexpr const char* kUsage =
     "\n"
     "commands:\n"
     "  compile --spec <spec.json> --out <dir> [--tech <file.techlib>]\n"
+    "          [--cache-file <path>]\n"
     "  explore --wstore <n> --precision <name> [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
+    "          [--cache-file <path>]\n"
     "  sweep   [--spec <sweep.json>] [--out <dir>] [--checkpoint <path>]\n"
+    "          [--cache-file <path>] [--resume-summary]\n"
     "          [--wstores <n,n,...>] [--precisions <name,name,...>]\n"
     "          [--sparsity <f>] [--supply <v>] [--seed <n>]\n"
     "          [--population <n>] [--generations <n>] [--threads <n>]\n"
@@ -31,16 +35,32 @@ constexpr const char* kUsage =
     "  precisions\n"
     "  techlib\n";
 
-/// Parse --key value pairs; returns false on malformed input.
+/// Parse --key value pairs; flags named in @p boolean_flags take no value
+/// (their presence stores "1").  Returns false on malformed input.
 bool parse_flags(const std::vector<std::string>& args, std::size_t start,
+                 const std::vector<std::string>& boolean_flags,
                  std::map<std::string, std::string>* flags,
                  std::ostream& err) {
-  for (std::size_t i = start; i < args.size(); i += 2) {
-    if (!starts_with(args[i], "--") || i + 1 >= args.size()) {
+  for (std::size_t i = start; i < args.size();) {
+    if (!starts_with(args[i], "--")) {
       err << "malformed option '" << args[i] << "'\n";
       return false;
     }
-    (*flags)[args[i].substr(2)] = args[i + 1];
+    const std::string name = args[i].substr(2);
+    const bool is_boolean =
+        std::find(boolean_flags.begin(), boolean_flags.end(), name) !=
+        boolean_flags.end();
+    if (is_boolean) {
+      (*flags)[name] = "1";
+      i += 1;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      err << "malformed option '" << args[i] << "'\n";
+      return false;
+    }
+    (*flags)[name] = args[i + 1];
+    i += 2;
   }
   return true;
 }
@@ -106,8 +126,16 @@ int cmd_compile(const std::map<std::string, std::string>& flags,
   const auto tech = load_technology(flags, err);
   if (!tech) return 2;
 
+  CompilerSpec run_spec = *spec;
+  if (flags.count("cache-file")) run_spec.cache_file = flags.at("cache-file");
+
   const Compiler compiler(*tech);
-  const CompilerResult result = compiler.run(*spec);
+  std::string run_err;
+  const CompilerResult result = compiler.run(run_spec, nullptr, &run_err);
+  if (!run_err.empty()) {
+    err << run_err << "\n";
+    return 2;
+  }
 
   const std::filesystem::path outdir = flags.at("out");
   std::error_code ec;
@@ -203,11 +231,18 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
   }
   spec.generate_rtl = false;
   spec.generate_layout = false;
+  if (flags.count("cache-file")) spec.cache_file = flags.at("cache-file");
 
   const auto tech = load_technology(flags, err);
   if (!tech) return 2;
   const Compiler compiler(*tech);
-  out << compiler.run(spec).summary();
+  std::string run_err;
+  const CompilerResult result = compiler.run(spec, nullptr, &run_err);
+  if (!run_err.empty()) {
+    err << run_err << "\n";
+    return 2;
+  }
+  out << result.summary();
   return 0;
 }
 
@@ -268,6 +303,7 @@ int cmd_sweep(const std::map<std::string, std::string>& flags,
     }
   }
   if (flags.count("checkpoint")) spec.checkpoint = flags.at("checkpoint");
+  if (flags.count("cache-file")) spec.cache_file = flags.at("cache-file");
   if (spec.wstores.empty()) {
     err << "option value out of range\n";
     return 2;
@@ -276,6 +312,19 @@ int cmd_sweep(const std::map<std::string, std::string>& flags,
   const auto tech = load_technology(flags, err);
   if (!tech) return 2;
   const Compiler compiler(*tech);
+
+  // Coverage report only — read the checkpoint, run nothing.
+  if (flags.count("resume-summary")) {
+    std::string sum_err;
+    const auto summary = summarize_checkpoint(compiler, spec, &sum_err);
+    if (!summary) {
+      err << sum_err << "\n";
+      return 2;
+    }
+    out << summary->render(spec.checkpoint);
+    return 0;
+  }
+
   std::string sweep_err;
   const SweepResult result = run_sweep(compiler, spec, &sweep_err);
   if (!sweep_err.empty()) {
@@ -315,17 +364,24 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
   const std::string& command = args[0];
+  // Valueless flags, per command (everything else takes "--key value").
+  const std::vector<std::string> boolean_flags =
+      command == "sweep" ? std::vector<std::string>{"resume-summary"}
+                         : std::vector<std::string>{};
   std::map<std::string, std::string> flags;
-  if (!parse_flags(args, 1, &flags, err)) return 2;
+  if (!parse_flags(args, 1, boolean_flags, &flags, err)) return 2;
 
   if (command == "compile") {
-    if (!check_known(flags, {"spec", "out", "tech"}, err)) return 2;
+    if (!check_known(flags, {"spec", "out", "tech", "cache-file"}, err)) {
+      return 2;
+    }
     return cmd_compile(flags, out, err);
   }
   if (command == "explore") {
     if (!check_known(flags,
                      {"wstore", "precision", "sparsity", "supply", "seed",
-                      "population", "generations", "threads", "tech"},
+                      "population", "generations", "threads", "tech",
+                      "cache-file"},
                      err)) {
       return 2;
     }
@@ -333,9 +389,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   }
   if (command == "sweep") {
     if (!check_known(flags,
-                     {"spec", "out", "checkpoint", "wstores", "precisions",
-                      "sparsity", "supply", "seed", "population",
-                      "generations", "threads", "tech"},
+                     {"spec", "out", "checkpoint", "cache-file",
+                      "resume-summary", "wstores", "precisions", "sparsity",
+                      "supply", "seed", "population", "generations",
+                      "threads", "tech"},
                      err)) {
       return 2;
     }

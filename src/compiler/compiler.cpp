@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
 
 #include "cost/cost_cache.h"
@@ -106,12 +108,51 @@ std::vector<std::size_t> Compiler::distill(
   return {};
 }
 
-CompilerResult Compiler::run(const CompilerSpec& spec) const {
-  return run(spec, nullptr);
+namespace {
+
+/// Fail like the sweep engine's checkpoint path: diagnose through *error
+/// when the caller can handle it, abort otherwise — a run must never
+/// silently drop its persistent cache.
+CompilerResult compiler_fail(const std::string& msg, std::string* error) {
+  if (error) {
+    *error = msg;
+    return {};
+  }
+  std::fprintf(stderr, "[sega] %s\n", msg.c_str());
+  std::abort();
 }
 
-CompilerResult Compiler::run(const CompilerSpec& spec,
-                             CostCache* cache) const {
+}  // namespace
+
+CompilerResult Compiler::run(const CompilerSpec& spec) const {
+  return run(spec, nullptr, nullptr);
+}
+
+CompilerResult Compiler::run(const CompilerSpec& spec, CostCache* cache,
+                             std::string* error) const {
+  if (error) error->clear();
+  if (!cache && !spec.cache_file.empty()) {
+    CostCache local(tech_, spec.conditions);
+    std::string cache_error;
+    std::error_code ec;
+    if (std::filesystem::exists(spec.cache_file, ec) &&
+        !local.load(spec.cache_file, &cache_error)) {
+      return compiler_fail(cache_error, error);
+    }
+    CompilerResult result = run_impl(spec, &local);
+    // Non-fatal: the compilation is already done; a memo-write failure must
+    // not discard it.  The next run simply re-pays the evaluations.
+    if (!local.save(spec.cache_file, &cache_error)) {
+      std::fprintf(stderr, "[sega] warning: %s (results unaffected)\n",
+                   cache_error.c_str());
+    }
+    return result;
+  }
+  return run_impl(spec, cache);
+}
+
+CompilerResult Compiler::run_impl(const CompilerSpec& spec,
+                                  CostCache* cache) const {
   CompilerResult result;
   result.spec = spec;
 

@@ -43,14 +43,25 @@ class Compiler {
 
   const Technology& technology() const { return tech_; }
 
-  /// Run the full pipeline.
+  /// Run the full pipeline.  When spec.cache_file is set, an internal cost
+  /// cache is loaded from that memo file before the DSE (if it exists) and
+  /// saved back after — repeated runs over overlapping spaces skip the
+  /// evaluations a previous process already paid for.  A cache-file *load*
+  /// failure (unreadable, fingerprint mismatch) aborts — stale numbers must
+  /// never mix into results; a *save* failure only warns, since the
+  /// computed result must not be discarded over an auxiliary write error.
   CompilerResult run(const CompilerSpec& spec) const;
 
   /// Run the full pipeline with a shared memoizing cost cache (e.g. one
   /// cache across every cell of a grid sweep).  @p cache must be bound to
-  /// this compiler's technology and to spec.conditions; nullptr behaves
-  /// like run(spec).  Thread-safe for concurrent calls sharing one cache.
-  CompilerResult run(const CompilerSpec& spec, CostCache* cache) const;
+  /// this compiler's technology and to spec.conditions; when non-null it
+  /// takes precedence over spec.cache_file (the owner of a shared cache
+  /// decides when to persist it).  Thread-safe for concurrent calls sharing
+  /// one cache.  Cache-file load failures set *error and return an empty
+  /// result when @p error is non-null, and abort otherwise; save failures
+  /// warn on stderr and still return the result.
+  CompilerResult run(const CompilerSpec& spec, CostCache* cache,
+                     std::string* error = nullptr) const;
 
   /// Distillation as a standalone step (exposed for tests/ablations):
   /// indices into @p front selected by @p policy, best first, at most
@@ -60,6 +71,8 @@ class Compiler {
       int max_selected);
 
  private:
+  CompilerResult run_impl(const CompilerSpec& spec, CostCache* cache) const;
+
   Technology tech_;
 };
 

@@ -88,6 +88,9 @@ std::optional<CompilerSpec> CompilerSpec::from_json(const Json& json,
       spec.generate_layout = value.as_bool();
     } else if (key == "generate_def") {
       spec.generate_def = value.as_bool();
+    } else if (key == "cache_file") {
+      if (!value.is_string()) return fail("cache_file must be a string path");
+      spec.cache_file = value.as_string();
     } else {
       return fail(strfmt("unknown spec key '%s'", key.c_str()));
     }
@@ -114,6 +117,7 @@ Json CompilerSpec::to_json() const {
   j["generate_rtl"] = generate_rtl;
   j["generate_layout"] = generate_layout;
   j["generate_def"] = generate_def;
+  if (!cache_file.empty()) j["cache_file"] = cache_file;
   return j;
 }
 

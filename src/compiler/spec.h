@@ -40,6 +40,15 @@ struct CompilerSpec {
   bool generate_layout = true;
   bool generate_def = false;
 
+  /// Persistent cost-cache memo file; empty disables persistence.  Loaded
+  /// (if present) before the DSE and saved back after, so repeated runs
+  /// over overlapping spaces skip paid-for evaluations across processes.
+  /// The file is fingerprinted with the technology, conditions and
+  /// cost-model version; a mismatched memo is an error, never silently
+  /// mixed in.  Does not change any result — the cache memoizes a pure
+  /// function.
+  std::string cache_file;
+
   /// Parse from JSON, e.g.:
   ///   {"wstore": 8192, "precision": "BF16", "supply_v": 0.9,
   ///    "sparsity": 0.1, "distill": "knee", "seed": 7}

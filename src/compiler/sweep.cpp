@@ -1,11 +1,14 @@
 #include "compiler/sweep.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <utility>
 
 #include "cost/cost_cache.h"
@@ -28,7 +31,8 @@ std::optional<SweepSpec> spec_fail(const std::string& msg,
 
 /// The result-affecting fields in JSON form — the shared core of to_json()
 /// and the checkpoint config fingerprint, so the two can never drift.
-/// Excludes threads and the checkpoint path (neither changes results).
+/// Excludes threads, the checkpoint path and the cache-file path (none of
+/// them changes results).
 Json result_affecting_json(const SweepSpec& spec) {
   Json j = Json::object();
   Json ws = Json::array();
@@ -62,8 +66,8 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
   for (const auto& [key, value] : json.items()) {
     // Scalar keys are type-checked before the typed accessors: a wrong type
     // must be a parse error, never a precondition abort.
-    const bool is_scalar_key =
-        key != "wstores" && key != "precisions" && key != "checkpoint";
+    const bool is_scalar_key = key != "wstores" && key != "precisions" &&
+                               key != "checkpoint" && key != "cache_file";
     if (is_scalar_key && !value.is_number()) {
       return spec_fail(strfmt("spec key '%s' must be a number", key.c_str()),
                        error);
@@ -150,6 +154,11 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
         return spec_fail("checkpoint must be a string path", error);
       }
       spec.checkpoint = value.as_string();
+    } else if (key == "cache_file") {
+      if (!value.is_string()) {
+        return spec_fail("cache_file must be a string path", error);
+      }
+      spec.cache_file = value.as_string();
     } else {
       return spec_fail(strfmt("unknown sweep spec key '%s'", key.c_str()),
                        error);
@@ -162,6 +171,7 @@ Json SweepSpec::to_json() const {
   Json j = result_affecting_json(*this);
   j["threads"] = dse.threads;
   if (!checkpoint.empty()) j["checkpoint"] = checkpoint;
+  if (!cache_file.empty()) j["cache_file"] = cache_file;
   return j;
 }
 
@@ -235,10 +245,12 @@ struct RecoveredCell {
   SweepCell cell;
 };
 
-/// Parse one checkpoint cell line into @p out.  Returns false (recompute the
+/// Parse one checkpoint cell line into @p out — structural recovery only;
+/// the caller re-derives the knee metrics through the cost model (resume)
+/// or skips them entirely (--resume-summary).  Returns false (recompute the
 /// cell) on any structural or semantic mismatch — a checkpoint may be
 /// truncated or hand-edited, and a corrupt line must never become a result.
-bool recover_cell(const Json& line, const SweepSpec& spec, CostCache& cache,
+bool recover_cell(const Json& line, const SweepSpec& spec,
                   RecoveredCell* out) {
   if (!line.is_object() || !line.contains("cell")) return false;
   const Json& c = line.at("cell");
@@ -286,7 +298,6 @@ bool recover_cell(const Json& line, const SweepSpec& spec, CostCache& cache,
   // design space (also the precondition of evaluate_macro).
   if (!validate_design(dp, wstore, spec.limits).ok) return false;
   out->cell.knee.point = dp;
-  out->cell.knee.metrics = cache.evaluate(dp);
   return true;
 }
 
@@ -297,6 +308,42 @@ SweepResult checkpoint_fail(const std::string& msg, std::string* error) {
   }
   std::fprintf(stderr, "[sega] %s\n", msg.c_str());
   std::abort();
+}
+
+/// Structural validity of a parsed checkpoint header line.
+bool checkpoint_header_valid(const std::optional<Json>& header) {
+  return header && header->is_object() &&
+         header->contains("sega_sweep_checkpoint") &&
+         header->contains("config");
+}
+
+/// Stream a checkpoint's non-empty lines.  The first is handed to
+/// @p on_header (nullopt when unparseable); its return decides whether the
+/// cell lines are read at all.  Every later line goes to @p on_line
+/// (nullopt when unparseable).  Both resume and --resume-summary read
+/// checkpoints through this one walker, so the line protocol cannot drift
+/// between them.  Returns false only when the file cannot be opened;
+/// *saw_header reports whether any content line existed (a file killed
+/// before the header flush has none).
+bool walk_checkpoint(
+    const std::string& path, bool* saw_header,
+    const std::function<bool(const std::optional<Json>&)>& on_header,
+    const std::function<void(const std::optional<Json>&)>& on_line) {
+  *saw_header = false;
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    const auto parsed = Json::parse(line);
+    if (!*saw_header) {
+      *saw_header = true;
+      if (!on_header(parsed)) return true;
+      continue;
+    }
+    on_line(parsed);
+  }
+  return true;
 }
 
 }  // namespace
@@ -325,6 +372,17 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   // design points, and checkpoint recovery re-derives knee metrics from it.
   CostCache cache(compiler.technology(), spec.conditions);
 
+  // --- persistent memo load ---
+  if (!spec.cache_file.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(spec.cache_file, ec)) {
+      std::string cache_error;
+      if (!cache.load(spec.cache_file, &cache_error)) {
+        return checkpoint_fail(cache_error, error);
+      }
+    }
+  }
+
   // --- checkpoint load ---
   using CellKey = std::pair<std::int64_t, std::string>;
   std::map<CellKey, RecoveredCell> recovered;
@@ -334,47 +392,56 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     bool have_header = false;
     std::error_code ec;
     if (std::filesystem::exists(spec.checkpoint, ec)) {
-      std::ifstream in(spec.checkpoint);
-      if (!in) {
+      // The header must match this sweep's configuration exactly; a
+      // checkpoint from a different sweep must never be mixed in.  Cell
+      // lines tolerate truncation/corruption (a killed writer may leave a
+      // partial tail) by simply recomputing those cells.
+      bool malformed_header = false;
+      bool config_mismatch = false;
+      const bool readable = walk_checkpoint(
+          spec.checkpoint, &have_header,
+          [&](const std::optional<Json>& header) {
+            if (!checkpoint_header_valid(header)) {
+              malformed_header = true;
+              return false;
+            }
+            if (!(header->at("config") ==
+                  config_fingerprint(spec, compiler.technology()))) {
+              config_mismatch = true;
+              return false;
+            }
+            return true;
+          },
+          [&](const std::optional<Json>& line) {
+            if (!line) return;
+            RecoveredCell rc;
+            if (!recover_cell(*line, spec, &rc)) return;
+            // Metrics are never stored in the checkpoint: re-derive them
+            // through the pure cost model so recovery is bit-exact and
+            // immune to serialization rounding.
+            if (!rc.empty) {
+              rc.cell.knee.metrics = cache.evaluate(rc.cell.knee.point);
+            }
+            recovered[CellKey{rc.cell.wstore, rc.cell.precision.name}] =
+                std::move(rc);
+          });
+      if (!readable) {
         return checkpoint_fail(
             strfmt("cannot read checkpoint '%s'", spec.checkpoint.c_str()),
             error);
       }
-      std::string line;
-      bool first_content_line = true;
-      while (std::getline(in, line)) {
-        if (trim(line).empty()) continue;
-        const auto parsed = Json::parse(line);
-        if (first_content_line) {
-          first_content_line = false;
-          // The header must match this sweep's configuration exactly; a
-          // checkpoint from a different sweep must never be mixed in.
-          if (!parsed || !parsed->is_object() ||
-              !parsed->contains("sega_sweep_checkpoint") ||
-              !parsed->contains("config")) {
-            return checkpoint_fail(
-                strfmt("checkpoint '%s' has a missing or malformed header",
-                       spec.checkpoint.c_str()),
-                error);
-          }
-          if (!(parsed->at("config") ==
-                config_fingerprint(spec, compiler.technology()))) {
-            return checkpoint_fail(
-                strfmt("checkpoint '%s' was written for a different sweep "
-                       "configuration; delete it or fix the spec",
-                       spec.checkpoint.c_str()),
-                error);
-          }
-          have_header = true;
-          continue;
-        }
-        // Cell lines: tolerate truncated/corrupt lines (a killed writer may
-        // leave a partial tail) by simply recomputing those cells.
-        if (!parsed) continue;
-        RecoveredCell rc;
-        if (!recover_cell(*parsed, spec, cache, &rc)) continue;
-        recovered[CellKey{rc.cell.wstore, rc.cell.precision.name}] =
-            std::move(rc);
+      if (malformed_header) {
+        return checkpoint_fail(
+            strfmt("checkpoint '%s' has a missing or malformed header",
+                   spec.checkpoint.c_str()),
+            error);
+      }
+      if (config_mismatch) {
+        return checkpoint_fail(
+            strfmt("checkpoint '%s' was written for a different sweep "
+                   "configuration; delete it or fix the spec",
+                   spec.checkpoint.c_str()),
+            error);
       }
       // No content lines at all (a run killed before the header flush, or a
       // pre-created empty file): treat as fresh and write the header below.
@@ -417,6 +484,23 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     }
   }
 
+  // Cost-guided scheduling: submit the predictably expensive cells first so
+  // the FP32/128K corner doesn't start last and stretch the tail of the
+  // schedule.  The heuristic is Wstore x input width x weight width (the
+  // dominant factors of a cell's design-space size and per-point cost).
+  // Only the submission order changes — every result lands in its fixed
+  // grid slot and the fold below stays in grid order, so outputs are
+  // byte-identical to an unordered schedule.
+  std::stable_sort(todo.begin(), todo.end(),
+                   [&grid](std::size_t a, std::size_t b) {
+                     const auto predicted = [&grid](std::size_t gi) {
+                       return grid[gi].wstore *
+                              grid[gi].precision.input_bits() *
+                              grid[gi].precision.weight_bits();
+                     };
+                     return predicted(a) > predicted(b);
+                   });
+
   std::unique_ptr<ThreadPool> owned;
   if (spec.dse.threads > 0) {
     owned = std::make_unique<ThreadPool>(spec.dse.threads);
@@ -458,13 +542,132 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     }
   });
 
+  // --- persistent memo save ---
+  // Non-fatal: the grid is already computed, and discarding a finished
+  // sweep's results over an auxiliary-output I/O error (full disk,
+  // read-only cache path) would destroy the primary product.  The next run
+  // simply re-pays the evaluations.  (Loading a bad memo stays a hard
+  // error — that would corrupt results; failing to write one cannot.)
+  if (!spec.cache_file.empty()) {
+    std::string cache_error;
+    if (!cache.save(spec.cache_file, &cache_error)) {
+      std::fprintf(stderr, "[sega] warning: %s (sweep results unaffected)\n",
+                   cache_error.c_str());
+    }
+  }
+
   // --- fold in fixed grid order ---
   SweepResult result;
+  result.cache_hits = cache.hits();
+  result.cache_misses = cache.misses();
   for (std::size_t gi = 0; gi < grid.size(); ++gi) {
     if (slots[gi].empty) continue;
     result.cells.push_back(std::move(slots[gi].cell));
   }
   return result;
+}
+
+std::string CheckpointSummary::render(const std::string& path) const {
+  const double pct = cells_total == 0
+                         ? 0.0
+                         : 100.0 * static_cast<double>(cells_done) /
+                               static_cast<double>(cells_total);
+  std::string out = strfmt("checkpoint %s\n", path.c_str());
+  out += strfmt("  config match : %s\n", config_match ? "yes" : "NO");
+  out += strfmt("  coverage     : %zu/%zu cells complete (%.1f%%)\n",
+                cells_done, cells_total, pct);
+  for (const auto& cov : per_precision) {
+    out += strfmt("    %-8s %zu/%zu\n", cov.precision.c_str(), cov.done,
+                  cov.total);
+  }
+  if (stale_lines > 0) {
+    out += strfmt("  stale lines  : %zu (cells outside this grid)\n",
+                  stale_lines);
+  }
+  if (corrupt_lines > 0) {
+    out += strfmt("  corrupt lines: %zu (will be recomputed on resume)\n",
+                  corrupt_lines);
+  }
+  if (!config_match) {
+    out += "  NOTE: resuming with this spec will fail — the checkpoint was "
+           "written for a different sweep configuration\n";
+  }
+  return out;
+}
+
+std::optional<CheckpointSummary> summarize_checkpoint(const Compiler& compiler,
+                                                      const SweepSpec& spec,
+                                                      std::string* error) {
+  const auto fail = [&](const std::string& msg) -> std::optional<CheckpointSummary> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  if (error) error->clear();
+  if (spec.checkpoint.empty()) {
+    return fail("no checkpoint path in the sweep spec");
+  }
+
+  CheckpointSummary summary;
+  summary.cells_total = spec.wstores.size() * spec.precisions.size();
+  std::map<std::string, std::size_t> done_by_precision;
+  std::set<std::pair<std::int64_t, std::string>> grid_keys, seen;
+  for (const std::int64_t wstore : spec.wstores) {
+    for (const Precision& precision : spec.precisions) {
+      grid_keys.emplace(wstore, precision.name);
+    }
+  }
+
+  bool have_header = false;
+  bool malformed_header = false;
+  const bool readable = walk_checkpoint(
+      spec.checkpoint, &have_header,
+      [&](const std::optional<Json>& header) {
+        if (!checkpoint_header_valid(header)) {
+          malformed_header = true;
+          return false;
+        }
+        // A mismatch is reported, not an error — the point of the summary
+        // is to tell the user what the file holds.
+        summary.config_match =
+            header->at("config") ==
+            config_fingerprint(spec, compiler.technology());
+        return true;
+      },
+      [&](const std::optional<Json>& line) {
+        if (!line) {
+          ++summary.corrupt_lines;
+          return;
+        }
+        RecoveredCell rc;
+        if (!recover_cell(*line, spec, &rc)) {
+          ++summary.corrupt_lines;
+          return;
+        }
+        const std::pair<std::int64_t, std::string> key{
+            rc.cell.wstore, rc.cell.precision.name};
+        if (grid_keys.count(key) == 0) {
+          ++summary.stale_lines;
+          return;
+        }
+        if (!seen.insert(key).second) return;  // duplicate line, count once
+        ++summary.cells_done;
+        ++done_by_precision[rc.cell.precision.name];
+      });
+  if (!readable) {
+    return fail(strfmt("cannot read checkpoint '%s'", spec.checkpoint.c_str()));
+  }
+  if (!have_header || malformed_header) {
+    return fail(strfmt("checkpoint '%s' has a missing or malformed header",
+                       spec.checkpoint.c_str()));
+  }
+  for (const Precision& precision : spec.precisions) {
+    CheckpointPrecisionCoverage cov;
+    cov.precision = precision.name;
+    cov.done = done_by_precision[precision.name];
+    cov.total = spec.wstores.size();
+    summary.per_precision.push_back(std::move(cov));
+  }
+  return summary;
 }
 
 Json SweepResult::to_json() const {

@@ -35,10 +35,18 @@ struct SweepSpec {
   /// killed run — are tolerated and recomputed.
   std::string checkpoint;
 
+  /// Persistent cost-cache memo file; empty disables persistence.  The
+  /// grid's shared CostCache is seeded from this file before any cell runs
+  /// and saved back (atomically) after the last cell completes, so a second
+  /// sweep of the same grid performs zero macro-model evaluations.  The
+  /// memo is fingerprinted (technology + conditions + cost-model version);
+  /// a mismatched file is an error.  Results are unchanged either way.
+  std::string cache_file;
+
   /// Parse from JSON, e.g.:
   ///   {"wstores": [4096, 8192], "precisions": ["INT8", "BF16"],
   ///    "sparsity": 0.1, "seed": 42, "threads": 8,
-  ///    "checkpoint": "sweep.ckpt.jsonl"}
+  ///    "checkpoint": "sweep.ckpt.jsonl", "cache_file": "cost.memo.jsonl"}
   /// Omitted "wstores"/"precisions" keep the full §IV defaults.  Unknown
   /// keys are rejected.
   static std::optional<SweepSpec> from_json(const Json& json,
@@ -57,6 +65,13 @@ struct SweepCell {
 struct SweepResult {
   std::vector<SweepCell> cells;
 
+  /// Stats of the grid's shared cost cache (not serialized — to_json/to_csv
+  /// stay byte-identical regardless of cache temperature).  A warm
+  /// spec.cache_file run of an unchanged grid reports cache_misses == 0:
+  /// every evaluation was a memo hit.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
   Json to_json() const;
   /// CSV with a header row; one row per cell.
   std::string to_csv() const;
@@ -64,12 +79,48 @@ struct SweepResult {
 
 /// Run DSE (no generation) over the whole grid on the thread pool
 /// (spec.dse.threads; 0 = auto via SEGA_THREADS / hardware concurrency,
-/// 1 = serial).  Cells whose design space is empty are skipped.
+/// 1 = serial).  Cells whose design space is empty are skipped.  Pending
+/// cells are scheduled in descending predicted-cost order (Wstore x
+/// precision width) so the expensive FP32/128K cells start first; results
+/// are still folded in fixed grid order, so outputs are unchanged.
 ///
-/// Checkpoint failures (stale configuration, unreadable/unwritable file)
-/// set *error and return an empty result when @p error is non-null, and
-/// abort otherwise — a sweep must never silently drop its checkpoint.
+/// Checkpoint failures and cache-file *load* failures (stale configuration,
+/// unreadable file) set *error and return an empty result when @p error is
+/// non-null, and abort otherwise — stale state must never silently mix into
+/// results.  A cache-file *save* failure after the grid completes only
+/// warns on stderr: the computed sweep is the primary product and is still
+/// returned.
 SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
                       std::string* error = nullptr);
+
+/// Coverage of one precision across the checkpoint's grid column.
+struct CheckpointPrecisionCoverage {
+  std::string precision;
+  std::size_t done = 0;
+  std::size_t total = 0;
+};
+
+/// Coverage report of a sweep checkpoint, produced without running any DSE
+/// (the `sega_dcim sweep --resume-summary` payload).
+struct CheckpointSummary {
+  bool config_match = false;     ///< header fingerprint matches (spec, tech)
+  std::size_t cells_total = 0;   ///< grid size of the spec
+  std::size_t cells_done = 0;    ///< grid cells covered by valid lines
+  std::size_t stale_lines = 0;   ///< valid cell lines outside this grid
+  std::size_t corrupt_lines = 0; ///< unparseable/invalid cell lines
+  std::vector<CheckpointPrecisionCoverage> per_precision;  ///< spec order
+
+  /// Human-readable report.
+  std::string render(const std::string& path) const;
+};
+
+/// Read spec.checkpoint and report its coverage of spec's grid without
+/// evaluating anything.  A config-fingerprint mismatch is NOT an error — the
+/// summary reports it (and still counts coverage, so the user can see what
+/// the file holds).  A missing checkpoint path in the spec, an unreadable
+/// file, or a missing/malformed header line set *error and return nullopt.
+std::optional<CheckpointSummary> summarize_checkpoint(
+    const Compiler& compiler, const SweepSpec& spec,
+    std::string* error = nullptr);
 
 }  // namespace sega

@@ -1,9 +1,23 @@
 #include "cost/cost_cache.h"
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "tech/techlib_parser.h"
+#include "util/assert.h"
+#include "util/strings.h"
+
 namespace sega {
 
 CostCache::CostCache(const Technology& tech, EvalConditions cond)
-    : tech_(&tech), cond_(cond) {}
+    : owned_(std::make_unique<AnalyticCostModel>(tech, cond)),
+      model_(owned_.get()) {}
+
+CostCache::CostCache(const CostModel& model) : model_(&model) {}
 
 CostCache::Key CostCache::key_of(const DesignPoint& dp) {
   return Key(static_cast<int>(dp.arch), static_cast<int>(dp.precision.kind),
@@ -12,7 +26,7 @@ CostCache::Key CostCache::key_of(const DesignPoint& dp) {
              dp.signed_weights, dp.pipelined_tree);
 }
 
-CostCache::Shard& CostCache::shard_of(const Key& key) {
+CostCache::Shard& CostCache::shard_of(const Key& key) const {
   // Cheap mix of the geometry coordinates; precision/arch vary little within
   // one run, so (n, h, l, k) carry the entropy.
   const auto n = static_cast<std::uint64_t>(std::get<5>(key));
@@ -25,33 +39,145 @@ CostCache::Shard& CostCache::shard_of(const Key& key) {
   return shards_[mixed % kShards];
 }
 
-MacroMetrics CostCache::evaluate(const DesignPoint& dp) {
-  const Key key = key_of(dp);
-  Shard& shard = shard_of(key);
-  {
+MacroMetrics CostCache::evaluate(const DesignPoint& dp) const {
+  MacroMetrics metrics;
+  evaluate_batch(Span<const DesignPoint>(&dp, 1), Span<MacroMetrics>(&metrics, 1));
+  return metrics;
+}
+
+void CostCache::evaluate_batch(Span<const DesignPoint> points,
+                               Span<MacroMetrics> out) const {
+  SEGA_EXPECTS(points.size() == out.size());
+  if (points.empty()) return;
+
+  // Phase 1 — classify under the shard locks.  An absent key is claimed with
+  // a pending marker, so exactly one caller process-wide evaluates it; a key
+  // pending on another caller (or earlier in this very batch) is parked for
+  // phase 4.
+  std::vector<Key> keys(points.size());
+  std::vector<std::size_t> miss;
+  std::vector<std::size_t> parked;
+  std::uint64_t hit_count = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    keys[i] = key_of(points[i]);
+    Shard& shard = shard_of(keys[i]);
     std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.table.find(key);
-    if (it != shard.table.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+    const auto [it, inserted] = shard.table.try_emplace(keys[i]);
+    if (inserted) {
+      miss.push_back(i);
+    } else if (it->second.ready) {
+      out[i] = it->second.metrics;
+      ++hit_count;
+    } else {
+      parked.push_back(i);
     }
   }
-  // Evaluate outside the lock: the model is pure, so a concurrent duplicate
-  // evaluation of the same cold key is wasted work, never wrong results.
-  MacroMetrics metrics = evaluate_macro(*tech_, dp, cond_);
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.table.emplace(key, metrics);
+
+  // Phase 2 — evaluate the cold remainder as one batch through the model.
+  // If the model throws (a caller-provided implementation, or allocation
+  // failure), the claims are unwound and waiters woken before rethrowing —
+  // an abandoned pending marker would deadlock every later lookup of that
+  // key.  Woken waiters observe the vanished entry and re-claim it
+  // themselves (see phase 4), so the cache stays usable after the error.
+  if (!miss.empty()) {
+    std::vector<MacroMetrics> fresh(miss.size());
+    try {
+      std::vector<DesignPoint> cold;
+      cold.reserve(miss.size());
+      for (const std::size_t i : miss) cold.push_back(points[i]);
+      model_->evaluate_batch(Span<const DesignPoint>(cold),
+                             Span<MacroMetrics>(fresh));
+    } catch (...) {
+      for (const std::size_t i : miss) {
+        Shard& shard = shard_of(keys[i]);
+        {
+          std::lock_guard<std::mutex> lock(shard.mu);
+          const auto it = shard.table.find(keys[i]);
+          if (it != shard.table.end() && !it->second.ready) {
+            shard.table.erase(it);
+          }
+        }
+        shard.cv.notify_all();
+      }
+      throw;
+    }
+
+    // Phase 3 — publish and wake parked requesters.
+    for (std::size_t j = 0; j < miss.size(); ++j) {
+      const std::size_t i = miss[j];
+      out[i] = fresh[j];
+      Shard& shard = shard_of(keys[i]);
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        Entry& entry = shard.table[keys[i]];
+        entry.metrics = std::move(fresh[j]);
+        entry.ready = true;
+      }
+      shard.cv.notify_all();
+    }
+    misses_.fetch_add(miss.size(), std::memory_order_relaxed);
   }
-  return metrics;
+
+  // Phase 4 — collect keys another caller is computing.  Markers claimed by
+  // this batch are already published (phase 3 runs first), so waiting here
+  // is only ever on other threads' in-flight evaluations.  A key that
+  // vanishes while parked means its claimer's model call threw: take over
+  // the claim and evaluate it here (counted as a miss — it reaches the
+  // model exactly once).
+  for (const std::size_t i : parked) {
+    Shard& shard = shard_of(keys[i]);
+    std::unique_lock<std::mutex> lock(shard.mu);
+    bool claimed = false;
+    for (;;) {
+      const auto it = shard.table.find(keys[i]);
+      if (it == shard.table.end()) {
+        shard.table.try_emplace(keys[i]);
+        claimed = true;
+        break;
+      }
+      if (it->second.ready) {
+        out[i] = it->second.metrics;
+        ++hit_count;
+        break;
+      }
+      shard.cv.wait(lock);
+    }
+    if (!claimed) continue;
+    lock.unlock();
+    MacroMetrics metrics;
+    try {
+      metrics = model_->evaluate(points[i]);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> relock(shard.mu);
+        const auto it = shard.table.find(keys[i]);
+        if (it != shard.table.end() && !it->second.ready) {
+          shard.table.erase(it);
+        }
+      }
+      shard.cv.notify_all();
+      throw;
+    }
+    out[i] = metrics;
+    {
+      std::lock_guard<std::mutex> relock(shard.mu);
+      Entry& entry = shard.table[keys[i]];
+      entry.metrics = std::move(metrics);
+      entry.ready = true;
+    }
+    shard.cv.notify_all();
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (hit_count > 0) hits_.fetch_add(hit_count, std::memory_order_relaxed);
 }
 
 std::size_t CostCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    total += shard.table.size();
+    for (const auto& [key, entry] : shard.table) {
+      if (entry.ready) ++total;
+    }
   }
   return total;
 }
@@ -63,6 +189,234 @@ void CostCache::clear() {
   }
   hits_.store(0);
   misses_.store(0);
+}
+
+// ------------------------------------------------------------ persistence
+
+namespace {
+
+constexpr const char* kMemoMarker = "sega_cost_memo";
+
+/// Serialize one table entry: the key fields positionally, the gate census,
+/// the scalar metrics positionally, and the breakdown maps.  Doubles dump as
+/// %.17g (util/json.cpp), which round-trips bit-exactly.
+Json entry_line(
+    const std::tuple<int, int, int, int, int, std::int64_t, std::int64_t,
+                     std::int64_t, std::int64_t, bool, bool>& key,
+    const MacroMetrics& m) {
+  Json j = Json::object();
+  Json k = Json::array();
+  k.push_back(std::get<0>(key));
+  k.push_back(std::get<1>(key));
+  k.push_back(std::get<2>(key));
+  k.push_back(std::get<3>(key));
+  k.push_back(std::get<4>(key));
+  k.push_back(std::get<5>(key));
+  k.push_back(std::get<6>(key));
+  k.push_back(std::get<7>(key));
+  k.push_back(std::get<8>(key));
+  k.push_back(std::get<9>(key));
+  k.push_back(std::get<10>(key));
+  j["k"] = std::move(k);
+  Json g = Json::array();
+  for (const std::int64_t count : m.gates.counts) g.push_back(count);
+  j["g"] = std::move(g);
+  Json v = Json::array();
+  v.push_back(m.area_gates);
+  v.push_back(m.delay_gates);
+  v.push_back(m.energy_gates);
+  v.push_back(m.area_um2);
+  v.push_back(m.area_mm2);
+  v.push_back(m.delay_ns);
+  v.push_back(m.freq_ghz);
+  v.push_back(m.energy_per_cycle_fj);
+  v.push_back(m.power_w);
+  v.push_back(m.energy_per_mvm_nj);
+  v.push_back(m.throughput_tops);
+  v.push_back(m.tops_per_w);
+  v.push_back(m.tops_per_mm2);
+  v.push_back(m.cycles_per_input);
+  j["m"] = std::move(v);
+  Json ab = Json::object();
+  for (const auto& [name, value] : m.area_breakdown) ab[name] = value;
+  j["ab"] = std::move(ab);
+  Json eb = Json::object();
+  for (const auto& [name, value] : m.energy_breakdown) eb[name] = value;
+  j["eb"] = std::move(eb);
+  return j;
+}
+
+bool json_array_of_numbers(const Json& j, std::size_t size) {
+  if (!j.is_array() || j.size() != size) return false;
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    if (!j.at(i).is_number()) return false;
+  }
+  return true;
+}
+
+bool parse_breakdown(const Json& j, std::map<std::string, double>* out) {
+  if (!j.is_object()) return false;
+  for (const auto& [name, value] : j.items()) {
+    if (!value.is_number()) return false;
+    (*out)[name] = value.as_number();
+  }
+  return true;
+}
+
+}  // namespace
+
+Json CostCache::fingerprint_header() const {
+  Json config = Json::object();
+  config["techlib"] = write_techlib(model_->tech());
+  const EvalConditions& cond = model_->conditions();
+  config["supply_v"] = cond.supply_v;
+  config["sparsity"] = cond.input_sparsity;
+  config["activity"] = cond.activity;
+  Json j = Json::object();
+  j[kMemoMarker] = 1;
+  j["model_version"] = kCostModelVersion;
+  j["config"] = std::move(config);
+  return j;
+}
+
+bool CostCache::save(const std::string& path, std::string* error) const {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  // Snapshot under the shard locks (in shard/key order, so identical
+  // contents serialize identically).
+  std::string text = fingerprint_header().dump();
+  text += '\n';
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.table) {
+      if (!entry.ready) continue;
+      text += entry_line(key, entry.metrics).dump();
+      text += '\n';
+    }
+  }
+
+  // Write-temp-then-rename: the file under the real name is always either
+  // the previous complete memo or the new complete memo, never a torn write.
+  // The temp name is per-process so concurrent savers of a shared cache file
+  // cannot interleave into one temp and rename a torn mix into place (last
+  // completed rename wins whole).
+  const std::string tmp =
+      strfmt("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return fail(strfmt("cannot write cost cache '%s'", tmp.c_str()));
+    f << text;
+    f.flush();
+    if (!f) return fail(strfmt("write to cost cache '%s' failed", tmp.c_str()));
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return fail(strfmt("cannot rename cost cache '%s' into place",
+                       path.c_str()));
+  }
+  return true;
+}
+
+bool CostCache::load(const std::string& path, std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  std::ifstream in(path);
+  if (!in) return fail(strfmt("cannot read cost cache '%s'", path.c_str()));
+
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    const auto parsed = Json::parse(line);
+    if (!have_header) {
+      // The header must identify a memo for exactly this model: same
+      // formulas (version), same technology, same conditions.
+      if (!parsed || !parsed->is_object() || !parsed->contains(kMemoMarker)) {
+        return fail(strfmt("cost cache '%s' has a missing or malformed header",
+                           path.c_str()));
+      }
+      if (!(*parsed == fingerprint_header())) {
+        return fail(strfmt(
+            "cost cache '%s' was written for a different technology, "
+            "conditions, or cost-model version; delete it or fix the spec",
+            path.c_str()));
+      }
+      have_header = true;
+      continue;
+    }
+    // Entry lines: tolerate truncated/corrupt lines (external corruption or
+    // a partially copied file) by skipping them — a bad line must never
+    // become a metric.
+    if (!parsed || !parsed->is_object() || !parsed->contains("k") ||
+        !parsed->contains("g") || !parsed->contains("m") ||
+        !parsed->contains("ab") || !parsed->contains("eb")) {
+      continue;
+    }
+    const Json& k = parsed->at("k");
+    const Json& g = parsed->at("g");
+    const Json& v = parsed->at("m");
+    if (!k.is_array() || k.size() != 11 || !json_array_of_numbers(g, 8) ||
+        !json_array_of_numbers(v, 14)) {
+      continue;
+    }
+    bool key_ok = true;
+    for (std::size_t i = 0; i < 9; ++i) {
+      if (!k.at(i).is_number()) key_ok = false;
+    }
+    if (!k.at(9).is_bool() || !k.at(10).is_bool()) key_ok = false;
+    if (!key_ok) continue;
+
+    Key key(static_cast<int>(k.at(0).as_int()),
+            static_cast<int>(k.at(1).as_int()),
+            static_cast<int>(k.at(2).as_int()),
+            static_cast<int>(k.at(3).as_int()),
+            static_cast<int>(k.at(4).as_int()), k.at(5).as_int(),
+            k.at(6).as_int(), k.at(7).as_int(), k.at(8).as_int(),
+            k.at(9).as_bool(), k.at(10).as_bool());
+    MacroMetrics m;
+    for (std::size_t i = 0; i < m.gates.counts.size(); ++i) {
+      m.gates.counts[i] = g.at(i).as_int();
+    }
+    m.area_gates = v.at(0).as_number();
+    m.delay_gates = v.at(1).as_number();
+    m.energy_gates = v.at(2).as_number();
+    m.area_um2 = v.at(3).as_number();
+    m.area_mm2 = v.at(4).as_number();
+    m.delay_ns = v.at(5).as_number();
+    m.freq_ghz = v.at(6).as_number();
+    m.energy_per_cycle_fj = v.at(7).as_number();
+    m.power_w = v.at(8).as_number();
+    m.energy_per_mvm_nj = v.at(9).as_number();
+    m.throughput_tops = v.at(10).as_number();
+    m.tops_per_w = v.at(11).as_number();
+    m.tops_per_mm2 = v.at(12).as_number();
+    m.cycles_per_input = v.at(13).as_int();
+    if (!parse_breakdown(parsed->at("ab"), &m.area_breakdown) ||
+        !parse_breakdown(parsed->at("eb"), &m.energy_breakdown)) {
+      continue;
+    }
+
+    // Merge: existing entries win (for a matching fingerprint the values are
+    // identical anyway — the model is pure).
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto [it, inserted] = shard.table.try_emplace(key);
+    if (inserted || !it->second.ready) {
+      it->second.metrics = std::move(m);
+      it->second.ready = true;
+    }
+  }
+  if (!have_header) {
+    return fail(strfmt("cost cache '%s' has a missing or malformed header",
+                       path.c_str()));
+  }
+  return true;
 }
 
 }  // namespace sega

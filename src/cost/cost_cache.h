@@ -1,50 +1,93 @@
-// Memoizing front-end for evaluate_macro.
+// Memoizing CostModel decorator with a persistent cross-process memo file.
 //
 // NSGA-II revisits the same genome many times across generations (elitism,
 // crossover of similar parents, repair walks converging on the same decode),
-// and the multi-precision merge re-evaluates every front member.  The macro
-// model is a pure function of (Technology, EvalConditions, DesignPoint), so
-// one CostCache instance — bound to a fixed technology and conditions —
-// makes every repeated evaluation a lookup.
+// the multi-precision merge re-evaluates every front member, and repeated
+// sweeps of overlapping grids revisit whole cells' worth of points.  The
+// macro model is a pure function of (Technology, EvalConditions,
+// DesignPoint), so one CostCache — wrapping a model bound to fixed
+// technology and conditions — turns every repeated evaluation into a lookup,
+// and its memo file carries that across processes.
 //
-// Thread safety: evaluate() may be called concurrently from the DSE thread
-// pool.  The table is sharded 16 ways to keep lock contention off the hot
-// path.  Under a race on a cold key the model may be evaluated twice, but
-// both evaluations produce identical metrics (pure function), so the cache
-// stays consistent and results stay deterministic.
+// Thread safety: evaluate()/evaluate_batch() may be called concurrently from
+// the DSE thread pool.  The table is sharded 16 ways to keep lock contention
+// off the hot path.  Each distinct key is evaluated exactly once
+// process-wide: the first requester claims the key with a pending marker and
+// computes outside the lock; concurrent requesters of the same key park on
+// the shard's condition variable and are woken when the result publishes.
+// hits() and misses() are therefore exact — every lookup is exactly one of
+// the two, hits() + misses() equals the number of points requested, and
+// misses() equals the number of points the underlying model evaluated.
+//
+// Persistence: save() writes a versioned JSONL memo (header = model-version
+// + technology + conditions fingerprint, one line per entry, doubles in
+// %.17g so metrics round-trip bit-exactly) via write-temp-then-rename, so a
+// crashed writer can never leave a half-written file under the real name.
+// load() merges a memo into the table (existing entries win; entries are
+// identical for matching fingerprints anyway), rejects files written under a
+// different fingerprint, and tolerates truncated trailing lines.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <tuple>
 
-#include "cost/macro_model.h"
+#include "cost/cost_model.h"
+#include "util/json.h"
 
 namespace sega {
 
-class CostCache {
+class CostCache final : public CostModel {
  public:
-  /// The cache keeps a pointer to @p tech; the technology must outlive it.
+  /// Convenience: cache over an owned AnalyticCostModel.  The cache keeps a
+  /// pointer to @p tech; the technology must outlive it.
   explicit CostCache(const Technology& tech, EvalConditions cond = {});
+
+  /// Cache over a caller-provided model (e.g. an instrumented model in
+  /// tests); @p model must outlive the cache.
+  explicit CostCache(const CostModel& model);
 
   CostCache(const CostCache&) = delete;
   CostCache& operator=(const CostCache&) = delete;
 
-  const Technology& tech() const { return *tech_; }
-  const EvalConditions& conditions() const { return cond_; }
+  const Technology& tech() const override { return model_->tech(); }
+  const EvalConditions& conditions() const override {
+    return model_->conditions();
+  }
 
-  /// Cached evaluate_macro(tech, dp, cond).
-  MacroMetrics evaluate(const DesignPoint& dp);
+  /// Cached evaluation of one design point.
+  MacroMetrics evaluate(const DesignPoint& dp) const override;
 
-  /// Number of distinct design points evaluated so far.
+  /// Cached batch evaluation: hits fill out[] directly, the cold remainder
+  /// goes to the underlying model as one batch.
+  void evaluate_batch(Span<const DesignPoint> points,
+                      Span<MacroMetrics> out) const override;
+
+  /// Number of distinct design points evaluated or loaded so far.
   std::size_t size() const;
 
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
 
+  /// Drop every entry and reset the counters.  Must not race evaluations.
   void clear();
+
+  /// Write the memo file atomically (temp file + rename).  Returns false and
+  /// sets *error (when given) on I/O failure.
+  bool save(const std::string& path, std::string* error = nullptr) const;
+
+  /// Merge a memo file into the table.  Returns false and sets *error on an
+  /// unreadable file, a missing/malformed header, or a fingerprint mismatch
+  /// (different technology, conditions, or cost-model version — a stale memo
+  /// must never leak old numbers into new runs).  Truncated or corrupt entry
+  /// lines are skipped; entries already in the table are kept.  Loaded
+  /// entries count as neither hits nor misses.
+  bool load(const std::string& path, std::string* error = nullptr);
 
  private:
   // Every cost-affecting field of DesignPoint, ordered.  (signed_weights is
@@ -57,18 +100,29 @@ class CostCache {
                          bool, bool>;  // signed_weights, pipelined_tree
   static Key key_of(const DesignPoint& dp);
 
+  /// A slot in the table: claimed (pending) at first request, published
+  /// (ready) once the model evaluation lands.
+  struct Entry {
+    bool ready = false;
+    MacroMetrics metrics;
+  };
+
   static constexpr std::size_t kShards = 16;
   struct Shard {
     mutable std::mutex mu;
-    std::map<Key, MacroMetrics> table;
+    mutable std::condition_variable cv;
+    std::map<Key, Entry> table;
   };
-  Shard& shard_of(const Key& key);
+  Shard& shard_of(const Key& key) const;
 
-  const Technology* tech_;
-  EvalConditions cond_;
-  Shard shards_[kShards];
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
+  /// Memo-file identity: model version + serialized technology + conditions.
+  Json fingerprint_header() const;
+
+  std::unique_ptr<const CostModel> owned_;
+  const CostModel* model_;
+  mutable Shard shards_[kShards];
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace sega

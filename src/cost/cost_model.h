@@ -1,0 +1,62 @@
+// CostModel — the first-class evaluation interface of the layered engine.
+//
+// Everything that consumes macro metrics (NSGA-II, the exhaustive/random/
+// weighted-sum baselines, the sweep grid) talks to a CostModel rather than
+// to the free evaluate_macro function.  The interface is batch-oriented:
+// evaluate_batch() is the hot entry point, and pool tasks submit whole
+// batches of design points instead of single ones, so an implementation can
+// amortize per-batch work (hoisted EvalContext, module-cost memoization,
+// structure-of-arrays metric derivation) across many points.
+//
+// AnalyticCostModel is the paper's Table II-VI model.  Its batched path is
+// bit-identical to the scalar evaluate_macro reference — same stages, same
+// arithmetic, same order — which tests cross-check point by point.
+#pragma once
+
+#include "cost/macro_model.h"
+#include "util/span.h"
+
+namespace sega {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual const Technology& tech() const = 0;
+  virtual const EvalConditions& conditions() const = 0;
+
+  /// Evaluate one design point.
+  virtual MacroMetrics evaluate(const DesignPoint& dp) const = 0;
+
+  /// Evaluate points[i] into out[i] for every i.  Precondition: the spans
+  /// have equal size.  The default implementation loops evaluate();
+  /// implementations override it to amortize work across the batch.
+  /// Must be safe to call concurrently from several threads.
+  virtual void evaluate_batch(Span<const DesignPoint> points,
+                              Span<MacroMetrics> out) const;
+};
+
+/// The analytic model of Tables II-VI: EvalContext -> gate census ->
+/// component costing -> absolute-metric derivation.  The context is hoisted
+/// to construction; the batch path additionally shares a module-cost memo
+/// across the batch and derives the absolute metrics with structure-of-
+/// arrays loops over the whole batch.
+class AnalyticCostModel final : public CostModel {
+ public:
+  /// The model keeps a pointer to @p tech; the technology must outlive it.
+  explicit AnalyticCostModel(const Technology& tech, EvalConditions cond = {});
+
+  const Technology& tech() const override { return ctx_.tech(); }
+  const EvalConditions& conditions() const override {
+    return ctx_.conditions();
+  }
+
+  MacroMetrics evaluate(const DesignPoint& dp) const override;
+  void evaluate_batch(Span<const DesignPoint> points,
+                      Span<MacroMetrics> out) const override;
+
+ private:
+  EvalContext ctx_;
+};
+
+}  // namespace sega

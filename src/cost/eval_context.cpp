@@ -1,0 +1,25 @@
+#include "cost/eval_context.h"
+
+#include "util/assert.h"
+
+namespace sega {
+
+EvalContext::EvalContext(const Technology& tech, const EvalConditions& cond)
+    : tech_(&tech), cond_(cond) {
+  SEGA_EXPECTS(cond_.supply_v > 0.0);
+  SEGA_EXPECTS(cond_.input_sparsity >= 0.0 && cond_.input_sparsity < 1.0);
+  SEGA_EXPECTS(cond_.activity > 0.0 && cond_.activity <= 1.0);
+  area_um2_per_gate_ = tech.area_um2_per_gate();
+  delay_ns_per_gate_ = tech.delay_ns_per_gate();
+  energy_fj_per_gate_ = tech.energy_fj_per_gate();
+  // The exact intermediates of Technology::delay_ns / energy_fj; the
+  // conversion helpers multiply them in the same order those methods do, so
+  // hoisting changes nothing in the produced bits.
+  v_scale_ = tech.nominal_supply_v() / cond_.supply_v;
+  v2_ = (cond_.supply_v / tech.nominal_supply_v()) *
+        (cond_.supply_v / tech.nominal_supply_v());
+  activity_ = cond_.activity;
+  one_minus_sparsity_ = 1.0 - cond_.input_sparsity;
+}
+
+}  // namespace sega

@@ -1,0 +1,53 @@
+// EvalContext — the first stage of the layered evaluation engine.
+//
+// Everything the macro model derives from a (Technology, EvalConditions)
+// pair alone is precomputed here once, hoisting it out of the per-point hot
+// path: the absolute unit scales and the condition-dependent supply/
+// activity/sparsity factors (the per-cell costs stay on the Technology —
+// the census stage is conditions-independent and reads them there).  The
+// conversion helpers apply the exact arithmetic of Technology::area_um2 /
+// delay_ns / energy_fj — same operations, same order — so metrics derived
+// through a context are bit-identical to the historical per-call path.
+#pragma once
+
+#include "tech/technology.h"
+
+namespace sega {
+
+class EvalContext {
+ public:
+  /// Validates the conditions once (the per-call preconditions of the
+  /// Technology conversions) and captures every derived constant.  The
+  /// context keeps a pointer to @p tech; the technology must outlive it.
+  EvalContext(const Technology& tech, const EvalConditions& cond);
+
+  const Technology& tech() const { return *tech_; }
+  const EvalConditions& conditions() const { return cond_; }
+
+  /// Absolute conversions — bit-identical to the Technology methods under
+  /// this context's conditions (the factors below are the per-call
+  /// intermediates of those methods, applied in the same order).
+  double area_um2(double gate_units) const {
+    return gate_units * area_um2_per_gate_;
+  }
+  double delay_ns(double gate_units) const {
+    return gate_units * delay_ns_per_gate_ * v_scale_;
+  }
+  double energy_fj(double gate_units) const {
+    return gate_units * energy_fj_per_gate_ * v2_ * activity_ *
+           one_minus_sparsity_;
+  }
+
+ private:
+  const Technology* tech_;
+  EvalConditions cond_;
+  double area_um2_per_gate_;
+  double delay_ns_per_gate_;
+  double energy_fj_per_gate_;
+  double v_scale_;            ///< nominal_supply / supply (alpha-power delay)
+  double v2_;                 ///< (supply / nominal_supply)^2 (dynamic energy)
+  double activity_;           ///< datapath switching activity
+  double one_minus_sparsity_; ///< fraction of input bits that toggle
+};
+
+}  // namespace sega

@@ -22,109 +22,224 @@ const char* objective_name(std::size_t index) {
   return "";
 }
 
+const char* macro_component_name(MacroComponent component) {
+  switch (component) {
+    case MacroComponent::kSram: return "sram";
+    case MacroComponent::kCompute: return "compute";
+    case MacroComponent::kAdderTree: return "adder_tree";
+    case MacroComponent::kAccumulator: return "accumulator";
+    case MacroComponent::kFusion: return "fusion";
+    case MacroComponent::kInputBuffer: return "input_buffer";
+    case MacroComponent::kPreAlignment: return "pre_alignment";
+    case MacroComponent::kIntToFp: return "int_to_fp";
+  }
+  SEGA_ASSERT(false);
+  return "";
+}
+
+// ------------------------------------------------------ module-cost memo
+
 namespace {
 
-/// Shared assembly of the integer MAC body (SRAM array, compute units,
-/// adder trees, shift accumulators, result fusion, input buffer).
-/// For FP-CIM the caller passes the mantissa widths as bx/bw.
-struct MacroAssembly {
-  GateCount gates;
-  double area = 0.0;
-  double energy_per_cycle = 0.0;
-  double array_path_delay = 0.0;   ///< buffer sel + weight sel + mul + tree
-  double accu_delay = 0.0;         ///< shift accumulator loop
-  double fusion_delay = 0.0;       ///< fusion (+ converter, FP)
-  std::map<std::string, double> area_breakdown;
-  std::map<std::string, double> energy_breakdown;
-};
+/// Generic lookup-or-compute for the memo maps.
+template <typename Map, typename Key, typename Fn>
+const ModuleCost& memo_get(Map& map, const Key& key, Fn&& compute) {
+  const auto it = map.find(key);
+  if (it != map.end()) return it->second;
+  return map.emplace(key, compute()).first->second;
+}
 
-MacroAssembly assemble_int_body(const Technology& tech, const DesignPoint& dp,
-                                int bx, int bw) {
-  MacroAssembly a;
-  const auto n = dp.n;
-  const auto h = dp.h;
-  const auto l = dp.l;
+}  // namespace
+
+const ModuleCost& ModuleCostMemo::sel(int n) {
+  return memo_get(sel_, n, [&] { return sel_cost(*tech_, n); });
+}
+
+const ModuleCost& ModuleCostMemo::mul(int k) {
+  return memo_get(mul_, k, [&] { return mul_cost(*tech_, k); });
+}
+
+const ModuleCost& ModuleCostMemo::adder_tree(int h, int k, bool pipelined) {
+  return memo_get(tree_, std::make_tuple(h, k, pipelined), [&] {
+    return pipelined ? adder_tree_pipelined_cost(*tech_, h, k)
+                     : adder_tree_cost(*tech_, h, k);
+  });
+}
+
+const ModuleCost& ModuleCostMemo::shift_accumulator(int bx, int h, bool gated) {
+  return memo_get(accu_, std::make_tuple(bx, h, gated), [&] {
+    return gated ? shift_accumulator_gated_cost(*tech_, bx, h)
+                 : shift_accumulator_cost(*tech_, bx, h);
+  });
+}
+
+const ModuleCost& ModuleCostMemo::result_fusion(int bw, int w) {
+  return memo_get(fusion_, std::make_tuple(bw, w),
+                  [&] { return result_fusion_cost(*tech_, bw, w); });
+}
+
+const ModuleCost& ModuleCostMemo::input_buffer(int h, int bx, int k) {
+  return memo_get(buffer_, std::make_tuple(h, bx, k),
+                  [&] { return input_buffer_cost(*tech_, h, bx, k); });
+}
+
+const ModuleCost& ModuleCostMemo::pre_alignment(int h, int be, int bm) {
+  return memo_get(align_, std::make_tuple(h, be, bm),
+                  [&] { return pre_alignment_cost(*tech_, h, be, bm); });
+}
+
+const ModuleCost& ModuleCostMemo::int_to_fp(int br, int be) {
+  return memo_get(convert_, std::make_tuple(br, be),
+                  [&] { return int_to_fp_cost(*tech_, br, be); });
+}
+
+// -------------------------------------------------------- stage 2: census
+
+void MacroCensus::add(MacroComponent component, const ModuleCost& unit,
+                      std::int64_t copies, double energy_mul,
+                      double energy_div) {
+  SEGA_ASSERT(part_count < static_cast<int>(parts.size()));
+  ComponentUse& use = parts[static_cast<std::size_t>(part_count++)];
+  use.component = component;
+  use.unit = unit;
+  use.copies = copies;
+  use.energy_mul = energy_mul;
+  use.energy_div = energy_div;
+}
+
+MacroCensus census_macro(const Technology& tech, const DesignPoint& dp,
+                         ModuleCostMemo* memo) {
+  SEGA_EXPECTS(dp.n >= 1 && dp.h >= 2 && dp.l >= 1 && dp.k >= 1);
+  SEGA_EXPECTS(dp.arch == arch_for(dp.precision));
+  SEGA_EXPECTS(memo == nullptr || &memo->tech() == &tech);
+
+  // Per-call fallback memo: the module functions are pure, so routing the
+  // scalar path through an empty memo costs one map insert per module and
+  // keeps the census logic single-sourced.  Constructed lazily so the
+  // batched hot path (which always supplies a memo) doesn't pay for it.
+  std::optional<ModuleCostMemo> local;
+  ModuleCostMemo& m = memo ? *memo : local.emplace(tech);
+
+  MacroCensus census;
+  census.n = dp.n;
+  census.h = dp.h;
+  census.bx = dp.precision.input_bits();
+  census.bw = dp.precision.weight_bits();
+  SEGA_EXPECTS(dp.k <= census.bx);
+  const int h = static_cast<int>(dp.h);
   const int k = static_cast<int>(dp.k);
-  const std::int64_t cycles = static_cast<std::int64_t>(ceil_div(
-      static_cast<std::uint64_t>(bx), static_cast<std::uint64_t>(dp.k)));
-
-  auto account = [&a](const std::string& key, const ModuleCost& unit,
-                      std::int64_t copies, double energy_scale = 1.0) {
-    a.gates.add_scaled(unit.gates, copies);
-    const double area = unit.area * static_cast<double>(copies);
-    const double energy =
-        unit.energy * static_cast<double>(copies) * energy_scale;
-    a.area += area;
-    a.energy_per_cycle += energy;
-    a.area_breakdown[key] += area;
-    a.energy_breakdown[key] += energy;
-  };
+  census.cycles = static_cast<std::int64_t>(
+      ceil_div(static_cast<std::uint64_t>(census.bx),
+               static_cast<std::uint64_t>(dp.k)));
 
   // Memory array: N*H*L SRAM bit cells (zero read latency/power per Table III).
   ModuleCost sram;
   sram.gates[CellKind::kSram] = 1;
   sram.area = tech.cell(CellKind::kSram).area;
   sram.energy = tech.cell(CellKind::kSram).energy;
-  account("sram", sram, n * h * l);
+  census.add(MacroComponent::kSram, sram, dp.n * dp.h * dp.l);
 
   // Compute units: per cell one L:1 1-bit weight selector + a 1xk multiplier.
-  const ModuleCost wsel = sel_cost(tech, static_cast<int>(l));
-  const ModuleCost mul = mul_cost(tech, k);
-  account("compute", wsel, n * h);
-  account("compute", mul, n * h);
+  const ModuleCost& wsel = m.sel(static_cast<int>(dp.l));
+  const ModuleCost& mul = m.mul(k);
+  census.add(MacroComponent::kCompute, wsel, dp.n * dp.h);
+  census.add(MacroComponent::kCompute, mul, dp.n * dp.h);
 
   // Column adder trees (optionally pipelined — extension knob).
-  const ModuleCost tree =
-      dp.pipelined_tree
-          ? adder_tree_pipelined_cost(tech, static_cast<int>(h), k)
-          : adder_tree_cost(tech, static_cast<int>(h), k);
-  account("adder_tree", tree, n);
+  const ModuleCost& tree = m.adder_tree(h, k, dp.pipelined_tree);
+  census.add(MacroComponent::kAdderTree, tree, dp.n);
 
   // Shift accumulators (gated when the tree is pipelined).
-  const ModuleCost accu =
-      dp.pipelined_tree
-          ? shift_accumulator_gated_cost(tech, bx, static_cast<int>(h))
-          : shift_accumulator_cost(tech, bx, static_cast<int>(h));
-  account("accumulator", accu, n);
+  const ModuleCost& accu = m.shift_accumulator(census.bx, h, dp.pipelined_tree);
+  census.add(MacroComponent::kAccumulator, accu, dp.n);
 
   // Result fusion: one unit per Bw columns; fires once per streamed operand,
   // amortized over the streaming cycles.
-  const int w = accumulator_width(bx, static_cast<int>(h));
-  const ModuleCost fusion = result_fusion_cost(tech, bw, w);
+  const int w = accumulator_width(census.bx, h);
+  const ModuleCost& fusion = m.result_fusion(census.bw, w);
   const std::int64_t fusion_units = static_cast<std::int64_t>(
-      ceil_div(static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(bw)));
-  account("fusion", fusion, fusion_units, 1.0 / static_cast<double>(cycles));
+      ceil_div(static_cast<std::uint64_t>(dp.n),
+               static_cast<std::uint64_t>(census.bw)));
+  census.add(MacroComponent::kFusion, fusion, fusion_units,
+             1.0 / static_cast<double>(census.cycles));
 
   // Input buffer.
-  const ModuleCost buf = input_buffer_cost(tech, static_cast<int>(h), bx, k);
-  account("input_buffer", buf, 1);
+  const ModuleCost& buf = m.input_buffer(h, census.bx, k);
+  census.add(MacroComponent::kInputBuffer, buf, 1);
 
-  a.array_path_delay = buf.delay + wsel.delay + mul.delay + tree.delay;
-  a.accu_delay = accu.delay;
-  a.fusion_delay = fusion.delay;
-  return a;
+  census.array_path_delay = buf.delay + wsel.delay + mul.delay + tree.delay;
+  census.accu_delay = accu.delay;
+  census.fusion_delay = fusion.delay;
+
+  if (dp.arch == ArchKind::kFpCim) {
+    const int be = dp.precision.exp_bits;
+    const int bm = dp.precision.compute_mant_bits();
+
+    // FP pre-alignment: processes a fresh input set once per streamed
+    // operand; amortized over the streaming cycles (a division, not a
+    // reciprocal multiply — the energy_div slot keeps that rounding).
+    const ModuleCost& alig = m.pre_alignment(h, be, bm);
+    census.add(MacroComponent::kPreAlignment, alig, 1, 1.0,
+               static_cast<double>(census.cycles));
+    // The pre-alignment is its own pipeline stage in front of the array.
+    census.array_path_delay = std::max(census.array_path_delay, alig.delay);
+
+    // INT-to-FP converters: one per fusion unit, on the fusion stage.
+    const int br = fusion_output_width(census.bw, w);
+    const ModuleCost& convert = m.int_to_fp(br, be);
+    census.add(MacroComponent::kIntToFp, convert, fusion_units, 1.0,
+               static_cast<double>(census.cycles));
+    census.fusion_delay += convert.delay;
+  }
+
+  return census;
 }
 
-MacroMetrics finalize(const Technology& tech, const DesignPoint& dp,
-                      const EvalConditions& cond, const MacroAssembly& a,
-                      int bx, int bw) {
-  MacroMetrics m;
-  m.gates = a.gates;
-  m.area_gates = a.area;
-  m.energy_gates = a.energy_per_cycle;
-  m.delay_gates =
-      std::max({a.array_path_delay, a.accu_delay, a.fusion_delay});
-  m.area_breakdown = a.area_breakdown;
-  m.energy_breakdown = a.energy_breakdown;
-  m.cycles_per_input = static_cast<std::int64_t>(ceil_div(
-      static_cast<std::uint64_t>(bx), static_cast<std::uint64_t>(dp.k)));
+// ------------------------------------------------------- stage 3: costing
 
-  m.area_um2 = tech.area_um2(m.area_gates);
+CostedMacro cost_components(const MacroCensus& census) {
+  CostedMacro costed;
+  for (int i = 0; i < census.part_count; ++i) {
+    const ComponentUse& use = census.parts[static_cast<std::size_t>(i)];
+    costed.gates.add_scaled(use.unit.gates, use.copies);
+    const double area = use.unit.area * static_cast<double>(use.copies);
+    const double energy = use.unit.energy * static_cast<double>(use.copies) *
+                          use.energy_mul / use.energy_div;
+    costed.area += area;
+    costed.energy_per_cycle += energy;
+    const auto slot = static_cast<std::size_t>(use.component);
+    costed.area_by[slot] += area;
+    costed.energy_by[slot] += energy;
+    costed.present[slot] = true;
+  }
+  return costed;
+}
+
+// ------------------------------------------------------ stage 4: derive
+
+MacroMetrics derive_metrics(const EvalContext& ctx, const MacroCensus& census,
+                            const CostedMacro& costed) {
+  MacroMetrics m;
+  m.gates = costed.gates;
+  m.area_gates = costed.area;
+  m.energy_gates = costed.energy_per_cycle;
+  m.delay_gates = std::max(
+      {census.array_path_delay, census.accu_delay, census.fusion_delay});
+  for (int i = 0; i < kMacroComponentCount; ++i) {
+    const auto slot = static_cast<std::size_t>(i);
+    if (!costed.present[slot]) continue;
+    const char* key = macro_component_name(static_cast<MacroComponent>(i));
+    m.area_breakdown[key] = costed.area_by[slot];
+    m.energy_breakdown[key] = costed.energy_by[slot];
+  }
+  m.cycles_per_input = census.cycles;
+
+  m.area_um2 = ctx.area_um2(m.area_gates);
   m.area_mm2 = m.area_um2 * 1e-6;
-  m.delay_ns = tech.delay_ns(m.delay_gates, cond);
+  m.delay_ns = ctx.delay_ns(m.delay_gates);
   SEGA_ASSERT(m.delay_ns > 0.0);
   m.freq_ghz = 1.0 / m.delay_ns;
-  m.energy_per_cycle_fj = tech.energy_fj(m.energy_gates, cond);
+  m.energy_per_cycle_fj = ctx.energy_fj(m.energy_gates);
   m.power_w = m.energy_per_cycle_fj * 1e-15 / (m.delay_ns * 1e-9);
   m.energy_per_mvm_nj = m.energy_per_cycle_fj *
                         static_cast<double>(m.cycles_per_input) * 1e-6;
@@ -132,8 +247,9 @@ MacroMetrics finalize(const Technology& tech, const DesignPoint& dp,
   // Throughput (Table V/VI): every group of Bw columns completes N*H/Bw
   // MACs per ceil(Bx/k) cycles; 1 MAC = 2 ops.
   const double macs_per_cycle =
-      static_cast<double>(dp.n) * static_cast<double>(dp.h) /
-      (static_cast<double>(bw) * static_cast<double>(m.cycles_per_input));
+      static_cast<double>(census.n) * static_cast<double>(census.h) /
+      (static_cast<double>(census.bw) *
+       static_cast<double>(m.cycles_per_input));
   const double ops_per_s = 2.0 * macs_per_cycle / (m.delay_ns * 1e-9);
   m.throughput_tops = ops_per_s * 1e-12;
   m.tops_per_w = m.throughput_tops / m.power_w;
@@ -141,57 +257,11 @@ MacroMetrics finalize(const Technology& tech, const DesignPoint& dp,
   return m;
 }
 
-}  // namespace
-
 MacroMetrics evaluate_macro(const Technology& tech, const DesignPoint& dp,
                             const EvalConditions& cond) {
-  SEGA_EXPECTS(dp.n >= 1 && dp.h >= 2 && dp.l >= 1 && dp.k >= 1);
-  SEGA_EXPECTS(dp.arch == arch_for(dp.precision));
-
-  const int bx = dp.precision.input_bits();
-  const int bw = dp.precision.weight_bits();
-  SEGA_EXPECTS(dp.k <= bx);
-
-  MacroAssembly a = assemble_int_body(tech, dp, bx, bw);
-
-  if (dp.arch == ArchKind::kFpCim) {
-    const int be = dp.precision.exp_bits;
-    const int bm = dp.precision.compute_mant_bits();
-    const std::int64_t cycles = static_cast<std::int64_t>(ceil_div(
-        static_cast<std::uint64_t>(bx), static_cast<std::uint64_t>(dp.k)));
-
-    // FP pre-alignment: processes a fresh input set once per streamed
-    // operand; amortized over the streaming cycles.
-    const ModuleCost alig =
-        pre_alignment_cost(tech, static_cast<int>(dp.h), be, bm);
-    a.gates.add_scaled(alig.gates, 1);
-    a.area += alig.area;
-    const double alig_energy = alig.energy / static_cast<double>(cycles);
-    a.energy_per_cycle += alig_energy;
-    a.area_breakdown["pre_alignment"] += alig.area;
-    a.energy_breakdown["pre_alignment"] += alig_energy;
-    // The pre-alignment is its own pipeline stage in front of the array.
-    a.array_path_delay = std::max(a.array_path_delay, alig.delay);
-
-    // INT-to-FP converters: one per fusion unit, on the fusion stage.
-    const int w = accumulator_width(bx, static_cast<int>(dp.h));
-    const int br = fusion_output_width(bw, w);
-    const ModuleCost convert = int_to_fp_cost(tech, br, be);
-    const std::int64_t fusion_units = static_cast<std::int64_t>(ceil_div(
-        static_cast<std::uint64_t>(dp.n), static_cast<std::uint64_t>(bw)));
-    a.gates.add_scaled(convert.gates, fusion_units);
-    const double conv_area = convert.area * static_cast<double>(fusion_units);
-    const double conv_energy = convert.energy *
-                               static_cast<double>(fusion_units) /
-                               static_cast<double>(cycles);
-    a.area += conv_area;
-    a.energy_per_cycle += conv_energy;
-    a.area_breakdown["int_to_fp"] += conv_area;
-    a.energy_breakdown["int_to_fp"] += conv_energy;
-    a.fusion_delay += convert.delay;
-  }
-
-  return finalize(tech, dp, cond, a, bx, bw);
+  const EvalContext ctx(tech, cond);
+  const MacroCensus census = census_macro(tech, dp);
+  return derive_metrics(ctx, census, cost_components(census));
 }
 
 }  // namespace sega

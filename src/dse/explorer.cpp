@@ -12,16 +12,36 @@ namespace sega {
 
 namespace {
 
-/// Evaluate @p points on the shared pool, one private result slot per index
-/// (deterministic irrespective of scheduling; a size-1 pool runs inline).
+/// Evaluate @p points through the batched engine on the shared pool, one
+/// private result slot per index (deterministic irrespective of scheduling
+/// and chunking; a size-1 pool runs inline).
 std::vector<EvaluatedDesign> evaluate_points(
-    const Technology& tech, const std::vector<DesignPoint>& points,
-    const EvalConditions& cond) {
+    const CostModel& model, const std::vector<DesignPoint>& points) {
   std::vector<EvaluatedDesign> evaluated(points.size());
-  ThreadPool::global().parallel_for(points.size(), [&](std::size_t i) {
-    evaluated[i] = evaluate_design(tech, points[i], cond);
-  });
+  ThreadPool::global().parallel_for_chunks(
+      points.size(), kDseEvalChunk, [&](std::size_t begin, std::size_t end) {
+        std::vector<MacroMetrics> metrics(end - begin);
+        model.evaluate_batch(
+            Span<const DesignPoint>(points.data() + begin, end - begin),
+            Span<MacroMetrics>(metrics));
+        for (std::size_t i = begin; i < end; ++i) {
+          evaluated[i].point = points[i];
+          evaluated[i].metrics = std::move(metrics[i - begin]);
+        }
+      });
   return evaluated;
+}
+
+/// Batch objective adapter over a memoizing cache.
+BatchObjectiveFn batch_objective(CostCache& cache) {
+  return [&cache](Span<const DesignPoint> points, Span<Objectives> out) {
+    std::vector<MacroMetrics> metrics(points.size());
+    cache.evaluate_batch(points, Span<MacroMetrics>(metrics));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto arr = metrics[i].objectives();
+      out[i] = Objectives(arr.begin(), arr.end());
+    }
+  };
 }
 
 }  // namespace
@@ -56,15 +76,16 @@ std::vector<EvaluatedDesign> explore_nsga2(const DesignSpace& space,
                                            CostCache& cache,
                                            const Nsga2Options& options,
                                            Nsga2Stats* stats) {
-  const ObjectiveFn objective = [&cache](const DesignPoint& dp) {
-    const auto arr = cache.evaluate(dp).objectives();
-    return Objectives(arr.begin(), arr.end());
-  };
-  const auto points = nsga2_optimize(space, objective, options, stats);
+  const auto points = nsga2_optimize(space, batch_objective(cache), options,
+                                     stats);
+  // Materialize the front in one batch — every point is warm in the cache.
+  std::vector<MacroMetrics> metrics(points.size());
+  cache.evaluate_batch(Span<const DesignPoint>(points),
+                       Span<MacroMetrics>(metrics));
   std::vector<EvaluatedDesign> out;
   out.reserve(points.size());
-  for (const auto& dp : points) {
-    out.push_back(EvaluatedDesign{dp, cache.evaluate(dp)});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.push_back(EvaluatedDesign{points[i], std::move(metrics[i])});
   }
   sort_by_objectives(&out);
   return out;
@@ -73,7 +94,8 @@ std::vector<EvaluatedDesign> explore_nsga2(const DesignSpace& space,
 std::vector<EvaluatedDesign> explore_exhaustive(const DesignSpace& space,
                                                 const Technology& tech,
                                                 const EvalConditions& cond) {
-  const auto evaluated = evaluate_points(tech, space.enumerate_all(), cond);
+  const AnalyticCostModel model(tech, cond);
+  const auto evaluated = evaluate_points(model, space.enumerate_all());
   std::vector<Objectives> objs;
   objs.reserve(evaluated.size());
   for (const auto& ed : evaluated) objs.push_back(ed.objectives());
@@ -92,7 +114,7 @@ std::vector<EvaluatedDesign> explore_random(const DesignSpace& space,
   SEGA_EXPECTS(budget > 0);
   Rng rng(seed);
   // Sampling consumes the RNG stream serially; evaluation is pure and runs
-  // on the pool afterwards.
+  // in batches on the pool afterwards.
   std::vector<DesignPoint> points;
   points.reserve(static_cast<std::size_t>(budget));
   for (int i = 0; i < budget; ++i) {
@@ -100,7 +122,8 @@ std::vector<EvaluatedDesign> explore_random(const DesignSpace& space,
     if (!dp) break;
     points.push_back(*dp);
   }
-  const auto evaluated = evaluate_points(tech, points, cond);
+  const AnalyticCostModel model(tech, cond);
+  const auto evaluated = evaluate_points(model, points);
   std::vector<Objectives> objs;
   objs.reserve(evaluated.size());
   for (const auto& ed : evaluated) objs.push_back(ed.objectives());
@@ -168,17 +191,27 @@ EvaluatedDesign explore_weighted_sum(const DesignSpace& space,
                                      const WeightedSumOptions& options) {
   SEGA_EXPECTS(options.budget > 0);
   Rng rng(options.seed);
+  const AnalyticCostModel model(tech, cond);
 
   // Normalize objectives with a quick probe so the weights act on
-  // comparable scales.
+  // comparable scales.  The RNG stream and fold order match the historical
+  // sample-and-evaluate-inline loop exactly; only the evaluation is batched.
   std::array<double, 4> scale{1.0, 1.0, 1.0, 1.0};
   {
-    std::array<double, 4> best{};
-    bool first = true;
+    std::vector<DesignPoint> probe;
+    probe.reserve(32);
     for (int i = 0; i < 32; ++i) {
       const auto dp = space.sample(rng);
       if (!dp) break;
-      const auto obj = evaluate_macro(tech, *dp, cond).objectives();
+      probe.push_back(*dp);
+    }
+    std::vector<MacroMetrics> metrics(probe.size());
+    model.evaluate_batch(Span<const DesignPoint>(probe),
+                         Span<MacroMetrics>(metrics));
+    std::array<double, 4> best{};
+    bool first = true;
+    for (const MacroMetrics& m : metrics) {
+      const auto obj = m.objectives();
       for (std::size_t j = 0; j < 4; ++j) {
         const double mag = std::fabs(obj[j]);
         best[j] = first ? mag : std::max(best[j], mag);
@@ -190,8 +223,8 @@ EvaluatedDesign explore_weighted_sum(const DesignSpace& space,
     }
   }
 
-  auto score = [&](const DesignPoint& dp) {
-    const auto obj = evaluate_macro(tech, dp, cond).objectives();
+  const auto score = [&](const MacroMetrics& m) {
+    const auto obj = m.objectives();
     double s = 0.0;
     for (std::size_t j = 0; j < 4; ++j) {
       s += options.weights[j] * obj[j] * scale[j];
@@ -199,24 +232,31 @@ EvaluatedDesign explore_weighted_sum(const DesignSpace& space,
     return s;
   };
 
-  // Random restarts + greedy neighbourhood descent over the enumerable
-  // space; with the small domains this reliably finds the scalar optimum.
+  // Random restarts + greedy descent over the enumerable space; candidates
+  // are drawn serially (the stream does not depend on scores), evaluated in
+  // pool batches, and folded in draw order — identical to the historical
+  // one-at-a-time loop.
   const auto all = space.enumerate_all();
   SEGA_EXPECTS(!all.empty());
   DesignPoint best_dp = all.front();
-  double best_score = score(best_dp);
+  double best_score = score(model.evaluate(best_dp));
   int spent = 1;
+  std::vector<DesignPoint> candidates;
   while (spent < options.budget) {
     const auto dp = space.sample(rng);
     ++spent;
     if (!dp) break;
-    const double s = score(*dp);
+    candidates.push_back(*dp);
+  }
+  const auto evaluated = evaluate_points(model, candidates);
+  for (const EvaluatedDesign& ed : evaluated) {
+    const double s = score(ed.metrics);
     if (s < best_score) {
       best_score = s;
-      best_dp = *dp;
+      best_dp = ed.point;
     }
   }
-  return evaluate_design(tech, best_dp, cond);
+  return EvaluatedDesign{best_dp, model.evaluate(best_dp)};
 }
 
 }  // namespace sega

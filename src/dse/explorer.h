@@ -9,6 +9,12 @@
 // explore_weighted_sum — single-objective weighted-sum GA baseline, the
 //                      "fixed human experience" strategy §II-B argues
 //                      against; returns one design, not a front.
+//
+// Every explorer routes candidate evaluation through the batched CostModel
+// engine (cost_model.h): pool tasks submit whole chunks of design points,
+// never single ones, and the (tech, cond) entry points construct an
+// AnalyticCostModel internally.  Results are bit-identical to the historical
+// per-point path for every thread count and batch size.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,7 @@
 namespace sega {
 
 class CostCache;
+class CostModel;
 
 /// A design point together with its evaluation.
 struct EvaluatedDesign {

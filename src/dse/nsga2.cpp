@@ -85,11 +85,12 @@ struct CandidateBatch {
 };
 
 /// Fold a batch into the archive.  Genomes not yet archived are deduplicated
-/// in first-occurrence order, evaluated on @p pool, and inserted in that
-/// same fixed order — so archive contents and stats->evaluations are
-/// bit-identical for every thread count.
-void evaluate_batch(const ObjectiveFn& objective, const CandidateBatch& batch,
-                    Archive* archive, Nsga2Stats* stats, ThreadPool& pool) {
+/// in first-occurrence order, gathered contiguously, evaluated in pool-
+/// chunked batches, and inserted in that same fixed order — so archive
+/// contents and stats->evaluations are bit-identical for every thread count
+/// and chunking.
+void fold_batch(const BatchObjectiveFn& objective, const CandidateBatch& batch,
+                Archive* archive, Nsga2Stats* stats, ThreadPool& pool) {
   std::vector<std::size_t> miss;
   std::set<Genome> pending;
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -97,10 +98,15 @@ void evaluate_batch(const ObjectiveFn& objective, const CandidateBatch& batch,
     if (!pending.insert(batch.genomes[i]).second) continue;
     miss.push_back(i);
   }
+  std::vector<DesignPoint> cold;
+  cold.reserve(miss.size());
+  for (const std::size_t i : miss) cold.push_back(batch.points[i]);
   std::vector<Objectives> results(miss.size());
-  pool.parallel_for(miss.size(), [&](std::size_t j) {
-    results[j] = objective(batch.points[miss[j]]);
-  });
+  pool.parallel_for_chunks(
+      miss.size(), kDseEvalChunk, [&](std::size_t begin, std::size_t end) {
+        objective(Span<const DesignPoint>(cold.data() + begin, end - begin),
+                  Span<Objectives>(results.data() + begin, end - begin));
+      });
   for (std::size_t j = 0; j < miss.size(); ++j) {
     archive->emplace(batch.genomes[miss[j]],
                      std::make_pair(batch.points[miss[j]], results[j]));
@@ -191,6 +197,20 @@ std::vector<DesignPoint> nsga2_optimize(const DesignSpace& space,
                                         const ObjectiveFn& objective,
                                         const Nsga2Options& options,
                                         Nsga2Stats* stats) {
+  SEGA_EXPECTS(objective != nullptr);
+  const BatchObjectiveFn batched = [&objective](Span<const DesignPoint> points,
+                                                Span<Objectives> out) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      out[i] = objective(points[i]);
+    }
+  };
+  return nsga2_optimize(space, batched, options, stats);
+}
+
+std::vector<DesignPoint> nsga2_optimize(const DesignSpace& space,
+                                        const BatchObjectiveFn& objective,
+                                        const Nsga2Options& options,
+                                        Nsga2Stats* stats) {
   SEGA_EXPECTS(options.population >= 4);
   SEGA_EXPECTS(options.generations >= 1);
   Rng rng(options.seed);
@@ -215,7 +235,7 @@ std::vector<DesignPoint> nsga2_optimize(const DesignSpace& space,
     if (auto dp = decode_with_repair(space, &g)) init.add(g, *dp);
   }
   if (init.size() == 0) return {};
-  evaluate_batch(objective, init, &archive, stats, pool);
+  fold_batch(objective, init, &archive, stats, pool);
   std::vector<Individual> pop = individuals_from(init, archive);
   rank_population(&pop);
 
@@ -238,7 +258,7 @@ std::vector<DesignPoint> nsga2_optimize(const DesignSpace& space,
         if (auto dpi = decode_with_repair(space, &imm)) batch.add(imm, *dpi);
       }
     }
-    evaluate_batch(objective, batch, &archive, stats, pool);
+    fold_batch(objective, batch, &archive, stats, pool);
     std::vector<Individual> offspring = individuals_from(batch, archive);
 
     // Environmental selection over parents + offspring.

@@ -12,6 +12,7 @@
 
 #include "arch/space.h"
 #include "dse/pareto.h"
+#include "util/span.h"
 
 namespace sega {
 
@@ -40,10 +41,33 @@ struct Nsga2Stats {
 /// Objective callback: maps a valid design point to its minimization vector.
 using ObjectiveFn = std::function<Objectives(const DesignPoint&)>;
 
+/// Batched objective callback: fill out[i] with the minimization vector of
+/// points[i] for every i (the spans have equal size).  This is the hot entry
+/// point — the optimizer hands whole chunks of cold candidates to the cost
+/// engine, which amortizes per-batch work across them.  Called concurrently
+/// from pool tasks when the effective thread count is > 1.
+using BatchObjectiveFn =
+    std::function<void(Span<const DesignPoint>, Span<Objectives>)>;
+
+/// Largest chunk of design points a DSE pool task hands the cost engine as
+/// one batch — bounds per-task scratch while leaving the engine enough
+/// points to amortize its per-batch work over.  Shared by the NSGA-II inner
+/// loop and the explorer baselines so the two hot paths chunk identically.
+inline constexpr std::size_t kDseEvalChunk = 64;
+
 /// Run NSGA-II over @p space.  Returns the final non-dominated set of
 /// *distinct* design points (duplicates removed).  @p stats is optional.
 std::vector<DesignPoint> nsga2_optimize(const DesignSpace& space,
                                         const ObjectiveFn& objective,
+                                        const Nsga2Options& options,
+                                        Nsga2Stats* stats = nullptr);
+
+/// Batch-oriented flavour: identical semantics, results and stats for an
+/// objective that computes the same per-point vectors; candidate batches are
+/// deduplicated, split into contiguous chunks and evaluated chunk-per-task
+/// on the pool.
+std::vector<DesignPoint> nsga2_optimize(const DesignSpace& space,
+                                        const BatchObjectiveFn& objective,
                                         const Nsga2Options& options,
                                         Nsga2Stats* stats = nullptr);
 

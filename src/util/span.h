@@ -1,0 +1,62 @@
+// Minimal std::span stand-in (the codebase targets C++17).
+//
+// A Span is a non-owning view over a contiguous sequence — the currency of
+// the batched cost-model API, where callers hand the engine whole arrays of
+// design points and receive whole arrays of metrics.  Only the operations
+// the engine needs are provided; the referenced storage must outlive the
+// view.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace sega {
+
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  /// Views over standard contiguous containers (non-const and const element
+  /// flavours resolve via overload selection on U).  Rvalue containers are
+  /// rejected — a view over a temporary would dangle at the semicolon.
+  template <typename U>
+  Span(std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+  template <typename U>
+  Span(const std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+  template <typename U>
+  Span(const std::vector<U>&& v) = delete;
+  template <typename U, std::size_t N>
+  Span(std::array<U, N>& a) : data_(a.data()), size_(N) {}
+  template <typename U, std::size_t N>
+  Span(const std::array<U, N>& a) : data_(a.data()), size_(N) {}
+  template <typename U, std::size_t N>
+  Span(const std::array<U, N>&& a) = delete;
+
+  T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) const {
+    SEGA_EXPECTS(i < size_);
+    return data_[i];
+  }
+
+  T* begin() const { return data_; }
+  T* end() const { return data_ + size_; }
+
+  Span subspan(std::size_t offset, std::size_t count) const {
+    SEGA_EXPECTS(offset <= size_ && count <= size_ - offset);
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sega

@@ -171,4 +171,22 @@ void ThreadPool::parallel_for(std::size_t n,
   if (batch->error) std::rethrow_exception(batch->error);
 }
 
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, std::size_t max_chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  SEGA_EXPECTS(fn != nullptr);
+  SEGA_EXPECTS(max_chunk >= 1);
+  std::size_t chunk = (n + static_cast<std::size_t>(size_) * 4 - 1) /
+                      (static_cast<std::size_t>(size_) * 4);
+  if (chunk < 1) chunk = 1;
+  if (chunk > max_chunk) chunk = max_chunk;
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    fn(begin, end);
+  });
+}
+
 }  // namespace sega

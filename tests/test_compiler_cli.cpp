@@ -215,5 +215,83 @@ TEST_F(CliTempDir, ExploreWithCustomTechlib) {
   EXPECT_EQ(bad.code, 2);
 }
 
+TEST_F(CliTempDir, ExploreCacheFilePersistsAcrossInvocations) {
+  const std::string memo = (dir_ / "explore.memo.jsonl").string();
+  const std::vector<std::string> base = {
+      "explore", "--wstore", "8192", "--precision", "INT8",
+      "--population", "24", "--generations", "12", "--seed", "3"};
+  const CliRun plain = cli(base);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+
+  std::vector<std::string> cached = base;
+  cached.insert(cached.end(), {"--cache-file", memo});
+  const CliRun cold = cli(cached);
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  EXPECT_EQ(plain.out, cold.out);
+  EXPECT_TRUE(std::filesystem::exists(memo));
+
+  const CliRun warm = cli(cached);
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  EXPECT_EQ(plain.out, warm.out);
+
+  // A memo for different conditions is rejected with a diagnostic, not
+  // silently mixed in (and not an abort).
+  std::vector<std::string> other = cached;
+  other.insert(other.end(), {"--sparsity", "0.3"});
+  const CliRun mismatch = cli(other);
+  EXPECT_EQ(mismatch.code, 2);
+  EXPECT_NE(mismatch.err.find("cost cache"), std::string::npos);
+}
+
+TEST_F(CliTempDir, SweepCacheFileKeepsCsvByteIdentical) {
+  const std::string memo = (dir_ / "sweep.memo.jsonl").string();
+  const std::vector<std::string> base = {
+      "sweep", "--wstores", "4096", "--precisions", "INT8,BF16",
+      "--population", "24", "--generations", "8", "--seed", "2"};
+  const CliRun plain = cli(base);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+
+  std::vector<std::string> cached = base;
+  cached.insert(cached.end(), {"--cache-file", memo});
+  const CliRun cold = cli(cached);
+  const CliRun warm = cli(cached);
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  EXPECT_EQ(plain.out, cold.out);
+  EXPECT_EQ(plain.out, warm.out);
+}
+
+TEST_F(CliTempDir, SweepResumeSummaryReportsWithoutRunning) {
+  const std::string ckpt = (dir_ / "cli.ckpt.jsonl").string();
+  const std::vector<std::string> base = {
+      "sweep", "--wstores", "4096,8192", "--precisions", "INT8",
+      "--population", "24", "--generations", "8", "--seed", "2",
+      "--checkpoint", ckpt};
+  ASSERT_EQ(cli(base).code, 0);
+
+  std::vector<std::string> summary = base;
+  summary.push_back("--resume-summary");
+  const CliRun r = cli(summary);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("2/2 cells complete"), std::string::npos);
+  EXPECT_NE(r.out.find("config match : yes"), std::string::npos);
+  // Report only — no CSV is produced.
+  EXPECT_EQ(r.out.find("wstore,precision,"), std::string::npos);
+
+  // Without a checkpoint the summary has nothing to read.
+  const CliRun missing = cli({"sweep", "--wstores", "4096", "--precisions",
+                              "INT8", "--resume-summary"});
+  EXPECT_EQ(missing.code, 2);
+
+  // The flag takes no value: a value-less flag mid-line must not swallow
+  // the next option.
+  const CliRun mixed = cli({"sweep", "--resume-summary", "--checkpoint", ckpt,
+                            "--wstores", "4096,8192", "--precisions", "INT8",
+                            "--population", "24", "--generations", "8",
+                            "--seed", "2"});
+  EXPECT_EQ(mixed.code, 0) << mixed.err;
+  EXPECT_NE(mixed.out.find("2/2 cells complete"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sega

@@ -348,6 +348,162 @@ TEST(SweepSpecJsonTest, RoundTripsAndRejectsUnknownKeys) {
   EXPECT_EQ(ga->limits.min_n_over_bw, 2);
   EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"mutation_prob": 1.5})"))
                    .has_value());
+  // cache_file: string key, round-trips, wrong type is a parse error.
+  const auto cached = SweepSpec::from_json(
+      *Json::parse(R"({"cache_file": "cost.memo.jsonl"})"));
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->cache_file, "cost.memo.jsonl");
+  EXPECT_EQ(SweepSpec::from_json(cached->to_json())->cache_file,
+            "cost.memo.jsonl");
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"cache_file": 3})"))
+                   .has_value());
+}
+
+// --- persistent cost-cache memo --------------------------------------------
+
+using SweepCacheFileTest = SweepCheckpointTest;
+
+TEST_F(SweepCacheFileTest, WarmMemoIsByteIdenticalAndSkipsAllEvaluations) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult baseline = run_sweep(compiler, small_sweep());
+
+  SweepSpec spec = small_sweep();
+  spec.cache_file = ckpt("cost.memo.jsonl");
+  std::string error;
+  const SweepResult cold = run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(baseline.to_csv(), cold.to_csv());
+  EXPECT_EQ(baseline.to_json().dump(2), cold.to_json().dump(2));
+  EXPECT_GT(cold.cache_misses, 0u);
+  ASSERT_TRUE(std::filesystem::exists(spec.cache_file));
+
+  // Second sweep of the same grid: byte-identical output and ZERO
+  // macro-model evaluations — every lookup is a memo hit.
+  const SweepResult warm = run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(baseline.to_csv(), warm.to_csv());
+  EXPECT_EQ(baseline.to_json().dump(2), warm.to_json().dump(2));
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_GT(warm.cache_hits, 0u);
+
+  // Warm memo + 8 threads: still byte-identical.
+  SweepSpec threaded = spec;
+  threaded.dse.threads = 8;
+  const SweepResult warm8 = run_sweep(compiler, threaded, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(baseline.to_csv(), warm8.to_csv());
+  EXPECT_EQ(warm8.cache_misses, 0u);
+}
+
+TEST_F(SweepCacheFileTest, OverlappingGridReusesTheMemo) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec first = small_sweep();
+  first.wstores = {4096};
+  first.cache_file = ckpt("overlap.memo.jsonl");
+  std::string error;
+  run_sweep(compiler, first, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  // A superset grid: the 4096 column comes straight from the memo; only the
+  // 8192 column pays evaluations.  Output must equal a memo-less run.
+  SweepSpec second = small_sweep();
+  second.cache_file = first.cache_file;
+  const SweepResult merged = run_sweep(compiler, second, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const SweepResult reference = run_sweep(compiler, small_sweep());
+  EXPECT_EQ(reference.to_csv(), merged.to_csv());
+  EXPECT_GT(merged.cache_hits, 0u);
+}
+
+TEST_F(SweepCacheFileTest, MismatchedMemoIsAnError) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.cache_file = ckpt("mismatch.memo.jsonl");
+  std::string error;
+  run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  // Same file, different conditions: the fingerprint must reject it rather
+  // than mix stale numbers into fresh results.
+  SweepSpec other = spec;
+  other.conditions.input_sparsity = 0.25;
+  const SweepResult result = run_sweep(compiler, other, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(result.cells.empty());
+}
+
+// --- resume summary ---------------------------------------------------------
+
+using SweepResumeSummaryTest = SweepCheckpointTest;
+
+TEST_F(SweepResumeSummaryTest, ReportsFullAndPartialCoverage) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("summary.ckpt.jsonl");
+  run_sweep(compiler, spec);
+
+  std::string error;
+  auto summary = summarize_checkpoint(compiler, spec, &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  EXPECT_TRUE(summary->config_match);
+  EXPECT_EQ(summary->cells_total, 4u);
+  EXPECT_EQ(summary->cells_done, 4u);
+  ASSERT_EQ(summary->per_precision.size(), 2u);
+  EXPECT_EQ(summary->per_precision[0].precision, "INT8");
+  EXPECT_EQ(summary->per_precision[0].done, 2u);
+  EXPECT_EQ(summary->per_precision[0].total, 2u);
+  EXPECT_EQ(summary->corrupt_lines, 0u);
+  const std::string report = summary->render(spec.checkpoint);
+  EXPECT_NE(report.find("4/4 cells complete"), std::string::npos);
+  EXPECT_NE(report.find("config match : yes"), std::string::npos);
+
+  // Drop the last cell line and append garbage: partial coverage plus one
+  // corrupt line, still not an error.
+  const auto lines = lines_of(spec.checkpoint);
+  ASSERT_EQ(lines.size(), 5u);  // header + 4 cells
+  {
+    std::ofstream out(spec.checkpoint, std::ios::trunc);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) out << lines[i] << "\n";
+    out << "{\"cell\": {\"wst";  // torn tail
+  }
+  summary = summarize_checkpoint(compiler, spec, &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  EXPECT_EQ(summary->cells_done, 3u);
+  EXPECT_EQ(summary->corrupt_lines, 1u);
+}
+
+TEST_F(SweepResumeSummaryTest, DetectsConfigMismatchWithoutFailing) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("stale.ckpt.jsonl");
+  run_sweep(compiler, spec);
+
+  SweepSpec other = spec;
+  other.dse.seed = 99;
+  std::string error;
+  const auto summary = summarize_checkpoint(compiler, other, &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  EXPECT_FALSE(summary->config_match);
+  EXPECT_NE(summary->render(other.checkpoint).find("config match : NO"),
+            std::string::npos);
+}
+
+TEST_F(SweepResumeSummaryTest, ErrorsOnMissingFileOrHeader) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  std::string error;
+  EXPECT_FALSE(summarize_checkpoint(compiler, spec, &error).has_value());
+  EXPECT_NE(error.find("no checkpoint path"), std::string::npos);
+
+  spec.checkpoint = ckpt("missing.ckpt.jsonl");
+  EXPECT_FALSE(summarize_checkpoint(compiler, spec, &error).has_value());
+
+  {
+    std::ofstream out(spec.checkpoint);
+    out << "this is not a checkpoint\n";
+  }
+  EXPECT_FALSE(summarize_checkpoint(compiler, spec, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
 }
 
 }  // namespace

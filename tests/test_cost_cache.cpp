@@ -2,11 +2,65 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
 #include "arch/space.h"
 #include "util/threadpool.h"
 
 namespace sega {
 namespace {
+
+/// Instrumented model: counts every point the cache actually sends to the
+/// underlying model, so tests can assert the exact-once evaluation contract
+/// (and the zero-evaluation warm-memo contract).
+class CountingModel final : public CostModel {
+ public:
+  explicit CountingModel(const Technology& tech, EvalConditions cond = {})
+      : model_(tech, cond) {}
+
+  const Technology& tech() const override { return model_.tech(); }
+  const EvalConditions& conditions() const override {
+    return model_.conditions();
+  }
+  MacroMetrics evaluate(const DesignPoint& dp) const override {
+    evaluations_.fetch_add(1);
+    return model_.evaluate(dp);
+  }
+  void evaluate_batch(Span<const DesignPoint> points,
+                      Span<MacroMetrics> out) const override {
+    evaluations_.fetch_add(points.size());
+    model_.evaluate_batch(points, out);
+  }
+
+  std::uint64_t evaluations() const { return evaluations_.load(); }
+
+ private:
+  AnalyticCostModel model_;
+  mutable std::atomic<std::uint64_t> evaluations_{0};
+};
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
 
 DesignPoint int8_point(std::int64_t n, std::int64_t h, std::int64_t l,
                        std::int64_t k) {
@@ -125,6 +179,304 @@ TEST(CostCacheTest, ConcurrentEvaluationIsConsistent) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     expect_same_metrics(results[i], evaluate_macro(tech, all[i % all.size()]));
   }
+}
+
+TEST(CostCacheTest, BatchedEvaluationMatchesScalarAndCountsExactly) {
+  const Technology tech = Technology::tsmc28();
+  CountingModel model(tech);
+  CostCache cache(model);
+  const DesignSpace space(1 << 13, precision_int8());
+  const auto all = space.enumerate_all();
+  ASSERT_GT(all.size(), 4u);
+
+  std::vector<MacroMetrics> out(all.size());
+  cache.evaluate_batch(Span<const DesignPoint>(all), Span<MacroMetrics>(out));
+  EXPECT_EQ(cache.misses(), all.size());
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(model.evaluations(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    expect_same_metrics(out[i], evaluate_macro(tech, all[i]));
+  }
+
+  // Second pass: all hits, zero new model evaluations.
+  cache.evaluate_batch(Span<const DesignPoint>(all), Span<MacroMetrics>(out));
+  EXPECT_EQ(cache.misses(), all.size());
+  EXPECT_EQ(cache.hits(), all.size());
+  EXPECT_EQ(model.evaluations(), all.size());
+}
+
+TEST(CostCacheTest, BatchWithDuplicateKeysEvaluatesEachKeyOnce) {
+  const Technology tech = Technology::tsmc28();
+  CountingModel model(tech);
+  CostCache cache(model);
+  const DesignPoint dp = int8_point(32, 128, 16, 8);
+  // The same point four times in one batch: one miss, three hits, one
+  // underlying evaluation.
+  const std::vector<DesignPoint> points(4, dp);
+  std::vector<MacroMetrics> out(points.size());
+  cache.evaluate_batch(Span<const DesignPoint>(points),
+                       Span<MacroMetrics>(out));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(model.evaluations(), 1u);
+  for (const MacroMetrics& m : out) {
+    expect_same_metrics(m, evaluate_macro(tech, dp));
+  }
+}
+
+TEST(CostCacheTest, StatsAreExactUnderConcurrentBatchedLookups) {
+  const Technology tech = Technology::tsmc28();
+  CountingModel model(tech);
+  CostCache cache(model);
+  const DesignSpace space(1 << 13, precision_int8());
+  const auto all = space.enumerate_all();
+  ASSERT_GT(all.size(), 8u);
+
+  // Pool tasks submit overlapping rotated batches, so cold keys race: the
+  // exact-once contract requires each distinct key to reach the model once,
+  // and every lookup to be exactly one of hit/miss.
+  ThreadPool pool(8);
+  constexpr std::size_t kTasks = 16;
+  std::vector<std::vector<MacroMetrics>> results(kTasks);
+  pool.parallel_for(kTasks, [&](std::size_t t) {
+    std::vector<DesignPoint> window;
+    window.reserve(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      window.push_back(all[(i + t) % all.size()]);
+    }
+    results[t].resize(window.size());
+    cache.evaluate_batch(Span<const DesignPoint>(window),
+                         Span<MacroMetrics>(results[t]));
+  });
+
+  EXPECT_EQ(cache.misses(), all.size());
+  EXPECT_EQ(model.evaluations(), all.size());
+  EXPECT_EQ(cache.hits() + cache.misses(), kTasks * all.size());
+  EXPECT_EQ(cache.size(), all.size());
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      expect_same_metrics(results[t][i],
+                          evaluate_macro(tech, all[(i + t) % all.size()]));
+    }
+  }
+}
+
+TEST(CostCacheTest, ThrowingModelUnwindsClaimsInsteadOfDeadlocking) {
+  // A model that fails its first batch: the cache must release the claimed
+  // pending markers (or later lookups of those keys would park forever) and
+  // stay fully usable afterwards, with exact stats.
+  class FlakyModel final : public CostModel {
+   public:
+    explicit FlakyModel(const Technology& tech) : model_(tech) {}
+    const Technology& tech() const override { return model_.tech(); }
+    const EvalConditions& conditions() const override {
+      return model_.conditions();
+    }
+    MacroMetrics evaluate(const DesignPoint& dp) const override {
+      maybe_throw();
+      return model_.evaluate(dp);
+    }
+    void evaluate_batch(Span<const DesignPoint> points,
+                        Span<MacroMetrics> out) const override {
+      maybe_throw();
+      model_.evaluate_batch(points, out);
+    }
+    mutable std::atomic<int> failures_left{1};
+
+   private:
+    void maybe_throw() const {
+      if (failures_left.load() > 0 && failures_left.fetch_sub(1) > 0) {
+        throw std::runtime_error("injected model failure");
+      }
+    }
+    AnalyticCostModel model_;
+  };
+
+  const Technology tech = Technology::tsmc28();
+  FlakyModel model(tech);
+  CostCache cache(model);
+  const DesignSpace space(1 << 13, precision_int8());
+  const auto all = space.enumerate_all();
+  ASSERT_GT(all.size(), 2u);
+
+  std::vector<MacroMetrics> out(all.size());
+  EXPECT_THROW(cache.evaluate_batch(Span<const DesignPoint>(all),
+                                    Span<MacroMetrics>(out)),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+
+  // Retry (model recovered): every key evaluates normally — no deadlock on
+  // stale pending markers, stats exact.
+  cache.evaluate_batch(Span<const DesignPoint>(all), Span<MacroMetrics>(out));
+  EXPECT_EQ(cache.size(), all.size());
+  EXPECT_EQ(cache.misses(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    expect_same_metrics(out[i], evaluate_macro(tech, all[i]));
+  }
+}
+
+TEST(CostCacheTest, SaveLoadRoundTripsBitExactly) {
+  const Technology tech = Technology::tsmc28();
+  const std::string path = temp_path("roundtrip.memo.jsonl");
+  std::filesystem::remove(path);
+
+  CostCache writer(tech);
+  const DesignSpace int_space(1 << 13, precision_int8());
+  const DesignSpace fp_space(1 << 13, precision_bf16());
+  const auto ints = int_space.enumerate_all();
+  const auto fps = fp_space.enumerate_all();
+  for (const auto& dp : ints) writer.evaluate(dp);
+  for (const auto& dp : fps) writer.evaluate(dp);
+  ASSERT_TRUE(writer.save(path));
+
+  CountingModel model(tech);
+  CostCache reader(model);
+  std::string error;
+  ASSERT_TRUE(reader.load(path, &error)) << error;
+  EXPECT_EQ(reader.size(), ints.size() + fps.size());
+  // Loaded entries count as neither hits nor misses...
+  EXPECT_EQ(reader.hits(), 0u);
+  EXPECT_EQ(reader.misses(), 0u);
+  // ...and a full revisit performs ZERO model evaluations with bit-exact
+  // metrics (doubles round-trip through the %.17g serialization).
+  for (const auto& dp : ints) {
+    expect_same_metrics(reader.evaluate(dp), evaluate_macro(tech, dp));
+  }
+  for (const auto& dp : fps) {
+    expect_same_metrics(reader.evaluate(dp), evaluate_macro(tech, dp));
+  }
+  EXPECT_EQ(model.evaluations(), 0u);
+  EXPECT_EQ(reader.misses(), 0u);
+  EXPECT_EQ(reader.hits(), ints.size() + fps.size());
+}
+
+TEST(CostCacheTest, LoadMergesWithExistingEntries) {
+  const Technology tech = Technology::tsmc28();
+  const std::string path = temp_path("merge.memo.jsonl");
+  std::filesystem::remove(path);
+  const DesignSpace space(1 << 13, precision_int8());
+  const auto all = space.enumerate_all();
+  ASSERT_GT(all.size(), 4u);
+  const std::size_t half = all.size() / 2;
+
+  // File holds the first half (plus overlap point 0)...
+  CostCache writer(tech);
+  for (std::size_t i = 0; i <= half; ++i) writer.evaluate(all[i]);
+  ASSERT_TRUE(writer.save(path));
+
+  // ...the reader already knows the second half; after the merge it knows
+  // everything, stats untouched by the load.
+  CountingModel model(tech);
+  CostCache reader(model);
+  for (std::size_t i = half; i < all.size(); ++i) reader.evaluate(all[i]);
+  const std::uint64_t misses_before = reader.misses();
+  ASSERT_TRUE(reader.load(path));
+  EXPECT_EQ(reader.size(), all.size());
+  EXPECT_EQ(reader.misses(), misses_before);
+  const std::uint64_t evals_before = model.evaluations();
+  for (const auto& dp : all) {
+    expect_same_metrics(reader.evaluate(dp), evaluate_macro(tech, dp));
+  }
+  EXPECT_EQ(model.evaluations(), evals_before);
+}
+
+TEST(CostCacheTest, LoadRejectsFingerprintMismatch) {
+  const Technology tech = Technology::tsmc28();
+  const std::string path = temp_path("mismatch.memo.jsonl");
+  std::filesystem::remove(path);
+  CostCache writer(tech);
+  writer.evaluate(int8_point(32, 128, 16, 8));
+  ASSERT_TRUE(writer.save(path));
+
+  // Different conditions.
+  EvalConditions low_voltage;
+  low_voltage.supply_v = 0.6;
+  CostCache wrong_cond(tech, low_voltage);
+  std::string error;
+  EXPECT_FALSE(wrong_cond.load(path, &error));
+  EXPECT_NE(error.find("different technology"), std::string::npos);
+  EXPECT_EQ(wrong_cond.size(), 0u);
+
+  // Different technology.
+  const Technology other = Technology::generic40();
+  CostCache wrong_tech(other);
+  EXPECT_FALSE(wrong_tech.load(path, &error));
+
+  // Different model version (tampered header).
+  std::string text = read_file(path);
+  const std::string needle = "\"model_version\":1";
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "\"model_version\":999");
+  const std::string tampered = temp_path("tampered.memo.jsonl");
+  write_file(tampered, text);
+  CostCache same_config(tech);
+  EXPECT_FALSE(same_config.load(tampered, &error));
+}
+
+TEST(CostCacheTest, LoadToleratesTruncatedEntryLines) {
+  const Technology tech = Technology::tsmc28();
+  const std::string path = temp_path("full.memo.jsonl");
+  std::filesystem::remove(path);
+  const DesignSpace space(1 << 13, precision_int8());
+  const auto all = space.enumerate_all();
+  ASSERT_GT(all.size(), 2u);
+  CostCache writer(tech);
+  for (const auto& dp : all) writer.evaluate(dp);
+  ASSERT_TRUE(writer.save(path));
+
+  // Chop the file mid-way through its final line — the signature of
+  // external truncation.  Every complete line must still load.
+  std::string text = read_file(path);
+  ASSERT_EQ(text.back(), '\n');
+  text.resize(text.size() - 20);
+  const std::string truncated = temp_path("truncated.memo.jsonl");
+  write_file(truncated, text);
+
+  CostCache reader(tech);
+  std::string error;
+  ASSERT_TRUE(reader.load(truncated, &error)) << error;
+  EXPECT_EQ(reader.size(), all.size() - 1);
+
+  // Garbage header, or no header at all, is an error (compatibility can't
+  // be verified).
+  const std::string garbage = temp_path("garbage.memo.jsonl");
+  write_file(garbage, "{\"not_a_memo\":true}\n");
+  EXPECT_FALSE(reader.load(garbage, &error));
+  write_file(garbage, "");
+  EXPECT_FALSE(reader.load(garbage, &error));
+  EXPECT_FALSE(reader.load(temp_path("does_not_exist.memo.jsonl"), &error));
+}
+
+TEST(CostCacheTest, SaveIsAtomicViaTempFileRename) {
+  const Technology tech = Technology::tsmc28();
+  const std::string path = temp_path("atomic.memo.jsonl");
+  // Per-process temp name (concurrent savers of a shared file must not
+  // interleave into one temp).
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<int>(::getpid()));
+  std::filesystem::remove(path);
+
+  // A stale temp file from a crashed writer must not break a fresh save.
+  write_file(path + ".tmp.99999", "partial garbage from a crashed writer");
+  write_file(tmp, "partial garbage from an earlier crash of this pid");
+  CostCache writer(tech);
+  writer.evaluate(int8_point(32, 128, 16, 8));
+  ASSERT_TRUE(writer.save(path));
+  // Our temp file was renamed into place: the final file is complete and
+  // loadable, and this process's temp file is gone.
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  CostCache reader(tech);
+  ASSERT_TRUE(reader.load(path));
+  EXPECT_EQ(reader.size(), 1u);
+
+  // An unwritable destination reports failure instead of clobbering.
+  CostCache other(tech);
+  other.evaluate(int8_point(32, 128, 16, 8));
+  std::string error;
+  EXPECT_FALSE(other.save("/no_such_dir_sega/cache.memo.jsonl", &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(CostCacheTest, ClearResetsTableAndCounters) {

@@ -137,6 +137,62 @@ TEST(ThreadPoolTest, SubmittedTaskSeesInsidePoolTask) {
   }
 }
 
+TEST(ThreadPoolTest, ParallelForChunksCoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{7},
+                                std::size_t{64}, std::size_t{1000}}) {
+      for (const std::size_t max_chunk :
+           {std::size_t{1}, std::size_t{13}, std::size_t{64}}) {
+        std::vector<std::atomic<int>> hits(n);
+        std::atomic<int> bad_ranges{0};
+        pool.parallel_for_chunks(n, max_chunk,
+                                 [&](std::size_t begin, std::size_t end) {
+                                   if (begin >= end || end > n ||
+                                       end - begin > max_chunk) {
+                                     ++bad_ranges;
+                                   }
+                                   for (std::size_t i = begin; i < end; ++i) {
+                                     ++hits[i];
+                                   }
+                                 });
+        EXPECT_EQ(bad_ranges.load(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "n " << n << " chunk " << max_chunk << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunksZeroIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for_chunks(0, 64, [&](std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, NestedParallelForChunksRunsInline) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 100;
+  std::vector<std::array<std::atomic<int>, kInner>> slots(kOuter);
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    ThreadPool::global().parallel_for_chunks(
+        kInner, 16, [&, o](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) ++slots[o][i];
+        });
+  });
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    for (std::size_t i = 0; i < kInner; ++i) {
+      ASSERT_EQ(slots[o][i].load(), 1) << "outer " << o << " inner " << i;
+    }
+  }
+}
+
 TEST(ThreadPoolTest, DefaultThreadsHonorsEnvOverride) {
   // setenv/unsetenv: this test mutates process state, but gtest runs tests
   // in one thread so there is no racing reader.
