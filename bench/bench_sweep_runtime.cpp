@@ -5,8 +5,10 @@
 // pure scheduling.  Run on >= 8 cores to see the grid-level speedup; the
 // checkpointed variant measures the streaming-JSONL overhead per cell.
 //
-// Also measures the NSGA-II non-dominated sort: the ENS-BS implementation
-// behind fast_non_dominated_sort against the textbook O(n^2 * objectives)
+// Also measures the sharded path (per-shard slices plus the checkpoint
+// merge), the work-stealing scheduler on a skewed load, and the NSGA-II
+// non-dominated sort: the ENS-BS implementation behind
+// fast_non_dominated_sort against the textbook O(n^2 * objectives)
 // dominance-count baseline it replaced, at population sizes around and
 // above the crossover point (>= 512).
 #include <benchmark/benchmark.h>
@@ -17,6 +19,8 @@
 #include "compiler/sweep.h"
 #include "dse/pareto.h"
 #include "util/rng.h"
+#include "util/strings.h"
+#include "util/threadpool.h"
 
 namespace {
 
@@ -77,6 +81,53 @@ void BM_SweepGridCheckpointed(benchmark::State& state) {
   std::filesystem::remove(path);
 }
 
+/// One shard's slice of the grid plus the merge that fans the shard files
+/// back together — the per-worker cost of the distributed path.  The shards
+/// are computed once per iteration (sequentially here; real deployments run
+/// them as separate processes) and merged from their checkpoints.
+void BM_SweepShardedAndMerged(benchmark::State& state) {
+  const Compiler compiler(Technology::tsmc28());
+  const int shards = static_cast<int>(state.range(0));
+  const auto base = std::filesystem::temp_directory_path() /
+                    "sega_bench_sweep_shard.ckpt.jsonl";
+  for (auto _ : state) {
+    for (int i = 0; i < shards; ++i) {
+      std::filesystem::remove(shard_file_path(base.string(), i, shards));
+    }
+    SweepSpec spec = bench_spec(0);
+    spec.checkpoint = base.string();
+    for (int i = 0; i < shards; ++i) {
+      SweepSpec worker = spec;
+      worker.shard.index = i;
+      worker.shard.count = shards;
+      benchmark::DoNotOptimize(run_sweep(compiler, worker));
+    }
+    benchmark::DoNotOptimize(merge_sweep_shards(compiler, spec, shards));
+  }
+  for (int i = 0; i < shards; ++i) {
+    std::filesystem::remove(shard_file_path(base.string(), i, shards));
+  }
+  std::filesystem::remove(base);
+}
+
+/// The raw scheduler: work-stealing deques versus the shared-counter
+/// parallel_for on a deliberately skewed load (one item 50x the rest), the
+/// shape of a sweep grid whose FP32/128K corner dominates.
+void BM_ParallelForStealingSkewed(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  constexpr std::size_t kItems = 64;
+  std::vector<std::size_t> items(kItems);
+  for (std::size_t i = 0; i < kItems; ++i) items[i] = i;
+  const auto work = [](std::size_t item) {
+    const int reps = item == 0 ? 500000 : 10000;
+    volatile double sink = 0;
+    for (int r = 0; r < reps; ++r) sink = sink + 1.0 / (1 + r);
+  };
+  for (auto _ : state) {
+    pool.parallel_for_stealing(items, work);
+  }
+}
+
 std::vector<Objectives> random_objectives(std::size_t n, std::size_t dims,
                                           std::uint64_t seed) {
   Rng rng(seed);
@@ -110,6 +161,10 @@ BENCHMARK(BM_SweepGridThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepGridParallelChecked)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepGridCheckpointed)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepShardedAndMerged)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelForStealingSkewed)->Arg(1)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NonDominatedSortEns)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
 BENCHMARK(BM_NonDominatedSortBaseline)

@@ -1,6 +1,11 @@
 #include "compiler/cli.h"
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -11,6 +16,7 @@
 #include "compiler/sweep.h"
 #include "tech/techlib_parser.h"
 #include "util/strings.h"
+#include "util/threadpool.h"
 
 namespace sega {
 
@@ -27,11 +33,16 @@ constexpr const char* kUsage =
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
     "          [--cache-file <path>]\n"
     "  sweep   [--spec <sweep.json>] [--out <dir>] [--checkpoint <path>]\n"
-    "          [--cache-file <path>] [--resume-summary]\n"
-    "          [--wstores <n,n,...>] [--precisions <name,name,...>]\n"
-    "          [--sparsity <f>] [--supply <v>] [--seed <n>]\n"
-    "          [--population <n>] [--generations <n>] [--threads <n>]\n"
-    "          [--tech <file.techlib>]\n"
+    "          [--cache-file <path>] [--resume-summary] [--shard <i/N>]\n"
+    "          [--spawn-local <K>] [--wstores <n,n,...>]\n"
+    "          [--precisions <name,name,...>] [--sparsity <f>]\n"
+    "          [--supply <v>] [--seed <n>] [--population <n>]\n"
+    "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
+    "  sweep-merge --checkpoint <path> --shards <N> [--spec <sweep.json>]\n"
+    "          [--out <dir>] [--cache-file <path>] [--wstores <n,n,...>]\n"
+    "          [--precisions <name,name,...>] [--sparsity <f>]\n"
+    "          [--supply <v>] [--seed <n>] [--population <n>]\n"
+    "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
     "  precisions\n"
     "  techlib\n";
 
@@ -246,17 +257,17 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
   return 0;
 }
 
-/// The full §IV validation grid (or a subset), run on the parallel sweep
-/// engine with optional JSONL checkpoint/resume.  CSV goes to stdout;
-/// --out additionally writes sweep.json and sweep.csv.
-int cmd_sweep(const std::map<std::string, std::string>& flags,
-              std::ostream& out, std::ostream& err) {
-  SweepSpec spec;
+/// Build a SweepSpec from --spec plus the grid/DSE/path override flags —
+/// shared by sweep and sweep-merge (the merge must describe the identical
+/// grid or the shard fingerprints won't match).  Returns false after
+/// writing a diagnostic.
+bool build_sweep_spec(const std::map<std::string, std::string>& flags,
+                      SweepSpec* spec, std::ostream& err) {
   if (flags.count("spec")) {
     std::ifstream in(flags.at("spec"));
     if (!in) {
       err << "cannot open spec '" << flags.at("spec") << "'\n";
-      return 2;
+      return false;
     }
     std::stringstream buf;
     buf << in.rdbuf();
@@ -264,74 +275,97 @@ int cmd_sweep(const std::map<std::string, std::string>& flags,
     const auto json = Json::parse(buf.str(), &jerr);
     if (!json) {
       err << jerr << "\n";
-      return 2;
+      return false;
     }
     std::string serr;
     const auto parsed = SweepSpec::from_json(*json, &serr);
     if (!parsed) {
       err << serr << "\n";
-      return 2;
+      return false;
     }
-    spec = *parsed;
+    *spec = *parsed;
   }
   try {
     if (flags.count("wstores")) {
-      spec.wstores.clear();
+      spec->wstores.clear();
       for (const auto& field : split(flags.at("wstores"), ',')) {
-        spec.wstores.push_back(std::stoll(trim(field)));
-        if (spec.wstores.back() < 1) throw std::invalid_argument("wstore");
+        spec->wstores.push_back(std::stoll(trim(field)));
+        if (spec->wstores.back() < 1) throw std::invalid_argument("wstore");
       }
     }
   } catch (...) {
     err << "bad numeric option value\n";
-    return 2;
+    return false;
   }
-  if (!parse_dse_flags(flags, &spec.conditions, &spec.dse, err)) return 2;
+  if (!parse_dse_flags(flags, &spec->conditions, &spec->dse, err)) {
+    return false;
+  }
   if (flags.count("precisions")) {
-    spec.precisions.clear();
+    spec->precisions.clear();
     for (const auto& field : split(flags.at("precisions"), ',')) {
       const auto p = precision_from_name(trim(field));
       if (!p) {
         err << "unknown precision '" << trim(field) << "'\n";
-        return 2;
+        return false;
       }
-      spec.precisions.push_back(*p);
+      spec->precisions.push_back(*p);
     }
-    if (spec.precisions.empty()) {
+    if (spec->precisions.empty()) {
       err << "--precisions must name at least one precision\n";
-      return 2;
+      return false;
     }
   }
-  if (flags.count("checkpoint")) spec.checkpoint = flags.at("checkpoint");
-  if (flags.count("cache-file")) spec.cache_file = flags.at("cache-file");
-  if (spec.wstores.empty()) {
+  if (flags.count("checkpoint")) spec->checkpoint = flags.at("checkpoint");
+  if (flags.count("cache-file")) spec->cache_file = flags.at("cache-file");
+  if (spec->wstores.empty()) {
     err << "option value out of range\n";
-    return 2;
+    return false;
   }
+  return true;
+}
 
-  const auto tech = load_technology(flags, err);
-  if (!tech) return 2;
-  const Compiler compiler(*tech);
-
-  // Coverage report only — read the checkpoint, run nothing.
-  if (flags.count("resume-summary")) {
-    std::string sum_err;
-    const auto summary = summarize_checkpoint(compiler, spec, &sum_err);
-    if (!summary) {
-      err << sum_err << "\n";
-      return 2;
-    }
-    out << summary->render(spec.checkpoint);
-    return 0;
+/// Strict decimal-int parse: the whole string must be the number (unlike
+/// std::stoi, which silently accepts trailing garbage like "1x").
+bool parse_int_strict(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  std::size_t consumed = 0;
+  int value = 0;
+  try {
+    value = std::stoi(s, &consumed);
+  } catch (...) {
+    return false;
   }
+  if (consumed != s.size()) return false;
+  *out = value;
+  return true;
+}
 
-  std::string sweep_err;
-  const SweepResult result = run_sweep(compiler, spec, &sweep_err);
-  if (!sweep_err.empty()) {
-    err << sweep_err << "\n";
-    return 2;
+/// Parse `--shard i/N` into spec->shard.  Absent flag leaves the spec's
+/// shard (possibly set via the spec file) untouched.
+bool parse_shard_flag(const std::map<std::string, std::string>& flags,
+                      SweepSpec* spec, std::ostream& err) {
+  const auto it = flags.find("shard");
+  if (it == flags.end()) return true;
+  const auto parts = split(it->second, '/');
+  int index = 0;
+  int count = 0;
+  const bool ok = parts.size() == 2 &&
+                  parse_int_strict(trim(parts[0]), &index) &&
+                  parse_int_strict(trim(parts[1]), &count);
+  if (!ok || count < 1 || index < 0 || index >= count) {
+    err << "--shard must be i/N with 0 <= i < N\n";
+    return false;
   }
+  spec->shard.index = index;
+  spec->shard.count = count;
+  return true;
+}
 
+/// Write sweep.json/sweep.csv under --out (when given) and the CSV to
+/// stdout — shared by sweep, sweep --spawn-local, and sweep-merge.
+int write_sweep_outputs(const SweepResult& result,
+                        const std::map<std::string, std::string>& flags,
+                        std::ostream& out, std::ostream& err) {
   if (flags.count("out")) {
     const std::filesystem::path outdir = flags.at("out");
     std::error_code ec;
@@ -353,6 +387,186 @@ int cmd_sweep(const std::map<std::string, std::string>& flags,
   }
   out << result.to_csv();
   return 0;
+}
+
+/// Fork K shard workers on this host (each computing its slice into its own
+/// checkpoint/memo shard), wait for all of them, then fan the shards back
+/// into the unified result — the zero-to-distributed path of a sweep on one
+/// machine.
+int run_spawn_local(const Compiler& compiler, const SweepSpec& spec,
+                    int workers,
+                    const std::map<std::string, std::string>& flags,
+                    std::ostream& out, std::ostream& err) {
+  std::vector<pid_t> children;
+  for (int i = 0; i < workers; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      err << "fork failed\n";
+      for (const pid_t child : children) {
+        int status = 0;
+        ::waitpid(child, &status, 0);
+      }
+      return 2;
+    }
+    if (pid == 0) {
+      // Worker process.  A positive thread count forces run_sweep to build
+      // a fresh pool: the parent's lazily created global pool object was
+      // inherited by fork but its worker threads were not, so it must never
+      // be touched here.  _Exit skips atexit/static destructors for the
+      // same reason (run_sweep has already flushed and closed its files).
+      SweepSpec worker = spec;
+      worker.shard = ShardSpec{};
+      worker.shard.index = i;
+      worker.shard.count = workers;
+      if (worker.dse.threads == 0) {
+        // Divide the host between the workers instead of oversubscribing it
+        // K-fold; an explicit --threads is per-worker and kept as given.
+        worker.dse.threads =
+            std::max(1, ThreadPool::default_threads() / workers);
+      }
+      std::string worker_error;
+      run_sweep(compiler, worker, &worker_error);
+      if (!worker_error.empty()) {
+        std::fprintf(stderr, "[sega] shard %d/%d: %s\n", i, workers,
+                     worker_error.c_str());
+        std::_Exit(2);
+      }
+      std::_Exit(0);
+    }
+    children.push_back(pid);
+  }
+  bool worker_failed = false;
+  for (int i = 0; i < workers; ++i) {
+    int status = 0;
+    pid_t waited;
+    do {
+      waited = ::waitpid(children[i], &status, 0);
+    } while (waited < 0 && errno == EINTR);
+    // A wait that failed outright (ECHILD — someone reaped the child first)
+    // must count as a worker failure: treating an unknown outcome as
+    // success would merge a possibly half-written shard.
+    if (waited != children[i] || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      err << strfmt("shard %d/%d worker failed\n", i, workers);
+      worker_failed = true;
+    }
+  }
+  if (worker_failed) return 2;
+  std::string merge_error;
+  const SweepResult merged =
+      merge_sweep_shards(compiler, spec, workers, &merge_error);
+  if (!merge_error.empty()) {
+    err << merge_error << "\n";
+    return 2;
+  }
+  return write_sweep_outputs(merged, flags, out, err);
+}
+
+/// The full §IV validation grid (or a subset), run on the parallel sweep
+/// engine with optional JSONL checkpoint/resume, optionally as one shard of
+/// an N-worker set (--shard) or as a K-process local fleet (--spawn-local).
+/// CSV goes to stdout; --out additionally writes sweep.json and sweep.csv.
+int cmd_sweep(const std::map<std::string, std::string>& flags,
+              std::ostream& out, std::ostream& err) {
+  SweepSpec spec;
+  if (!build_sweep_spec(flags, &spec, err)) return 2;
+  if (!parse_shard_flag(flags, &spec, err)) return 2;
+
+  int spawn_local = 0;
+  if (flags.count("spawn-local")) {
+    if (!parse_int_strict(flags.at("spawn-local"), &spawn_local)) {
+      err << "bad numeric option value\n";
+      return 2;
+    }
+    if (spawn_local < 1) {
+      err << "option value out of range\n";
+      return 2;
+    }
+    if (flags.count("shard") || spec.shard.active()) {
+      err << "--spawn-local and --shard are mutually exclusive\n";
+      return 2;
+    }
+    if (flags.count("resume-summary")) {
+      err << "--spawn-local and --resume-summary are mutually exclusive\n";
+      return 2;
+    }
+    if (spec.checkpoint.empty()) {
+      err << "--spawn-local requires --checkpoint (the shard files are the "
+             "fan-in)\n";
+      return 2;
+    }
+  }
+
+  const auto tech = load_technology(flags, err);
+  if (!tech) return 2;
+  const Compiler compiler(*tech);
+
+  // Coverage report only — read the checkpoint, run nothing.
+  if (flags.count("resume-summary")) {
+    std::string sum_err;
+    const auto summary = summarize_checkpoint(compiler, spec, &sum_err);
+    if (!summary) {
+      err << sum_err << "\n";
+      return 2;
+    }
+    const std::string shown =
+        spec.shard.active()
+            ? shard_file_path(spec.checkpoint, spec.shard.index,
+                              spec.shard.count)
+            : spec.checkpoint;
+    out << summary->render(shown);
+    return 0;
+  }
+
+  if (spawn_local > 0) {
+    return run_spawn_local(compiler, spec, spawn_local, flags, out, err);
+  }
+
+  std::string sweep_err;
+  const SweepResult result = run_sweep(compiler, spec, &sweep_err);
+  if (!sweep_err.empty()) {
+    err << sweep_err << "\n";
+    return 2;
+  }
+  return write_sweep_outputs(result, flags, out, err);
+}
+
+/// Fan N shard checkpoints (and memo shards) back into one result: unified
+/// JSON/CSV byte-identical to an unsharded run, a unified resumable
+/// checkpoint, and a unified cost memo.
+int cmd_sweep_merge(const std::map<std::string, std::string>& flags,
+                    std::ostream& out, std::ostream& err) {
+  SweepSpec spec;
+  if (!build_sweep_spec(flags, &spec, err)) return 2;
+  if (spec.checkpoint.empty()) {
+    err << "sweep-merge requires --checkpoint (the shard base path)\n";
+    return 2;
+  }
+  if (!flags.count("shards")) {
+    err << "sweep-merge requires --shards <N>\n";
+    return 2;
+  }
+  int shards = 0;
+  if (!parse_int_strict(flags.at("shards"), &shards)) {
+    err << "bad numeric option value\n";
+    return 2;
+  }
+  if (shards < 1) {
+    err << "option value out of range\n";
+    return 2;
+  }
+
+  const auto tech = load_technology(flags, err);
+  if (!tech) return 2;
+  const Compiler compiler(*tech);
+  std::string merge_error;
+  const SweepResult result =
+      merge_sweep_shards(compiler, spec, shards, &merge_error);
+  if (!merge_error.empty()) {
+    err << merge_error << "\n";
+    return 2;
+  }
+  return write_sweep_outputs(result, flags, out, err);
 }
 
 }  // namespace
@@ -390,13 +604,23 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "sweep") {
     if (!check_known(flags,
                      {"spec", "out", "checkpoint", "cache-file",
-                      "resume-summary", "wstores", "precisions", "sparsity",
-                      "supply", "seed", "population", "generations",
-                      "threads", "tech"},
+                      "resume-summary", "shard", "spawn-local", "wstores",
+                      "precisions", "sparsity", "supply", "seed",
+                      "population", "generations", "threads", "tech"},
                      err)) {
       return 2;
     }
     return cmd_sweep(flags, out, err);
+  }
+  if (command == "sweep-merge") {
+    if (!check_known(flags,
+                     {"spec", "out", "checkpoint", "cache-file", "shards",
+                      "wstores", "precisions", "sparsity", "supply", "seed",
+                      "population", "generations", "threads", "tech"},
+                     err)) {
+      return 2;
+    }
+    return cmd_sweep_merge(flags, out, err);
   }
   if (command == "precisions") {
     for (const auto& p : all_precisions()) out << p.name << "\n";

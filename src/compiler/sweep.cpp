@@ -1,5 +1,7 @@
 #include "compiler/sweep.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -31,8 +33,10 @@ std::optional<SweepSpec> spec_fail(const std::string& msg,
 
 /// The result-affecting fields in JSON form — the shared core of to_json()
 /// and the checkpoint config fingerprint, so the two can never drift.
-/// Excludes threads, the checkpoint path and the cache-file path (none of
-/// them changes results).
+/// Excludes threads, the shard, the checkpoint path and the cache-file path
+/// (none of them changes any cell's result — the shard only selects which
+/// cells a process computes, and shard files must share the unsharded
+/// fingerprint so a merge can vouch they belong to the same sweep).
 Json result_affecting_json(const SweepSpec& spec) {
   Json j = Json::object();
   Json ws = Json::array();
@@ -146,6 +150,16 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
       }
     } else if (key == "seed") {
       spec.dse.seed = static_cast<std::uint64_t>(value.as_int());
+    } else if (key == "shard_index") {
+      spec.shard.index = static_cast<int>(value.as_int());
+      if (spec.shard.index < 0) {
+        return spec_fail("shard_index must be >= 0", error);
+      }
+    } else if (key == "shard_count") {
+      spec.shard.count = static_cast<int>(value.as_int());
+      if (spec.shard.count < 1) {
+        return spec_fail("shard_count must be >= 1", error);
+      }
     } else if (key == "threads") {
       spec.dse.threads = static_cast<int>(value.as_int());
       if (spec.dse.threads < 0) return spec_fail("threads must be >= 0", error);
@@ -164,12 +178,21 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
                        error);
     }
   }
+  // Cross-field: the index only has meaning relative to the count, so it is
+  // validated after both keys have been seen (in either order).
+  if (spec.shard.index >= spec.shard.count) {
+    return spec_fail("shard_index must be < shard_count", error);
+  }
   return spec;
 }
 
 Json SweepSpec::to_json() const {
   Json j = result_affecting_json(*this);
   j["threads"] = dse.threads;
+  if (shard.active()) {
+    j["shard_index"] = shard.index;
+    j["shard_count"] = shard.count;
+  }
   if (!checkpoint.empty()) j["checkpoint"] = checkpoint;
   if (!cache_file.empty()) j["cache_file"] = cache_file;
   return j;
@@ -191,11 +214,93 @@ Json config_fingerprint(const SweepSpec& spec, const Technology& tech) {
   return j;
 }
 
+/// Shard checkpoint headers carry the worker's shard identity *next to* the
+/// config (never inside it — the fingerprint must be identical across the
+/// shard set and the unsharded equivalent, so a merge can verify all files
+/// belong to the same sweep).  Unsharded headers carry no shard fields.
 Json header_line(const SweepSpec& spec, const Technology& tech) {
   Json j = Json::object();
   j["sega_sweep_checkpoint"] = 1;
   j["config"] = config_fingerprint(spec, tech);
+  if (spec.shard.active()) {
+    j["shard_index"] = spec.shard.index;
+    j["shard_count"] = spec.shard.count;
+  }
   return j;
+}
+
+/// The shard identity recorded in a checkpoint header: {0, 1} for an
+/// unsharded header (no shard fields), nullopt when the fields are present
+/// but malformed or inconsistent.
+std::optional<ShardSpec> header_shard(const Json& header) {
+  ShardSpec shard;
+  const bool has_index = header.contains("shard_index");
+  const bool has_count = header.contains("shard_count");
+  if (!has_index && !has_count) return shard;
+  if (!has_index || !has_count || !header.at("shard_index").is_number() ||
+      !header.at("shard_count").is_number()) {
+    return std::nullopt;
+  }
+  shard.index = static_cast<int>(header.at("shard_index").as_int());
+  shard.count = static_cast<int>(header.at("shard_count").as_int());
+  if (shard.count < 1 || shard.index < 0 || shard.index >= shard.count) {
+    return std::nullopt;
+  }
+  return shard;
+}
+
+/// The file run_sweep actually reads/appends: the base path itself for an
+/// unsharded sweep, the worker's own shard file otherwise.
+std::string effective_path(const std::string& base, const ShardSpec& shard) {
+  if (base.empty() || !shard.active()) return base;
+  return shard_file_path(base, shard.index, shard.count);
+}
+
+/// One position of the fixed grid order (Wstore-major, precisions in spec
+/// order) — the fold order, the output order, the checkpoint key space, and
+/// the stable cell-id space the shard partition is defined over.
+struct GridCell {
+  std::int64_t wstore;
+  Precision precision;
+};
+
+std::vector<GridCell> build_grid(const SweepSpec& spec) {
+  std::vector<GridCell> grid;
+  grid.reserve(spec.wstores.size() * spec.precisions.size());
+  for (const std::int64_t wstore : spec.wstores) {
+    for (const Precision& precision : spec.precisions) {
+      grid.push_back(GridCell{wstore, precision});
+    }
+  }
+  return grid;
+}
+
+/// Structural validity of a parsed checkpoint header line.
+bool checkpoint_header_valid(const std::optional<Json>& header) {
+  return header && header->is_object() &&
+         header->contains("sega_sweep_checkpoint") &&
+         header->contains("config");
+}
+
+/// Verdict on a parsed checkpoint header line against the spec's config
+/// fingerprint and an expected shard identity.  Every checkpoint reader —
+/// resume, merge, summary — goes through this one check, so the acceptance
+/// rules cannot drift between them.
+enum class HeaderCheck { kOk, kMalformed, kConfigMismatch, kShardMismatch };
+
+HeaderCheck check_header(const std::optional<Json>& header,
+                         const SweepSpec& spec, const Technology& tech,
+                         const ShardSpec& expected) {
+  if (!checkpoint_header_valid(header)) return HeaderCheck::kMalformed;
+  if (!(header->at("config") == config_fingerprint(spec, tech))) {
+    return HeaderCheck::kConfigMismatch;
+  }
+  const auto shard = header_shard(*header);
+  if (!shard || shard->index != expected.index ||
+      shard->count != expected.count) {
+    return HeaderCheck::kShardMismatch;
+  }
+  return HeaderCheck::kOk;
 }
 
 /// One completed cell as a checkpoint line.  The knee metrics are NOT
@@ -310,13 +415,6 @@ SweepResult checkpoint_fail(const std::string& msg, std::string* error) {
   std::abort();
 }
 
-/// Structural validity of a parsed checkpoint header line.
-bool checkpoint_header_valid(const std::optional<Json>& header) {
-  return header && header->is_object() &&
-         header->contains("sega_sweep_checkpoint") &&
-         header->contains("config");
-}
-
 /// Stream a checkpoint's non-empty lines.  The first is handed to
 /// @p on_header (nullopt when unparseable); its return decides whether the
 /// cell lines are read at all.  Every later line goes to @p on_line
@@ -351,21 +449,15 @@ bool walk_checkpoint(
 SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
                       std::string* error) {
   SEGA_EXPECTS(!spec.wstores.empty() && !spec.precisions.empty());
+  SEGA_EXPECTS(spec.shard.count >= 1 && spec.shard.index >= 0 &&
+               spec.shard.index < spec.shard.count);
   if (error) error->clear();
 
-  // Fixed grid order (Wstore-major) — the fold order, the output order, and
-  // the key space of the checkpoint.
-  struct GridCell {
-    std::int64_t wstore;
-    Precision precision;
-  };
-  std::vector<GridCell> grid;
-  grid.reserve(spec.wstores.size() * spec.precisions.size());
-  for (const std::int64_t wstore : spec.wstores) {
-    for (const Precision& precision : spec.precisions) {
-      grid.push_back(GridCell{wstore, precision});
-    }
-  }
+  const std::vector<GridCell> grid = build_grid(spec);
+
+  // A sharded worker reads/writes only its own per-worker files.
+  const std::string ckpt_path = effective_path(spec.checkpoint, spec.shard);
+  const std::string memo_path = effective_path(spec.cache_file, spec.shard);
 
   // One memoizing cache across the whole grid: cells at the same Wstore (and
   // neighbouring ones — the genome space overlaps heavily) revisit the same
@@ -373,11 +465,21 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   CostCache cache(compiler.technology(), spec.conditions);
 
   // --- persistent memo load ---
+  // Sharded workers seed from the unified base memo (a previously merged
+  // run; marked imported so the shard save below writes only this worker's
+  // delta, not a full base copy per shard) and then their own shard (a
+  // resumed worker; part of the delta).  Unsharded runs load the base only.
+  // Merge-on-load keeps whichever entry arrived first — for a matching
+  // fingerprint they are identical anyway.
   if (!spec.cache_file.empty()) {
-    std::error_code ec;
-    if (std::filesystem::exists(spec.cache_file, ec)) {
+    std::vector<std::string> memo_sources = {spec.cache_file};
+    if (memo_path != spec.cache_file) memo_sources.push_back(memo_path);
+    for (const std::string& path : memo_sources) {
+      std::error_code ec;
+      if (!std::filesystem::exists(path, ec)) continue;
       std::string cache_error;
-      if (!cache.load(spec.cache_file, &cache_error)) {
+      const bool is_base = spec.shard.active() && path == spec.cache_file;
+      if (!cache.load(path, &cache_error, /*mark_imported=*/is_base)) {
         return checkpoint_fail(cache_error, error);
       }
     }
@@ -388,29 +490,22 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   std::map<CellKey, RecoveredCell> recovered;
   std::unique_ptr<std::ofstream> ckpt;
   std::mutex ckpt_mu;
-  if (!spec.checkpoint.empty()) {
+  if (!ckpt_path.empty()) {
     bool have_header = false;
     std::error_code ec;
-    if (std::filesystem::exists(spec.checkpoint, ec)) {
-      // The header must match this sweep's configuration exactly; a
-      // checkpoint from a different sweep must never be mixed in.  Cell
-      // lines tolerate truncation/corruption (a killed writer may leave a
-      // partial tail) by simply recomputing those cells.
-      bool malformed_header = false;
-      bool config_mismatch = false;
+    if (std::filesystem::exists(ckpt_path, ec)) {
+      // The header must match this sweep's configuration exactly — and, for
+      // a sharded worker, this worker's exact shard identity; a checkpoint
+      // from a different sweep or a different slice of the grid must never
+      // be mixed in.  Cell lines tolerate truncation/corruption (a killed
+      // writer may leave a partial tail) by simply recomputing those cells.
+      HeaderCheck verdict = HeaderCheck::kOk;
       const bool readable = walk_checkpoint(
-          spec.checkpoint, &have_header,
+          ckpt_path, &have_header,
           [&](const std::optional<Json>& header) {
-            if (!checkpoint_header_valid(header)) {
-              malformed_header = true;
-              return false;
-            }
-            if (!(header->at("config") ==
-                  config_fingerprint(spec, compiler.technology()))) {
-              config_mismatch = true;
-              return false;
-            }
-            return true;
+            verdict = check_header(header, spec, compiler.technology(),
+                                   spec.shard);
+            return verdict == HeaderCheck::kOk;
           },
           [&](const std::optional<Json>& line) {
             if (!line) return;
@@ -427,20 +522,27 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
           });
       if (!readable) {
         return checkpoint_fail(
-            strfmt("cannot read checkpoint '%s'", spec.checkpoint.c_str()),
-            error);
+            strfmt("cannot read checkpoint '%s'", ckpt_path.c_str()), error);
       }
-      if (malformed_header) {
+      if (verdict == HeaderCheck::kMalformed) {
         return checkpoint_fail(
             strfmt("checkpoint '%s' has a missing or malformed header",
-                   spec.checkpoint.c_str()),
+                   ckpt_path.c_str()),
             error);
       }
-      if (config_mismatch) {
+      if (verdict == HeaderCheck::kConfigMismatch) {
         return checkpoint_fail(
             strfmt("checkpoint '%s' was written for a different sweep "
                    "configuration; delete it or fix the spec",
-                   spec.checkpoint.c_str()),
+                   ckpt_path.c_str()),
+            error);
+      }
+      if (verdict == HeaderCheck::kShardMismatch) {
+        return checkpoint_fail(
+            strfmt("checkpoint '%s' was written for a different shard of "
+                   "this sweep (expected shard %d/%d); delete it or fix "
+                   "--shard",
+                   ckpt_path.c_str(), spec.shard.index, spec.shard.count),
             error);
       }
       // No content lines at all (a run killed before the header flush, or a
@@ -450,18 +552,17 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     // appending straight after it would merge the next cell into garbage.
     bool needs_leading_newline = false;
     if (have_header) {
-      std::ifstream tail(spec.checkpoint, std::ios::binary);
+      std::ifstream tail(ckpt_path, std::ios::binary);
       tail.seekg(0, std::ios::end);
       if (tail.tellg() > 0) {
         tail.seekg(-1, std::ios::end);
         needs_leading_newline = tail.get() != '\n';
       }
     }
-    ckpt = std::make_unique<std::ofstream>(spec.checkpoint, std::ios::app);
+    ckpt = std::make_unique<std::ofstream>(ckpt_path, std::ios::app);
     if (!*ckpt) {
       return checkpoint_fail(
-          strfmt("cannot open checkpoint '%s' for append",
-                 spec.checkpoint.c_str()),
+          strfmt("cannot open checkpoint '%s' for append", ckpt_path.c_str()),
           error);
     }
     if (needs_leading_newline) *ckpt << '\n';
@@ -472,9 +573,15 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   }
 
   // --- schedule the remaining cells onto the pool ---
-  std::vector<std::size_t> todo;  // grid positions not covered by recovery
+  // `mine` is this worker's slice of the grid in ascending cell-id order
+  // (the whole grid when unsharded); only those cells are recovered,
+  // computed, and folded here.
+  std::vector<std::size_t> mine;
+  std::vector<std::size_t> todo;  // owned cells not covered by recovery
   std::vector<RecoveredCell> slots(grid.size());
   for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    if (!spec.shard.owns(gi)) continue;
+    mine.push_back(gi);
     const auto it = recovered.find(
         CellKey{grid[gi].wstore, grid[gi].precision.name});
     if (it != recovered.end()) {
@@ -484,13 +591,15 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     }
   }
 
-  // Cost-guided scheduling: submit the predictably expensive cells first so
-  // the FP32/128K corner doesn't start last and stretch the tail of the
-  // schedule.  The heuristic is Wstore x input width x weight width (the
-  // dominant factors of a cell's design-space size and per-point cost).
-  // Only the submission order changes — every result lands in its fixed
-  // grid slot and the fold below stays in grid order, so outputs are
-  // byte-identical to an unordered schedule.
+  // Cost-guided work-stealing: the pending cells are seeded into the pool's
+  // per-thread deques in descending predicted-cost order — Wstore x input
+  // width x weight width, the dominant factors of a cell's design-space
+  // size and per-point cost — so the FP32/128K corner starts immediately
+  // and threads that drain their own deque steal the cheap tail instead of
+  // idling behind a long cell.  Scheduling order (and the steal schedule)
+  // is a latency lever only: every result lands in its fixed grid slot and
+  // the fold below always walks grid order, so outputs are byte-identical
+  // under any schedule, thread count, or shard split.
   std::stable_sort(todo.begin(), todo.end(),
                    [&grid](std::size_t a, std::size_t b) {
                      const auto predicted = [&grid](std::size_t gi) {
@@ -506,8 +615,7 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     owned = std::make_unique<ThreadPool>(spec.dse.threads);
   }
   ThreadPool& pool = owned ? *owned : ThreadPool::global();
-  pool.parallel_for(todo.size(), [&](std::size_t t) {
-    const std::size_t gi = todo[t];
+  pool.parallel_for_stealing(todo, [&](std::size_t gi) {
     CompilerSpec cs;
     cs.wstore = grid[gi].wstore;
     cs.precision = grid[gi].precision;
@@ -543,15 +651,242 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   });
 
   // --- persistent memo save ---
+  // A sharded worker saves only its own shard file — workers never contend
+  // on one memo; merge_sweep_shards fans the shards into the base memo.
   // Non-fatal: the grid is already computed, and discarding a finished
   // sweep's results over an auxiliary-output I/O error (full disk,
   // read-only cache path) would destroy the primary product.  The next run
   // simply re-pays the evaluations.  (Loading a bad memo stays a hard
   // error — that would corrupt results; failing to write one cannot.)
+  if (!memo_path.empty()) {
+    std::string cache_error;
+    const bool saved = spec.shard.active()
+                           ? cache.save_delta(memo_path, &cache_error)
+                           : cache.save(memo_path, &cache_error);
+    if (!saved) {
+      std::fprintf(stderr, "[sega] warning: %s (sweep results unaffected)\n",
+                   cache_error.c_str());
+    }
+  }
+
+  // --- fold in fixed grid order ---
+  // Always grid order (Wstore-major, precisions in spec order), never
+  // completion order: the schedule above is free to finish cells in any
+  // order, but the output walks the slots in their fixed positions.
+  SweepResult result;
+  result.cache_hits = cache.hits();
+  result.cache_misses = cache.misses();
+  for (const std::size_t gi : mine) {
+    if (slots[gi].empty) continue;
+    result.cells.push_back(std::move(slots[gi].cell));
+  }
+  return result;
+}
+
+SweepResult merge_sweep_shards(const Compiler& compiler, const SweepSpec& spec,
+                               int shard_count, std::string* error) {
+  SEGA_EXPECTS(!spec.wstores.empty() && !spec.precisions.empty());
+  SEGA_EXPECTS(shard_count >= 1);
+  if (error) error->clear();
+  if (spec.checkpoint.empty()) {
+    return checkpoint_fail(
+        "sweep-merge needs a checkpoint base path (spec key 'checkpoint' or "
+        "--checkpoint)",
+        error);
+  }
+
+  // The same fixed grid (and cell-id space) the workers partitioned.
+  const std::vector<GridCell> grid = build_grid(spec);
+  using CellKey = std::pair<std::int64_t, std::string>;
+  std::map<CellKey, std::size_t> cell_id;
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    cell_id[CellKey{grid[gi].wstore, grid[gi].precision.name}] = gi;
+  }
+
+  // --- read every shard checkpoint ---
+  // Each shard file must carry this spec's config fingerprint AND identify
+  // itself as exactly shard s of shard_count — a file from a different
+  // sweep, or from a differently sized shard set, must never be merged.
+  std::vector<RecoveredCell> slots(grid.size());
+  std::vector<char> covered(grid.size(), 0);
+  std::vector<int> missing;
+  std::size_t stale_lines = 0;
+  std::size_t corrupt_lines = 0;
+  for (int s = 0; s < shard_count; ++s) {
+    const ShardSpec shard{s, shard_count};
+    const std::string path = effective_path(spec.checkpoint, shard);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      missing.push_back(s);
+      continue;
+    }
+    bool have_header = false;
+    HeaderCheck verdict = HeaderCheck::kOk;
+    const bool readable = walk_checkpoint(
+        path, &have_header,
+        [&](const std::optional<Json>& header) {
+          verdict = check_header(header, spec, compiler.technology(), shard);
+          return verdict == HeaderCheck::kOk;
+        },
+        [&](const std::optional<Json>& line) {
+          if (!line) {
+            ++corrupt_lines;
+            return;
+          }
+          RecoveredCell rc;
+          if (!recover_cell(*line, spec, &rc)) {
+            ++corrupt_lines;
+            return;
+          }
+          const auto it = cell_id.find(
+              CellKey{rc.cell.wstore, rc.cell.precision.name});
+          // Cells outside the grid — or outside this shard's slice — are
+          // stale lines from some older file; they never become results.
+          if (it == cell_id.end() || !shard.owns(it->second)) {
+            ++stale_lines;
+            return;
+          }
+          if (covered[it->second]) return;  // duplicate line, first wins
+          covered[it->second] = 1;
+          slots[it->second] = std::move(rc);
+        });
+    if (!readable) {
+      return checkpoint_fail(
+          strfmt("cannot read shard checkpoint '%s'", path.c_str()), error);
+    }
+    if (verdict == HeaderCheck::kMalformed || !have_header) {
+      return checkpoint_fail(
+          strfmt("shard checkpoint '%s' has a missing or malformed header",
+                 path.c_str()),
+          error);
+    }
+    if (verdict == HeaderCheck::kConfigMismatch) {
+      return checkpoint_fail(
+          strfmt("shard checkpoint '%s' was written for a different sweep "
+                 "configuration; it cannot be merged under this spec",
+                 path.c_str()),
+          error);
+    }
+    if (verdict == HeaderCheck::kShardMismatch) {
+      return checkpoint_fail(
+          strfmt("shard checkpoint '%s' does not identify itself as shard "
+                 "%d/%d — shard-set mismatch; merge with the shard count "
+                 "the workers actually ran with",
+                 path.c_str(), s, shard_count),
+          error);
+    }
+  }
+
+  // --- completeness ---
+  // A missing shard or an uncovered cell makes the merge impossible; the
+  // error carries the --resume-summary coverage report so the operator can
+  // see exactly which slice to (re)run.
+  std::size_t done = 0;
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) done += covered[gi] ? 1 : 0;
+  if (!missing.empty() || done != grid.size()) {
+    CheckpointSummary summary;
+    summary.config_match = true;
+    summary.cells_total = grid.size();
+    summary.cells_done = done;
+    summary.stale_lines = stale_lines;
+    summary.corrupt_lines = corrupt_lines;
+    std::map<std::string, std::size_t> done_by_precision;
+    for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+      if (covered[gi]) ++done_by_precision[grid[gi].precision.name];
+    }
+    for (const Precision& precision : spec.precisions) {
+      CheckpointPrecisionCoverage cov;
+      cov.precision = precision.name;
+      cov.done = done_by_precision[precision.name];
+      cov.total = spec.wstores.size();
+      summary.per_precision.push_back(std::move(cov));
+    }
+    std::string msg = strfmt("sweep-merge: shard set under '%s' is incomplete",
+                             spec.checkpoint.c_str());
+    if (!missing.empty()) {
+      msg += "; missing shard file(s):";
+      for (const int s : missing) {
+        // The same naming the existence check used: the bare base path for
+        // a 1-way "set", the shard file otherwise.
+        msg += strfmt(
+            " %s",
+            effective_path(spec.checkpoint, ShardSpec{s, shard_count}).c_str());
+      }
+    }
+    msg += "\n" + summary.render(spec.checkpoint);
+    return checkpoint_fail(msg, error);
+  }
+
+  // --- memo fan-in + bit-exact metric re-derivation ---
+  // Knee metrics are never stored in checkpoints; they are re-derived here
+  // through the pure cost model, so the merged result is exactly what a
+  // single-process run would have produced.  The workers' memo shards make
+  // this free when a cache file is in play.
+  CostCache cache(compiler.technology(), spec.conditions);
+  if (!spec.cache_file.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(spec.cache_file, ec)) {
+      std::string cache_error;
+      if (!cache.load(spec.cache_file, &cache_error)) {
+        return checkpoint_fail(cache_error, error);
+      }
+    }
+    std::string cache_error;
+    if (!cache.load_shards(spec.cache_file, shard_count, &cache_error)) {
+      return checkpoint_fail(cache_error, error);
+    }
+  }
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    if (slots[gi].empty) continue;
+    slots[gi].cell.knee.metrics = cache.evaluate(slots[gi].cell.knee.point);
+  }
+
+  // --- unified checkpoint rewrite (atomic, grid order, no shard identity) —
+  // a later unsharded `sweep` resumes from it as if one process had run the
+  // whole grid.  Shard files are left in place: the merge is idempotent and
+  // re-runnable.
+  SweepSpec unsharded = spec;
+  unsharded.shard = ShardSpec{};
+  std::string text = header_line(unsharded, compiler.technology()).dump();
+  text += '\n';
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    text += cell_line(slots[gi].cell, slots[gi].empty).dump();
+    text += '\n';
+  }
+  const std::string tmp = strfmt("%s.tmp.%d", spec.checkpoint.c_str(),
+                                 static_cast<int>(::getpid()));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      return checkpoint_fail(
+          strfmt("cannot write unified checkpoint '%s'", tmp.c_str()), error);
+    }
+    f << text;
+    f.flush();
+    if (!f) {
+      f.close();
+      std::error_code cleanup_ec;
+      std::filesystem::remove(tmp, cleanup_ec);
+      return checkpoint_fail(
+          strfmt("write to unified checkpoint '%s' failed", tmp.c_str()),
+          error);
+    }
+  }
+  std::error_code rename_ec;
+  std::filesystem::rename(tmp, spec.checkpoint, rename_ec);
+  if (rename_ec) {
+    std::filesystem::remove(tmp, rename_ec);
+    return checkpoint_fail(
+        strfmt("cannot rename unified checkpoint '%s' into place",
+               spec.checkpoint.c_str()),
+        error);
+  }
+
+  // --- unified memo save (warn-only, like run_sweep's save) ---
   if (!spec.cache_file.empty()) {
     std::string cache_error;
     if (!cache.save(spec.cache_file, &cache_error)) {
-      std::fprintf(stderr, "[sega] warning: %s (sweep results unaffected)\n",
+      std::fprintf(stderr, "[sega] warning: %s (merge results unaffected)\n",
                    cache_error.c_str());
     }
   }
@@ -606,31 +941,38 @@ std::optional<CheckpointSummary> summarize_checkpoint(const Compiler& compiler,
   if (spec.checkpoint.empty()) {
     return fail("no checkpoint path in the sweep spec");
   }
+  // For a sharded spec the summary covers this worker's slice of the grid
+  // (its own shard file, its own cells) — the merge-time coverage of the
+  // whole set is merge_sweep_shards' partial-merge report.
+  const std::string path = effective_path(spec.checkpoint, spec.shard);
 
   CheckpointSummary summary;
-  summary.cells_total = spec.wstores.size() * spec.precisions.size();
   std::map<std::string, std::size_t> done_by_precision;
+  std::map<std::string, std::size_t> total_by_precision;
   std::set<std::pair<std::int64_t, std::string>> grid_keys, seen;
-  for (const std::int64_t wstore : spec.wstores) {
-    for (const Precision& precision : spec.precisions) {
-      grid_keys.emplace(wstore, precision.name);
-    }
+  const std::vector<GridCell> grid = build_grid(spec);
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    if (!spec.shard.owns(gi)) continue;
+    grid_keys.emplace(grid[gi].wstore, grid[gi].precision.name);
+    ++total_by_precision[grid[gi].precision.name];
+    ++summary.cells_total;
   }
 
   bool have_header = false;
   bool malformed_header = false;
   const bool readable = walk_checkpoint(
-      spec.checkpoint, &have_header,
+      path, &have_header,
       [&](const std::optional<Json>& header) {
-        if (!checkpoint_header_valid(header)) {
+        const HeaderCheck verdict =
+            check_header(header, spec, compiler.technology(), spec.shard);
+        if (verdict == HeaderCheck::kMalformed) {
           malformed_header = true;
           return false;
         }
         // A mismatch is reported, not an error — the point of the summary
-        // is to tell the user what the file holds.
-        summary.config_match =
-            header->at("config") ==
-            config_fingerprint(spec, compiler.technology());
+        // is to tell the user what the file holds.  "Match" means resumable
+        // by this spec: same config fingerprint AND same shard identity.
+        summary.config_match = verdict == HeaderCheck::kOk;
         return true;
       },
       [&](const std::optional<Json>& line) {
@@ -654,17 +996,17 @@ std::optional<CheckpointSummary> summarize_checkpoint(const Compiler& compiler,
         ++done_by_precision[rc.cell.precision.name];
       });
   if (!readable) {
-    return fail(strfmt("cannot read checkpoint '%s'", spec.checkpoint.c_str()));
+    return fail(strfmt("cannot read checkpoint '%s'", path.c_str()));
   }
   if (!have_header || malformed_header) {
     return fail(strfmt("checkpoint '%s' has a missing or malformed header",
-                       spec.checkpoint.c_str()));
+                       path.c_str()));
   }
   for (const Precision& precision : spec.precisions) {
     CheckpointPrecisionCoverage cov;
     cov.precision = precision.name;
     cov.done = done_by_precision[precision.name];
-    cov.total = spec.wstores.size();
+    cov.total = total_by_precision[precision.name];
     summary.per_precision.push_back(std::move(cov));
   }
   return summary;

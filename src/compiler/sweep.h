@@ -19,6 +19,24 @@
 
 namespace sega {
 
+/// One worker's slice of a sharded sweep: worker @p index of @p count
+/// cooperating processes.  The grid is partitioned deterministically by
+/// stable cell id — cell i (in fixed Wstore-major grid order) belongs to the
+/// worker with i % count == index — so any worker can compute its subset
+/// without coordination, and the union over all workers is exactly the grid.
+/// count == 1 (the default) is the ordinary unsharded sweep.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  bool active() const { return count > 1; }
+  bool owns(std::size_t cell_id) const {
+    return !active() ||
+           cell_id % static_cast<std::size_t>(count) ==
+               static_cast<std::size_t>(index);
+  }
+};
+
 struct SweepSpec {
   std::vector<std::int64_t> wstores = {4096,  8192,  16384,
                                        32768, 65536, 131072};
@@ -33,6 +51,12 @@ struct SweepSpec {
   /// configuration is an error (a stale checkpoint must not silently mix
   /// into fresh results).  Truncated trailing lines — the signature of a
   /// killed run — are tolerated and recomputed.
+  ///
+  /// When shard.active(), this is the *base* path: the worker actually reads
+  /// and writes `<checkpoint>.shard-<index>-of-<count>` (shard_file_path),
+  /// whose header carries the same config fingerprint plus the shard
+  /// identity, and merge_sweep_shards fans the shard files back into one
+  /// unified checkpoint under the base path.
   std::string checkpoint;
 
   /// Persistent cost-cache memo file; empty disables persistence.  The
@@ -41,11 +65,26 @@ struct SweepSpec {
   /// sweep of the same grid performs zero macro-model evaluations.  The
   /// memo is fingerprinted (technology + conditions + cost-model version);
   /// a mismatched file is an error.  Results are unchanged either way.
+  ///
+  /// When shard.active(), this too is a base path: the worker seeds its
+  /// cache from the unified base memo (if present) plus its own
+  /// `<cache_file>.shard-<index>-of-<count>` shard, and saves back only its
+  /// own shard — and only its own *delta* (entries not already in the base
+  /// memo), so workers never contend on one file and shard files never
+  /// duplicate the base.  merge_sweep_shards merges the shards into the
+  /// unified base memo.
   std::string cache_file;
+
+  /// This worker's slice of the grid (spec keys "shard_index"/"shard_count",
+  /// CLI `--shard i/N`).  Sharding never changes any cell's result — it only
+  /// selects which cells this process computes — so the config fingerprint
+  /// deliberately excludes it.
+  ShardSpec shard;
 
   /// Parse from JSON, e.g.:
   ///   {"wstores": [4096, 8192], "precisions": ["INT8", "BF16"],
   ///    "sparsity": 0.1, "seed": 42, "threads": 8,
+  ///    "shard_index": 0, "shard_count": 4,
   ///    "checkpoint": "sweep.ckpt.jsonl", "cache_file": "cost.memo.jsonl"}
   /// Omitted "wstores"/"precisions" keep the full §IV defaults.  Unknown
   /// keys are rejected.
@@ -77,12 +116,21 @@ struct SweepResult {
   std::string to_csv() const;
 };
 
-/// Run DSE (no generation) over the whole grid on the thread pool
-/// (spec.dse.threads; 0 = auto via SEGA_THREADS / hardware concurrency,
-/// 1 = serial).  Cells whose design space is empty are skipped.  Pending
-/// cells are scheduled in descending predicted-cost order (Wstore x
-/// precision width) so the expensive FP32/128K cells start first; results
-/// are still folded in fixed grid order, so outputs are unchanged.
+/// Run DSE (no generation) over this worker's share of the grid (the whole
+/// grid unless spec.shard.active()) on the thread pool (spec.dse.threads;
+/// 0 = auto via SEGA_THREADS / hardware concurrency, 1 = serial).  Cells
+/// whose design space is empty are skipped.
+///
+/// Scheduling vs. fold order: pending cells are *scheduled* through the
+/// pool's work-stealing deques, seeded in descending predicted-cost order
+/// (Wstore x input width x weight width) so the expensive FP32/128K cells
+/// start first and idle threads steal the cheap tail.  The *fold* order is
+/// always fixed grid order (Wstore-major, precisions in spec order) — every
+/// cell's result lands in its own grid slot and the output is assembled
+/// from the slots afterwards — so JSON/CSV output is byte-identical at any
+/// thread count, under any steal schedule, and (after merge) for any shard
+/// count.  Scheduling order is a latency lever only; it must never be able
+/// to change a byte of output.
 ///
 /// Checkpoint failures and cache-file *load* failures (stale configuration,
 /// unreadable file) set *error and return an empty result when @p error is
@@ -92,6 +140,28 @@ struct SweepResult {
 /// returned.
 SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
                       std::string* error = nullptr);
+
+/// Fan the per-worker shard files of an N-worker sweep back into one result.
+/// spec.checkpoint is the base path; the shard checkpoints
+/// `<checkpoint>.shard-<i>-of-<N>` (i in [0, N)) are read, every recovered
+/// cell's knee metrics are re-derived through the pure cost model (so the
+/// merged result is bit-exact, not a deserialization), and the full grid is
+/// folded in fixed grid order — the returned result, its to_json() and its
+/// to_csv() are byte-identical to a single unsharded run of the same spec.
+/// On success the unified checkpoint is rewritten under the base path (grid
+/// order, no shard identity — a later unsharded `sweep` resumes from it),
+/// and when spec.cache_file is set the existing memo shards are merged and
+/// saved to the unified base memo.
+///
+/// Hard errors (set *error + empty result when @p error is non-null, abort
+/// otherwise): a shard file whose config fingerprint does not match the
+/// spec, whose shard identity is not <i, N> (a shard-set mismatch — e.g.
+/// files from a 2-way sweep merged as 4-way), an unreadable/malformed shard
+/// file, or missing shards / uncovered cells — for the latter the error
+/// text includes the partial-coverage report (the --resume-summary
+/// machinery), naming what is missing.
+SweepResult merge_sweep_shards(const Compiler& compiler, const SweepSpec& spec,
+                               int shard_count, std::string* error = nullptr);
 
 /// Coverage of one precision across the checkpoint's grid column.
 struct CheckpointPrecisionCoverage {

@@ -280,6 +280,15 @@ Json CostCache::fingerprint_header() const {
 }
 
 bool CostCache::save(const std::string& path, std::string* error) const {
+  return save_impl(path, error, /*delta_only=*/false);
+}
+
+bool CostCache::save_delta(const std::string& path, std::string* error) const {
+  return save_impl(path, error, /*delta_only=*/true);
+}
+
+bool CostCache::save_impl(const std::string& path, std::string* error,
+                          bool delta_only) const {
   const auto fail = [&](const std::string& msg) {
     if (error) *error = msg;
     return false;
@@ -292,6 +301,7 @@ bool CostCache::save(const std::string& path, std::string* error) const {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [key, entry] : shard.table) {
       if (!entry.ready) continue;
+      if (delta_only && entry.imported) continue;
       text += entry_line(key, entry.metrics).dump();
       text += '\n';
     }
@@ -321,7 +331,8 @@ bool CostCache::save(const std::string& path, std::string* error) const {
   return true;
 }
 
-bool CostCache::load(const std::string& path, std::string* error) {
+bool CostCache::load(const std::string& path, std::string* error,
+                     bool mark_imported) {
   const auto fail = [&](const std::string& msg) {
     if (error) *error = msg;
     return false;
@@ -403,18 +414,37 @@ bool CostCache::load(const std::string& path, std::string* error) {
     }
 
     // Merge: existing entries win (for a matching fingerprint the values are
-    // identical anyway — the model is pure).
+    // identical anyway — the model is pure), and keep their imported flag —
+    // provenance is first-load-wins.  With the sweep's load order (base
+    // memo first, own shard second) an entry present in both files stays
+    // imported and is deduped out of the next save_delta(): the base
+    // already persists it.
     Shard& shard = shard_of(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto [it, inserted] = shard.table.try_emplace(key);
     if (inserted || !it->second.ready) {
       it->second.metrics = std::move(m);
       it->second.ready = true;
+      it->second.imported = mark_imported;
     }
   }
   if (!have_header) {
     return fail(strfmt("cost cache '%s' has a missing or malformed header",
                        path.c_str()));
+  }
+  return true;
+}
+
+bool CostCache::load_shards(const std::string& base, int count,
+                            std::string* error, int* merged) {
+  SEGA_EXPECTS(count >= 1);
+  if (merged) *merged = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::string path = shard_file_path(base, i, count);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) continue;
+    if (!load(path, error)) return false;
+    if (merged) ++*merged;
   }
   return true;
 }

@@ -81,13 +81,34 @@ class CostCache final : public CostModel {
   /// sets *error (when given) on I/O failure.
   bool save(const std::string& path, std::string* error = nullptr) const;
 
+  /// Like save(), but skips entries that were load()ed with
+  /// mark_imported == true.  A sharded sweep worker seeds from the unified
+  /// base memo (imported) plus its own shard (not imported) and saves the
+  /// delta — its own contribution — so shard files don't each carry a full
+  /// copy of the base and memo I/O stays base + K deltas, not (K+1) x base.
+  bool save_delta(const std::string& path, std::string* error = nullptr) const;
+
   /// Merge a memo file into the table.  Returns false and sets *error on an
   /// unreadable file, a missing/malformed header, or a fingerprint mismatch
   /// (different technology, conditions, or cost-model version — a stale memo
   /// must never leak old numbers into new runs).  Truncated or corrupt entry
-  /// lines are skipped; entries already in the table are kept.  Loaded
-  /// entries count as neither hits nor misses.
-  bool load(const std::string& path, std::string* error = nullptr);
+  /// lines are skipped; entries already in the table are kept (their
+  /// imported flag too).  Loaded entries count as neither hits nor misses.
+  /// @p mark_imported tags the entries this call adds as coming from a base
+  /// memo some other file already persists — save_delta() omits them.
+  bool load(const std::string& path, std::string* error = nullptr,
+            bool mark_imported = false);
+
+  /// Merge every existing per-worker memo shard of @p base —
+  /// `<base>.shard-<i>-of-<count>` for i in [0, count), the files a sharded
+  /// sweep's workers write — into the table.  A missing shard file is
+  /// skipped, not an error: a worker whose cells were all recovered from its
+  /// checkpoint never evaluates (or writes) anything.  An existing shard
+  /// that fails to load (unreadable, malformed, fingerprint mismatch) is an
+  /// error, same as load().  @p merged (when given) reports how many shard
+  /// files were merged.
+  bool load_shards(const std::string& base, int count,
+                   std::string* error = nullptr, int* merged = nullptr);
 
  private:
   // Every cost-affecting field of DesignPoint, ordered.  (signed_weights is
@@ -101,9 +122,12 @@ class CostCache final : public CostModel {
   static Key key_of(const DesignPoint& dp);
 
   /// A slot in the table: claimed (pending) at first request, published
-  /// (ready) once the model evaluation lands.
+  /// (ready) once the model evaluation lands.  imported marks entries that
+  /// arrived via load(..., mark_imported=true) — already persisted in a base
+  /// memo, so save_delta() skips them.
   struct Entry {
     bool ready = false;
+    bool imported = false;
     MacroMetrics metrics;
   };
 
@@ -117,6 +141,9 @@ class CostCache final : public CostModel {
 
   /// Memo-file identity: model version + serialized technology + conditions.
   Json fingerprint_header() const;
+
+  bool save_impl(const std::string& path, std::string* error,
+                 bool delta_only) const;
 
   std::unique_ptr<const CostModel> owned_;
   const CostModel* model_;

@@ -118,4 +118,8 @@ bool starts_with(const std::string& s, const std::string& prefix) {
          s.compare(0, prefix.size(), prefix) == 0;
 }
 
+std::string shard_file_path(const std::string& base, int index, int count) {
+  return strfmt("%s.shard-%d-of-%d", base.c_str(), index, count);
+}
+
 }  // namespace sega

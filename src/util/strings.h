@@ -38,4 +38,9 @@ std::vector<std::string> split(const std::string& s, char delim);
 /// True iff @p s starts with @p prefix.
 bool starts_with(const std::string& s, const std::string& prefix);
 
+/// `<base>.shard-<index>-of-<count>`: the per-worker file naming scheme of
+/// the sharded sweep (checkpoint shards and cost-memo shards share it).
+/// Requires count >= 1 and 0 <= index < count.
+std::string shard_file_path(const std::string& base, int index, int count);
+
 }  // namespace sega

@@ -68,6 +68,25 @@ class ThreadPool {
   void parallel_for_chunks(std::size_t n, std::size_t max_chunk,
                            const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Run fn(item) for every element of @p items, scheduled through
+  /// per-thread work-stealing deques instead of parallel_for's single shared
+  /// counter.  Items are dealt round-robin across the participating threads'
+  /// deques in the order given, so a priority-sorted list starts its most
+  /// expensive items on distinct threads immediately; each participant pops
+  /// its own deque front-first (highest priority it owns) and, when empty,
+  /// steals from the back of another's (the victim's cheapest remaining
+  /// work).  Long items therefore stop serializing the tail: whoever drains
+  /// first takes over the leftovers instead of idling.
+  ///
+  /// The determinism contract is parallel_for's: items are visited exactly
+  /// once, callers write per-item slots and reduce in a fixed order
+  /// afterwards, so results are independent of the (nondeterministic) steal
+  /// schedule.  Same reentrancy contract (nested calls run inline serially,
+  /// in items order) and same exception policy (first failure wins, not-yet-
+  /// started items are abandoned).
+  void parallel_for_stealing(const std::vector<std::size_t>& items,
+                             const std::function<void(std::size_t)>& fn);
+
   /// True while the calling thread is executing a pool task (any pool).
   static bool inside_pool_task();
 

@@ -293,5 +293,102 @@ TEST_F(CliTempDir, SweepResumeSummaryReportsWithoutRunning) {
   EXPECT_NE(mixed.out.find("2/2 cells complete"), std::string::npos);
 }
 
+TEST_F(CliTempDir, ShardedSweepPlusMergeMatchesUnshardedRun) {
+  const std::vector<std::string> grid = {
+      "--wstores", "4096,8192", "--precisions", "INT8,BF16",
+      "--population", "24", "--generations", "8", "--seed", "2"};
+  std::vector<std::string> plain = {"sweep"};
+  plain.insert(plain.end(), grid.begin(), grid.end());
+  const CliRun reference = cli(plain);
+  ASSERT_EQ(reference.code, 0) << reference.err;
+
+  const std::string ckpt = (dir_ / "cli.shard.ckpt").string();
+  for (const char* shard : {"0/2", "1/2"}) {
+    std::vector<std::string> worker = {"sweep", "--shard", shard,
+                                       "--checkpoint", ckpt};
+    worker.insert(worker.end(), grid.begin(), grid.end());
+    const CliRun r = cli(worker);
+    ASSERT_EQ(r.code, 0) << r.err;
+    // A shard's own CSV is its slice, not the grid.
+    EXPECT_NE(r.out, reference.out);
+  }
+  std::vector<std::string> merge = {"sweep-merge", "--shards", "2",
+                                    "--checkpoint", ckpt, "--out",
+                                    (dir_ / "merged").string()};
+  merge.insert(merge.end(), grid.begin(), grid.end());
+  const CliRun merged = cli(merge);
+  ASSERT_EQ(merged.code, 0) << merged.err;
+  EXPECT_EQ(reference.out, merged.out);
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "merged" / "sweep.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "merged" / "sweep.json"));
+
+  // Merging an incomplete set is a diagnosed failure with the coverage
+  // report, not a partial output.
+  std::vector<std::string> bad = {"sweep-merge", "--shards", "4",
+                                  "--checkpoint", ckpt};
+  bad.insert(bad.end(), grid.begin(), grid.end());
+  const CliRun incomplete = cli(bad);
+  EXPECT_EQ(incomplete.code, 2);
+  EXPECT_NE(incomplete.err.find("missing shard file"), std::string::npos);
+}
+
+TEST_F(CliTempDir, SweepShardFlagValidation) {
+  for (const char* bad :
+       {"2/2", "-1/2", "1", "a/b", "1/0", "/2", "1/", "1x/2", "1/2y"}) {
+    const CliRun r = cli({"sweep", "--wstores", "4096", "--precisions",
+                          "INT8", "--shard", bad});
+    EXPECT_EQ(r.code, 2) << bad;
+    EXPECT_NE(r.err.find("--shard"), std::string::npos) << bad;
+  }
+  // sweep-merge requires both --checkpoint and --shards.
+  EXPECT_EQ(cli({"sweep-merge", "--shards", "2"}).code, 2);
+  EXPECT_EQ(cli({"sweep-merge", "--checkpoint", "x.ckpt"}).code, 2);
+  EXPECT_EQ(cli({"sweep-merge", "--checkpoint", "x.ckpt", "--shards", "0"})
+                .code,
+            2);
+  // --shard belongs to sweep, not sweep-merge.
+  const CliRun r = cli({"sweep-merge", "--checkpoint", "x.ckpt", "--shards",
+                        "2", "--shard", "0/2"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--shard"), std::string::npos);
+}
+
+TEST_F(CliTempDir, SpawnLocalForksWorkersAndMatchesPlainSweep) {
+  const std::vector<std::string> grid = {
+      "--wstores", "4096,8192", "--precisions", "INT8",
+      "--population", "24", "--generations", "8", "--seed", "2"};
+  std::vector<std::string> plain = {"sweep"};
+  plain.insert(plain.end(), grid.begin(), grid.end());
+  const CliRun reference = cli(plain);
+  ASSERT_EQ(reference.code, 0) << reference.err;
+
+  const std::string ckpt = (dir_ / "spawn.ckpt").string();
+  std::vector<std::string> spawned = {"sweep", "--spawn-local", "2",
+                                      "--checkpoint", ckpt};
+  spawned.insert(spawned.end(), grid.begin(), grid.end());
+  const CliRun r = cli(spawned);
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(reference.out, r.out);
+  // The workers' shard files and the merged unified checkpoint all exist.
+  EXPECT_TRUE(std::filesystem::exists(ckpt));
+  EXPECT_TRUE(std::filesystem::exists(ckpt + ".shard-0-of-2"));
+  EXPECT_TRUE(std::filesystem::exists(ckpt + ".shard-1-of-2"));
+
+  // Guard rails.
+  EXPECT_EQ(cli({"sweep", "--wstores", "4096", "--precisions", "INT8",
+                 "--spawn-local", "2"})
+                .code,
+            2);  // no --checkpoint
+  EXPECT_EQ(cli({"sweep", "--wstores", "4096", "--precisions", "INT8",
+                 "--spawn-local", "2", "--shard", "0/2", "--checkpoint",
+                 ckpt})
+                .code,
+            2);  // exclusive with --shard
+  EXPECT_EQ(cli({"sweep", "--wstores", "4096", "--precisions", "INT8",
+                 "--spawn-local", "0", "--checkpoint", ckpt})
+                .code,
+            2);  // K >= 1
+}
+
 }  // namespace
 }  // namespace sega

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/strings.h"
+
 namespace sega {
 namespace {
 
@@ -357,6 +359,294 @@ TEST(SweepSpecJsonTest, RoundTripsAndRejectsUnknownKeys) {
             "cost.memo.jsonl");
   EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"cache_file": 3})"))
                    .has_value());
+}
+
+// --- sharded sweep + merge --------------------------------------------------
+
+using SweepShardTest = SweepCheckpointTest;
+
+TEST_F(SweepShardTest, ShardSpecJsonRoundTripsAndValidates) {
+  const auto parsed = SweepSpec::from_json(*Json::parse(
+      R"({"wstores": [4096], "precisions": ["INT8"],
+          "shard_index": 1, "shard_count": 4})"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->shard.index, 1);
+  EXPECT_EQ(parsed->shard.count, 4);
+  EXPECT_TRUE(parsed->shard.active());
+  const auto back = SweepSpec::from_json(parsed->to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->shard.index, 1);
+  EXPECT_EQ(back->shard.count, 4);
+  // An unsharded spec round-trips without shard keys.
+  EXPECT_FALSE(SweepSpec{}.to_json().contains("shard_index"));
+
+  // Validation: index within count (in either key order), count >= 1.
+  std::string error;
+  EXPECT_FALSE(SweepSpec::from_json(
+                   *Json::parse(R"({"shard_index": 2, "shard_count": 2})"),
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("shard_index"), std::string::npos);
+  EXPECT_FALSE(SweepSpec::from_json(
+                   *Json::parse(R"({"shard_count": 2, "shard_index": 3})"))
+                   .has_value());
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"shard_count": 0})"))
+                   .has_value());
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"shard_index": -1})"))
+                   .has_value());
+  // shard_index alone is fine only when it fits the default count of 1.
+  EXPECT_TRUE(SweepSpec::from_json(*Json::parse(R"({"shard_index": 0})"))
+                  .has_value());
+}
+
+TEST_F(SweepShardTest, ShardWorkerComputesExactlyItsCellsInGridOrder) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult full = run_sweep(compiler, small_sweep());
+  ASSERT_EQ(full.cells.size(), 4u);
+  for (const int count : {2, 3}) {
+    std::vector<std::string> seen;
+    for (int index = 0; index < count; ++index) {
+      SweepSpec spec = small_sweep();
+      spec.shard.index = index;
+      spec.shard.count = count;
+      std::string error;
+      const SweepResult slice = run_sweep(compiler, spec, &error);
+      ASSERT_TRUE(error.empty()) << error;
+      // The worker's cells are exactly the grid cells with id % count ==
+      // index, in ascending grid order, with results identical to the full
+      // run's cells.
+      std::size_t expect_gi = static_cast<std::size_t>(index);
+      for (const auto& cell : slice.cells) {
+        ASSERT_LT(expect_gi, full.cells.size());
+        EXPECT_EQ(cell.wstore, full.cells[expect_gi].wstore);
+        EXPECT_TRUE(cell.precision == full.cells[expect_gi].precision);
+        EXPECT_EQ(cell.knee.point.to_string(),
+                  full.cells[expect_gi].knee.point.to_string());
+        seen.push_back(cell.precision.name +
+                       std::to_string(cell.wstore));
+        expect_gi += static_cast<std::size_t>(count);
+      }
+    }
+    EXPECT_EQ(seen.size(), 4u) << count << " shards";
+  }
+}
+
+TEST_F(SweepShardTest, MergedShardsAreByteIdenticalToUnshardedRun) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult baseline = run_sweep(compiler, small_sweep());
+  for (const int count : {2, 4}) {
+    SweepSpec spec = small_sweep();
+    spec.checkpoint = ckpt(("merge" + std::to_string(count) + ".jsonl").c_str());
+    spec.cache_file = ckpt(("merge" + std::to_string(count) + ".memo").c_str());
+    for (int index = 0; index < count; ++index) {
+      SweepSpec worker = spec;
+      worker.shard.index = index;
+      worker.shard.count = count;
+      // Vary per-worker parallelism: the merged output must not care.
+      worker.dse.threads = 1 + index % 2 * 7;
+      std::string error;
+      run_sweep(compiler, worker, &error);
+      ASSERT_TRUE(error.empty()) << error;
+    }
+    std::string error;
+    const SweepResult merged =
+        merge_sweep_shards(compiler, spec, count, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(baseline.to_csv(), merged.to_csv()) << count << " shards";
+    EXPECT_EQ(baseline.to_json().dump(2), merged.to_json().dump(2))
+        << count << " shards";
+
+    // The unified checkpoint is resumable by an unsharded sweep: nothing is
+    // recomputed and the output still matches.
+    SweepSpec resume = small_sweep();
+    resume.checkpoint = spec.checkpoint;
+    const auto before = lines_of(spec.checkpoint);
+    const SweepResult resumed = run_sweep(compiler, resume, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(baseline.to_csv(), resumed.to_csv());
+    EXPECT_EQ(lines_of(spec.checkpoint), before);
+
+    // The unified memo replays the whole grid with zero evaluations.
+    SweepSpec warm = small_sweep();
+    warm.cache_file = spec.cache_file;
+    const SweepResult warmed = run_sweep(compiler, warm, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(baseline.to_csv(), warmed.to_csv());
+    EXPECT_EQ(warmed.cache_misses, 0u) << count << " shards";
+  }
+}
+
+TEST_F(SweepShardTest, ShardResumesAfterKillInsideTheShard) {
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult baseline = run_sweep(compiler, small_sweep());
+
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("killshard.jsonl");
+  SweepSpec worker0 = spec;
+  worker0.shard.index = 0;
+  worker0.shard.count = 2;
+  std::string error;
+  run_sweep(compiler, worker0, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const std::string shard0 = shard_file_path(spec.checkpoint, 0, 2);
+  const auto lines = lines_of(shard0);
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 owned cells
+
+  // Kill simulation: keep the header and the first completed cell, plus a
+  // torn tail from the in-flight append.
+  {
+    std::ofstream f(shard0, std::ios::trunc);
+    f << lines[0] << "\n" << lines[1] << "\n";
+    f << R"({"cell":{"wstore":4096,"precisi)";
+  }
+  const SweepResult resumed = run_sweep(compiler, worker0, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(resumed.cells.size(), 2u);
+
+  // Complete the set and merge: byte-identical despite the mid-shard kill.
+  SweepSpec worker1 = spec;
+  worker1.shard.index = 1;
+  worker1.shard.count = 2;
+  run_sweep(compiler, worker1, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const SweepResult merged = merge_sweep_shards(compiler, spec, 2, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(baseline.to_csv(), merged.to_csv());
+}
+
+TEST_F(SweepShardTest, ShardResumeRejectsWrongShardIdentity) {
+  // A shard file resumed under a different --shard must hard-error: its
+  // cells describe a different slice of the grid.
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("wrongshard.jsonl");
+  spec.shard.index = 0;
+  spec.shard.count = 2;
+  std::string error;
+  run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  // Same file name, different claimed identity: copy 0-of-2's file into the
+  // 0-of-4 slot and resume as 0/4.
+  std::filesystem::copy_file(
+      shard_file_path(spec.checkpoint, 0, 2),
+      shard_file_path(spec.checkpoint, 0, 4),
+      std::filesystem::copy_options::overwrite_existing);
+  SweepSpec other = spec;
+  other.shard.count = 4;
+  const SweepResult result = run_sweep(compiler, other, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("shard"), std::string::npos);
+  EXPECT_TRUE(result.cells.empty());
+}
+
+TEST_F(SweepShardTest, MergeWithMissingShardReportsPartialCoverage) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("partialmerge.jsonl");
+  SweepSpec worker0 = spec;
+  worker0.shard.index = 0;
+  worker0.shard.count = 2;
+  std::string error;
+  run_sweep(compiler, worker0, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  const SweepResult result = merge_sweep_shards(compiler, spec, 2, &error);
+  EXPECT_TRUE(result.cells.empty());
+  ASSERT_FALSE(error.empty());
+  // The error is the partial-merge report: which file is missing and how
+  // much of the grid the surviving shards cover.
+  EXPECT_NE(error.find("missing shard file"), std::string::npos);
+  EXPECT_NE(error.find(shard_file_path(spec.checkpoint, 1, 2)),
+            std::string::npos);
+  EXPECT_NE(error.find("2/4 cells complete"), std::string::npos);
+}
+
+TEST_F(SweepShardTest, MergeRejectsShardSetAndConfigMismatches) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("mismatchmerge.jsonl");
+  for (int index = 0; index < 2; ++index) {
+    SweepSpec worker = spec;
+    worker.shard.index = index;
+    worker.shard.count = 2;
+    std::string error;
+    run_sweep(compiler, worker, &error);
+    ASSERT_TRUE(error.empty()) << error;
+  }
+
+  // Shard-set mismatch: a 2-way shard file posing as part of a 4-way set.
+  std::filesystem::copy_file(
+      shard_file_path(spec.checkpoint, 0, 2),
+      shard_file_path(spec.checkpoint, 0, 4),
+      std::filesystem::copy_options::overwrite_existing);
+  std::string error;
+  SweepResult result = merge_sweep_shards(compiler, spec, 4, &error);
+  EXPECT_TRUE(result.cells.empty());
+  ASSERT_FALSE(error.empty());
+  EXPECT_NE(error.find("shard-set mismatch"), std::string::npos);
+
+  // Config mismatch: merging under a different seed must hard-error, not
+  // silently adopt the cells.
+  SweepSpec other = spec;
+  other.dse.seed = spec.dse.seed + 1;
+  result = merge_sweep_shards(compiler, other, 2, &error);
+  EXPECT_TRUE(result.cells.empty());
+  ASSERT_FALSE(error.empty());
+  EXPECT_NE(error.find("configuration"), std::string::npos);
+}
+
+TEST_F(SweepShardTest, ShardedResumeSummaryCoversOnlyTheShardSlice) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("shardsummary.jsonl");
+  spec.shard.index = 0;
+  spec.shard.count = 2;
+  std::string error;
+  run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  const auto summary = summarize_checkpoint(compiler, spec, &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  EXPECT_TRUE(summary->config_match);
+  EXPECT_EQ(summary->cells_total, 2u);  // this worker's slice, not the grid
+  EXPECT_EQ(summary->cells_done, 2u);
+
+  // The sibling shard has no file yet.
+  SweepSpec other = spec;
+  other.shard.index = 1;
+  EXPECT_FALSE(summarize_checkpoint(compiler, other, &error).has_value());
+}
+
+TEST(SweepTest, FoldOrderIsGridOrderRegardlessOfSchedulingOrder) {
+  // The documented contract: scheduling (cost-guided seeding, work
+  // stealing, thread count, sharding) orders only *execution*; the folded
+  // cells always appear in fixed grid order — Wstore-major, precisions in
+  // spec order.  Note the spec lists precisions in an order where the
+  // cost-guided schedule (descending Wstore x width) differs from grid
+  // order, so a fold that followed scheduling order would fail here.
+  SweepSpec spec;
+  spec.wstores = {8192, 4096};  // descending on purpose: grid order is spec
+                                // order, not sorted order
+  spec.precisions = {precision_int8(), precision_fp32(), precision_int4()};
+  spec.dse.population = 16;
+  spec.dse.generations = 6;
+  spec.dse.seed = 3;
+  const Compiler compiler(Technology::tsmc28());
+  for (const int threads : {1, 8}) {
+    SweepSpec run = spec;
+    run.dse.threads = threads;
+    const SweepResult result = run_sweep(compiler, run);
+    ASSERT_EQ(result.cells.size(), 6u) << threads << " threads";
+    std::size_t i = 0;
+    for (const std::int64_t wstore : spec.wstores) {
+      for (const Precision& precision : spec.precisions) {
+        EXPECT_EQ(result.cells[i].wstore, wstore) << "cell " << i;
+        EXPECT_TRUE(result.cells[i].precision == precision) << "cell " << i;
+        ++i;
+      }
+    }
+  }
 }
 
 // --- persistent cost-cache memo --------------------------------------------

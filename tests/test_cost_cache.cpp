@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "arch/space.h"
+#include "util/strings.h"
 #include "util/threadpool.h"
 
 namespace sega {
@@ -477,6 +478,95 @@ TEST(CostCacheTest, SaveIsAtomicViaTempFileRename) {
   std::string error;
   EXPECT_FALSE(other.save("/no_such_dir_sega/cache.memo.jsonl", &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(CostCacheTest, LoadShardsMergesPerWorkerMemoFiles) {
+  const Technology tech = Technology::tsmc28();
+  const std::string base = temp_path("sharded.memo.jsonl");
+  for (int i = 0; i < 4; ++i) {
+    std::filesystem::remove(shard_file_path(base, i, 4));
+  }
+
+  // Two workers of a 4-way set persisted disjoint entries; workers 1 and 3
+  // never evaluated anything and wrote nothing.
+  CostCache worker0(tech);
+  worker0.evaluate(int8_point(32, 128, 16, 8));
+  worker0.evaluate(int8_point(32, 128, 16, 4));
+  ASSERT_TRUE(worker0.save(shard_file_path(base, 0, 4)));
+  CostCache worker2(tech);
+  worker2.evaluate(int8_point(16, 256, 16, 8));
+  ASSERT_TRUE(worker2.save(shard_file_path(base, 2, 4)));
+
+  CostCache merged(tech);
+  std::string error;
+  int files = 0;
+  ASSERT_TRUE(merged.load_shards(base, 4, &error, &files)) << error;
+  EXPECT_EQ(files, 2);
+  EXPECT_EQ(merged.size(), 3u);
+  // Merged entries replay bit-exactly; loads are neither hits nor misses.
+  expect_same_metrics(merged.evaluate(int8_point(16, 256, 16, 8)),
+                      evaluate_macro(tech, int8_point(16, 256, 16, 8)));
+  EXPECT_EQ(merged.misses(), 0u);
+
+  // A shard written under a different fingerprint poisons the whole merge —
+  // hard error, same contract as load().
+  EvalConditions other_cond;
+  other_cond.input_sparsity = 0.5;
+  CostCache stale(tech, other_cond);
+  stale.evaluate(int8_point(32, 128, 16, 8));
+  ASSERT_TRUE(stale.save(shard_file_path(base, 1, 4)));
+  CostCache strict(tech);
+  EXPECT_FALSE(strict.load_shards(base, 4, &error));
+  EXPECT_FALSE(error.empty());
+
+  // No shard files at all: success, zero files merged.
+  CostCache empty_ok(tech);
+  ASSERT_TRUE(empty_ok.load_shards(temp_path("no_shards.memo.jsonl"), 4,
+                                   &error, &files));
+  EXPECT_EQ(files, 0);
+  EXPECT_EQ(empty_ok.size(), 0u);
+}
+
+TEST(CostCacheTest, SaveDeltaOmitsEntriesImportedFromABaseMemo) {
+  const Technology tech = Technology::tsmc28();
+  const std::string base = temp_path("delta.base.memo.jsonl");
+  const std::string shard = temp_path("delta.shard.memo.jsonl");
+
+  CostCache origin(tech);
+  origin.evaluate(int8_point(32, 128, 16, 8));
+  ASSERT_TRUE(origin.save(base));
+
+  // A worker seeds from the base (imported), computes one new point, and
+  // reloads its own prior shard (not imported): the delta is exactly its
+  // own contribution, never a copy of the base.
+  CostCache worker(tech);
+  std::string error;
+  ASSERT_TRUE(worker.load(base, &error, /*mark_imported=*/true)) << error;
+  worker.evaluate(int8_point(32, 128, 16, 4));
+  ASSERT_TRUE(worker.save_delta(shard, &error)) << error;
+
+  CostCache reader(tech);
+  ASSERT_TRUE(reader.load(shard, &error)) << error;
+  EXPECT_EQ(reader.size(), 1u);  // only the new point, not the base entry
+
+  // A resumed worker keeps its own-shard entries in the delta even though
+  // the base is loaded too — rewriting its shard must not lose them.  (An
+  // entry present in BOTH files is deduped into the base: the base loads
+  // first, wins, and stays imported.)
+  CostCache resumed(tech);
+  ASSERT_TRUE(resumed.load(base, &error, /*mark_imported=*/true)) << error;
+  ASSERT_TRUE(resumed.load(shard, &error)) << error;
+  ASSERT_TRUE(resumed.save_delta(shard, &error)) << error;
+  CostCache reread(tech);
+  ASSERT_TRUE(reread.load(shard, &error)) << error;
+  EXPECT_EQ(reread.size(), 1u);
+
+  // A full save() still writes everything regardless of provenance.
+  const std::string full = temp_path("delta.full.memo.jsonl");
+  ASSERT_TRUE(resumed.save(full, &error)) << error;
+  CostCache all(tech);
+  ASSERT_TRUE(all.load(full, &error)) << error;
+  EXPECT_EQ(all.size(), 2u);
 }
 
 TEST(CostCacheTest, ClearResetsTableAndCounters) {

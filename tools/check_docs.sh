@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Docs consistency gate (the CI `docs` job; run locally anytime):
+#   1. every `--flag` the CLI defines (harvested from src/compiler/cli.cpp,
+#      where kUsage spells each flag with its dashes) is documented in
+#      docs/CLI.md — a new flag cannot land without its reference entry;
+#   2. every relative markdown link in README.md and docs/*.md resolves to a
+#      file in the repo (GitHub-web-relative links like the CI badge are
+#      skipped).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. CLI flag coverage --------------------------------------------------
+# Comment lines are excluded: prose like "--key value" is not a flag.  Code
+# and the kUsage string spell every real flag with its dashes.
+flags=$(grep -vE '^\s*//' src/compiler/cli.cpp \
+        | grep -oE '\-\-[a-z][a-z-]*' | sort -u)
+for flag in $flags; do
+  if ! grep -qF -- "$flag" docs/CLI.md; then
+    echo "MISSING: CLI flag $flag is not documented in docs/CLI.md" >&2
+    fail=1
+  fi
+done
+
+# --- 2. markdown link targets ----------------------------------------------
+for f in README.md docs/*.md; do
+  dir=$(dirname "$f")
+  # inline links: [text](target), minus URL schemes, anchors and the
+  # GitHub-web-relative badge/workflow paths.
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      *actions/workflows*) continue ;;
+    esac
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK: $f -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)#]+[)#]' "$f" | sed -E 's/^\]\(//; s/[)#]$//')
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs check OK: every CLI flag documented, every relative link resolves"
+fi
+exit $fail
