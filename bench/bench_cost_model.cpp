@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "arch/space.h"
+#include "cost/cost_cache.h"
 #include "cost/cost_model.h"
+#include "cost/rtl_cost_model.h"
 #include "layout/floorplan.h"
 #include "rtl/macro_builder.h"
 #include "rtl/verilog.h"
@@ -159,5 +161,52 @@ void BM_Floorplan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Floorplan);
+
+// --- the measured backend ---------------------------------------------------
+// One full RtlCostModel evaluation (elaborate + STA + workload simulation)
+// per iteration: the per-point price of ground truth, and the number the
+// validate command's runtime scales with.  Compare against
+// BM_EvaluateMacroInt above for the analytic-vs-measured cost gap.
+void BM_RtlCostModelPoint(benchmark::State& state, const char* precision_name,
+                          std::int64_t n, std::int64_t h, std::int64_t l,
+                          std::int64_t k) {
+  const Technology tech = Technology::tsmc28();
+  const RtlCostModel model(tech);
+  DesignPoint dp;
+  dp.precision = *precision_from_name(precision_name);
+  dp.arch = arch_for(dp.precision);
+  dp.n = n;
+  dp.h = h;
+  dp.l = l;
+  dp.k = k;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(dp));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_RtlCostModelPoint, INT4_small, "INT4", 16, 16, 4, 2);
+BENCHMARK_CAPTURE(BM_RtlCostModelPoint, INT8_mid, "INT8", 32, 64, 4, 8);
+BENCHMARK_CAPTURE(BM_RtlCostModelPoint, FP8_small, "FP8", 16, 4, 2, 4);
+
+// A warm persistent memo turns the same evaluation into a table lookup —
+// the reason validate reruns are free.
+void BM_RtlCostModelMemoHit(benchmark::State& state) {
+  const Technology tech = Technology::tsmc28();
+  const RtlCostModel model(tech);
+  CostCache cache(model);
+  DesignPoint dp;
+  dp.precision = *precision_from_name("INT4");
+  dp.arch = ArchKind::kMulCim;
+  dp.n = 16;
+  dp.h = 16;
+  dp.l = 4;
+  dp.k = 2;
+  cache.evaluate(dp);  // pay the elaboration once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.evaluate(dp));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RtlCostModelMemoHit);
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "compiler/compiler.h"
 #include "compiler/sweep.h"
+#include "compiler/validate.h"
 #include "tech/techlib_parser.h"
 #include "util/strings.h"
 #include "util/threadpool.h"
@@ -27,19 +28,27 @@ constexpr const char* kUsage =
     "\n"
     "commands:\n"
     "  compile --spec <spec.json> --out <dir> [--tech <file.techlib>]\n"
-    "          [--cache-file <path>]\n"
+    "          [--cache-file <path>] [--cost-model analytic|rtl]\n"
     "  explore --wstore <n> --precision <name> [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
-    "          [--cache-file <path>]\n"
+    "          [--cache-file <path>] [--cost-model analytic|rtl]\n"
     "  sweep   [--spec <sweep.json>] [--out <dir>] [--checkpoint <path>]\n"
     "          [--cache-file <path>] [--resume-summary] [--shard <i/N>]\n"
     "          [--spawn-local <K>] [--wstores <n,n,...>]\n"
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
+    "          [--cost-model analytic|rtl]\n"
     "  sweep-merge --checkpoint <path> --shards <N> [--spec <sweep.json>]\n"
     "          [--out <dir>] [--cache-file <path>] [--wstores <n,n,...>]\n"
+    "          [--precisions <name,name,...>] [--sparsity <f>]\n"
+    "          [--supply <v>] [--seed <n>] [--population <n>]\n"
+    "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
+    "          [--cost-model analytic|rtl]\n"
+    "  validate [--spec <validate.json>] [--out <dir>] [--tolerance <f>]\n"
+    "          [--cache-file <path>] [--rtl-cache-file <path>]\n"
+    "          [--checkpoint <path>] [--wstores <n,n,...>]\n"
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
@@ -92,6 +101,24 @@ bool check_known(const std::map<std::string, std::string>& flags,
   return true;
 }
 
+/// Read and parse a --spec JSON file; nullopt after a diagnostic on @p err.
+/// The typed Spec::from_json stage stays with the caller — only the
+/// file-and-JSON plumbing is shared.
+std::optional<Json> load_spec_json(const std::string& path,
+                                   std::ostream& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err << "cannot open spec '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string jerr;
+  auto json = Json::parse(buf.str(), &jerr);
+  if (!json) err << jerr << "\n";
+  return json;
+}
+
 std::optional<Technology> load_technology(
     const std::map<std::string, std::string>& flags, std::ostream& err) {
   const auto it = flags.find("tech");
@@ -109,25 +136,30 @@ std::optional<Technology> load_technology(
   return tech;
 }
 
+/// Parse `--cost-model analytic|rtl` into *kind.  Absent flag leaves the
+/// spec's backend (possibly set via the spec file) untouched.
+bool parse_cost_model_flag(const std::map<std::string, std::string>& flags,
+                           CostModelKind* kind, std::ostream& err) {
+  const auto it = flags.find("cost-model");
+  if (it == flags.end()) return true;
+  const auto parsed = cost_model_kind_from_name(it->second);
+  if (!parsed) {
+    err << "unknown cost model '" << it->second
+        << "' (expected analytic or rtl)\n";
+    return false;
+  }
+  *kind = *parsed;
+  return true;
+}
+
 int cmd_compile(const std::map<std::string, std::string>& flags,
                 std::ostream& out, std::ostream& err) {
   if (!flags.count("spec") || !flags.count("out")) {
     err << "compile requires --spec and --out\n";
     return 2;
   }
-  std::ifstream in(flags.at("spec"));
-  if (!in) {
-    err << "cannot open spec '" << flags.at("spec") << "'\n";
-    return 2;
-  }
-  std::stringstream buf;
-  buf << in.rdbuf();
-  std::string jerr;
-  const auto json = Json::parse(buf.str(), &jerr);
-  if (!json) {
-    err << jerr << "\n";
-    return 2;
-  }
+  const auto json = load_spec_json(flags.at("spec"), err);
+  if (!json) return 2;
   std::string serr;
   const auto spec = CompilerSpec::from_json(*json, &serr);
   if (!spec) {
@@ -139,6 +171,7 @@ int cmd_compile(const std::map<std::string, std::string>& flags,
 
   CompilerSpec run_spec = *spec;
   if (flags.count("cache-file")) run_spec.cache_file = flags.at("cache-file");
+  if (!parse_cost_model_flag(flags, &run_spec.cost_model, err)) return 2;
 
   const Compiler compiler(*tech);
   std::string run_err;
@@ -243,6 +276,7 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
   spec.generate_rtl = false;
   spec.generate_layout = false;
   if (flags.count("cache-file")) spec.cache_file = flags.at("cache-file");
+  if (!parse_cost_model_flag(flags, &spec.cost_model, err)) return 2;
 
   const auto tech = load_technology(flags, err);
   if (!tech) return 2;
@@ -264,19 +298,8 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
 bool build_sweep_spec(const std::map<std::string, std::string>& flags,
                       SweepSpec* spec, std::ostream& err) {
   if (flags.count("spec")) {
-    std::ifstream in(flags.at("spec"));
-    if (!in) {
-      err << "cannot open spec '" << flags.at("spec") << "'\n";
-      return false;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    std::string jerr;
-    const auto json = Json::parse(buf.str(), &jerr);
-    if (!json) {
-      err << jerr << "\n";
-      return false;
-    }
+    const auto json = load_spec_json(flags.at("spec"), err);
+    if (!json) return false;
     std::string serr;
     const auto parsed = SweepSpec::from_json(*json, &serr);
     if (!parsed) {
@@ -317,6 +340,7 @@ bool build_sweep_spec(const std::map<std::string, std::string>& flags,
   }
   if (flags.count("checkpoint")) spec->checkpoint = flags.at("checkpoint");
   if (flags.count("cache-file")) spec->cache_file = flags.at("cache-file");
+  if (!parse_cost_model_flag(flags, &spec->cost_model, err)) return false;
   if (spec->wstores.empty()) {
     err << "option value out of range\n";
     return false;
@@ -569,6 +593,83 @@ int cmd_sweep_merge(const std::map<std::string, std::string>& flags,
   return write_sweep_outputs(result, flags, out, err);
 }
 
+/// Analytic-vs-RTL knee cross-validation: DSE the grid with the analytic
+/// model, re-measure every knee through the RTL model, report per-metric
+/// divergence.  Exit 0 when every knee is within --tolerance, 1 when the
+/// tolerance is exceeded, 2 on errors.
+int cmd_validate(const std::map<std::string, std::string>& flags,
+                 std::ostream& out, std::ostream& err) {
+  ValidateSpec spec;
+  if (flags.count("spec")) {
+    const auto json = load_spec_json(flags.at("spec"), err);
+    if (!json) return 2;
+    std::string serr;
+    const auto parsed = ValidateSpec::from_json(*json, &serr);
+    if (!parsed) {
+      err << serr << "\n";
+      return 2;
+    }
+    spec = *parsed;
+  }
+  // Grid/DSE/path overrides share the sweep flag logic ( --spec was already
+  // consumed as a *validate* spec above).
+  std::map<std::string, std::string> grid_flags = flags;
+  grid_flags.erase("spec");
+  if (!build_sweep_spec(grid_flags, &spec.sweep, err)) return 2;
+  if (flags.count("tolerance")) {
+    try {
+      spec.tolerance = std::stod(flags.at("tolerance"));
+    } catch (...) {
+      err << "bad numeric option value\n";
+      return 2;
+    }
+    if (spec.tolerance <= 0) {
+      err << "option value out of range\n";
+      return 2;
+    }
+  }
+  if (flags.count("rtl-cache-file")) {
+    spec.rtl_cache_file = flags.at("rtl-cache-file");
+  }
+
+  const auto tech = load_technology(flags, err);
+  if (!tech) return 2;
+  const Compiler compiler(*tech);
+  std::string run_error;
+  const ValidateReport report = run_validate(compiler, spec, &run_error);
+  if (!run_error.empty()) {
+    err << run_error << "\n";
+    return 2;
+  }
+
+  if (flags.count("out")) {
+    const std::filesystem::path outdir = flags.at("out");
+    std::error_code ec;
+    std::filesystem::create_directories(outdir, ec);
+    if (ec) {
+      err << "cannot create output directory '" << outdir.string() << "'\n";
+      return 2;
+    }
+    {
+      std::ofstream f(outdir / "validate.json");
+      f << report.to_json().dump(2) << "\n";
+    }
+    {
+      std::ofstream f(outdir / "validate.csv");
+      f << report.to_csv();
+    }
+    err << strfmt("wrote %zu knee comparison(s) to %s/validate.{csv,json}\n",
+                  report.rows.size(), outdir.string().c_str());
+  }
+  out << report.render();
+  if (!report.pass()) {
+    err << strfmt("validate: %zu knee point(s) exceed tolerance %.3g\n",
+                  report.failures(), report.tolerance);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -586,7 +687,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   if (!parse_flags(args, 1, boolean_flags, &flags, err)) return 2;
 
   if (command == "compile") {
-    if (!check_known(flags, {"spec", "out", "tech", "cache-file"}, err)) {
+    if (!check_known(flags,
+                     {"spec", "out", "tech", "cache-file", "cost-model"},
+                     err)) {
       return 2;
     }
     return cmd_compile(flags, out, err);
@@ -595,7 +698,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (!check_known(flags,
                      {"wstore", "precision", "sparsity", "supply", "seed",
                       "population", "generations", "threads", "tech",
-                      "cache-file"},
+                      "cache-file", "cost-model"},
                      err)) {
       return 2;
     }
@@ -606,7 +709,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
                      {"spec", "out", "checkpoint", "cache-file",
                       "resume-summary", "shard", "spawn-local", "wstores",
                       "precisions", "sparsity", "supply", "seed",
-                      "population", "generations", "threads", "tech"},
+                      "population", "generations", "threads", "tech",
+                      "cost-model"},
                      err)) {
       return 2;
     }
@@ -616,11 +720,23 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (!check_known(flags,
                      {"spec", "out", "checkpoint", "cache-file", "shards",
                       "wstores", "precisions", "sparsity", "supply", "seed",
-                      "population", "generations", "threads", "tech"},
+                      "population", "generations", "threads", "tech",
+                      "cost-model"},
                      err)) {
       return 2;
     }
     return cmd_sweep_merge(flags, out, err);
+  }
+  if (command == "validate") {
+    if (!check_known(flags,
+                     {"spec", "out", "tolerance", "cache-file",
+                      "rtl-cache-file", "checkpoint", "wstores", "precisions",
+                      "sparsity", "supply", "seed", "population",
+                      "generations", "threads", "tech"},
+                     err)) {
+      return 2;
+    }
+    return cmd_validate(flags, out, err);
   }
   if (command == "precisions") {
     for (const auto& p : all_precisions()) out << p.name << "\n";

@@ -131,18 +131,24 @@ CompilerResult Compiler::run(const CompilerSpec& spec) const {
 CompilerResult Compiler::run(const CompilerSpec& spec, CostCache* cache,
                              std::string* error) const {
   if (error) error->clear();
-  if (!cache && !spec.cache_file.empty()) {
-    CostCache local(tech_, spec.conditions);
+  // A caller-provided cache carries its own model (the caller built it from
+  // the same spec — run_sweep does); otherwise a non-default backend or a
+  // persistent memo needs a local cache wrapping the chosen model.
+  if (!cache && (!spec.cache_file.empty() ||
+                 spec.cost_model != CostModelKind::kAnalytic)) {
+    CostCache local(make_cost_model(spec.cost_model, tech_, spec.conditions));
     std::string cache_error;
     std::error_code ec;
-    if (std::filesystem::exists(spec.cache_file, ec) &&
+    if (!spec.cache_file.empty() &&
+        std::filesystem::exists(spec.cache_file, ec) &&
         !local.load(spec.cache_file, &cache_error)) {
       return compiler_fail(cache_error, error);
     }
     CompilerResult result = run_impl(spec, &local);
     // Non-fatal: the compilation is already done; a memo-write failure must
     // not discard it.  The next run simply re-pays the evaluations.
-    if (!local.save(spec.cache_file, &cache_error)) {
+    if (!spec.cache_file.empty() &&
+        !local.save(spec.cache_file, &cache_error)) {
       std::fprintf(stderr, "[sega] warning: %s (results unaffected)\n",
                    cache_error.c_str());
     }

@@ -88,6 +88,16 @@ std::optional<CompilerSpec> CompilerSpec::from_json(const Json& json,
       spec.generate_layout = value.as_bool();
     } else if (key == "generate_def") {
       spec.generate_def = value.as_bool();
+    } else if (key == "cost_model") {
+      if (!value.is_string()) {
+        return fail("cost_model must be \"analytic\" or \"rtl\"");
+      }
+      const auto kind = cost_model_kind_from_name(value.as_string());
+      if (!kind) {
+        return fail(strfmt("unknown cost model '%s'",
+                           value.as_string().c_str()));
+      }
+      spec.cost_model = *kind;
     } else if (key == "cache_file") {
       if (!value.is_string()) return fail("cache_file must be a string path");
       spec.cache_file = value.as_string();
@@ -113,6 +123,7 @@ Json CompilerSpec::to_json() const {
   j["seed"] = static_cast<std::int64_t>(dse.seed);
   j["threads"] = dse.threads;
   j["distill"] = distill_policy_name(distill);
+  j["cost_model"] = cost_model_kind_name(cost_model);
   j["max_selected"] = max_selected;
   j["generate_rtl"] = generate_rtl;
   j["generate_layout"] = generate_layout;

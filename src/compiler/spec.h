@@ -8,6 +8,7 @@
 #include <string>
 
 #include "arch/space.h"
+#include "cost/cost_model.h"
 #include "dse/nsga2.h"
 #include "tech/technology.h"
 #include "util/json.h"
@@ -40,13 +41,20 @@ struct CompilerSpec {
   bool generate_layout = true;
   bool generate_def = false;
 
+  /// Evaluation backend (spec key "cost_model", CLI --cost-model): the
+  /// analytic Table II-VI model (default) or the measured RTL/STA/gate-sim
+  /// reference.  The RTL backend is orders of magnitude slower per point —
+  /// it elaborates and simulates every candidate — and is meant for
+  /// cross-validation (`sega_dcim validate`) and small spaces.
+  CostModelKind cost_model = CostModelKind::kAnalytic;
+
   /// Persistent cost-cache memo file; empty disables persistence.  Loaded
   /// (if present) before the DSE and saved back after, so repeated runs
   /// over overlapping spaces skip paid-for evaluations across processes.
-  /// The file is fingerprinted with the technology, conditions and
-  /// cost-model version; a mismatched memo is an error, never silently
-  /// mixed in.  Does not change any result — the cache memoizes a pure
-  /// function.
+  /// The file is fingerprinted with the cost-model backend + version, the
+  /// technology and the conditions; a mismatched memo is an error, never
+  /// silently mixed in.  Does not change any result — the cache memoizes a
+  /// pure function.
   std::string cache_file;
 
   /// Parse from JSON, e.g.:

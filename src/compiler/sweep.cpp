@@ -57,6 +57,7 @@ Json result_affecting_json(const SweepSpec& spec) {
   j["crossover_prob"] = spec.dse.crossover_prob;
   j["mutation_prob"] = spec.dse.mutation_prob;
   j["seed"] = static_cast<std::int64_t>(spec.dse.seed);
+  j["cost_model"] = cost_model_kind_name(spec.cost_model);
   return j;
 }
 
@@ -71,7 +72,8 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
     // Scalar keys are type-checked before the typed accessors: a wrong type
     // must be a parse error, never a precondition abort.
     const bool is_scalar_key = key != "wstores" && key != "precisions" &&
-                               key != "checkpoint" && key != "cache_file";
+                               key != "checkpoint" && key != "cache_file" &&
+                               key != "cost_model";
     if (is_scalar_key && !value.is_number()) {
       return spec_fail(strfmt("spec key '%s' must be a number", key.c_str()),
                        error);
@@ -163,6 +165,17 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
     } else if (key == "threads") {
       spec.dse.threads = static_cast<int>(value.as_int());
       if (spec.dse.threads < 0) return spec_fail("threads must be >= 0", error);
+    } else if (key == "cost_model") {
+      if (!value.is_string()) {
+        return spec_fail("cost_model must be \"analytic\" or \"rtl\"", error);
+      }
+      const auto kind = cost_model_kind_from_name(value.as_string());
+      if (!kind) {
+        return spec_fail(strfmt("unknown cost model '%s'",
+                                value.as_string().c_str()),
+                         error);
+      }
+      spec.cost_model = *kind;
     } else if (key == "checkpoint") {
       if (!value.is_string()) {
         return spec_fail("checkpoint must be a string path", error);
@@ -326,6 +339,10 @@ Json cell_line(const SweepCell& cell, bool empty) {
   }
   Json j = Json::object();
   j["cell"] = std::move(c);
+  // Line self-checksum: a corrupted-in-place cell line — even one that
+  // still parses with plausible values (a mutated knee coordinate) — fails
+  // verification and is recomputed instead of silently becoming a result.
+  stamp_line_checksum(&j);
   return j;
 }
 
@@ -358,6 +375,10 @@ struct RecoveredCell {
 bool recover_cell(const Json& line, const SweepSpec& spec,
                   RecoveredCell* out) {
   if (!line.is_object() || !line.contains("cell")) return false;
+  // Integrity first: the structural/semantic checks below catch damage that
+  // changes shape; the checksum catches damage that doesn't (a flipped
+  // digit inside a still-valid knee).
+  if (!check_line_checksum(line)) return false;
   const Json& c = line.at("cell");
   if (!c.is_object()) return false;
   std::int64_t wstore = 0;
@@ -462,7 +483,10 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   // One memoizing cache across the whole grid: cells at the same Wstore (and
   // neighbouring ones — the genome space overlaps heavily) revisit the same
   // design points, and checkpoint recovery re-derives knee metrics from it.
-  CostCache cache(compiler.technology(), spec.conditions);
+  // The cache wraps the spec's chosen backend; the memo fingerprint carries
+  // the backend identity, so analytic and RTL memos never mix.
+  CostCache cache(make_cost_model(spec.cost_model, compiler.technology(),
+                                  spec.conditions));
 
   // --- persistent memo load ---
   // Sharded workers seed from the unified base memo (a previously merged
@@ -623,6 +647,7 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     cs.dse = spec.dse;
     cs.dse.threads = 0;  // inherit this task's thread (no nested pools)
     cs.limits = spec.limits;
+    cs.cost_model = spec.cost_model;
     cs.distill = DistillPolicy::kKnee;
     cs.generate_rtl = false;
     cs.generate_layout = false;
@@ -819,10 +844,12 @@ SweepResult merge_sweep_shards(const Compiler& compiler, const SweepSpec& spec,
 
   // --- memo fan-in + bit-exact metric re-derivation ---
   // Knee metrics are never stored in checkpoints; they are re-derived here
-  // through the pure cost model, so the merged result is exactly what a
-  // single-process run would have produced.  The workers' memo shards make
-  // this free when a cache file is in play.
-  CostCache cache(compiler.technology(), spec.conditions);
+  // through the pure cost model (the spec's backend — the fingerprint check
+  // above guarantees the shards were computed under it), so the merged
+  // result is exactly what a single-process run would have produced.  The
+  // workers' memo shards make this free when a cache file is in play.
+  CostCache cache(make_cost_model(spec.cost_model, compiler.technology(),
+                                  spec.conditions));
   if (!spec.cache_file.empty()) {
     std::error_code ec;
     if (std::filesystem::exists(spec.cache_file, ec)) {

@@ -45,6 +45,13 @@ struct SweepSpec {
   Nsga2Options dse;
   SpaceConstraints limits;
 
+  /// Evaluation backend for every cell (spec key "cost_model", CLI
+  /// --cost-model): analytic closed forms (default) or the measured
+  /// RTL/STA/gate-sim reference.  Result-affecting, so it is part of the
+  /// checkpoint config fingerprint — an analytic checkpoint can never
+  /// resume an RTL sweep or vice versa.
+  CostModelKind cost_model = CostModelKind::kAnalytic;
+
   /// JSONL checkpoint/resume file; empty disables checkpointing.  The first
   /// line records the sweep configuration; each later line is one completed
   /// cell.  Resuming against a checkpoint written for a different

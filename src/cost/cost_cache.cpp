@@ -17,6 +17,11 @@ CostCache::CostCache(const Technology& tech, EvalConditions cond)
     : owned_(std::make_unique<AnalyticCostModel>(tech, cond)),
       model_(owned_.get()) {}
 
+CostCache::CostCache(std::unique_ptr<const CostModel> model)
+    : owned_(std::move(model)), model_(owned_.get()) {
+  SEGA_EXPECTS(model_ != nullptr);
+}
+
 CostCache::CostCache(const CostModel& model) : model_(&model) {}
 
 CostCache::Key CostCache::key_of(const DesignPoint& dp) {
@@ -243,6 +248,10 @@ Json entry_line(
   Json eb = Json::object();
   for (const auto& [name, value] : m.energy_breakdown) eb[name] = value;
   j["eb"] = std::move(eb);
+  // Line self-checksum: in-place corruption of any byte of the entry —
+  // including a flipped digit that still parses — fails verification on
+  // load and the line is skipped, never trusted.
+  stamp_line_checksum(&j);
   return j;
 }
 
@@ -274,7 +283,11 @@ Json CostCache::fingerprint_header() const {
   config["activity"] = cond.activity;
   Json j = Json::object();
   j[kMemoMarker] = 1;
-  j["model_version"] = kCostModelVersion;
+  // The backend identity is part of the fingerprint: an analytic memo and
+  // an RTL-measured memo describe different quantities and must never be
+  // loaded into each other's caches.
+  j["model"] = model_->model_name();
+  j["model_version"] = model_->model_version();
   j["config"] = std::move(config);
   return j;
 }
@@ -354,8 +367,9 @@ bool CostCache::load(const std::string& path, std::string* error,
       }
       if (!(*parsed == fingerprint_header())) {
         return fail(strfmt(
-            "cost cache '%s' was written for a different technology, "
-            "conditions, or cost-model version; delete it or fix the spec",
+            "cost cache '%s' was written for a different cost model, "
+            "technology, conditions, or model version; delete it or fix "
+            "the spec",
             path.c_str()));
       }
       have_header = true;
@@ -363,10 +377,13 @@ bool CostCache::load(const std::string& path, std::string* error,
     }
     // Entry lines: tolerate truncated/corrupt lines (external corruption or
     // a partially copied file) by skipping them — a bad line must never
-    // become a metric.
-    if (!parsed || !parsed->is_object() || !parsed->contains("k") ||
-        !parsed->contains("g") || !parsed->contains("m") ||
-        !parsed->contains("ab") || !parsed->contains("eb")) {
+    // become a metric.  The checksum catches corruption that *stays*
+    // parseable (a flipped digit inside a metric), not just structural
+    // damage.
+    if (!parsed || !parsed->is_object() || !check_line_checksum(*parsed) ||
+        !parsed->contains("k") || !parsed->contains("g") ||
+        !parsed->contains("m") || !parsed->contains("ab") ||
+        !parsed->contains("eb")) {
       continue;
     }
     const Json& k = parsed->at("k");

@@ -19,13 +19,18 @@
 // the two, hits() + misses() equals the number of points requested, and
 // misses() equals the number of points the underlying model evaluated.
 //
-// Persistence: save() writes a versioned JSONL memo (header = model-version
-// + technology + conditions fingerprint, one line per entry, doubles in
-// %.17g so metrics round-trip bit-exactly) via write-temp-then-rename, so a
-// crashed writer can never leave a half-written file under the real name.
-// load() merges a memo into the table (existing entries win; entries are
-// identical for matching fingerprints anyway), rejects files written under a
-// different fingerprint, and tolerates truncated trailing lines.
+// Persistence: save() writes a versioned JSONL memo (header = model name +
+// model version + technology + conditions fingerprint, one line per entry,
+// doubles in %.17g so metrics round-trip bit-exactly) via
+// write-temp-then-rename, so a crashed writer can never leave a
+// half-written file under the real name.  Every entry line carries a
+// self-checksum ("c", util/json.h) computed over the rest of the line, so
+// in-place corruption — even a flipped digit that stays parseable JSON — is
+// detected and the line skipped, never served as a metric.  load() merges a
+// memo into the table (existing entries win; entries are identical for
+// matching fingerprints anyway), rejects files written under a different
+// fingerprint (different model backend included), and tolerates truncated
+// or corrupt entry lines.
 #pragma once
 
 #include <atomic>
@@ -48,6 +53,10 @@ class CostCache final : public CostModel {
   /// pointer to @p tech; the technology must outlive it.
   explicit CostCache(const Technology& tech, EvalConditions cond = {});
 
+  /// Cache over an owned model of any backend (make_cost_model) — the
+  /// sweep/compile path for `--cost-model`.
+  explicit CostCache(std::unique_ptr<const CostModel> model);
+
   /// Cache over a caller-provided model (e.g. an instrumented model in
   /// tests); @p model must outlive the cache.
   explicit CostCache(const CostModel& model);
@@ -59,6 +68,10 @@ class CostCache final : public CostModel {
   const EvalConditions& conditions() const override {
     return model_->conditions();
   }
+  /// The cache is identity-transparent: memo fingerprints must describe the
+  /// wrapped model, not the decorator.
+  const char* model_name() const override { return model_->model_name(); }
+  int model_version() const override { return model_->model_version(); }
 
   /// Cached evaluation of one design point.
   MacroMetrics evaluate(const DesignPoint& dp) const override;

@@ -3,9 +3,43 @@
 #include <algorithm>
 #include <vector>
 
+#include "cost/rtl_cost_model.h"
 #include "util/assert.h"
+#include "util/strings.h"
 
 namespace sega {
+
+const char* cost_model_kind_name(CostModelKind kind) {
+  switch (kind) {
+    case CostModelKind::kAnalytic: return "analytic";
+    case CostModelKind::kRtl: return "rtl";
+  }
+  SEGA_ASSERT(false);
+  return "";
+}
+
+std::optional<CostModelKind> cost_model_kind_from_name(
+    const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  for (const CostModelKind kind :
+       {CostModelKind::kAnalytic, CostModelKind::kRtl}) {
+    if (n == cost_model_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<CostModel> make_cost_model(CostModelKind kind,
+                                           const Technology& tech,
+                                           EvalConditions cond) {
+  switch (kind) {
+    case CostModelKind::kAnalytic:
+      return std::make_unique<AnalyticCostModel>(tech, cond);
+    case CostModelKind::kRtl:
+      return std::make_unique<RtlCostModel>(tech, cond);
+  }
+  SEGA_ASSERT(false);
+  return nullptr;
+}
 
 void CostModel::evaluate_batch(Span<const DesignPoint> points,
                                Span<MacroMetrics> out) const {

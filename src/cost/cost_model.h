@@ -13,6 +13,10 @@
 // arithmetic, same order — which tests cross-check point by point.
 #pragma once
 
+#include <memory>
+#include <optional>
+#include <string>
+
 #include "cost/macro_model.h"
 #include "util/span.h"
 
@@ -25,6 +29,14 @@ class CostModel {
   virtual const Technology& tech() const = 0;
   virtual const EvalConditions& conditions() const = 0;
 
+  /// Stable identity of the model's *formulas* — folded (with
+  /// model_version) into persistent cost-memo fingerprints so memos written
+  /// by different backends can never cross-contaminate.  Decorators
+  /// delegate to the wrapped model; instrumented test wrappers around the
+  /// analytic model keep the default.
+  virtual const char* model_name() const { return "analytic"; }
+  virtual int model_version() const { return kCostModelVersion; }
+
   /// Evaluate one design point.
   virtual MacroMetrics evaluate(const DesignPoint& dp) const = 0;
 
@@ -35,6 +47,25 @@ class CostModel {
   virtual void evaluate_batch(Span<const DesignPoint> points,
                               Span<MacroMetrics> out) const;
 };
+
+/// The selectable evaluation backends (spec key "cost_model", CLI
+/// --cost-model): the closed-form analytic model, or the measured RTL/STA/
+/// gate-sim reference (rtl_cost_model.h).
+enum class CostModelKind {
+  kAnalytic,
+  kRtl,
+};
+
+/// "analytic" / "rtl" — the model_name() of the backend, and the spelling
+/// accepted by specs and the CLI.
+const char* cost_model_kind_name(CostModelKind kind);
+std::optional<CostModelKind> cost_model_kind_from_name(const std::string& name);
+
+/// Construct the chosen backend.  The model keeps a pointer to @p tech; the
+/// technology must outlive it.
+std::unique_ptr<CostModel> make_cost_model(CostModelKind kind,
+                                           const Technology& tech,
+                                           EvalConditions cond = {});
 
 /// The analytic model of Tables II-VI: EvalContext -> gate census ->
 /// component costing -> absolute-metric derivation.  The context is hoisted

@@ -27,6 +27,11 @@ class DcimHarness {
 
   const DcimMacro& macro() const { return macro_; }
 
+  /// The underlying simulator, exposed so measurement passes (energy
+  /// tracing, net probing) can observe a compute_*() run without
+  /// re-implementing the streaming protocol.
+  GateSim& sim() { return sim_; }
+
   /// Program weight @p value (unsigned, < 2^Bw) for (group, row, slot).
   void load_weight(std::int64_t group, std::int64_t row, std::int64_t slot,
                    std::uint64_t value);

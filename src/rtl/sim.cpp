@@ -18,13 +18,16 @@ GateSim::GateSim(const Netlist& nl) : nl_(nl), values_(nl.net_count(), 0) {
   const auto err = nl.validate();
   SEGA_EXPECTS(!err.has_value());
 
-  // Per-net driver kind for energy tracing.
+  // Per-net driver kind and component group for energy tracing.
   net_driver_kind_.assign(nl.net_count(), CellKind::kSram);
   net_has_driver_.assign(nl.net_count(), 0);
-  for (const auto& cell : nl.cells()) {
+  net_driver_group_.assign(nl.net_count(), 0);
+  for (std::size_t ci = 0; ci < nl.cells().size(); ++ci) {
+    const auto& cell = nl.cells()[ci];
     for (const NetId out : cell.outputs) {
       net_driver_kind_[out] = cell.kind;
       net_has_driver_[out] = 1;
+      net_driver_group_[out] = nl.cell_group(ci);
     }
   }
 
@@ -178,6 +181,7 @@ void GateSim::begin_energy_trace() {
   tracing_ = true;
   trace_prev_ = values_;
   toggles_.fill(0);
+  toggles_by_group_.assign(nl_.group_names().size(), {});
   traced_cycles_ = 0;
 }
 
@@ -187,7 +191,10 @@ void GateSim::record_toggles() {
   for (std::size_t n = 0; n < values_.size(); ++n) {
     if (!net_has_driver_[n]) continue;  // ports/constants cost nothing here
     if (values_[n] != trace_prev_[n]) {
-      ++toggles_[static_cast<std::size_t>(net_driver_kind_[n])];
+      const auto kind = static_cast<std::size_t>(net_driver_kind_[n]);
+      ++toggles_[kind];
+      ++toggles_by_group_[static_cast<std::size_t>(net_driver_group_[n])]
+                         [kind];
     }
   }
   trace_prev_ = values_;
@@ -198,6 +205,20 @@ double GateSim::traced_energy(const Technology& tech) const {
   double e = 0.0;
   for (std::size_t i = 0; i < toggles_.size(); ++i) {
     e += static_cast<double>(toggles_[i]) *
+         tech.cell(static_cast<CellKind>(i)).energy;
+  }
+  return e;
+}
+
+double GateSim::traced_energy_of_group(const Technology& tech,
+                                       int group) const {
+  SEGA_EXPECTS(group >= 0 &&
+               static_cast<std::size_t>(group) < nl_.group_names().size());
+  if (static_cast<std::size_t>(group) >= toggles_by_group_.size()) return 0.0;
+  const auto& counts = toggles_by_group_[static_cast<std::size_t>(group)];
+  double e = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    e += static_cast<double>(counts[i]) *
          tech.cell(static_cast<CellKind>(i)).energy;
   }
   return e;

@@ -64,6 +64,12 @@ class GateSim {
   /// Normalized traced energy: sum over events of the cell's Table III
   /// switching energy.
   double traced_energy(const Technology& tech) const;
+  /// Traced energy restricted to one component group (netlist.group_names()
+  /// index): events are attributed to the group of the driving cell, so the
+  /// per-group energies sum to traced_energy().  Lets a measured cost model
+  /// report the same per-component energy breakdown the analytic model
+  /// derives from the census.
+  double traced_energy_of_group(const Technology& tech, int group) const;
   /// Clock cycles observed since begin_energy_trace.
   std::int64_t traced_cycles() const { return traced_cycles_; }
 
@@ -79,6 +85,10 @@ class GateSim {
   std::array<std::int64_t, kCellKindCount> toggles_{};
   std::vector<CellKind> net_driver_kind_;  // per net; kSram when undriven
   std::vector<std::uint8_t> net_has_driver_;
+  std::vector<int> net_driver_group_;      // per net; 0 ("core") undriven
+  // Per-(component group, cell kind) switching events, groups indexed as
+  // netlist.group_names().
+  std::vector<std::array<std::int64_t, kCellKindCount>> toggles_by_group_;
   std::int64_t traced_cycles_ = 0;
 
   void eval_cell(const RtlCell& c);

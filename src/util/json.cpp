@@ -402,7 +402,15 @@ class Parser {
       fail("expected number");
       return std::nullopt;
     }
-    return Json(std::stod(text_.substr(start, pos_ - start)));
+    // stod throws on numerals outside double range (e.g. a corrupted file
+    // whose digits were duplicated); malformed input must surface as a
+    // parse error, never as an exception out of parse().
+    try {
+      return Json(std::stod(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      fail("number out of range");
+      return std::nullopt;
+    }
   }
 
   const std::string& text_;
@@ -415,6 +423,46 @@ class Parser {
 std::optional<Json> Json::parse(const std::string& text, std::string* error) {
   if (error) error->clear();
   return Parser(text, error).run();
+}
+
+// --- JSONL line integrity -------------------------------------------------
+
+std::uint32_t json_line_checksum(const Json& line) {
+  SEGA_EXPECTS(line.is_object());
+  // Canonical payload: the compact dump of the object minus its top-level
+  // "c" member, serialized member-by-member (same bytes as dumping a copy
+  // without "c" — keys iterate in sorted order and members dump compact —
+  // but with no deep copy of the line).
+  std::string text = "{";
+  bool first = true;
+  for (const auto& [key, value] : line.items()) {
+    if (key == "c") continue;
+    if (!first) text += ',';
+    first = false;
+    escape_into(text, key);
+    text += ':';
+    text += value.dump();
+  }
+  text += '}';
+  std::uint32_t hash = 2166136261u;  // FNV-1a offset basis
+  for (const char ch : text) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 16777619u;  // FNV prime
+  }
+  return hash;
+}
+
+void stamp_line_checksum(Json* line) {
+  SEGA_EXPECTS(line != nullptr);
+  (*line)["c"] = static_cast<std::int64_t>(json_line_checksum(*line));
+}
+
+bool check_line_checksum(const Json& line) {
+  if (!line.is_object() || !line.contains("c") || !line.at("c").is_number()) {
+    return false;
+  }
+  return line.at("c").as_int() ==
+         static_cast<std::int64_t>(json_line_checksum(line));
 }
 
 }  // namespace sega

@@ -82,4 +82,26 @@ class Json {
   std::map<std::string, Json> obj_;
 };
 
+// --- JSONL line integrity -------------------------------------------------
+//
+// The persisted JSONL formats (sweep checkpoints, cost memos) protect each
+// data line with a self-checksum under the reserved key "c": FNV-1a over the
+// compact dump of the line *without* that key.  Object keys dump in sorted
+// order, so the payload serialization is canonical and the checksum is
+// stable across writers.  A line whose bytes were corrupted in place — even
+// into different-but-parseable JSON (a flipped digit inside a metric) — no
+// longer matches and is treated as corrupt instead of becoming a value.
+
+/// FNV-1a (32-bit) checksum of @p line's compact dump, excluding its
+/// top-level "c" member.  Precondition: line is an object.
+std::uint32_t json_line_checksum(const Json& line);
+
+/// Stamp line["c"] with json_line_checksum(line).
+void stamp_line_checksum(Json* line);
+
+/// True iff @p line is an object whose "c" member is a number equal to the
+/// checksum of the rest.  A missing, wrong-typed, or mismatched "c" is a
+/// verification failure (readers treat the line as corrupt).
+bool check_line_checksum(const Json& line);
+
 }  // namespace sega

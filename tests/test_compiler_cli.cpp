@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "test_support.h"
+
 namespace sega {
 namespace {
 
@@ -25,13 +27,9 @@ CliRun cli(const std::vector<std::string>& args) {
 
 class CliTempDir : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() /
-           ("sega_cli_test_" + std::to_string(::getpid()));
-    std::filesystem::create_directories(dir_);
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-  std::filesystem::path dir_;
+  test::ScopedTempDir scoped_{"sega_cli_test"};
+  // The member name the tests use directly.
+  std::filesystem::path dir_{scoped_.path()};
 };
 
 TEST(CliTest, NoArgsPrintsUsage) {
@@ -351,6 +349,138 @@ TEST_F(CliTempDir, SweepShardFlagValidation) {
                         "2", "--shard", "0/2"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("--shard"), std::string::npos);
+}
+
+TEST_F(CliTempDir, CostModelFlagSelectsTheRtlBackend) {
+  // A tiny space so the RTL backend (which elaborates and simulates every
+  // candidate) stays fast.  The two backends must produce *different*
+  // metrics (measured vs closed-form), both through the same pipeline.
+  const std::vector<std::string> base = {
+      "explore", "--wstore", "128", "--precision", "INT4",
+      "--population", "8", "--generations", "4", "--seed", "2"};
+  const CliRun analytic = cli(base);
+  ASSERT_EQ(analytic.code, 0) << analytic.err;
+
+  std::vector<std::string> rtl = base;
+  rtl.insert(rtl.end(), {"--cost-model", "rtl"});
+  const CliRun measured = cli(rtl);
+  ASSERT_EQ(measured.code, 0) << measured.err;
+  EXPECT_NE(analytic.out, measured.out);
+  EXPECT_NE(measured.out.find("Pareto designs"), std::string::npos);
+
+  // Explicit analytic is the default spelled out (compare from the table
+  // down — the summary's first line carries wall time).
+  std::vector<std::string> spelled = base;
+  spelled.insert(spelled.end(), {"--cost-model", "analytic"});
+  const CliRun spelled_run = cli(spelled);
+  ASSERT_EQ(spelled_run.code, 0) << spelled_run.err;
+  EXPECT_EQ(spelled_run.out.substr(spelled_run.out.find('\n')),
+            analytic.out.substr(analytic.out.find('\n')));
+
+  // Unknown backends are diagnosed, not guessed.
+  std::vector<std::string> bad = base;
+  bad.insert(bad.end(), {"--cost-model", "spice"});
+  const CliRun rejected = cli(bad);
+  EXPECT_EQ(rejected.code, 2);
+  EXPECT_NE(rejected.err.find("cost model"), std::string::npos);
+}
+
+TEST_F(CliTempDir, RtlBackendComposesWithCacheFile) {
+  // Cold run writes the RTL memo; warm run replays it byte-identically.
+  const std::string memo = (dir_ / "rtl.memo.jsonl").string();
+  const std::vector<std::string> base = {
+      "explore", "--wstore", "128", "--precision", "INT4",
+      "--population", "8", "--generations", "4", "--seed", "2",
+      "--cost-model", "rtl", "--cache-file", memo};
+  const CliRun cold = cli(base);
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  ASSERT_TRUE(std::filesystem::exists(memo));
+  const CliRun warm = cli(base);
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  // Identical front and selection; the summary's first line carries wall
+  // time (the warm run is faster — the point of the memo), so compare from
+  // the table down.
+  EXPECT_EQ(cold.out.substr(cold.out.find('\n')),
+            warm.out.substr(warm.out.find('\n')));
+
+  // The RTL memo must not serve an analytic run.
+  std::vector<std::string> analytic = {
+      "explore", "--wstore", "128", "--precision", "INT4",
+      "--population", "8", "--generations", "4", "--seed", "2",
+      "--cache-file", memo};
+  const CliRun mismatch = cli(analytic);
+  EXPECT_EQ(mismatch.code, 2);
+  EXPECT_NE(mismatch.err.find("different cost model"), std::string::npos);
+}
+
+TEST_F(CliTempDir, ValidateComparesBackendsAndWritesReports) {
+  const auto out_dir = dir_ / "validate_out";
+  const std::string rtl_memo = (dir_ / "validate.rtl.memo").string();
+  const std::vector<std::string> base = {
+      "validate", "--wstores", "512", "--precisions", "INT8,FP16",
+      "--population", "16", "--generations", "8", "--seed", "2",
+      "--tolerance", "0.25", "--rtl-cache-file", rtl_memo};
+  std::vector<std::string> with_out = base;
+  with_out.insert(with_out.end(), {"--out", out_dir.string()});
+  const CliRun r = cli(with_out);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("knee point(s) within tolerance"), std::string::npos);
+  EXPECT_NE(r.out.find("INT8 @ Wstore=512"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(out_dir / "validate.json"));
+  ASSERT_TRUE(std::filesystem::exists(out_dir / "validate.csv"));
+
+  std::ifstream jf(out_dir / "validate.json");
+  std::stringstream buf;
+  buf << jf.rdbuf();
+  const auto report = Json::parse(buf.str());
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->at("pass").as_bool());
+  EXPECT_EQ(report->at("rows").size(), 2u);
+  EXPECT_TRUE(report->contains("worst"));
+
+  // Warm rerun serves every knee from the RTL memo (same report, exit 0).
+  const CliRun warm = cli(base);
+  EXPECT_EQ(warm.code, 0) << warm.err;
+  EXPECT_EQ(r.out, warm.out);
+
+  // An unreachable tolerance exits 1 (distinct from usage errors' 2).
+  std::vector<std::string> strict = base;
+  strict[strict.size() - 3] = "0.0001";  // the --tolerance value
+  const CliRun failing = cli(strict);
+  EXPECT_EQ(failing.code, 1);
+  EXPECT_NE(failing.err.find("exceed tolerance"), std::string::npos);
+  EXPECT_NE(failing.out.find("FAIL"), std::string::npos);
+
+  // Flag validation: tolerance must be a positive number.
+  EXPECT_EQ(cli({"validate", "--tolerance", "nope"}).code, 2);
+  EXPECT_EQ(cli({"validate", "--tolerance", "-1"}).code, 2);
+  // --cost-model belongs to the run commands, not validate (it always
+  // compares the two backends).
+  const CliRun unknown = cli({"validate", "--cost-model", "rtl"});
+  EXPECT_EQ(unknown.code, 2);
+  EXPECT_NE(unknown.err.find("--cost-model"), std::string::npos);
+}
+
+TEST_F(CliTempDir, ValidateSpecFileRoundTrip) {
+  const auto spec_path = dir_ / "validate.json";
+  {
+    std::ofstream f(spec_path);
+    f << R"({"wstores": [512], "precisions": ["INT8"], "population": 16,
+             "generations": 8, "seed": 2, "tolerance": 0.3})";
+  }
+  const CliRun r = cli({"validate", "--spec", spec_path.string()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("1/1 knee point(s) within tolerance"),
+            std::string::npos);
+
+  // Unknown spec keys are rejected like every other spec parser.
+  {
+    std::ofstream f(spec_path, std::ios::trunc);
+    f << R"({"tolerence": 0.3})";
+  }
+  const CliRun bad = cli({"validate", "--spec", spec_path.string()});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("tolerence"), std::string::npos);
 }
 
 TEST_F(CliTempDir, SpawnLocalForksWorkersAndMatchesPlainSweep) {

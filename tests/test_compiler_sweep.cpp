@@ -4,9 +4,9 @@
 
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <vector>
 
+#include "test_support.h"
 #include "util/strings.h"
 
 namespace sega {
@@ -97,26 +97,13 @@ TEST(SweepTest, SkipsEmptyCellsGracefully) {
 
 class SweepCheckpointTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() /
-           ("sega_sweep_test_" + std::to_string(::getpid()));
-    std::filesystem::create_directories(dir_);
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
-  std::string ckpt(const char* name) const { return (dir_ / name).string(); }
+  std::string ckpt(const char* name) const { return dir_.file(name); }
 
   static std::vector<std::string> lines_of(const std::string& path) {
-    std::ifstream in(path);
-    std::vector<std::string> lines;
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty()) lines.push_back(line);
-    }
-    return lines;
+    return test::read_jsonl_lines(path);
   }
 
-  std::filesystem::path dir_;
+  test::ScopedTempDir dir_{"sega_sweep_test"};
 };
 
 TEST(SweepTest, ByteIdenticalAcrossThreadCounts) {
@@ -274,6 +261,92 @@ TEST_F(SweepCheckpointTest, CorruptCellFieldsAreRecomputedNotTrusted) {
   EXPECT_EQ(full.to_csv(), resumed.to_csv());
 }
 
+TEST_F(SweepCheckpointTest, InPlaceKneeCorruptionIsRecomputedNotTrusted) {
+  // Flip one digit inside a knee coordinate such that the line is still
+  // valid JSON describing a *different* (possibly valid) design point.
+  // Structural validation alone could accept it; the line checksum must
+  // reject it and the cell must be recomputed — a checkpoint can steer
+  // work, never falsify a result.
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("bitrot.jsonl");
+  std::string error;
+  const SweepResult full = run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  auto lines = lines_of(spec.checkpoint);
+  ASSERT_EQ(lines.size(), 5u);
+  // Find a knee "n" value on a cell line and alter its leading digit.
+  bool tampered = false;
+  for (std::size_t i = 1; i < lines.size() && !tampered; ++i) {
+    const auto pos = lines[i].find("\"n\":");
+    if (pos == std::string::npos) continue;
+    char& digit = lines[i][pos + 4];
+    digit = digit == '1' ? '2' : '1';
+    tampered = true;
+  }
+  ASSERT_TRUE(tampered);
+  {
+    std::ofstream f(spec.checkpoint, std::ios::trunc);
+    for (const auto& line : lines) f << line << "\n";
+  }
+  const SweepResult resumed = run_sweep(compiler, spec, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(full.to_csv(), resumed.to_csv());
+  EXPECT_EQ(full.to_json().dump(2), resumed.to_json().dump(2));
+}
+
+TEST_F(SweepCheckpointTest, SeededRandomMutationsResumeCleanlyOrHardError) {
+  // Adversarial resume: replay seeded random byte-level corruptions of a
+  // complete checkpoint.  Every mutation must end in exactly one of two
+  // states: a hard error with a message (header damage — the file can no
+  // longer vouch for its configuration), or a clean resume whose output is
+  // byte-identical to the pristine run (damaged cells recomputed).  Never
+  // a crash, never a silently different result.
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.wstores = {4096};  // small grid: each trial may recompute cells
+  spec.dse.population = 16;
+  spec.dse.generations = 6;
+  spec.checkpoint = ckpt("adversarial.jsonl");
+  std::string error;
+  const SweepResult reference = run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const std::string pristine = test::read_file(spec.checkpoint);
+  const auto header_end = pristine.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+
+  Rng rng(77);
+  int clean = 0;
+  int hard = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    std::string mutated;
+    if (trial % 4 == 0) {
+      // Aim at the header: corruption there must be a hard error (or, for
+      // a truncation-to-empty, a fresh run) — never adopted silently.
+      mutated = test::random_mutation(pristine.substr(0, header_end), rng) +
+                pristine.substr(header_end);
+    } else {
+      mutated = test::random_mutation(pristine, rng);
+    }
+    test::write_file(spec.checkpoint, mutated);
+
+    std::string resume_error;
+    const SweepResult resumed = run_sweep(compiler, spec, &resume_error);
+    if (!resume_error.empty()) {
+      EXPECT_TRUE(resumed.cells.empty()) << "trial " << trial;
+      ++hard;
+      continue;
+    }
+    ++clean;
+    EXPECT_EQ(reference.to_csv(), resumed.to_csv()) << "trial " << trial;
+    EXPECT_EQ(reference.to_json().dump(2), resumed.to_json().dump(2))
+        << "trial " << trial;
+  }
+  EXPECT_GT(clean, 0);
+  EXPECT_GT(hard, 0);
+}
+
 TEST_F(SweepCheckpointTest, EmptyCheckpointFileIsTreatedAsFresh) {
   // A run killed before the header flush leaves a zero-byte file; that must
   // resume as a fresh sweep, not dead-end as "malformed header".
@@ -359,6 +432,38 @@ TEST(SweepSpecJsonTest, RoundTripsAndRejectsUnknownKeys) {
             "cost.memo.jsonl");
   EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"cache_file": 3})"))
                    .has_value());
+  // cost_model: selectable backend, round-trips, bad values are parse
+  // errors (wrong type, unknown backend).
+  EXPECT_EQ(SweepSpec{}.cost_model, CostModelKind::kAnalytic);
+  const auto rtl = SweepSpec::from_json(*Json::parse(R"({"cost_model": "rtl"})"));
+  ASSERT_TRUE(rtl.has_value());
+  EXPECT_EQ(rtl->cost_model, CostModelKind::kRtl);
+  EXPECT_EQ(SweepSpec::from_json(rtl->to_json())->cost_model,
+            CostModelKind::kRtl);
+  EXPECT_FALSE(SweepSpec::from_json(*Json::parse(R"({"cost_model": 1})"))
+                   .has_value());
+  EXPECT_FALSE(
+      SweepSpec::from_json(*Json::parse(R"({"cost_model": "spice"})"))
+          .has_value());
+}
+
+TEST_F(SweepCheckpointTest, CostModelIsPartOfTheCheckpointFingerprint) {
+  // An analytic checkpoint must never seed an RTL sweep: the backend
+  // changes every metric, so it is config, and config mismatches are hard
+  // errors.
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = small_sweep();
+  spec.checkpoint = ckpt("backend.jsonl");
+  std::string error;
+  run_sweep(compiler, spec, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  SweepSpec rtl = spec;
+  rtl.cost_model = CostModelKind::kRtl;
+  const SweepResult result = run_sweep(compiler, rtl, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("configuration"), std::string::npos);
+  EXPECT_TRUE(result.cells.empty());
 }
 
 // --- sharded sweep + merge --------------------------------------------------

@@ -8,84 +8,27 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "arch/space.h"
+#include "cost/rtl_cost_model.h"
+#include "test_support.h"
 #include "util/strings.h"
 #include "util/threadpool.h"
 
 namespace sega {
 namespace {
 
-/// Instrumented model: counts every point the cache actually sends to the
-/// underlying model, so tests can assert the exact-once evaluation contract
-/// (and the zero-evaluation warm-memo contract).
-class CountingModel final : public CostModel {
- public:
-  explicit CountingModel(const Technology& tech, EvalConditions cond = {})
-      : model_(tech, cond) {}
+using test::CountingCostModel;
+using test::expect_same_metrics;
+using test::int8_point;
+using test::read_file;
+using test::write_file;
 
-  const Technology& tech() const override { return model_.tech(); }
-  const EvalConditions& conditions() const override {
-    return model_.conditions();
-  }
-  MacroMetrics evaluate(const DesignPoint& dp) const override {
-    evaluations_.fetch_add(1);
-    return model_.evaluate(dp);
-  }
-  void evaluate_batch(Span<const DesignPoint> points,
-                      Span<MacroMetrics> out) const override {
-    evaluations_.fetch_add(points.size());
-    model_.evaluate_batch(points, out);
-  }
-
-  std::uint64_t evaluations() const { return evaluations_.load(); }
-
- private:
-  AnalyticCostModel model_;
-  mutable std::atomic<std::uint64_t> evaluations_{0};
-};
-
+/// One temp dir for the whole binary (removed at exit).
 std::string temp_path(const char* name) {
-  return (std::filesystem::path(::testing::TempDir()) / name).string();
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
-
-void write_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << text;
-}
-
-DesignPoint int8_point(std::int64_t n, std::int64_t h, std::int64_t l,
-                       std::int64_t k) {
-  DesignPoint dp;
-  dp.arch = ArchKind::kMulCim;
-  dp.precision = precision_int8();
-  dp.n = n;
-  dp.h = h;
-  dp.l = l;
-  dp.k = k;
-  return dp;
-}
-
-void expect_same_metrics(const MacroMetrics& a, const MacroMetrics& b) {
-  EXPECT_EQ(a.area_gates, b.area_gates);
-  EXPECT_EQ(a.delay_gates, b.delay_gates);
-  EXPECT_EQ(a.energy_gates, b.energy_gates);
-  EXPECT_EQ(a.area_mm2, b.area_mm2);
-  EXPECT_EQ(a.delay_ns, b.delay_ns);
-  EXPECT_EQ(a.energy_per_mvm_nj, b.energy_per_mvm_nj);
-  EXPECT_EQ(a.throughput_tops, b.throughput_tops);
-  EXPECT_EQ(a.cycles_per_input, b.cycles_per_input);
-  EXPECT_EQ(a.area_breakdown, b.area_breakdown);
-  EXPECT_EQ(a.energy_breakdown, b.energy_breakdown);
+  static test::ScopedTempDir dir("sega_cost_cache");
+  return dir.file(name);
 }
 
 TEST(CostCacheTest, HitReturnsSameCostAsColdEvaluation) {
@@ -184,7 +127,7 @@ TEST(CostCacheTest, ConcurrentEvaluationIsConsistent) {
 
 TEST(CostCacheTest, BatchedEvaluationMatchesScalarAndCountsExactly) {
   const Technology tech = Technology::tsmc28();
-  CountingModel model(tech);
+  CountingCostModel model(tech);
   CostCache cache(model);
   const DesignSpace space(1 << 13, precision_int8());
   const auto all = space.enumerate_all();
@@ -208,7 +151,7 @@ TEST(CostCacheTest, BatchedEvaluationMatchesScalarAndCountsExactly) {
 
 TEST(CostCacheTest, BatchWithDuplicateKeysEvaluatesEachKeyOnce) {
   const Technology tech = Technology::tsmc28();
-  CountingModel model(tech);
+  CountingCostModel model(tech);
   CostCache cache(model);
   const DesignPoint dp = int8_point(32, 128, 16, 8);
   // The same point four times in one batch: one miss, three hits, one
@@ -227,7 +170,7 @@ TEST(CostCacheTest, BatchWithDuplicateKeysEvaluatesEachKeyOnce) {
 
 TEST(CostCacheTest, StatsAreExactUnderConcurrentBatchedLookups) {
   const Technology tech = Technology::tsmc28();
-  CountingModel model(tech);
+  CountingCostModel model(tech);
   CostCache cache(model);
   const DesignSpace space(1 << 13, precision_int8());
   const auto all = space.enumerate_all();
@@ -266,35 +209,8 @@ TEST(CostCacheTest, ThrowingModelUnwindsClaimsInsteadOfDeadlocking) {
   // A model that fails its first batch: the cache must release the claimed
   // pending markers (or later lookups of those keys would park forever) and
   // stay fully usable afterwards, with exact stats.
-  class FlakyModel final : public CostModel {
-   public:
-    explicit FlakyModel(const Technology& tech) : model_(tech) {}
-    const Technology& tech() const override { return model_.tech(); }
-    const EvalConditions& conditions() const override {
-      return model_.conditions();
-    }
-    MacroMetrics evaluate(const DesignPoint& dp) const override {
-      maybe_throw();
-      return model_.evaluate(dp);
-    }
-    void evaluate_batch(Span<const DesignPoint> points,
-                        Span<MacroMetrics> out) const override {
-      maybe_throw();
-      model_.evaluate_batch(points, out);
-    }
-    mutable std::atomic<int> failures_left{1};
-
-   private:
-    void maybe_throw() const {
-      if (failures_left.load() > 0 && failures_left.fetch_sub(1) > 0) {
-        throw std::runtime_error("injected model failure");
-      }
-    }
-    AnalyticCostModel model_;
-  };
-
   const Technology tech = Technology::tsmc28();
-  FlakyModel model(tech);
+  test::FailingCostModel model(tech, /*failures=*/1);
   CostCache cache(model);
   const DesignSpace space(1 << 13, precision_int8());
   const auto all = space.enumerate_all();
@@ -331,7 +247,7 @@ TEST(CostCacheTest, SaveLoadRoundTripsBitExactly) {
   for (const auto& dp : fps) writer.evaluate(dp);
   ASSERT_TRUE(writer.save(path));
 
-  CountingModel model(tech);
+  CountingCostModel model(tech);
   CostCache reader(model);
   std::string error;
   ASSERT_TRUE(reader.load(path, &error)) << error;
@@ -368,7 +284,7 @@ TEST(CostCacheTest, LoadMergesWithExistingEntries) {
 
   // ...the reader already knows the second half; after the merge it knows
   // everything, stats untouched by the load.
-  CountingModel model(tech);
+  CountingCostModel model(tech);
   CostCache reader(model);
   for (std::size_t i = half; i < all.size(); ++i) reader.evaluate(all[i]);
   const std::uint64_t misses_before = reader.misses();
@@ -396,7 +312,7 @@ TEST(CostCacheTest, LoadRejectsFingerprintMismatch) {
   CostCache wrong_cond(tech, low_voltage);
   std::string error;
   EXPECT_FALSE(wrong_cond.load(path, &error));
-  EXPECT_NE(error.find("different technology"), std::string::npos);
+  EXPECT_NE(error.find("different cost model, technology"), std::string::npos);
   EXPECT_EQ(wrong_cond.size(), 0u);
 
   // Different technology.
@@ -414,6 +330,128 @@ TEST(CostCacheTest, LoadRejectsFingerprintMismatch) {
   write_file(tampered, text);
   CostCache same_config(tech);
   EXPECT_FALSE(same_config.load(tampered, &error));
+}
+
+TEST(CostCacheTest, LoadRejectsMemoFromADifferentBackend) {
+  // An analytic memo and an RTL-measured memo store different quantities
+  // under the same keys; the "model" fingerprint field must keep them
+  // apart in both directions.
+  const Technology tech = Technology::tsmc28();
+  const DesignPoint dp = int8_point(32, 4, 1, 8);  // tiny: fast to elaborate
+
+  const std::string analytic_path = temp_path("analytic.memo.jsonl");
+  CostCache analytic_writer(tech);
+  analytic_writer.evaluate(dp);
+  ASSERT_TRUE(analytic_writer.save(analytic_path));
+
+  const std::string rtl_path = temp_path("rtl.memo.jsonl");
+  const RtlCostModel rtl_model(tech);
+  CostCache rtl_writer(rtl_model);
+  rtl_writer.evaluate(dp);
+  ASSERT_TRUE(rtl_writer.save(rtl_path));
+
+  std::string error;
+  CostCache rtl_reader(make_cost_model(CostModelKind::kRtl, tech));
+  EXPECT_FALSE(rtl_reader.load(analytic_path, &error));
+  EXPECT_NE(error.find("different cost model"), std::string::npos);
+  CostCache analytic_reader(tech);
+  EXPECT_FALSE(analytic_reader.load(rtl_path, &error));
+  EXPECT_NE(error.find("different cost model"), std::string::npos);
+  // The right backend accepts its own memo.
+  CostCache rtl_ok(make_cost_model(CostModelKind::kRtl, tech));
+  ASSERT_TRUE(rtl_ok.load(rtl_path, &error)) << error;
+  EXPECT_EQ(rtl_ok.size(), 1u);
+}
+
+TEST(CostCacheTest, InPlaceValueCorruptionIsDetectedByLineChecksum) {
+  // A flipped digit inside a metric keeps the line parseable JSON with a
+  // plausible value — exactly the corruption structural validation cannot
+  // see.  The per-line checksum must reject it: the entry is dropped and
+  // the point re-evaluated, never served wrong.
+  const Technology tech = Technology::tsmc28();
+  const std::string path = temp_path("bitrot.memo.jsonl");
+  const DesignPoint dp = int8_point(32, 128, 16, 8);
+  CostCache writer(tech);
+  const MacroMetrics truth = writer.evaluate(dp);
+  ASSERT_TRUE(writer.save(path));
+
+  std::string text = read_file(path);
+  // Alter the first digit of the "m" metrics array on the entry line.
+  const auto m_pos = text.find("\"m\":[");
+  ASSERT_NE(m_pos, std::string::npos);
+  const auto digit = m_pos + 5;
+  text[digit] = text[digit] == '9' ? '8' : '9';
+  const std::string corrupt = temp_path("bitrot.corrupt.memo.jsonl");
+  write_file(corrupt, text);
+
+  CountingCostModel model(tech);
+  CostCache reader(model);
+  std::string error;
+  ASSERT_TRUE(reader.load(corrupt, &error)) << error;  // load itself is fine
+  EXPECT_EQ(reader.size(), 0u);  // ...but the damaged entry was dropped
+  expect_same_metrics(reader.evaluate(dp), truth);  // re-evaluated, not lied
+  EXPECT_EQ(model.evaluations(), 1u);
+}
+
+TEST(CostCacheTest, SeededRandomMutationsNeverCrashOrServeWrongMetrics) {
+  // Adversarial persistence: replay dozens of seeded random byte-level
+  // corruptions (truncation, deletion, duplication, overwrite, bit flip,
+  // line splits) of a valid memo.  Every mutation must yield either a hard
+  // error with a message (header damage) or a clean load whose every
+  // served metric is bit-equal to the truth (damaged entries dropped and
+  // re-evaluated) — never a crash, never a silently wrong metric.
+  const Technology tech = Technology::tsmc28();
+  const DesignSpace space(1 << 13, precision_int8());
+  const auto all = space.enumerate_all();
+  ASSERT_GT(all.size(), 4u);
+  CostCache writer(tech);
+  std::vector<MacroMetrics> truth(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    truth[i] = writer.evaluate(all[i]);
+  }
+  const std::string path = temp_path("adversarial.memo.jsonl");
+  ASSERT_TRUE(writer.save(path));
+  const std::string pristine = read_file(path);
+
+  Rng rng(2026);
+  const std::string mutated_path = temp_path("adversarial.mut.memo.jsonl");
+  int clean_loads = 0;
+  int hard_errors = 0;
+  const auto header_end = pristine.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  for (int trial = 0; trial < 60; ++trial) {
+    // 1-3 stacked mutations per trial; every fourth trial aims at the
+    // header line (uniform positions rarely hit it in a big memo, and the
+    // header is where corruption must become a *hard* error).
+    std::string mutated;
+    if (trial % 4 == 0) {
+      mutated = test::random_mutation(pristine.substr(0, header_end), rng) +
+                pristine.substr(header_end);
+    } else {
+      mutated = pristine;
+      const std::int64_t rounds = rng.uniform_int(1, 3);
+      for (std::int64_t r = 0; r < rounds; ++r) {
+        mutated = test::random_mutation(mutated, rng);
+      }
+    }
+    write_file(mutated_path, mutated);
+
+    CountingCostModel model(tech);
+    CostCache reader(model);
+    std::string error;
+    if (!reader.load(mutated_path, &error)) {
+      EXPECT_FALSE(error.empty()) << "trial " << trial;
+      ++hard_errors;
+      continue;
+    }
+    ++clean_loads;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      expect_same_metrics(reader.evaluate(all[i]), truth[i]);
+    }
+  }
+  // The operator mix must actually exercise both outcomes.
+  EXPECT_GT(clean_loads, 0);
+  EXPECT_GT(hard_errors, 0);
 }
 
 TEST(CostCacheTest, LoadToleratesTruncatedEntryLines) {

@@ -1,0 +1,243 @@
+// Shared test support for the suite: scoped temp directories, file and
+// JSONL helpers, golden comparisons, instrumented CostModel stubs, and the
+// seeded byte-mutation operators the adversarial parser tests use.
+//
+// Header-only on purpose: test binaries are one translation unit each, and
+// the helpers are small.  Everything lives in sega::test so test code can
+// `using namespace sega::test;` without polluting sega::.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "util/rng.h"
+
+namespace sega {
+namespace test {
+
+/// A unique directory under the system temp root, removed (recursively) on
+/// destruction.  Unique per (pid, instance), so parallel test binaries and
+/// repeated fixtures never collide.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "sega_test") {
+    static std::atomic<std::uint64_t> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            (prefix + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  /// Absolute path of @p name inside the directory.
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+inline void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// Non-empty lines of a JSONL file, in order.
+inline std::vector<std::string> read_jsonl_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Golden-file comparison with a readable failure: byte equality of a file
+/// against expected content.
+inline ::testing::AssertionResult file_matches_golden(
+    const std::string& path, const std::string& expected) {
+  const std::string actual = read_file(path);
+  if (actual == expected) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << path << " differs from golden (" << actual.size() << " vs "
+         << expected.size() << " bytes)";
+}
+
+/// Bit-exact equality of the metrics the suite asserts on (EXPECT_EQ on
+/// doubles is deliberate: the contracts under test are bit-exactness, not
+/// approximation).
+inline void expect_same_metrics(const MacroMetrics& a, const MacroMetrics& b) {
+  EXPECT_EQ(a.gates, b.gates);
+  EXPECT_EQ(a.area_gates, b.area_gates);
+  EXPECT_EQ(a.delay_gates, b.delay_gates);
+  EXPECT_EQ(a.energy_gates, b.energy_gates);
+  EXPECT_EQ(a.area_mm2, b.area_mm2);
+  EXPECT_EQ(a.delay_ns, b.delay_ns);
+  EXPECT_EQ(a.freq_ghz, b.freq_ghz);
+  EXPECT_EQ(a.energy_per_cycle_fj, b.energy_per_cycle_fj);
+  EXPECT_EQ(a.power_w, b.power_w);
+  EXPECT_EQ(a.energy_per_mvm_nj, b.energy_per_mvm_nj);
+  EXPECT_EQ(a.throughput_tops, b.throughput_tops);
+  EXPECT_EQ(a.tops_per_w, b.tops_per_w);
+  EXPECT_EQ(a.tops_per_mm2, b.tops_per_mm2);
+  EXPECT_EQ(a.cycles_per_input, b.cycles_per_input);
+  EXPECT_EQ(a.area_breakdown, b.area_breakdown);
+  EXPECT_EQ(a.energy_breakdown, b.energy_breakdown);
+}
+
+/// A validated MUL-CIM INT8 point — the suite's workhorse geometry.
+inline DesignPoint int8_point(std::int64_t n, std::int64_t h, std::int64_t l,
+                              std::int64_t k) {
+  DesignPoint dp;
+  dp.arch = ArchKind::kMulCim;
+  dp.precision = precision_int8();
+  dp.n = n;
+  dp.h = h;
+  dp.l = l;
+  dp.k = k;
+  return dp;
+}
+
+/// Instrumented model: counts every point the cache actually sends to the
+/// underlying model, so tests can assert the exact-once evaluation contract
+/// (and the zero-evaluation warm-memo contract).
+class CountingCostModel final : public CostModel {
+ public:
+  explicit CountingCostModel(const Technology& tech, EvalConditions cond = {})
+      : model_(tech, cond) {}
+
+  const Technology& tech() const override { return model_.tech(); }
+  const EvalConditions& conditions() const override {
+    return model_.conditions();
+  }
+  MacroMetrics evaluate(const DesignPoint& dp) const override {
+    evaluations_.fetch_add(1);
+    return model_.evaluate(dp);
+  }
+  void evaluate_batch(Span<const DesignPoint> points,
+                      Span<MacroMetrics> out) const override {
+    evaluations_.fetch_add(points.size());
+    model_.evaluate_batch(points, out);
+  }
+
+  std::uint64_t evaluations() const { return evaluations_.load(); }
+
+ private:
+  AnalyticCostModel model_;
+  mutable std::atomic<std::uint64_t> evaluations_{0};
+};
+
+/// A model that throws on its first @p failures calls (batch or scalar),
+/// then behaves like the analytic model — for exercising claim-unwinding
+/// and retry paths.
+class FailingCostModel final : public CostModel {
+ public:
+  explicit FailingCostModel(const Technology& tech, int failures = 1)
+      : model_(tech) {
+    failures_left.store(failures);
+  }
+
+  const Technology& tech() const override { return model_.tech(); }
+  const EvalConditions& conditions() const override {
+    return model_.conditions();
+  }
+  MacroMetrics evaluate(const DesignPoint& dp) const override {
+    maybe_throw();
+    return model_.evaluate(dp);
+  }
+  void evaluate_batch(Span<const DesignPoint> points,
+                      Span<MacroMetrics> out) const override {
+    maybe_throw();
+    model_.evaluate_batch(points, out);
+  }
+
+  mutable std::atomic<int> failures_left{0};
+
+ private:
+  void maybe_throw() const {
+    if (failures_left.load() > 0 && failures_left.fetch_sub(1) > 0) {
+      throw std::runtime_error("injected model failure");
+    }
+  }
+  AnalyticCostModel model_;
+};
+
+/// One random byte-level mutation of @p text — the corruption operators the
+/// adversarial persistence tests replay against checkpoint and memo files.
+/// Drawn from @p rng (seed it; mutations must be reproducible): truncation,
+/// range deletion, range duplication, random-byte overwrite, byte flip, or
+/// newline insertion (line splitting).
+inline std::string random_mutation(const std::string& text, Rng& rng) {
+  if (text.empty()) return text;
+  std::string out = text;
+  const auto pos = [&](std::size_t bound) {
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bound) - 1));
+  };
+  switch (rng.uniform_int(0, 5)) {
+    case 0:  // truncate (the kill-mid-write signature)
+      out.resize(pos(out.size() + 1));
+      break;
+    case 1: {  // delete a range
+      const std::size_t start = pos(out.size());
+      const std::size_t len =
+          1 + pos(std::min<std::size_t>(40, out.size() - start));
+      out.erase(start, len);
+      break;
+    }
+    case 2: {  // duplicate a range (torn rewrite / double append)
+      const std::size_t start = pos(out.size());
+      const std::size_t len =
+          1 + pos(std::min<std::size_t>(60, out.size() - start));
+      out.insert(start, out.substr(start, len));
+      break;
+    }
+    case 3: {  // overwrite a range with random bytes
+      const std::size_t start = pos(out.size());
+      const std::size_t len =
+          1 + pos(std::min<std::size_t>(20, out.size() - start));
+      for (std::size_t i = 0; i < len; ++i) {
+        out[start + i] =
+            static_cast<char>(rng.uniform_int(32, 126));  // printable
+      }
+      break;
+    }
+    case 4:  // flip one byte (bit rot; may land inside a numeral)
+      out[pos(out.size())] =
+          static_cast<char>(rng.uniform_int(32, 126));
+      break;
+    case 5:  // split a line
+      out.insert(pos(out.size()), "\n");
+      break;
+  }
+  return out;
+}
+
+}  // namespace test
+}  // namespace sega

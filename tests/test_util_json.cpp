@@ -122,5 +122,51 @@ TEST(JsonTest, NumberPrecisionRoundTrips) {
   }
 }
 
+TEST(JsonTest, OutOfRangeNumberIsAParseErrorNotAnException) {
+  // A corrupted file can carry numerals no double holds (duplicated digit
+  // runs); parse() must diagnose, never throw out of the API.
+  std::string error;
+  EXPECT_FALSE(Json::parse("1e999999", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(Json::parse(std::string(5000, '9'), &error).has_value());
+  EXPECT_FALSE(Json::parse("{\"x\": 1e999999}", &error).has_value());
+}
+
+TEST(JsonTest, LineChecksumStampsAndVerifies) {
+  Json line = Json::object();
+  line["cell"]["wstore"] = 4096;
+  line["cell"]["metric"] = 0.123456789012345;
+  EXPECT_FALSE(check_line_checksum(line));  // unstamped
+  stamp_line_checksum(&line);
+  EXPECT_TRUE(check_line_checksum(line));
+
+  // Stamping is stable and ignores the stamp itself.
+  const std::uint32_t sum = json_line_checksum(line);
+  stamp_line_checksum(&line);
+  EXPECT_EQ(json_line_checksum(line), sum);
+  EXPECT_TRUE(check_line_checksum(line));
+
+  // The checksum survives a serialization round trip...
+  auto parsed = Json::parse(line.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(check_line_checksum(*parsed));
+
+  // ...and any value change invalidates it, even one that keeps the JSON
+  // shape (the flipped-digit case structural validation cannot catch).
+  std::string text = line.dump();
+  const auto pos = text.find("0.123456789012345");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 3] = '9';
+  auto tampered = Json::parse(text);
+  ASSERT_TRUE(tampered.has_value());
+  EXPECT_FALSE(check_line_checksum(*tampered));
+
+  // Non-objects and wrong-typed stamps fail closed.
+  EXPECT_FALSE(check_line_checksum(Json(3.0)));
+  Json bad = Json::object();
+  bad["c"] = "not a number";
+  EXPECT_FALSE(check_line_checksum(bad));
+}
+
 }  // namespace
 }  // namespace sega
