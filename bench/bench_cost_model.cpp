@@ -8,6 +8,7 @@
 // evaluated per second); results land in the CI bench-smoke JSON artifacts.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "arch/space.h"
@@ -15,8 +16,10 @@
 #include "cost/cost_model.h"
 #include "cost/rtl_cost_model.h"
 #include "layout/floorplan.h"
+#include "rtl/harness.h"
 #include "rtl/macro_builder.h"
 #include "rtl/verilog.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -187,6 +190,111 @@ void BM_RtlCostModelPoint(benchmark::State& state, const char* precision_name,
 BENCHMARK_CAPTURE(BM_RtlCostModelPoint, INT4_small, "INT4", 16, 16, 4, 2);
 BENCHMARK_CAPTURE(BM_RtlCostModelPoint, INT8_mid, "INT8", 32, 64, 4, 8);
 BENCHMARK_CAPTURE(BM_RtlCostModelPoint, FP8_small, "FP8", 16, 4, 2, 4);
+
+// --- lane-packed energy tracing --------------------------------------------
+// The same 64-operand workload trace through the scalar GateSim protocol
+// (one settle pass per operand) and the 64-lane GateSimWide batch (one
+// settle pass for the whole block).  items_per_second is operands traced
+// per second; the Wide/Scalar ratio is the lane-packing speedup the RTL
+// cost model's energy measurement rides on.
+struct TraceWorkload {
+  DcimHarness harness;
+  std::vector<std::vector<std::uint64_t>> operands;
+  std::vector<std::int64_t> slots;
+
+  explicit TraceWorkload(const DesignPoint& dp, int n_ops) : harness(dp) {
+    Rng rng(7);
+    const int bw = dp.precision.weight_bits();
+    const int bx = dp.precision.input_bits();
+    for (std::int64_t slot = 0; slot < dp.l; ++slot) {
+      std::vector<std::vector<std::uint64_t>> weights(
+          static_cast<std::size_t>(harness.macro().groups),
+          std::vector<std::uint64_t>(static_cast<std::size_t>(dp.h)));
+      for (auto& g : weights) {
+        for (auto& w : g) {
+          w = static_cast<std::uint64_t>(
+              rng.uniform_int(0, (std::int64_t{1} << bw) - 1));
+        }
+      }
+      harness.load_weights(weights, slot);
+    }
+    for (int op = 0; op < n_ops; ++op) {
+      operands.emplace_back(static_cast<std::size_t>(dp.h));
+      for (auto& v : operands.back()) {
+        v = static_cast<std::uint64_t>(
+            rng.uniform_int(0, (std::int64_t{1} << bx) - 1));
+      }
+      slots.push_back(op % dp.l);
+    }
+  }
+};
+
+DesignPoint int4_small() {
+  DesignPoint dp;
+  dp.precision = *precision_from_name("INT4");
+  dp.arch = ArchKind::kMulCim;
+  dp.n = 16;
+  dp.h = 16;
+  dp.l = 4;
+  dp.k = 2;
+  return dp;
+}
+
+void BM_GateSimScalarTrace(benchmark::State& state) {
+  TraceWorkload wl(int4_small(), 64);
+  GateSim& sim = wl.harness.sim();
+  for (auto _ : state) {
+    sim.begin_energy_trace();
+    for (std::size_t op = 0; op < wl.operands.size(); ++op) {
+      benchmark::DoNotOptimize(
+          wl.harness.compute_int(wl.operands[op], wl.slots[op]));
+    }
+    benchmark::DoNotOptimize(sim.traced_cycles());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wl.operands.size()));
+}
+BENCHMARK(BM_GateSimScalarTrace);
+
+void BM_GateSimWideTrace(benchmark::State& state) {
+  TraceWorkload wl(int4_small(), 64);
+  GateSimWide& sim = wl.harness.wide_sim();
+  for (auto _ : state) {
+    sim.begin_energy_trace();
+    benchmark::DoNotOptimize(
+        wl.harness.compute_int_batch(wl.operands, wl.slots));
+    benchmark::DoNotOptimize(sim.traced_cycles());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wl.operands.size()));
+}
+BENCHMARK(BM_GateSimWideTrace);
+
+/// Checked variant: every pass traces the workload through both engines and
+/// asserts outputs, per-kind toggle counts and traced cycles bit-equal —
+/// the benchmark itself guards the bit-identity contract it measures.
+void BM_GateSimWideTraceChecked(benchmark::State& state) {
+  TraceWorkload wl(int4_small(), 64);
+  GateSim& scalar = wl.harness.sim();
+  GateSimWide& wide = wl.harness.wide_sim();
+  for (auto _ : state) {
+    scalar.begin_energy_trace();
+    std::vector<std::vector<std::uint64_t>> ref;
+    for (std::size_t op = 0; op < wl.operands.size(); ++op) {
+      ref.push_back(wl.harness.compute_int(wl.operands[op], wl.slots[op]));
+    }
+    wide.begin_energy_trace();
+    const auto out = wl.harness.compute_int_batch(wl.operands, wl.slots);
+    if (out != ref || wide.toggle_counts() != scalar.toggle_counts() ||
+        wide.traced_cycles() != scalar.traced_cycles()) {
+      state.SkipWithError("lane-packed trace diverged from scalar");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wl.operands.size()));
+}
+BENCHMARK(BM_GateSimWideTraceChecked);
 
 // A warm persistent memo turns the same evaluation into a table lookup —
 // the reason validate reruns are free.

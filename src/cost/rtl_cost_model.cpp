@@ -1,5 +1,8 @@
 #include "cost/rtl_cost_model.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
 #include <vector>
 
 #include "rtl/harness.h"
@@ -11,6 +14,16 @@
 namespace sega {
 
 namespace {
+
+RtlSimEngine resolve_engine(RtlSimEngine requested) {
+  if (requested != RtlSimEngine::kAuto) return requested;
+  const char* env = std::getenv("SEGA_RTL_SIM");
+  if (env == nullptr || env[0] == '\0') return RtlSimEngine::kWide;
+  const std::string_view v(env);
+  if (v == "wide") return RtlSimEngine::kWide;
+  SEGA_EXPECTS(v == "scalar");  // the only other recognized value
+  return RtlSimEngine::kScalar;
+}
 
 /// Workload RNG seed — a pure function of the design point (splitmix64-style
 /// mixing of every geometry field), so a point's measurement is identical
@@ -50,11 +63,107 @@ std::uint64_t random_operand(Rng& rng, int bits, double sparsity) {
   return value;
 }
 
+/// Scalar (verification) workload drive: one operand per settle pass.
+void trace_scalar(DcimHarness& harness, const DesignPoint& dp, Rng& rng,
+                  double sparsity) {
+  GateSim& sim = harness.sim();
+  const Netlist& nl = harness.macro().netlist;
+  for (std::size_t i = 0; i < nl.sram_cells().size(); ++i) {
+    sim.set_sram(i, (rng.next_u64() >> 63) != 0);
+  }
+  sim.begin_energy_trace();
+  const int bx = dp.precision.input_bits();
+  if (dp.arch == ArchKind::kMulCim) {
+    std::vector<std::uint64_t> inputs(static_cast<std::size_t>(dp.h));
+    for (int op = 0; op < kRtlWorkloadOperands; ++op) {
+      for (auto& in : inputs) in = random_operand(rng, bx, sparsity);
+      harness.compute_int(inputs, op % dp.l);
+    }
+  } else {
+    const int be = dp.precision.exp_bits;
+    std::vector<std::uint64_t> exponents(static_cast<std::size_t>(dp.h));
+    std::vector<std::uint64_t> mantissas(static_cast<std::size_t>(dp.h));
+    for (int op = 0; op < kRtlWorkloadOperands; ++op) {
+      for (auto& e : exponents) e = random_operand(rng, be, 0.0);
+      for (auto& mant : mantissas) mant = random_operand(rng, bx, sparsity);
+      harness.compute_fp(exponents, mantissas, op % dp.l);
+    }
+  }
+}
+
+/// Lane-packed (production) workload drive: identical RNG draw order, but
+/// 64 operands settle per pass — operand base+k rides lane k, exactly what
+/// scalar iteration base+k saw.
+void trace_wide(DcimHarness& harness, const DesignPoint& dp, Rng& rng,
+                double sparsity) {
+  GateSimWide& sim = harness.wide_sim();
+  const Netlist& nl = harness.macro().netlist;
+  for (std::size_t i = 0; i < nl.sram_cells().size(); ++i) {
+    sim.set_sram(i, (rng.next_u64() >> 63) != 0);
+  }
+  sim.begin_energy_trace();
+  const int bx = dp.precision.input_bits();
+  for (int base = 0; base < kRtlWorkloadOperands;
+       base += GateSimWide::kLanes) {
+    const int lanes =
+        std::min(GateSimWide::kLanes, kRtlWorkloadOperands - base);
+    std::vector<std::int64_t> slots(static_cast<std::size_t>(lanes));
+    for (int k = 0; k < lanes; ++k) {
+      slots[static_cast<std::size_t>(k)] = (base + k) % dp.l;
+    }
+    if (dp.arch == ArchKind::kMulCim) {
+      std::vector<std::vector<std::uint64_t>> inputs(
+          static_cast<std::size_t>(lanes),
+          std::vector<std::uint64_t>(static_cast<std::size_t>(dp.h)));
+      for (int k = 0; k < lanes; ++k) {
+        for (auto& in : inputs[static_cast<std::size_t>(k)]) {
+          in = random_operand(rng, bx, sparsity);
+        }
+      }
+      harness.compute_int_batch(inputs, slots);
+    } else {
+      const int be = dp.precision.exp_bits;
+      std::vector<std::vector<std::uint64_t>> exponents(
+          static_cast<std::size_t>(lanes),
+          std::vector<std::uint64_t>(static_cast<std::size_t>(dp.h)));
+      auto mantissas = exponents;
+      for (int k = 0; k < lanes; ++k) {
+        for (auto& e : exponents[static_cast<std::size_t>(k)]) {
+          e = random_operand(rng, be, 0.0);
+        }
+        for (auto& mant : mantissas[static_cast<std::size_t>(k)]) {
+          mant = random_operand(rng, bx, sparsity);
+        }
+      }
+      harness.compute_fp_batch(exponents, mantissas, slots);
+    }
+  }
+}
+
+/// Folds the traced per-cycle energy and its per-group attribution into
+/// @p m.  SimT is GateSim or GateSimWide; by the bit-identity contract the
+/// folded numbers are the same either way.
+template <typename SimT>
+void fold_traced_energy(const SimT& sim, const Netlist& nl,
+                        const Technology& tech, MacroMetrics& m) {
+  const auto cycles = static_cast<double>(sim.traced_cycles());
+  SEGA_ASSERT(cycles > 0.0);
+  m.energy_gates = sim.traced_energy(tech) / cycles;
+  for (std::size_t gi = 0; gi < nl.group_names().size(); ++gi) {
+    const std::string& name = nl.group_names()[gi];
+    if (name == "core") continue;
+    m.energy_breakdown[name] =
+        sim.traced_energy_of_group(tech, static_cast<int>(gi)) / cycles;
+  }
+}
+
 }  // namespace
 
 RtlCostModel::RtlCostModel(const Technology& tech, EvalConditions cond,
                            RtlCostModelOptions options)
-    : ctx_(tech, cond), options_(options) {}
+    : ctx_(tech, cond),
+      options_(options),
+      engine_(resolve_engine(options.sim_engine)) {}
 
 MacroMetrics RtlCostModel::evaluate(const DesignPoint& dp) const {
   // --- elaboration: the generated netlist is the ground truth -------------
@@ -81,46 +190,29 @@ MacroMetrics RtlCostModel::evaluate(const DesignPoint& dp) const {
   // random (sparsity-shaped) operands through the harness protocol,
   // rotating the selected slot so the weight-select path toggles too.  The
   // trace starts after programming: weight upload is a one-time cost, not
-  // per-cycle compute energy.
+  // per-cycle compute energy.  The wide engine settles all 64 operands in
+  // one lane-packed pass; the scalar engine replays them one at a time —
+  // both from the same per-point seed, bit-identical by contract.
   Rng rng(workload_seed(dp));
-  GateSim& sim = harness.sim();
-  for (std::size_t i = 0; i < nl.sram_cells().size(); ++i) {
-    sim.set_sram(i, (rng.next_u64() >> 63) != 0);
-  }
-  sim.begin_energy_trace();
   const double sparsity = conditions().input_sparsity;
-  const int bx = dp.precision.input_bits();
-  if (dp.arch == ArchKind::kMulCim) {
-    std::vector<std::uint64_t> inputs(static_cast<std::size_t>(dp.h));
-    for (int op = 0; op < kRtlWorkloadOperands; ++op) {
-      for (auto& in : inputs) in = random_operand(rng, bx, sparsity);
-      harness.compute_int(inputs, op % dp.l);
-    }
+  if (engine_ == RtlSimEngine::kWide) {
+    trace_wide(harness, dp, rng, sparsity);
+    fold_traced_energy(harness.wide_sim(), nl, technology, m);
   } else {
-    const int be = dp.precision.exp_bits;
-    std::vector<std::uint64_t> exponents(static_cast<std::size_t>(dp.h));
-    std::vector<std::uint64_t> mantissas(static_cast<std::size_t>(dp.h));
-    for (int op = 0; op < kRtlWorkloadOperands; ++op) {
-      for (auto& e : exponents) e = random_operand(rng, be, 0.0);
-      for (auto& mant : mantissas) mant = random_operand(rng, bx, sparsity);
-      harness.compute_fp(exponents, mantissas, op % dp.l);
-    }
+    trace_scalar(harness, dp, rng, sparsity);
+    fold_traced_energy(harness.sim(), nl, technology, m);
   }
-  const auto cycles = static_cast<double>(sim.traced_cycles());
-  SEGA_ASSERT(cycles > 0.0);
-  m.energy_gates = sim.traced_energy(technology) / cycles;
 
   // --- per-component breakdown (normalized, like the analytic model's) ----
   // The generator tags every cell with its component group under the same
   // names the analytic breakdown uses; "core" holds only untagged glue and
-  // is not a component.
+  // is not a component.  (Energy attribution was folded with the trace
+  // above; area comes from the census.)
   for (std::size_t gi = 0; gi < nl.group_names().size(); ++gi) {
     const std::string& name = nl.group_names()[gi];
     if (name == "core") continue;
-    const int group = static_cast<int>(gi);
-    m.area_breakdown[name] = nl.census_of_group(group).area(technology);
-    m.energy_breakdown[name] =
-        sim.traced_energy_of_group(technology, group) / cycles;
+    m.area_breakdown[name] =
+        nl.census_of_group(static_cast<int>(gi)).area(technology);
   }
 
   // --- absolute derivation -------------------------------------------------

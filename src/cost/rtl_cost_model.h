@@ -47,19 +47,38 @@ namespace sega {
 /// Version of the RTL-backed measurement procedure (netlist templates, STA,
 /// workload-vector generation).  Bump whenever a change alters any produced
 /// metric; persistent memos are fingerprinted with it.
-inline constexpr int kRtlCostModelVersion = 1;
+///
+/// v2: operands are traced from the canonical (all-DFF-cleared, barrier
+/// -baselined) harness state, forced programming/reset writes are no longer
+/// billed as compute switching, and the workload grew from 4 to 64 operands
+/// (one full GateSimWide lane block).
+inline constexpr int kRtlCostModelVersion = 2;
 
-/// MVM operand batches streamed per measurement.  Part of the measurement
-/// definition (not a tuning knob): changing it changes the measured energy,
-/// which is why it is a constant folded into kRtlCostModelVersion rather
-/// than an option.
-inline constexpr int kRtlWorkloadOperands = 4;
+/// MVM operand batches streamed per measurement — one full 64-lane block of
+/// the bit-parallel engine, so the packed trace settles the whole workload
+/// in a single pass.  Part of the measurement definition (not a tuning
+/// knob): changing it changes the measured energy, which is why it is a
+/// constant folded into kRtlCostModelVersion rather than an option.
+inline constexpr int kRtlWorkloadOperands = 64;
+
+/// Which simulation engine traces the workload energy.  Both are exactly
+/// the same measurement — toggle counts, per-group attribution and every
+/// derived metric are bit-identical (asserted in test_rtl_sim_wide and the
+/// checked bench) — so they share memo fingerprints; only the wall-clock
+/// differs by the ~64x lane packing.
+enum class RtlSimEngine {
+  kAuto,    ///< resolve SEGA_RTL_SIM ("scalar"|"wide"); wide when unset
+  kScalar,  ///< GateSim, one operand per settle pass (verification path)
+  kWide,    ///< GateSimWide, 64 operands per settle pass (production path)
+};
 
 struct RtlCostModelOptions {
   /// Thread-pool size for evaluate_batch: 0 = the process-global pool
   /// (SEGA_THREADS / hardware concurrency), 1 = serial, n = a private pool
   /// of n threads.  Scheduling only — never affects any metric.
   int threads = 0;
+  /// Energy-trace engine (never affects any metric, only wall-clock).
+  RtlSimEngine sim_engine = RtlSimEngine::kAuto;
 };
 
 class RtlCostModel final : public CostModel {
@@ -90,9 +109,13 @@ class RtlCostModel final : public CostModel {
   /// elaborations.
   std::uint64_t elaborations() const { return elaborations_.load(); }
 
+  /// The engine evaluate() actually uses (kAuto already resolved).
+  RtlSimEngine sim_engine() const { return engine_; }
+
  private:
   EvalContext ctx_;
   RtlCostModelOptions options_;
+  RtlSimEngine engine_ = RtlSimEngine::kWide;
   mutable std::atomic<std::uint64_t> elaborations_{0};
 };
 

@@ -6,8 +6,40 @@
 
 namespace sega {
 
+namespace {
+
+/// Packs one bit-sliced operand set: word i holds, per lane, bit i of that
+/// lane's value.
+std::vector<std::uint64_t> pack_values(const std::vector<std::uint64_t>& lanes,
+                                       int width) {
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(width), 0);
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    for (int b = 0; b < width; ++b) {
+      if ((lanes[k] >> b) & 1u) {
+        words[static_cast<std::size_t>(b)] |= std::uint64_t{1} << k;
+      }
+    }
+  }
+  return words;
+}
+
+}  // namespace
+
 DcimHarness::DcimHarness(const DesignPoint& dp)
     : macro_(build_dcim_macro(dp)), sim_(macro_.netlist) {}
+
+GateSimWide& DcimHarness::wide_sim() {
+  if (!wide_) {
+    wide_ = std::make_unique<GateSimWide>(macro_.netlist);
+    // Mirror whatever weights were programmed before the first batch call.
+    const auto& srams = macro_.netlist.sram_cells();
+    for (std::size_t i = 0; i < srams.size(); ++i) {
+      const NetId q = macro_.netlist.cells()[srams[i]].outputs[0];
+      wide_->set_sram(i, sim_.net_value(q));
+    }
+  }
+  return *wide_;
+}
 
 void DcimHarness::load_weight(std::int64_t group, std::int64_t row,
                               std::int64_t slot, std::uint64_t value) {
@@ -18,7 +50,9 @@ void DcimHarness::load_weight(std::int64_t group, std::int64_t row,
     SEGA_EXPECTS(column < macro_.dp.n);
     const bool bit = (value >> j) & 1u;
     // Inverted storage: SRAM holds WB.
-    sim_.set_sram(macro_.sram_index(column, row, slot), !bit);
+    const std::size_t index = macro_.sram_index(column, row, slot);
+    sim_.set_sram(index, !bit);
+    if (wide_) wide_->set_sram(index, !bit);
   }
 }
 
@@ -37,11 +71,17 @@ void DcimHarness::load_weights(
 
 void DcimHarness::run_streaming(std::int64_t slot) {
   SEGA_EXPECTS(slot >= 0 && slot < macro_.dp.l);
+  // Canonical operand state: every DFF cleared, so the traced trajectory is
+  // a pure function of (SRAM, operand, slot) — see harness.h.  The clears
+  // are forced writes (never billed); the trace window opens at the barrier
+  // below, once every input of this operand is presented.
+  sim_.clear_registers();
   sim_.set_input("wsel", static_cast<std::uint64_t>(slot));
   const int latency = macro_.tree_latency;
-  // Load the input buffer.
   sim_.set_input("slice", 0);
   if (latency > 0) sim_.set_input("valid", 0);
+  sim_.trace_barrier();
+  // Load the input buffer.
   sim_.step();
   // Clear accumulators (the buffer keeps recapturing the held operands).
   for (const std::size_t ci : macro_.accumulator_dffs) {
@@ -56,6 +96,41 @@ void DcimHarness::run_streaming(std::int64_t slot) {
     sim_.set_input("slice", static_cast<std::uint64_t>(c));
     if (latency > 0) sim_.set_input("valid", t >= latency ? 1 : 0);
     sim_.step();
+  }
+}
+
+std::vector<std::uint64_t> DcimHarness::pack_slots(
+    const std::vector<std::int64_t>& slots) const {
+  std::vector<std::uint64_t> raw(slots.size());
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    SEGA_EXPECTS(slots[k] >= 0 && slots[k] < macro_.dp.l);
+    raw[k] = static_cast<std::uint64_t>(slots[k]);
+  }
+  return pack_values(raw, macro_.wsel_bits);
+}
+
+void DcimHarness::run_streaming_wide(const std::vector<std::int64_t>& slots) {
+  // Lockstep replay of run_streaming: lane k runs the exact scalar protocol
+  // for operand k (inputs were packed by the caller).  Step-for-step
+  // equivalence is what the differential fuzz suite asserts.
+  GateSimWide& wide = wide_sim();
+  wide.set_active_lanes(static_cast<int>(slots.size()));
+  wide.clear_registers();
+  wide.set_input_lanes("wsel", pack_slots(slots));
+  const int latency = macro_.tree_latency;
+  wide.set_input_all("slice", 0);
+  if (latency > 0) wide.set_input_all("valid", 0);
+  wide.trace_barrier();
+  wide.step();
+  for (const std::size_t ci : macro_.accumulator_dffs) {
+    wide.set_register(ci, false);
+  }
+  const int total = macro_.cycles + latency;
+  for (int t = 0; t < total; ++t) {
+    const int c = std::min(t, macro_.cycles - 1);
+    wide.set_input_all("slice", static_cast<std::uint64_t>(c));
+    if (latency > 0) wide.set_input_all("valid", t >= latency ? 1 : 0);
+    wide.step();
   }
 }
 
@@ -74,6 +149,41 @@ std::vector<std::uint64_t> DcimHarness::compute_int(
   for (int g = 0; g < macro_.groups; ++g) {
     out[static_cast<std::size_t>(g)] =
         sim_.read_output(strfmt("out%d", g));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> DcimHarness::compute_int_batch(
+    const std::vector<std::vector<std::uint64_t>>& inputs,
+    const std::vector<std::int64_t>& slots) {
+  SEGA_EXPECTS(macro_.dp.arch == ArchKind::kMulCim);
+  const std::size_t lanes = inputs.size();
+  SEGA_EXPECTS(lanes >= 1 &&
+               lanes <= static_cast<std::size_t>(GateSimWide::kLanes));
+  SEGA_EXPECTS(slots.size() == lanes);
+  const int bx = macro_.dp.precision.input_bits();
+  const std::uint64_t mask = (std::uint64_t{1} << bx) - 1;
+  GateSimWide& wide = wide_sim();
+  std::vector<std::uint64_t> row(lanes);
+  for (std::int64_t r = 0; r < macro_.dp.h; ++r) {
+    for (std::size_t k = 0; k < lanes; ++k) {
+      SEGA_EXPECTS(static_cast<std::int64_t>(inputs[k].size()) == macro_.dp.h);
+      const std::uint64_t v = inputs[k][static_cast<std::size_t>(r)];
+      SEGA_EXPECTS(v < (std::uint64_t{1} << bx));
+      row[k] = ~v & mask;
+    }
+    wide.set_input_lanes(strfmt("inb%zu", static_cast<std::size_t>(r)),
+                         pack_values(row, bx));
+  }
+  run_streaming_wide(slots);
+  std::vector<std::vector<std::uint64_t>> out(
+      lanes, std::vector<std::uint64_t>(static_cast<std::size_t>(
+                 macro_.groups)));
+  for (std::size_t k = 0; k < lanes; ++k) {
+    for (int g = 0; g < macro_.groups; ++g) {
+      out[k][static_cast<std::size_t>(g)] =
+          wide.read_output_lane(strfmt("out%d", g), static_cast<int>(k));
+    }
   }
   return out;
 }
@@ -141,6 +251,55 @@ DcimHarness::FpOutput DcimHarness::compute_fp(
         sim_.read_output(strfmt("out_exp%d", g));
   }
   out.max_exp = sim_.read_output("max_exp");
+  return out;
+}
+
+std::vector<DcimHarness::FpOutput> DcimHarness::compute_fp_batch(
+    const std::vector<std::vector<std::uint64_t>>& exponents,
+    const std::vector<std::vector<std::uint64_t>>& mantissas,
+    const std::vector<std::int64_t>& slots) {
+  SEGA_EXPECTS(macro_.dp.arch == ArchKind::kFpCim);
+  const std::size_t lanes = exponents.size();
+  SEGA_EXPECTS(lanes >= 1 &&
+               lanes <= static_cast<std::size_t>(GateSimWide::kLanes));
+  SEGA_EXPECTS(mantissas.size() == lanes && slots.size() == lanes);
+  const int be = macro_.dp.precision.exp_bits;
+  const int bm = macro_.dp.precision.input_bits();
+  GateSimWide& wide = wide_sim();
+  std::vector<std::uint64_t> row(lanes);
+  for (std::int64_t r = 0; r < macro_.dp.h; ++r) {
+    for (std::size_t k = 0; k < lanes; ++k) {
+      SEGA_EXPECTS(static_cast<std::int64_t>(exponents[k].size()) ==
+                   macro_.dp.h);
+      SEGA_EXPECTS(exponents[k].size() == mantissas[k].size());
+      const std::uint64_t e = exponents[k][static_cast<std::size_t>(r)];
+      SEGA_EXPECTS(e < (std::uint64_t{1} << be));
+      row[k] = e;
+    }
+    wide.set_input_lanes(strfmt("exp%zu", static_cast<std::size_t>(r)),
+                         pack_values(row, be));
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const std::uint64_t m = mantissas[k][static_cast<std::size_t>(r)];
+      SEGA_EXPECTS(m < (std::uint64_t{1} << bm));
+      row[k] = m;
+    }
+    wide.set_input_lanes(strfmt("mant%zu", static_cast<std::size_t>(r)),
+                         pack_values(row, bm));
+  }
+  run_streaming_wide(slots);
+  std::vector<FpOutput> out(lanes);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    const int lane = static_cast<int>(k);
+    out[k].mantissa.resize(static_cast<std::size_t>(macro_.groups));
+    out[k].exponent.resize(static_cast<std::size_t>(macro_.groups));
+    for (int g = 0; g < macro_.groups; ++g) {
+      out[k].mantissa[static_cast<std::size_t>(g)] =
+          wide.read_output_lane(strfmt("out_mant%d", g), lane);
+      out[k].exponent[static_cast<std::size_t>(g)] =
+          wide.read_output_lane(strfmt("out_exp%d", g), lane);
+    }
+    out[k].max_exp = wide.read_output_lane("max_exp", lane);
+  }
   return out;
 }
 

@@ -3,17 +3,27 @@
 //
 // Protocol per operand batch (one weight slot):
 //   1. program weights (inverted bits into SRAM),
-//   2. present the operands on the input ports, clock once to load the
-//      input buffer,
+//   2. clear every DFF (canonical operand state, see below), present the
+//      operands on the input ports, clock once to load the input buffer,
 //   3. clear the accumulators (system reset; see DESIGN.md),
 //   4. stream ceil(Bx/k) slices MSB-first (slice = 0..cycles-1), one clock
 //      each,
 //   5. read the fused outputs.
 //
+// Canonical operand state: every compute starts from all-zero DFFs, and an
+// energy trace re-baselines (GateSim::trace_barrier) once the operand,
+// wsel, slice and valid inputs are all presented.  The traced activity of
+// one operand is therefore a pure function of (SRAM contents, operand,
+// slot) — history-free — which is what lets compute_int_batch /
+// compute_fp_batch replay up to 64 operands as independent GateSimWide
+// lanes with bit-identical toggle counts, and what keeps forced-write
+// (programming/reset) events out of the compute-energy measurement.
+//
 // All arithmetic is unsigned (see DESIGN.md on signedness).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "rtl/macro_builder.h"
@@ -27,10 +37,16 @@ class DcimHarness {
 
   const DcimMacro& macro() const { return macro_; }
 
-  /// The underlying simulator, exposed so measurement passes (energy
+  /// The underlying scalar simulator, exposed so measurement passes (energy
   /// tracing, net probing) can observe a compute_*() run without
   /// re-implementing the streaming protocol.
   GateSim& sim() { return sim_; }
+
+  /// The lane-packed simulator backing the batch entry points, built on
+  /// first use (it costs 8 bytes per net) and mirrored with the scalar
+  /// sim's SRAM contents at that moment; later load_weight* calls program
+  /// both engines.
+  GateSimWide& wide_sim();
 
   /// Program weight @p value (unsigned, < 2^Bw) for (group, row, slot).
   void load_weight(std::int64_t group, std::int64_t row, std::int64_t slot,
@@ -44,6 +60,15 @@ class DcimHarness {
   /// Returns the fused result per column group.
   std::vector<std::uint64_t> compute_int(
       const std::vector<std::uint64_t>& inputs, std::int64_t slot);
+
+  /// Lane-packed batch of 1..64 INT MVMs: operand @p inputs[op] streams in
+  /// lane op against weight slot @p slots[op], all lanes in lockstep through
+  /// one run of the streaming protocol.  Returns the per-group results per
+  /// operand; bit-identical (results and traced activity alike) to calling
+  /// compute_int once per operand.
+  std::vector<std::vector<std::uint64_t>> compute_int_batch(
+      const std::vector<std::vector<std::uint64_t>>& inputs,
+      const std::vector<std::int64_t>& slots);
 
   /// Signed-weight variants (macro built with signed_weights = true):
   /// weights in [-2^(Bw-1), 2^(Bw-1)), stored as two's complement; outputs
@@ -68,11 +93,23 @@ class DcimHarness {
                       const std::vector<std::uint64_t>& mantissas,
                       std::int64_t slot);
 
+  /// Lane-packed batch of 1..64 FP MVMs (see compute_int_batch).
+  std::vector<FpOutput> compute_fp_batch(
+      const std::vector<std::vector<std::uint64_t>>& exponents,
+      const std::vector<std::vector<std::uint64_t>>& mantissas,
+      const std::vector<std::int64_t>& slots);
+
  private:
   void run_streaming(std::int64_t slot);
+  void run_streaming_wide(const std::vector<std::int64_t>& slots);
+  /// Packs per-operand wsel values into per-bit lane words and checks the
+  /// slot range.
+  std::vector<std::uint64_t> pack_slots(
+      const std::vector<std::int64_t>& slots) const;
 
   DcimMacro macro_;
   GateSim sim_;
+  std::unique_ptr<GateSimWide> wide_;
 };
 
 }  // namespace sega

@@ -2,8 +2,6 @@
 
 #include <queue>
 
-#include "util/assert.h"
-
 namespace sega {
 
 namespace {
@@ -12,22 +10,40 @@ bool is_sequential(CellKind kind) {
   return kind == CellKind::kDff || kind == CellKind::kSram;
 }
 
+int popcount64(std::uint64_t v) { return __builtin_popcountll(v); }
+
+/// Checks that @p value fits in @p width bits (width <= 64).
+void expect_fits(std::uint64_t value, std::size_t width) {
+  SEGA_EXPECTS(width <= 64);
+  if (width < 64) SEGA_EXPECTS((value >> width) == 0);
+}
+
+double energy_of_counts(const std::array<std::int64_t, kCellKindCount>& counts,
+                        const Technology& tech) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    e += static_cast<double>(counts[i]) *
+         tech.cell(static_cast<CellKind>(i)).energy;
+  }
+  return e;
+}
+
 }  // namespace
 
-GateSim::GateSim(const Netlist& nl) : nl_(nl), values_(nl.net_count(), 0) {
+SimTopology::SimTopology(const Netlist& nl) {
   const auto err = nl.validate();
   SEGA_EXPECTS(!err.has_value());
 
   // Per-net driver kind and component group for energy tracing.
-  net_driver_kind_.assign(nl.net_count(), CellKind::kSram);
-  net_has_driver_.assign(nl.net_count(), 0);
-  net_driver_group_.assign(nl.net_count(), 0);
+  net_driver_kind.assign(nl.net_count(), CellKind::kSram);
+  net_has_driver.assign(nl.net_count(), 0);
+  net_driver_group.assign(nl.net_count(), 0);
   for (std::size_t ci = 0; ci < nl.cells().size(); ++ci) {
     const auto& cell = nl.cells()[ci];
     for (const NetId out : cell.outputs) {
-      net_driver_kind_[out] = cell.kind;
-      net_has_driver_[out] = 1;
-      net_driver_group_[out] = nl.cell_group(ci);
+      net_driver_kind[out] = cell.kind;
+      net_has_driver[out] = 1;
+      net_driver_group[out] = nl.cell_group(ci);
     }
   }
 
@@ -37,7 +53,7 @@ GateSim::GateSim(const Netlist& nl) : nl_(nl), values_(nl.net_count(), 0) {
   const auto& cells = nl.cells();
   for (std::size_t ci = 0; ci < cells.size(); ++ci) {
     if (is_sequential(cells[ci].kind)) {
-      if (cells[ci].kind == CellKind::kDff) dff_cells_.push_back(ci);
+      if (cells[ci].kind == CellKind::kDff) dff_cells.push_back(ci);
       continue;
     }
     for (const NetId out : cells[ci].outputs) comb_driver[out] = ci;
@@ -63,7 +79,7 @@ GateSim::GateSim(const Netlist& nl) : nl_(nl), values_(nl.net_count(), 0) {
   while (!ready.empty()) {
     const std::size_t ci = ready.front();
     ready.pop();
-    eval_order_.push_back(ci);
+    eval_order.push_back(ci);
     for (const std::size_t dep : dependents[ci]) {
       if (--pending[dep] == 0) ready.push(dep);
     }
@@ -73,8 +89,16 @@ GateSim::GateSim(const Netlist& nl) : nl_(nl), values_(nl.net_count(), 0) {
     if (!is_sequential(c.kind)) ++comb_cells;
   }
   // A shortfall means a combinational loop.
-  SEGA_ENSURES(eval_order_.size() == comb_cells);
+  SEGA_ENSURES(eval_order.size() == comb_cells);
 }
+
+// ------------------------------------------------------------------ GateSim
+
+GateSim::GateSim(const Netlist& nl)
+    : nl_(nl),
+      topo_(nl),
+      values_(nl.net_count(), 0),
+      dff_next_(topo_.dff_cells.size(), 0) {}
 
 void GateSim::eval_cell(const RtlCell& c) {
   auto in = [&](std::size_t i) { return values_[c.inputs[i]] != 0; };
@@ -105,7 +129,7 @@ void GateSim::eval_cell(const RtlCell& c) {
     }
     case CellKind::kDff:
     case CellKind::kSram:
-      SEGA_ASSERT(false);  // sequential cells never enter eval_order_
+      SEGA_ASSERT(false);  // sequential cells never enter eval_order
   }
 }
 
@@ -114,14 +138,14 @@ void GateSim::eval() {
   // Constants are undriven nets pinned every settle.
   if (const auto c0 = nl_.const0_id()) values_[*c0] = 0;
   if (const auto c1 = nl_.const1_id()) values_[*c1] = 1;
-  for (const std::size_t ci : eval_order_) eval_cell(nl_.cells()[ci]);
+  for (const std::size_t ci : topo_.eval_order) eval_cell(nl_.cells()[ci]);
   dirty_ = false;
 }
 
 void GateSim::set_input(const std::string& port, std::uint64_t value) {
   const Port* p = nl_.find_port(port);
   SEGA_EXPECTS(p != nullptr && p->dir == PortDir::kInput);
-  SEGA_EXPECTS(p->nets.size() <= 64);
+  expect_fits(value, p->nets.size());
   for (std::size_t i = 0; i < p->nets.size(); ++i) {
     values_[p->nets[i]] = (value >> i) & 1u;
   }
@@ -140,10 +164,18 @@ std::uint64_t GateSim::read_output(const std::string& port) {
   return v;
 }
 
+void GateSim::note_forced_write(NetId n) {
+  // Forced writes are programming, not compute activity: refresh the trace
+  // baseline of the forced net so the flip itself is never billed (the
+  // datapath's settled response to it still is).
+  if (tracing_) trace_prev_[n] = values_[n];
+}
+
 void GateSim::set_sram(std::size_t i, bool value) {
   SEGA_EXPECTS(i < nl_.sram_cells().size());
   const auto& cell = nl_.cells()[nl_.sram_cells()[i]];
   values_[cell.outputs[0]] = value ? 1 : 0;
+  note_forced_write(cell.outputs[0]);
   dirty_ = true;
 }
 
@@ -152,12 +184,15 @@ void GateSim::set_register(std::size_t cell, bool value) {
   const auto& c = nl_.cells()[cell];
   SEGA_EXPECTS(c.kind == CellKind::kDff);
   values_[c.outputs[0]] = value ? 1 : 0;
+  note_forced_write(c.outputs[0]);
   dirty_ = true;
 }
 
 void GateSim::clear_registers() {
-  for (const std::size_t ci : dff_cells_) {
-    values_[nl_.cells()[ci].outputs[0]] = 0;
+  for (const std::size_t ci : topo_.dff_cells) {
+    const NetId q = nl_.cells()[ci].outputs[0];
+    values_[q] = 0;
+    note_forced_write(q);
   }
   dirty_ = true;
 }
@@ -166,12 +201,11 @@ void GateSim::step() {
   eval();
   if (tracing_) record_toggles();
   // Two-phase DFF update: sample all D inputs, then commit.
-  std::vector<std::uint8_t> next(dff_cells_.size());
-  for (std::size_t i = 0; i < dff_cells_.size(); ++i) {
-    next[i] = values_[nl_.cells()[dff_cells_[i]].inputs[0]];
+  for (std::size_t i = 0; i < topo_.dff_cells.size(); ++i) {
+    dff_next_[i] = values_[nl_.cells()[topo_.dff_cells[i]].inputs[0]];
   }
-  for (std::size_t i = 0; i < dff_cells_.size(); ++i) {
-    values_[nl_.cells()[dff_cells_[i]].outputs[0]] = next[i];
+  for (std::size_t i = 0; i < topo_.dff_cells.size(); ++i) {
+    values_[nl_.cells()[topo_.dff_cells[i]].outputs[0]] = dff_next_[i];
   }
   dirty_ = true;
 }
@@ -185,49 +219,231 @@ void GateSim::begin_energy_trace() {
   traced_cycles_ = 0;
 }
 
+void GateSim::trace_barrier() {
+  if (!tracing_) return;
+  eval();
+  trace_prev_ = values_;
+}
+
 void GateSim::record_toggles() {
   // Called on a settled state just before the clock edge: one cycle's
   // steady-state transitions relative to the previous settled state.
   for (std::size_t n = 0; n < values_.size(); ++n) {
-    if (!net_has_driver_[n]) continue;  // ports/constants cost nothing here
+    if (!topo_.net_has_driver[n]) continue;  // ports/constants cost nothing
     if (values_[n] != trace_prev_[n]) {
-      const auto kind = static_cast<std::size_t>(net_driver_kind_[n]);
+      const auto kind = static_cast<std::size_t>(topo_.net_driver_kind[n]);
       ++toggles_[kind];
-      ++toggles_by_group_[static_cast<std::size_t>(net_driver_group_[n])]
+      ++toggles_by_group_[static_cast<std::size_t>(topo_.net_driver_group[n])]
                          [kind];
     }
+    trace_prev_[n] = values_[n];
   }
-  trace_prev_ = values_;
   ++traced_cycles_;
 }
 
 double GateSim::traced_energy(const Technology& tech) const {
-  double e = 0.0;
-  for (std::size_t i = 0; i < toggles_.size(); ++i) {
-    e += static_cast<double>(toggles_[i]) *
-         tech.cell(static_cast<CellKind>(i)).energy;
-  }
-  return e;
+  SEGA_EXPECTS(tracing_);
+  return energy_of_counts(toggles_, tech);
 }
 
 double GateSim::traced_energy_of_group(const Technology& tech,
                                        int group) const {
+  SEGA_EXPECTS(tracing_);
   SEGA_EXPECTS(group >= 0 &&
                static_cast<std::size_t>(group) < nl_.group_names().size());
-  if (static_cast<std::size_t>(group) >= toggles_by_group_.size()) return 0.0;
-  const auto& counts = toggles_by_group_[static_cast<std::size_t>(group)];
-  double e = 0.0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    e += static_cast<double>(counts[i]) *
-         tech.cell(static_cast<CellKind>(i)).energy;
-  }
-  return e;
+  return energy_of_counts(
+      toggles_by_group_[static_cast<std::size_t>(group)], tech);
 }
 
 bool GateSim::net_value(NetId n) {
   SEGA_EXPECTS(n < nl_.net_count());
   eval();
   return values_[n] != 0;
+}
+
+// -------------------------------------------------------------- GateSimWide
+
+GateSimWide::GateSimWide(const Netlist& nl)
+    : nl_(nl),
+      topo_(nl),
+      values_(nl.net_count(), 0),
+      dff_next_(topo_.dff_cells.size(), 0) {}
+
+void GateSimWide::set_active_lanes(int lanes) {
+  SEGA_EXPECTS(lanes >= 1 && lanes <= kLanes);
+  active_lanes_ = lanes;
+  lane_mask_ = lanes == kLanes ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << lanes) - 1;
+}
+
+void GateSimWide::eval_cell(const RtlCell& c) {
+  auto in = [&](std::size_t i) { return values_[c.inputs[i]]; };
+  switch (c.kind) {
+    case CellKind::kNor:
+      values_[c.outputs[0]] = ~(in(0) | in(1));
+      break;
+    case CellKind::kOr:
+      values_[c.outputs[0]] = in(0) | in(1);
+      break;
+    case CellKind::kInv:
+      values_[c.outputs[0]] = ~in(0);
+      break;
+    case CellKind::kMux2: {
+      const std::uint64_t sel = in(2);
+      values_[c.outputs[0]] = (sel & in(1)) | (~sel & in(0));
+      break;
+    }
+    case CellKind::kHa: {
+      const std::uint64_t a = in(0), b = in(1);
+      values_[c.outputs[0]] = a ^ b;
+      values_[c.outputs[1]] = a & b;
+      break;
+    }
+    case CellKind::kFa: {
+      const std::uint64_t a = in(0), b = in(1), cin = in(2);
+      const std::uint64_t axb = a ^ b;
+      values_[c.outputs[0]] = axb ^ cin;
+      values_[c.outputs[1]] = (a & b) | (cin & axb);  // lane-wise majority
+      break;
+    }
+    case CellKind::kDff:
+    case CellKind::kSram:
+      SEGA_ASSERT(false);  // sequential cells never enter eval_order
+  }
+}
+
+void GateSimWide::eval() {
+  if (!dirty_) return;
+  if (const auto c0 = nl_.const0_id()) values_[*c0] = 0;
+  if (const auto c1 = nl_.const1_id()) values_[*c1] = ~std::uint64_t{0};
+  for (const std::size_t ci : topo_.eval_order) eval_cell(nl_.cells()[ci]);
+  dirty_ = false;
+}
+
+void GateSimWide::set_input_lanes(const std::string& port,
+                                  const std::vector<std::uint64_t>& bit_words) {
+  const Port* p = nl_.find_port(port);
+  SEGA_EXPECTS(p != nullptr && p->dir == PortDir::kInput);
+  SEGA_EXPECTS(bit_words.size() == p->nets.size());
+  for (std::size_t i = 0; i < p->nets.size(); ++i) {
+    values_[p->nets[i]] = bit_words[i];
+  }
+  dirty_ = true;
+}
+
+void GateSimWide::set_input_all(const std::string& port, std::uint64_t value) {
+  const Port* p = nl_.find_port(port);
+  SEGA_EXPECTS(p != nullptr && p->dir == PortDir::kInput);
+  expect_fits(value, p->nets.size());
+  for (std::size_t i = 0; i < p->nets.size(); ++i) {
+    values_[p->nets[i]] = ((value >> i) & 1u) ? ~std::uint64_t{0} : 0;
+  }
+  dirty_ = true;
+}
+
+std::uint64_t GateSimWide::read_output_lane(const std::string& port,
+                                            int lane) {
+  const Port* p = nl_.find_port(port);
+  SEGA_EXPECTS(p != nullptr && p->dir == PortDir::kOutput);
+  SEGA_EXPECTS(p->nets.size() <= 64);
+  SEGA_EXPECTS(lane >= 0 && lane < active_lanes_);
+  eval();
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < p->nets.size(); ++i) {
+    if ((values_[p->nets[i]] >> lane) & 1u) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+void GateSimWide::note_forced_write(NetId n) {
+  if (tracing_) trace_prev_[n] = values_[n];
+}
+
+void GateSimWide::set_sram(std::size_t i, bool value) {
+  SEGA_EXPECTS(i < nl_.sram_cells().size());
+  const auto& cell = nl_.cells()[nl_.sram_cells()[i]];
+  values_[cell.outputs[0]] = value ? ~std::uint64_t{0} : 0;
+  note_forced_write(cell.outputs[0]);
+  dirty_ = true;
+}
+
+void GateSimWide::set_register(std::size_t cell, bool value) {
+  SEGA_EXPECTS(cell < nl_.cells().size());
+  const auto& c = nl_.cells()[cell];
+  SEGA_EXPECTS(c.kind == CellKind::kDff);
+  values_[c.outputs[0]] = value ? ~std::uint64_t{0} : 0;
+  note_forced_write(c.outputs[0]);
+  dirty_ = true;
+}
+
+void GateSimWide::clear_registers() {
+  for (const std::size_t ci : topo_.dff_cells) {
+    const NetId q = nl_.cells()[ci].outputs[0];
+    values_[q] = 0;
+    note_forced_write(q);
+  }
+  dirty_ = true;
+}
+
+void GateSimWide::step() {
+  eval();
+  if (tracing_) record_toggles();
+  for (std::size_t i = 0; i < topo_.dff_cells.size(); ++i) {
+    dff_next_[i] = values_[nl_.cells()[topo_.dff_cells[i]].inputs[0]];
+  }
+  for (std::size_t i = 0; i < topo_.dff_cells.size(); ++i) {
+    values_[nl_.cells()[topo_.dff_cells[i]].outputs[0]] = dff_next_[i];
+  }
+  dirty_ = true;
+}
+
+void GateSimWide::begin_energy_trace() {
+  eval();
+  tracing_ = true;
+  trace_prev_ = values_;
+  toggles_.fill(0);
+  toggles_by_group_.assign(nl_.group_names().size(), {});
+  traced_cycles_ = 0;
+}
+
+void GateSimWide::trace_barrier() {
+  if (!tracing_) return;
+  eval();
+  trace_prev_ = values_;
+}
+
+void GateSimWide::record_toggles() {
+  // One settled cycle for every active lane at once: the XOR against the
+  // previous settled word marks the lanes where this net switched, and the
+  // popcount bills them all in one step — the structural ~64x over the
+  // scalar per-net comparison.
+  for (std::size_t n = 0; n < values_.size(); ++n) {
+    if (!topo_.net_has_driver[n]) continue;
+    const std::uint64_t diff = (values_[n] ^ trace_prev_[n]) & lane_mask_;
+    if (diff != 0) {
+      const int events = popcount64(diff);
+      const auto kind = static_cast<std::size_t>(topo_.net_driver_kind[n]);
+      toggles_[kind] += events;
+      toggles_by_group_[static_cast<std::size_t>(topo_.net_driver_group[n])]
+                       [kind] += events;
+    }
+    trace_prev_[n] = values_[n];
+  }
+  traced_cycles_ += active_lanes_;
+}
+
+double GateSimWide::traced_energy(const Technology& tech) const {
+  SEGA_EXPECTS(tracing_);
+  return energy_of_counts(toggles_, tech);
+}
+
+double GateSimWide::traced_energy_of_group(const Technology& tech,
+                                           int group) const {
+  SEGA_EXPECTS(tracing_);
+  SEGA_EXPECTS(group >= 0 &&
+               static_cast<std::size_t>(group) < nl_.group_names().size());
+  return energy_of_counts(
+      toggles_by_group_[static_cast<std::size_t>(group)], tech);
 }
 
 }  // namespace sega

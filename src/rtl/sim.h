@@ -1,19 +1,66 @@
-// Levelized gate-level simulator for sega::Netlist.
+// Levelized gate-level simulators for sega::Netlist.
+//
+// Two engines share one topological structure (SimTopology):
+//
+//  * GateSim — the scalar reference: one byte per net, one workload vector
+//    per settle pass.  This is the verification back-end that proves the
+//    template-generated netlists compute the MVMs the behavioral model and
+//    the cost model assume.
+//  * GateSimWide — the 64-lane bit-parallel engine: one std::uint64_t word
+//    per net, bit k of every word belonging to independent lane k.  Gates
+//    evaluate as word-level boolean ops, so one settle pass advances 64
+//    workload vectors at once; switching activity is derived by popcount of
+//    XOR between successive settled lane words.  Bit-identity rule: with the
+//    same stimulus per lane, every lane's trajectory, toggle attribution and
+//    traced cycle count are exactly the scalar engine's (asserted by the
+//    differential fuzz suite in test_rtl_sim_wide).
 //
 // Combinational cells are evaluated once per settle in topological order
-// (the constructor rejects combinational loops).  DFFs update on step();
-// SRAM bits are programmable storage.  This is the verification back-end
-// that proves the template-generated netlists compute the MVMs the
-// behavioral model and the cost model assume.
+// (construction rejects combinational loops).  DFFs update on step(); SRAM
+// bits are programmable storage.
+//
+// Energy-trace contract (both engines):
+//  * begin_energy_trace() opens the window; every trace accessor below hard
+//    -errors (precondition) until it has been called.
+//  * record happens on step(): the settled state is compared against the
+//    previous settled baseline and transitions are billed to the driving
+//    cell's kind and component group.
+//  * Forced state writes (set_sram, set_register, clear_registers) are
+//    *programming*, not compute activity: they update the trace baseline of
+//    the forced net, so the forced flip itself is never billed.  The
+//    datapath's combinational response to the new state is real switching
+//    and is billed at the next record.
+//  * trace_barrier() re-baselines the whole settled state without clearing
+//    counters: everything applied since the last record (operand setup,
+//    forced writes and their settled cones) is excluded from the
+//    measurement.  The harness uses it to open each operand's window on a
+//    fully-specified state, which is what makes operand traces history-free
+//    and therefore lane-packable.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "rtl/netlist.h"
+#include "util/assert.h"
 
 namespace sega {
+
+/// Topological evaluation structure shared by the scalar and lane-packed
+/// engines: validates the netlist, levelizes the combinational cells with
+/// Kahn's algorithm (aborts on loops), and records per-net driver metadata
+/// for energy attribution.
+struct SimTopology {
+  explicit SimTopology(const Netlist& nl);
+
+  std::vector<std::size_t> eval_order;     ///< combinational cell indices
+  std::vector<std::size_t> dff_cells;      ///< DFF cell indices
+  std::vector<CellKind> net_driver_kind;   ///< per net; kSram when undriven
+  std::vector<std::uint8_t> net_has_driver;
+  std::vector<int> net_driver_group;       ///< per net; 0 ("core") undriven
+};
 
 class GateSim {
  public:
@@ -21,7 +68,8 @@ class GateSim {
   /// netlists or combinational loops.
   explicit GateSim(const Netlist& nl);
 
-  /// Drive an input port with an unsigned value (width <= 64).
+  /// Drive an input port with an unsigned value (width <= 64).  Bits above
+  /// the port width must be zero: value >> width == 0.
   void set_input(const std::string& port, std::uint64_t value);
 
   /// Read an output port as an unsigned value (width <= 64); settles
@@ -57,8 +105,13 @@ class GateSim {
   /// Start (or restart) tracing; the current settled state becomes the
   /// baseline.
   void begin_energy_trace();
+  /// Re-baseline on the current settled state without clearing counters
+  /// (see the forced-write / operand-window contract above).  No-op when
+  /// tracing is inactive.
+  void trace_barrier();
   /// Switching events recorded per cell kind since begin_energy_trace.
   const std::array<std::int64_t, kCellKindCount>& toggle_counts() const {
+    SEGA_EXPECTS(tracing_);
     return toggles_;
   }
   /// Normalized traced energy: sum over events of the cell's Table III
@@ -71,21 +124,22 @@ class GateSim {
   /// derives from the census.
   double traced_energy_of_group(const Technology& tech, int group) const;
   /// Clock cycles observed since begin_energy_trace.
-  std::int64_t traced_cycles() const { return traced_cycles_; }
+  std::int64_t traced_cycles() const {
+    SEGA_EXPECTS(tracing_);
+    return traced_cycles_;
+  }
 
  private:
   const Netlist& nl_;
+  SimTopology topo_;
   std::vector<std::uint8_t> values_;       // per net
-  std::vector<std::size_t> eval_order_;    // combinational cell indices
-  std::vector<std::size_t> dff_cells_;
+  std::vector<std::uint8_t> dff_next_;     // step() scratch, hoisted out of
+                                           // the clock loop
   bool dirty_ = true;
 
   bool tracing_ = false;
   std::vector<std::uint8_t> trace_prev_;   // per net, last settled cycle
   std::array<std::int64_t, kCellKindCount> toggles_{};
-  std::vector<CellKind> net_driver_kind_;  // per net; kSram when undriven
-  std::vector<std::uint8_t> net_has_driver_;
-  std::vector<int> net_driver_group_;      // per net; 0 ("core") undriven
   // Per-(component group, cell kind) switching events, groups indexed as
   // netlist.group_names().
   std::vector<std::array<std::int64_t, kCellKindCount>> toggles_by_group_;
@@ -93,6 +147,83 @@ class GateSim {
 
   void eval_cell(const RtlCell& c);
   void record_toggles();
+  void note_forced_write(NetId n);
+};
+
+/// 64-lane bit-parallel engine: lane k of every per-net word is an
+/// independent simulation.  SRAM programming and forced register writes
+/// apply to all lanes (weights and resets are shared across a workload
+/// block); input ports take either per-lane packed words or one broadcast
+/// value.  Toggle counts are summed over the active lanes by popcount, so
+/// with L active lanes one record equals L scalar records.
+class GateSimWide {
+ public:
+  static constexpr int kLanes = 64;
+
+  explicit GateSimWide(const Netlist& nl);
+
+  /// Lanes [0, lanes) are live: billed by the energy trace and meaningful
+  /// to read.  Lanes >= lanes still simulate (bitwise ops are lane-blind)
+  /// but are masked out of every measurement — the odd-tail mechanism for
+  /// operand counts not divisible by 64.
+  void set_active_lanes(int lanes);
+  int active_lanes() const { return active_lanes_; }
+
+  /// Drive bit i of @p port with bit_words[i]; bit k of each word is lane
+  /// k's value.  bit_words.size() must equal the port width.
+  void set_input_lanes(const std::string& port,
+                       const std::vector<std::uint64_t>& bit_words);
+  /// Drive every lane with the same unsigned value (control inputs: slice,
+  /// valid).  Same width contract as GateSim::set_input.
+  void set_input_all(const std::string& port, std::uint64_t value);
+  /// Read an output port as lane @p lane's unsigned value; settles first.
+  std::uint64_t read_output_lane(const std::string& port, int lane);
+
+  /// Program the @p i-th SRAM bit cell in every lane.
+  void set_sram(std::size_t i, bool value);
+  /// Force the DFF at cell index @p cell in every lane.
+  void set_register(std::size_t cell, bool value);
+  /// Set every DFF to 0 in every lane.
+  void clear_registers();
+  /// One clock edge (all lanes).
+  void step();
+  /// Settle combinational logic without clocking.
+  void eval();
+
+  // --- energy tracing (same contract as GateSim) ---
+  void begin_energy_trace();
+  void trace_barrier();
+  const std::array<std::int64_t, kCellKindCount>& toggle_counts() const {
+    SEGA_EXPECTS(tracing_);
+    return toggles_;
+  }
+  double traced_energy(const Technology& tech) const;
+  double traced_energy_of_group(const Technology& tech, int group) const;
+  /// Lane-weighted cycle count: each record adds the number of active
+  /// lanes, so this equals the scalar engine's total over the same lanes.
+  std::int64_t traced_cycles() const {
+    SEGA_EXPECTS(tracing_);
+    return traced_cycles_;
+  }
+
+ private:
+  const Netlist& nl_;
+  SimTopology topo_;
+  std::vector<std::uint64_t> values_;      // per net, one bit per lane
+  std::vector<std::uint64_t> dff_next_;    // step() scratch
+  int active_lanes_ = kLanes;
+  std::uint64_t lane_mask_ = ~std::uint64_t{0};
+  bool dirty_ = true;
+
+  bool tracing_ = false;
+  std::vector<std::uint64_t> trace_prev_;  // per net, last settled cycle
+  std::array<std::int64_t, kCellKindCount> toggles_{};
+  std::vector<std::array<std::int64_t, kCellKindCount>> toggles_by_group_;
+  std::int64_t traced_cycles_ = 0;
+
+  void eval_cell(const RtlCell& c);
+  void record_toggles();
+  void note_forced_write(NetId n);
 };
 
 }  // namespace sega
