@@ -13,8 +13,10 @@
 #include <stdexcept>
 
 #include "compiler/compiler.h"
+#include "compiler/orchestrate.h"
 #include "compiler/sweep.h"
 #include "compiler/validate.h"
+#include "cost/cost_cache.h"
 #include "tech/techlib_parser.h"
 #include "util/strings.h"
 #include "util/threadpool.h"
@@ -35,11 +37,21 @@ constexpr const char* kUsage =
     "          [--cache-file <path>] [--cost-model analytic|rtl]\n"
     "  sweep   [--spec <sweep.json>] [--out <dir>] [--checkpoint <path>]\n"
     "          [--cache-file <path>] [--resume-summary] [--shard <i/N>]\n"
-    "          [--spawn-local <K>] [--wstores <n,n,...>]\n"
+    "          [--spawn-local <K>] [--heartbeat-every <k>]\n"
+    "          [--wstores <n,n,...>]\n"
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
     "          [--cost-model analytic|rtl]\n"
+    "  orchestrate --workers <N> --checkpoint <path>\n"
+    "          [--spec <sweep.json>] [--out <dir>] [--cache-file <path>]\n"
+    "          [--max-retries <n>] [--stall-timeout <sec>]\n"
+    "          [--poll-interval <sec>] [--backoff <sec>]\n"
+    "          [--backoff-max <sec>] [--heartbeat-every <k>]\n"
+    "          [--wstores <n,n,...>] [--precisions <name,name,...>]\n"
+    "          [--sparsity <f>] [--supply <v>] [--seed <n>]\n"
+    "          [--population <n>] [--generations <n>] [--threads <n>]\n"
+    "          [--tech <file.techlib>] [--cost-model analytic|rtl]\n"
     "  sweep-merge --checkpoint <path> --shards <N> [--spec <sweep.json>]\n"
     "          [--out <dir>] [--cache-file <path>] [--wstores <n,n,...>]\n"
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
@@ -52,6 +64,7 @@ constexpr const char* kUsage =
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
+    "  memo-compact --cache-file <path> [--shards <N>] [--out <path>]\n"
     "  precisions\n"
     "  techlib\n";
 
@@ -340,6 +353,23 @@ bool build_sweep_spec(const std::map<std::string, std::string>& flags,
   }
   if (flags.count("checkpoint")) spec->checkpoint = flags.at("checkpoint");
   if (flags.count("cache-file")) spec->cache_file = flags.at("cache-file");
+  if (flags.count("heartbeat-every")) {
+    try {
+      spec->heartbeat_every = std::stoi(flags.at("heartbeat-every"));
+    } catch (...) {
+      err << "bad numeric option value\n";
+      return false;
+    }
+    if (spec->heartbeat_every < 0) {
+      err << "option value out of range\n";
+      return false;
+    }
+    if (spec->heartbeat_every > 0 && spec->checkpoint.empty()) {
+      err << "--heartbeat-every requires --checkpoint (the heartbeat and "
+             "index files sit next to it)\n";
+      return false;
+    }
+  }
   if (!parse_cost_model_flag(flags, &spec->cost_model, err)) return false;
   if (spec->wstores.empty()) {
     err << "option value out of range\n";
@@ -593,6 +623,135 @@ int cmd_sweep_merge(const std::map<std::string, std::string>& flags,
   return write_sweep_outputs(result, flags, out, err);
 }
 
+/// Parse a positive-seconds flag into *out; absent flag keeps the default.
+bool parse_seconds_flag(const std::map<std::string, std::string>& flags,
+                        const char* name, double* out, std::ostream& err) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return true;
+  try {
+    *out = std::stod(it->second);
+  } catch (...) {
+    err << "bad numeric option value\n";
+    return false;
+  }
+  if (*out <= 0) {
+    err << "option value out of range\n";
+    return false;
+  }
+  return true;
+}
+
+/// Supervised N-worker sweep: fork the fleet, watch heartbeats, SIGKILL
+/// stalls, relaunch failures with exponential backoff (resuming from the
+/// dead worker's shard checkpoint), and merge the shards on completion.
+/// Exit 0 on success, 1 on a supervision/merge failure (report on stderr,
+/// orchestrate.json under --out either way), 2 on usage errors.
+int cmd_orchestrate(const std::map<std::string, std::string>& flags,
+                    std::ostream& out, std::ostream& err) {
+  OrchestrateSpec ospec;
+  if (!build_sweep_spec(flags, &ospec.sweep, err)) return 2;
+  if (!flags.count("workers")) {
+    err << "orchestrate requires --workers <N>\n";
+    return 2;
+  }
+  if (!parse_int_strict(flags.at("workers"), &ospec.workers)) {
+    err << "bad numeric option value\n";
+    return 2;
+  }
+  if (ospec.workers < 1) {
+    err << "option value out of range\n";
+    return 2;
+  }
+  if (flags.count("max-retries")) {
+    if (!parse_int_strict(flags.at("max-retries"), &ospec.max_retries)) {
+      err << "bad numeric option value\n";
+      return 2;
+    }
+    if (ospec.max_retries < 0) {
+      err << "option value out of range\n";
+      return 2;
+    }
+  }
+  if (!parse_seconds_flag(flags, "stall-timeout", &ospec.stall_timeout_s,
+                          err) ||
+      !parse_seconds_flag(flags, "poll-interval", &ospec.poll_interval_s,
+                          err) ||
+      !parse_seconds_flag(flags, "backoff", &ospec.backoff_initial_s, err) ||
+      !parse_seconds_flag(flags, "backoff-max", &ospec.backoff_max_s, err)) {
+    return 2;
+  }
+  if (ospec.backoff_max_s < ospec.backoff_initial_s) {
+    err << "--backoff-max must be >= --backoff\n";
+    return 2;
+  }
+  if (ospec.sweep.checkpoint.empty()) {
+    err << "orchestrate requires --checkpoint (the shard checkpoints are "
+           "the crash-recovery state and the merge fan-in)\n";
+    return 2;
+  }
+
+  const auto tech = load_technology(flags, err);
+  if (!tech) return 2;
+  const Compiler compiler(*tech);
+  SweepResult result;
+  const OrchestrateReport report = run_orchestrate(compiler, ospec, &result);
+  err << report.render();
+  if (flags.count("out")) {
+    const std::filesystem::path outdir = flags.at("out");
+    std::error_code ec;
+    std::filesystem::create_directories(outdir, ec);
+    if (ec) {
+      err << "cannot create output directory '" << outdir.string() << "'\n";
+      return 2;
+    }
+    std::ofstream f(outdir / "orchestrate.json");
+    f << report.to_json().dump(2) << "\n";
+  }
+  if (!report.success) return 1;
+  return write_sweep_outputs(result, flags, out, err);
+}
+
+/// Rewrite a base memo plus its shard deltas into one deduplicated memo —
+/// streamed (no metrics materialized), byte-identical to loading every
+/// source into one cache and saving it.
+int cmd_memo_compact(const std::map<std::string, std::string>& flags,
+                     std::ostream& out, std::ostream& err) {
+  if (!flags.count("cache-file")) {
+    err << "memo-compact requires --cache-file (the base memo path)\n";
+    return 2;
+  }
+  const std::string base = flags.at("cache-file");
+  int shards = 0;
+  if (flags.count("shards")) {
+    if (!parse_int_strict(flags.at("shards"), &shards)) {
+      err << "bad numeric option value\n";
+      return 2;
+    }
+    if (shards < 1) {
+      err << "option value out of range\n";
+      return 2;
+    }
+  }
+  std::vector<std::string> sources = {base};
+  for (int i = 0; i < shards; ++i) {
+    sources.push_back(shard_file_path(base, i, shards));
+  }
+  const std::string out_path = flags.count("out") ? flags.at("out") : base;
+  std::string compact_error;
+  CostCache::CompactStats stats;
+  if (!CostCache::compact_memo_files(sources, out_path, &compact_error,
+                                     &stats)) {
+    err << compact_error << "\n";
+    return 2;
+  }
+  out << strfmt(
+      "memo-compact: %d file(s) -> %zu entr%s (%zu duplicate(s) dropped, "
+      "%zu corrupt line(s) skipped) at %s\n",
+      stats.files_merged, stats.entries, stats.entries == 1 ? "y" : "ies",
+      stats.duplicates, stats.corrupt_lines, out_path.c_str());
+  return 0;
+}
+
 /// Analytic-vs-RTL knee cross-validation: DSE the grid with the analytic
 /// model, re-measure every knee through the RTL model, report per-metric
 /// divergence.  Exit 0 when every knee is within --tolerance, 1 when the
@@ -707,14 +866,33 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "sweep") {
     if (!check_known(flags,
                      {"spec", "out", "checkpoint", "cache-file",
-                      "resume-summary", "shard", "spawn-local", "wstores",
+                      "resume-summary", "shard", "spawn-local",
+                      "heartbeat-every", "wstores", "precisions", "sparsity",
+                      "supply", "seed", "population", "generations",
+                      "threads", "tech", "cost-model"},
+                     err)) {
+      return 2;
+    }
+    return cmd_sweep(flags, out, err);
+  }
+  if (command == "orchestrate") {
+    if (!check_known(flags,
+                     {"spec", "out", "checkpoint", "cache-file", "workers",
+                      "max-retries", "stall-timeout", "poll-interval",
+                      "backoff", "backoff-max", "heartbeat-every", "wstores",
                       "precisions", "sparsity", "supply", "seed",
                       "population", "generations", "threads", "tech",
                       "cost-model"},
                      err)) {
       return 2;
     }
-    return cmd_sweep(flags, out, err);
+    return cmd_orchestrate(flags, out, err);
+  }
+  if (command == "memo-compact") {
+    if (!check_known(flags, {"cache-file", "shards", "out"}, err)) {
+      return 2;
+    }
+    return cmd_memo_compact(flags, out, err);
   }
   if (command == "sweep-merge") {
     if (!check_known(flags,

@@ -3,14 +3,21 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "cost/cost_cache.h"
@@ -165,6 +172,11 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
     } else if (key == "threads") {
       spec.dse.threads = static_cast<int>(value.as_int());
       if (spec.dse.threads < 0) return spec_fail("threads must be >= 0", error);
+    } else if (key == "heartbeat_every") {
+      spec.heartbeat_every = static_cast<int>(value.as_int());
+      if (spec.heartbeat_every < 0) {
+        return spec_fail("heartbeat_every must be >= 0", error);
+      }
     } else if (key == "cost_model") {
       if (!value.is_string()) {
         return spec_fail("cost_model must be \"analytic\" or \"rtl\"", error);
@@ -202,6 +214,7 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
 Json SweepSpec::to_json() const {
   Json j = result_affecting_json(*this);
   j["threads"] = dse.threads;
+  if (heartbeat_every > 0) j["heartbeat_every"] = heartbeat_every;
   if (shard.active()) {
     j["shard_index"] = shard.index;
     j["shard_count"] = shard.count;
@@ -465,6 +478,393 @@ bool walk_checkpoint(
   return true;
 }
 
+// ------------------------------------------------- strict number parsing
+
+bool parse_ll(const std::string& s, long long* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_ull(const std::string& s, unsigned long long* out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// First non-empty line of @p path, raw bytes (no trailing newline).
+/// Returns false only when the file cannot be opened; a readable file with
+/// no content lines leaves *out empty.
+bool read_first_content_line(const std::string& path, std::string* out) {
+  out->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    *out = line;
+    return true;
+  }
+  return true;
+}
+
+// --------------------------------------------------------- index segment
+//
+// `<checkpoint>.idx` — a compact sidecar so resume seeks instead of
+// re-parsing every checkpoint JSONL line (normative spec: docs/FORMATS.md):
+//
+//   sega_sweep_idx 1 <ckpt_bytes> <header_fnv> <cell_count>
+//   ranges <a>-<b>,<c>,...
+//   cell <id> <wstore> <precision> <front> <evals> <n> <h> <l> <k> <sw> <pt>
+//   ...
+//   sum <fnv>
+//
+// <ckpt_bytes> is the checkpoint size the index reflects — resume
+// JSON-parses only the bytes past it (lines appended after the index was
+// written).  <header_fnv> is the FNV-1a of the checkpoint's raw header
+// line, binding the index to this exact file, not merely this
+// configuration.  The trailing sum is an FNV-1a over every preceding byte.
+// The index is an *optimization only*: any staleness or integrity signal —
+// wrong magic, bad checksum, checkpoint shorter than <ckpt_bytes>, header
+// mismatch, a payload that fails grid/shard/design validation — makes the
+// reader fall back to the full JSONL parse, which recovers identical state.
+
+std::uint32_t fnv1a(const char* data, std::size_t size) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// The "ranges" line for a sorted id list: merged ascending spans
+/// ("0-5,7,9-11"), "-" when empty so the line always has two tokens.
+std::string render_ranges(const std::vector<std::size_t>& ids) {
+  if (ids.empty()) return "ranges -";
+  std::string r;
+  std::size_t start = ids[0];
+  std::size_t prev = ids[0];
+  const auto flush = [&]() {
+    if (!r.empty()) r += ',';
+    r += start == prev ? strfmt("%zu", start) : strfmt("%zu-%zu", start, prev);
+  };
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] == prev + 1) {
+      prev = ids[i];
+    } else {
+      flush();
+      start = prev = ids[i];
+    }
+  }
+  flush();
+  return "ranges " + r;
+}
+
+std::string index_render(const std::string& header_raw,
+                         std::uint64_t ckpt_bytes,
+                         const std::vector<GridCell>& grid,
+                         const std::vector<char>& done,
+                         const std::vector<RecoveredCell>& slots) {
+  std::vector<std::size_t> ids;
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    if (done[gi]) ids.push_back(gi);
+  }
+  std::string body =
+      strfmt("sega_sweep_idx 1 %llu %u %zu\n",
+             static_cast<unsigned long long>(ckpt_bytes),
+             fnv1a(header_raw.data(), header_raw.size()), ids.size());
+  body += render_ranges(ids);
+  body += '\n';
+  for (const std::size_t gi : ids) {
+    const RecoveredCell& rc = slots[gi];
+    const DesignPoint& dp = rc.cell.knee.point;
+    body += strfmt(
+        "cell %zu %lld %s %zu %lld %lld %lld %lld %lld %d %d\n", gi,
+        static_cast<long long>(grid[gi].wstore),
+        grid[gi].precision.name.c_str(), rc.empty ? 0 : rc.cell.front_size,
+        static_cast<long long>(rc.empty ? 0 : rc.cell.evaluations),
+        static_cast<long long>(rc.empty ? 0 : dp.n),
+        static_cast<long long>(rc.empty ? 0 : dp.h),
+        static_cast<long long>(rc.empty ? 0 : dp.l),
+        static_cast<long long>(rc.empty ? 0 : dp.k),
+        rc.empty ? 0 : (dp.signed_weights ? 1 : 0),
+        rc.empty ? 0 : (dp.pipelined_tree ? 1 : 0));
+  }
+  body += strfmt("sum %u\n", fnv1a(body.data(), body.size()));
+  return body;
+}
+
+/// Atomic write of an index segment.  Warn-only on failure: the index is a
+/// resume accelerator, never data of record — losing it costs a full parse
+/// on the next resume, nothing else.
+void index_write(const std::string& path, const std::string& body) {
+  const std::string tmp =
+      strfmt("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "[sega] warning: cannot write index segment '%s'\n",
+                   tmp.c_str());
+      return;
+    }
+    f << body;
+    f.flush();
+    if (!f) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      std::fprintf(stderr, "[sega] warning: write to index segment '%s' "
+                           "failed\n",
+                   tmp.c_str());
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    std::fprintf(stderr, "[sega] warning: cannot rename index segment '%s' "
+                         "into place\n",
+                 path.c_str());
+  }
+}
+
+/// Validate and decode an index segment against the checkpoint it claims to
+/// describe.  On success fills @p out with the recovered cells (metrics NOT
+/// derived — the caller re-derives them through the cost model, same as the
+/// JSONL path) and @p tail_offset with the checkpoint byte offset to resume
+/// JSON parsing from.  Any failure returns false — the caller falls back to
+/// the full parse, so this function never needs to report *why*.
+bool index_load(const std::string& idx_path, const std::string& header_raw,
+                std::uint64_t ckpt_size, const SweepSpec& spec,
+                const std::vector<GridCell>& grid,
+                std::vector<std::pair<std::size_t, RecoveredCell>>* out,
+                std::uint64_t* tail_offset) {
+  out->clear();
+  std::ifstream in(idx_path, std::ios::binary);
+  if (!in) return false;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (content.empty() || content.back() != '\n') return false;
+
+  // Integrity first: the last line must be `sum <fnv>` over all bytes
+  // before it.  A truncated or bit-flipped index can never pass.
+  const std::size_t prev_nl = content.rfind('\n', content.size() - 2);
+  const std::size_t body_end = prev_nl == std::string::npos ? 0 : prev_nl + 1;
+  const std::string sum_line =
+      content.substr(body_end, content.size() - body_end - 1);
+  const auto sum_tok = split(sum_line, ' ');
+  unsigned long long stored_sum = 0;
+  if (sum_tok.size() != 2 || sum_tok[0] != "sum" ||
+      !parse_ull(sum_tok[1], &stored_sum) ||
+      stored_sum != fnv1a(content.data(), body_end)) {
+    return false;
+  }
+
+  std::vector<std::string> lines;
+  {
+    std::size_t pos = 0;
+    while (pos < body_end) {
+      const std::size_t nl = content.find('\n', pos);
+      lines.push_back(content.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+  }
+  if (lines.size() < 2) return false;
+
+  const auto head = split(lines[0], ' ');
+  unsigned long long ckpt_bytes = 0;
+  unsigned long long header_fnv = 0;
+  unsigned long long cell_count = 0;
+  if (head.size() != 5 || head[0] != "sega_sweep_idx" || head[1] != "1" ||
+      !parse_ull(head[2], &ckpt_bytes) || !parse_ull(head[3], &header_fnv) ||
+      !parse_ull(head[4], &cell_count)) {
+    return false;
+  }
+  // Staleness: the index must describe a prefix of THIS checkpoint file.
+  // A replaced checkpoint (different header) or one shorter than the index
+  // claims (rewritten, truncated) invalidates it.
+  if (header_fnv != fnv1a(header_raw.data(), header_raw.size())) return false;
+  if (ckpt_bytes > ckpt_size) return false;
+  if (cell_count != lines.size() - 2) return false;
+
+  std::vector<std::size_t> ids;
+  std::vector<char> seen(grid.size(), 0);
+  for (std::size_t li = 2; li < lines.size(); ++li) {
+    const auto tok = split(lines[li], ' ');
+    if (tok.size() != 12 || tok[0] != "cell") return false;
+    unsigned long long id = 0;
+    long long wstore = 0;
+    long long front = 0;
+    long long evals = 0;
+    long long n = 0, h = 0, l = 0, k = 0, sw = 0, pt = 0;
+    if (!parse_ull(tok[1], &id) || !parse_ll(tok[2], &wstore) ||
+        !parse_ll(tok[4], &front) || !parse_ll(tok[5], &evals) ||
+        !parse_ll(tok[6], &n) || !parse_ll(tok[7], &h) ||
+        !parse_ll(tok[8], &l) || !parse_ll(tok[9], &k) ||
+        !parse_ll(tok[10], &sw) || !parse_ll(tok[11], &pt)) {
+      return false;
+    }
+    // Every payload re-earns its place: it must name a cell of this grid,
+    // owned by this shard, not yet seen, and (when non-empty) carry a knee
+    // that is a valid member of the cell's design space — exactly the
+    // acceptance rules of the JSONL recovery path.
+    if (id >= grid.size() || seen[id] || !spec.shard.owns(id)) return false;
+    if (grid[id].wstore != wstore || grid[id].precision.name != tok[3]) {
+      return false;
+    }
+    seen[id] = 1;
+    ids.push_back(id);
+    RecoveredCell rc;
+    rc.cell.wstore = wstore;
+    rc.cell.precision = grid[id].precision;
+    if (front == 0) {
+      rc.empty = true;
+    } else {
+      if (front < 0 || evals < 1 || (sw != 0 && sw != 1) ||
+          (pt != 0 && pt != 1)) {
+        return false;
+      }
+      rc.empty = false;
+      rc.cell.front_size = static_cast<std::size_t>(front);
+      rc.cell.evaluations = evals;
+      DesignPoint dp;
+      dp.precision = grid[id].precision;
+      dp.arch = arch_for(dp.precision);
+      dp.n = n;
+      dp.h = h;
+      dp.l = l;
+      dp.k = k;
+      dp.signed_weights = sw == 1;
+      dp.pipelined_tree = pt == 1;
+      if (!validate_design(dp, wstore, spec.limits).ok) return false;
+      rc.cell.knee.point = dp;
+    }
+    out->emplace_back(static_cast<std::size_t>(id), std::move(rc));
+  }
+  // The ranges line must reproduce from the payloads — one more internal
+  // consistency check, and it keeps the line honest for human readers.
+  std::vector<std::size_t> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  if (lines[1] != render_ranges(sorted)) return false;
+  *tail_offset = ckpt_bytes;
+  return true;
+}
+
+// ------------------------------------------------------- fault injection
+//
+// SEGA_SWEEP_FAULT=<kill|stall>-after:<k>[:prob=<p>][:seed=<s>][:attempts=<n>]
+//
+// First-class crash testing for the supervised sweep: after its k-th
+// completed cell (this run, recovered cells excluded) the worker persists
+// its progress snapshot (heartbeat, memo delta, index) and then either
+// _Exit(86)s (kill) or sleeps forever holding the checkpoint mutex (stall —
+// wedging every worker thread, the pathology the orchestrator's stall
+// timeout exists for).  Whether the fault *arms* at all is a deterministic
+// function of (seed, shard index, attempt ordinal): the attempt ordinal
+// comes from SEGA_SWEEP_ATTEMPT (set by the orchestrator per retry,
+// default 0), and the fault arms iff attempt < attempts and
+// hash01(seed, shard, attempt) < prob — so a chaos test can kill exactly
+// the first attempt of chosen shards and let every retry run clean.
+// A malformed SEGA_SWEEP_FAULT is a hard error: a chaos harness that
+// silently ran fault-free would pass while testing nothing.
+
+struct FaultSpec {
+  enum class Kind { kNone, kKill, kStall };
+  Kind kind = Kind::kNone;
+  long long after = 0;      ///< fire after this many completed cells
+  double prob = 1.0;        ///< arming probability per (shard, attempt)
+  std::uint64_t seed = 0;   ///< arming hash seed
+  long long attempts = 1;   ///< arm only attempt ordinals in [0, attempts)
+};
+
+bool parse_fault_spec(const std::string& text, FaultSpec* out,
+                      std::string* err) {
+  const auto fail = [&](const std::string& m) {
+    if (err) *err = "SEGA_SWEEP_FAULT: " + m;
+    return false;
+  };
+  const auto parts = split(text, ':');
+  if (parts.size() < 2) {
+    return fail("expected "
+                "'<kill|stall>-after:<k>[:prob=<p>][:seed=<s>]"
+                "[:attempts=<n>]'");
+  }
+  if (parts[0] == "kill-after") {
+    out->kind = FaultSpec::Kind::kKill;
+  } else if (parts[0] == "stall-after") {
+    out->kind = FaultSpec::Kind::kStall;
+  } else {
+    return fail(strfmt("unknown fault kind '%s' (want kill-after or "
+                       "stall-after)",
+                       parts[0].c_str()));
+  }
+  if (!parse_ll(parts[1], &out->after) || out->after < 1) {
+    return fail(strfmt("'%s' is not a positive cell count", parts[1].c_str()));
+  }
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    if (eq == std::string::npos) {
+      return fail(strfmt("malformed option '%s' (want key=value)",
+                         parts[i].c_str()));
+    }
+    const std::string key = parts[i].substr(0, eq);
+    const std::string val = parts[i].substr(eq + 1);
+    if (key == "prob") {
+      if (!parse_double(val, &out->prob) || out->prob < 0 || out->prob > 1) {
+        return fail(strfmt("prob '%s' is not in [0, 1]", val.c_str()));
+      }
+    } else if (key == "seed") {
+      unsigned long long seed = 0;
+      if (!parse_ull(val, &seed)) {
+        return fail(strfmt("seed '%s' is not a non-negative integer",
+                           val.c_str()));
+      }
+      out->seed = seed;
+    } else if (key == "attempts") {
+      if (!parse_ll(val, &out->attempts) || out->attempts < 1) {
+        return fail(strfmt("attempts '%s' is not a positive integer",
+                           val.c_str()));
+      }
+    } else {
+      return fail(strfmt("unknown option '%s'", key.c_str()));
+    }
+  }
+  return true;
+}
+
+/// Deterministic hash of (seed, shard, attempt) into [0, 1) — splitmix64
+/// finalizer, the same construction the DSE seeding uses.  Fault arming
+/// must be a pure function of these three so a chaos run is reproducible.
+double fault_hash01(std::uint64_t seed, int shard_index, long long attempt) {
+  std::uint64_t x = seed;
+  x ^= 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(shard_index) + 1);
+  x ^= 0xC2B2AE3D27D4EB4Full * (static_cast<std::uint64_t>(attempt) + 1);
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+
 }  // namespace
 
 SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
@@ -479,6 +879,31 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   // A sharded worker reads/writes only its own per-worker files.
   const std::string ckpt_path = effective_path(spec.checkpoint, spec.shard);
   const std::string memo_path = effective_path(spec.cache_file, spec.shard);
+
+  if (spec.heartbeat_every > 0 && ckpt_path.empty()) {
+    return checkpoint_fail(
+        "heartbeat_every requires a checkpoint (the heartbeat and index "
+        "files sit next to it)",
+        error);
+  }
+
+  // Fault injection is parsed up front so a malformed spec fails before any
+  // work — a chaos harness must never silently run fault-free.
+  FaultSpec fault;
+  bool fault_armed = false;
+  if (const char* env = std::getenv("SEGA_SWEEP_FAULT"); env && *env) {
+    std::string fault_error;
+    if (!parse_fault_spec(env, &fault, &fault_error)) {
+      return checkpoint_fail(fault_error, error);
+    }
+    long long attempt = 0;
+    if (const char* a = std::getenv("SEGA_SWEEP_ATTEMPT"); a && *a) {
+      parse_ll(a, &attempt);
+    }
+    fault_armed =
+        attempt < fault.attempts &&
+        fault_hash01(fault.seed, spec.shard.index, attempt) < fault.prob;
+  }
 
   // One memoizing cache across the whole grid: cells at the same Wstore (and
   // neighbouring ones — the genome space overlaps heavily) revisit the same
@@ -514,6 +939,7 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   std::map<CellKey, RecoveredCell> recovered;
   std::unique_ptr<std::ofstream> ckpt;
   std::mutex ckpt_mu;
+  std::string ckpt_header_raw;  // raw header line, for index staleness binding
   if (!ckpt_path.empty()) {
     bool have_header = false;
     std::error_code ec;
@@ -523,30 +949,65 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
       // from a different sweep or a different slice of the grid must never
       // be mixed in.  Cell lines tolerate truncation/corruption (a killed
       // writer may leave a partial tail) by simply recomputing those cells.
+      // The header is read and checked up front (one line — cheap); what
+      // the index fast path below skips is the *cell line* parsing.
+      if (!read_first_content_line(ckpt_path, &ckpt_header_raw)) {
+        return checkpoint_fail(
+            strfmt("cannot read checkpoint '%s'", ckpt_path.c_str()), error);
+      }
       HeaderCheck verdict = HeaderCheck::kOk;
-      const bool readable = walk_checkpoint(
-          ckpt_path, &have_header,
-          [&](const std::optional<Json>& header) {
-            verdict = check_header(header, spec, compiler.technology(),
-                                   spec.shard);
-            return verdict == HeaderCheck::kOk;
-          },
-          [&](const std::optional<Json>& line) {
-            if (!line) return;
-            RecoveredCell rc;
-            if (!recover_cell(*line, spec, &rc)) return;
-            // Metrics are never stored in the checkpoint: re-derive them
-            // through the pure cost model so recovery is bit-exact and
-            // immune to serialization rounding.
+      if (!ckpt_header_raw.empty()) {
+        have_header = true;
+        verdict = check_header(Json::parse(ckpt_header_raw), spec,
+                               compiler.technology(), spec.shard);
+      }
+      if (have_header && verdict == HeaderCheck::kOk) {
+        const auto consume = [&](const std::optional<Json>& line) {
+          if (!line) return;
+          RecoveredCell rc;
+          if (!recover_cell(*line, spec, &rc)) return;
+          // Metrics are never stored in the checkpoint: re-derive them
+          // through the pure cost model so recovery is bit-exact and
+          // immune to serialization rounding.
+          if (!rc.empty) {
+            rc.cell.knee.metrics = cache.evaluate(rc.cell.knee.point);
+          }
+          recovered[CellKey{rc.cell.wstore, rc.cell.precision.name}] =
+              std::move(rc);
+        };
+        // Index fast path: a valid index segment replaces the JSONL parse
+        // of every cell line it covers; only the tail appended after the
+        // index was written is parsed.  Both paths recover identical state
+        // — the index is dropped on any staleness signal, never trusted
+        // over the checkpoint.
+        std::error_code size_ec;
+        const auto ckpt_size = std::filesystem::file_size(ckpt_path, size_ec);
+        std::vector<std::pair<std::size_t, RecoveredCell>> indexed;
+        std::uint64_t tail_offset = 0;
+        if (!size_ec &&
+            index_load(index_file_path(ckpt_path), ckpt_header_raw, ckpt_size,
+                       spec, grid, &indexed, &tail_offset)) {
+          for (auto& [gi, rc] : indexed) {
+            (void)gi;
             if (!rc.empty) {
               rc.cell.knee.metrics = cache.evaluate(rc.cell.knee.point);
             }
             recovered[CellKey{rc.cell.wstore, rc.cell.precision.name}] =
                 std::move(rc);
-          });
-      if (!readable) {
-        return checkpoint_fail(
-            strfmt("cannot read checkpoint '%s'", ckpt_path.c_str()), error);
+          }
+          std::ifstream tail(ckpt_path, std::ios::binary);
+          tail.seekg(static_cast<std::streamoff>(tail_offset));
+          std::string line;
+          while (std::getline(tail, line)) {
+            if (trim(line).empty()) continue;
+            consume(Json::parse(line));
+          }
+        } else {
+          bool walked_header = false;
+          walk_checkpoint(ckpt_path, &walked_header,
+                          [](const std::optional<Json>&) { return true; },
+                          consume);
+        }
       }
       if (verdict == HeaderCheck::kMalformed) {
         return checkpoint_fail(
@@ -591,7 +1052,8 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     }
     if (needs_leading_newline) *ckpt << '\n';
     if (!have_header) {
-      *ckpt << header_line(spec, compiler.technology()).dump() << '\n';
+      ckpt_header_raw = header_line(spec, compiler.technology()).dump();
+      *ckpt << ckpt_header_raw << '\n';
       ckpt->flush();
     }
   }
@@ -603,6 +1065,7 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   std::vector<std::size_t> mine;
   std::vector<std::size_t> todo;  // owned cells not covered by recovery
   std::vector<RecoveredCell> slots(grid.size());
+  std::vector<char> done(grid.size(), 0);  // recovered or completed this run
   for (std::size_t gi = 0; gi < grid.size(); ++gi) {
     if (!spec.shard.owns(gi)) continue;
     mine.push_back(gi);
@@ -610,10 +1073,92 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
         CellKey{grid[gi].wstore, grid[gi].precision.name});
     if (it != recovered.end()) {
       slots[gi] = it->second;
+      done[gi] = 1;
     } else {
       todo.push_back(gi);
     }
   }
+
+  // --- liveness / crash-durability plumbing ---
+  // persist_memo is the one memo writer (heartbeat snapshots, the fault
+  // hook, and the end-of-run save all go through it).  Non-fatal: the grid
+  // is the primary product; a failed memo write only costs re-evaluation.
+  const auto persist_memo = [&]() {
+    if (memo_path.empty()) return;
+    std::string cache_error;
+    const bool saved = spec.shard.active()
+                           ? cache.save_delta(memo_path, &cache_error)
+                           : cache.save(memo_path, &cache_error);
+    if (!saved) {
+      std::fprintf(stderr, "[sega] warning: %s (sweep results unaffected)\n",
+                   cache_error.c_str());
+    }
+  };
+  std::ofstream hb;
+  std::size_t done_owned = 0;
+  for (const std::size_t gi : mine) done_owned += done[gi] ? 1 : 0;
+  if (spec.heartbeat_every > 0) {
+    hb.open(heartbeat_file_path(ckpt_path), std::ios::app);
+    if (!hb) {
+      return checkpoint_fail(
+          strfmt("cannot open heartbeat file '%s' for append",
+                 heartbeat_file_path(ckpt_path).c_str()),
+          error);
+    }
+  }
+  // One progress snapshot: heartbeat line (supervisor liveness), memo delta
+  // (evaluations survive a kill), index segment (resume seeks, not parses).
+  // Caller holds ckpt_mu when worker threads are live.
+  const auto snapshot = [&]() {
+    if (hb.is_open()) {
+      Json line = Json::object();
+      line["done"] = static_cast<std::int64_t>(done_owned);
+      line["pid"] = static_cast<std::int64_t>(::getpid());
+      line["total"] = static_cast<std::int64_t>(mine.size());
+      hb << line.dump() << '\n';
+      hb.flush();
+    }
+    persist_memo();
+    if (ckpt) {
+      // Every checkpoint line is flushed as it is appended, so the file
+      // size is exactly the prefix this index covers.
+      ckpt->flush();
+      std::error_code size_ec;
+      const auto bytes = std::filesystem::file_size(ckpt_path, size_ec);
+      if (!size_ec) {
+        index_write(index_file_path(ckpt_path),
+                    index_render(ckpt_header_raw, bytes, grid, done, slots));
+      }
+    }
+  };
+  if (spec.heartbeat_every > 0) {
+    // Starting snapshot: the supervisor sees a live worker before the first
+    // (possibly long) cell completes, and a resumed worker re-covers its
+    // recovered cells in the index immediately.
+    snapshot();
+  }
+  std::atomic<long long> completions{0};
+  // Fires the armed fault once the counter reaches the threshold — after
+  // persisting a snapshot, so a killed worker's retry resumes from its
+  // checkpoint/memo instead of recomputing.  Called with ckpt_mu held when
+  // a checkpoint is active; the stall deliberately never releases it,
+  // wedging every worker thread behind the checkpoint append.
+  const auto maybe_fire_fault = [&](long long completed) {
+    if (!fault_armed || completed != fault.after) return;
+    snapshot();
+    if (fault.kind == FaultSpec::Kind::kKill) {
+      std::fprintf(stderr,
+                   "[sega] fault injection: kill-after:%lld firing (shard "
+                   "%d/%d)\n",
+                   fault.after, spec.shard.index, spec.shard.count);
+      std::_Exit(86);
+    }
+    std::fprintf(stderr,
+                 "[sega] fault injection: stall-after:%lld firing (shard "
+                 "%d/%d)\n",
+                 fault.after, spec.shard.index, spec.shard.count);
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  };
 
   // Cost-guided work-stealing: the pending cells are seeded into the pool's
   // per-thread deques in descending predicted-cost order — Wstore x input
@@ -672,6 +1217,18 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
       std::lock_guard<std::mutex> lock(ckpt_mu);
       *ckpt << line << '\n';
       ckpt->flush();
+      done[gi] = 1;
+      ++done_owned;
+      const long long completed = ++completions;
+      if (spec.heartbeat_every > 0 &&
+          completed % spec.heartbeat_every == 0) {
+        snapshot();
+      }
+      maybe_fire_fault(completed);
+    } else {
+      // No checkpoint, no snapshot to persist — but the fault must still
+      // fire on schedule (only one thread ever sees the threshold value).
+      maybe_fire_fault(++completions);
     }
   });
 
@@ -683,15 +1240,15 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   // read-only cache path) would destroy the primary product.  The next run
   // simply re-pays the evaluations.  (Loading a bad memo stays a hard
   // error — that would corrupt results; failing to write one cannot.)
-  if (!memo_path.empty()) {
-    std::string cache_error;
-    const bool saved = spec.shard.active()
-                           ? cache.save_delta(memo_path, &cache_error)
-                           : cache.save(memo_path, &cache_error);
-    if (!saved) {
-      std::fprintf(stderr, "[sega] warning: %s (sweep results unaffected)\n",
-                   cache_error.c_str());
-    }
+  //
+  // The completion snapshot also leaves a final heartbeat line and an index
+  // segment covering every completed cell — the next resume of this
+  // checkpoint parses zero JSONL cell lines.
+  if (ckpt) {
+    std::lock_guard<std::mutex> lock(ckpt_mu);
+    snapshot();
+  } else {
+    persist_memo();
   }
 
   // --- fold in fixed grid order ---
@@ -907,6 +1464,15 @@ SweepResult merge_sweep_shards(const Compiler& compiler, const SweepSpec& spec,
         strfmt("cannot rename unified checkpoint '%s' into place",
                spec.checkpoint.c_str()),
         error);
+  }
+  // Unified index segment: the merged checkpoint covers the whole grid, so
+  // a later unsharded resume recovers every cell from the index without
+  // parsing a single JSONL cell line.
+  {
+    const std::vector<char> all_done(grid.size(), 1);
+    const std::string header_raw = text.substr(0, text.find('\n'));
+    index_write(index_file_path(spec.checkpoint),
+                index_render(header_raw, text.size(), grid, all_done, slots));
   }
 
   // --- unified memo save (warn-only, like run_sweep's save) ---

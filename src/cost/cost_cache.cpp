@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -31,7 +32,7 @@ CostCache::Key CostCache::key_of(const DesignPoint& dp) {
              dp.signed_weights, dp.pipelined_tree);
 }
 
-CostCache::Shard& CostCache::shard_of(const Key& key) const {
+std::size_t CostCache::shard_index_of(const Key& key) {
   // Cheap mix of the geometry coordinates; precision/arch vary little within
   // one run, so (n, h, l, k) carry the entropy.
   const auto n = static_cast<std::uint64_t>(std::get<5>(key));
@@ -41,7 +42,11 @@ CostCache::Shard& CostCache::shard_of(const Key& key) const {
   const std::uint64_t mixed =
       (n * 0x9E3779B97F4A7C15ull) ^ (h * 0xC2B2AE3D27D4EB4Full) ^
       (l * 0x165667B19E3779F9ull) ^ k;
-  return shards_[mixed % kShards];
+  return mixed % kShards;
+}
+
+CostCache::Shard& CostCache::shard_of(const Key& key) const {
+  return shards_[shard_index_of(key)];
 }
 
 MacroMetrics CostCache::evaluate(const DesignPoint& dp) const {
@@ -274,6 +279,184 @@ bool parse_breakdown(const Json& j, std::map<std::string, double>* out) {
 
 }  // namespace
 
+bool CostCache::parse_memo_entry(const Json& parsed, Key* key,
+                                 MacroMetrics* metrics) {
+  if (!parsed.is_object() || !check_line_checksum(parsed) ||
+      !parsed.contains("k") || !parsed.contains("g") ||
+      !parsed.contains("m") || !parsed.contains("ab") ||
+      !parsed.contains("eb")) {
+    return false;
+  }
+  const Json& k = parsed.at("k");
+  const Json& g = parsed.at("g");
+  const Json& v = parsed.at("m");
+  if (!k.is_array() || k.size() != 11 || !json_array_of_numbers(g, 8) ||
+      !json_array_of_numbers(v, 14)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (!k.at(i).is_number()) return false;
+  }
+  if (!k.at(9).is_bool() || !k.at(10).is_bool()) return false;
+
+  *key = Key(static_cast<int>(k.at(0).as_int()),
+             static_cast<int>(k.at(1).as_int()),
+             static_cast<int>(k.at(2).as_int()),
+             static_cast<int>(k.at(3).as_int()),
+             static_cast<int>(k.at(4).as_int()), k.at(5).as_int(),
+             k.at(6).as_int(), k.at(7).as_int(), k.at(8).as_int(),
+             k.at(9).as_bool(), k.at(10).as_bool());
+  // The breakdown maps are validated even when the caller wants keys only —
+  // a line compact_memo_files passes through must be a line load() accepts.
+  MacroMetrics local;
+  MacroMetrics& m = metrics ? *metrics : local;
+  for (std::size_t i = 0; i < m.gates.counts.size(); ++i) {
+    m.gates.counts[i] = g.at(i).as_int();
+  }
+  m.area_gates = v.at(0).as_number();
+  m.delay_gates = v.at(1).as_number();
+  m.energy_gates = v.at(2).as_number();
+  m.area_um2 = v.at(3).as_number();
+  m.area_mm2 = v.at(4).as_number();
+  m.delay_ns = v.at(5).as_number();
+  m.freq_ghz = v.at(6).as_number();
+  m.energy_per_cycle_fj = v.at(7).as_number();
+  m.power_w = v.at(8).as_number();
+  m.energy_per_mvm_nj = v.at(9).as_number();
+  m.throughput_tops = v.at(10).as_number();
+  m.tops_per_w = v.at(11).as_number();
+  m.tops_per_mm2 = v.at(12).as_number();
+  m.cycles_per_input = v.at(13).as_int();
+  return parse_breakdown(parsed.at("ab"), &m.area_breakdown) &&
+         parse_breakdown(parsed.at("eb"), &m.energy_breakdown);
+}
+
+bool CostCache::compact_memo_files(const std::vector<std::string>& sources,
+                                   const std::string& out_path,
+                                   std::string* error, CompactStats* stats) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  CompactStats local_stats;
+  CompactStats& st = stats ? *stats : local_stats;
+  st = CompactStats{};
+
+  // Pass 1 — fold every source line-at-a-time: verify headers against the
+  // first file's, record each valid entry's key and byte extent, first
+  // occurrence wins (sources are in priority order: base memo before
+  // deltas, matching load()'s existing-entries-win merge).  Only keys and
+  // extents are held — never metrics — so memory scales with the entry
+  // *count*, not the file sizes.
+  struct LineRef {
+    std::size_t file;
+    std::uint64_t offset;
+    std::uint32_t length;
+  };
+  std::map<std::pair<std::size_t, Key>, LineRef> order;
+  std::vector<std::unique_ptr<std::ifstream>> files;
+  std::string header_text;  // first source's header line, copied verbatim
+  std::optional<Json> header_json;
+  for (const std::string& path : sources) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) continue;
+    auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+    if (!*in) return fail(strfmt("cannot read cost cache '%s'", path.c_str()));
+    const std::size_t file_idx = files.size();
+    bool have_header = false;
+    std::string line;
+    for (;;) {
+      const auto offset = static_cast<std::uint64_t>(in->tellg());
+      if (!std::getline(*in, line)) break;
+      if (trim(line).empty()) continue;
+      const auto parsed = Json::parse(line);
+      if (!have_header) {
+        if (!parsed || !parsed->is_object() || !parsed->contains(kMemoMarker)) {
+          return fail(strfmt("cost cache '%s' has a missing or malformed "
+                             "header",
+                             path.c_str()));
+        }
+        if (!header_json) {
+          header_json = *parsed;
+          header_text = line;
+        } else if (!(*parsed == *header_json)) {
+          return fail(strfmt(
+              "cost cache '%s' was written under a different cost model, "
+              "technology, conditions, or model version than the first "
+              "source; refusing to merge",
+              path.c_str()));
+        }
+        have_header = true;
+        continue;
+      }
+      Key key;
+      if (!parsed || !parse_memo_entry(*parsed, &key, nullptr)) {
+        ++st.corrupt_lines;
+        continue;
+      }
+      const bool inserted =
+          order
+              .try_emplace(std::make_pair(shard_index_of(key), key),
+                           LineRef{file_idx, offset,
+                                   static_cast<std::uint32_t>(line.size())})
+              .second;
+      if (!inserted) ++st.duplicates;
+    }
+    if (!have_header) {
+      return fail(strfmt("cost cache '%s' has a missing or malformed header",
+                         path.c_str()));
+    }
+    in->clear();  // getline drove the stream to EOF; seeks below must work
+    files.push_back(std::move(in));
+    ++st.files_merged;
+  }
+  if (!header_json) {
+    return fail("memo-compact found none of the given memo files");
+  }
+
+  // Pass 2 — stream the winners out in save()'s canonical order (shard
+  // bucket, then key), copying the original line bytes; writing to a
+  // per-PID temp then renaming keeps the output atomic even when it
+  // overwrites one of the sources.
+  const std::string tmp =
+      strfmt("%s.tmp.%d", out_path.c_str(), static_cast<int>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return fail(strfmt("cannot write cost cache '%s'", tmp.c_str()));
+    out << header_text << '\n';
+    std::string buf;
+    for (const auto& [bucket_key, ref] : order) {
+      std::ifstream& f = *files[ref.file];
+      f.seekg(static_cast<std::streamoff>(ref.offset));
+      buf.resize(ref.length);
+      f.read(buf.data(), static_cast<std::streamsize>(ref.length));
+      if (!f) {
+        out.close();
+        std::error_code cleanup_ec;
+        std::filesystem::remove(tmp, cleanup_ec);
+        return fail("memo-compact: re-reading a source line failed "
+                    "(file changed mid-compact?)");
+      }
+      out << buf << '\n';
+    }
+    out.flush();
+    if (!out) {
+      std::error_code cleanup_ec;
+      std::filesystem::remove(tmp, cleanup_ec);
+      return fail(strfmt("write to cost cache '%s' failed", tmp.c_str()));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, out_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return fail(strfmt("cannot rename cost cache '%s' into place",
+                       out_path.c_str()));
+  }
+  st.entries = order.size();
+  return true;
+}
+
 Json CostCache::fingerprint_header() const {
   Json config = Json::object();
   config["techlib"] = write_techlib(model_->tech());
@@ -380,55 +563,10 @@ bool CostCache::load(const std::string& path, std::string* error,
     // become a metric.  The checksum catches corruption that *stays*
     // parseable (a flipped digit inside a metric), not just structural
     // damage.
-    if (!parsed || !parsed->is_object() || !check_line_checksum(*parsed) ||
-        !parsed->contains("k") || !parsed->contains("g") ||
-        !parsed->contains("m") || !parsed->contains("ab") ||
-        !parsed->contains("eb")) {
-      continue;
-    }
-    const Json& k = parsed->at("k");
-    const Json& g = parsed->at("g");
-    const Json& v = parsed->at("m");
-    if (!k.is_array() || k.size() != 11 || !json_array_of_numbers(g, 8) ||
-        !json_array_of_numbers(v, 14)) {
-      continue;
-    }
-    bool key_ok = true;
-    for (std::size_t i = 0; i < 9; ++i) {
-      if (!k.at(i).is_number()) key_ok = false;
-    }
-    if (!k.at(9).is_bool() || !k.at(10).is_bool()) key_ok = false;
-    if (!key_ok) continue;
-
-    Key key(static_cast<int>(k.at(0).as_int()),
-            static_cast<int>(k.at(1).as_int()),
-            static_cast<int>(k.at(2).as_int()),
-            static_cast<int>(k.at(3).as_int()),
-            static_cast<int>(k.at(4).as_int()), k.at(5).as_int(),
-            k.at(6).as_int(), k.at(7).as_int(), k.at(8).as_int(),
-            k.at(9).as_bool(), k.at(10).as_bool());
+    if (!parsed) continue;
+    Key key;
     MacroMetrics m;
-    for (std::size_t i = 0; i < m.gates.counts.size(); ++i) {
-      m.gates.counts[i] = g.at(i).as_int();
-    }
-    m.area_gates = v.at(0).as_number();
-    m.delay_gates = v.at(1).as_number();
-    m.energy_gates = v.at(2).as_number();
-    m.area_um2 = v.at(3).as_number();
-    m.area_mm2 = v.at(4).as_number();
-    m.delay_ns = v.at(5).as_number();
-    m.freq_ghz = v.at(6).as_number();
-    m.energy_per_cycle_fj = v.at(7).as_number();
-    m.power_w = v.at(8).as_number();
-    m.energy_per_mvm_nj = v.at(9).as_number();
-    m.throughput_tops = v.at(10).as_number();
-    m.tops_per_w = v.at(11).as_number();
-    m.tops_per_mm2 = v.at(12).as_number();
-    m.cycles_per_input = v.at(13).as_int();
-    if (!parse_breakdown(parsed->at("ab"), &m.area_breakdown) ||
-        !parse_breakdown(parsed->at("eb"), &m.energy_breakdown)) {
-      continue;
-    }
+    if (!parse_memo_entry(*parsed, &key, &m)) continue;
 
     // Merge: existing entries win (for a matching fingerprint the values are
     // identical anyway — the model is pure), and keep their imported flag —

@@ -41,6 +41,7 @@
 #include <mutex>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "cost/cost_model.h"
 #include "util/json.h"
@@ -123,6 +124,34 @@ class CostCache final : public CostModel {
   bool load_shards(const std::string& base, int count,
                    std::string* error = nullptr, int* merged = nullptr);
 
+  /// Statistics of one compact_memo_files run.
+  struct CompactStats {
+    int files_merged = 0;           ///< sources that existed and were read
+    std::size_t entries = 0;        ///< deduplicated entries written
+    std::size_t duplicates = 0;     ///< entries dropped as already present
+    std::size_t corrupt_lines = 0;  ///< unparseable/bad-checksum lines skipped
+  };
+
+  /// Streamed merge of several memo files (a base memo plus its shard
+  /// deltas — the `sega_dcim memo-compact` engine) into one deduplicated
+  /// memo at @p out_path, written atomically.  Unlike load()+save(), no
+  /// metrics are ever materialized: each source is folded line-at-a-time,
+  /// only the entry *keys* (for first-wins dedup, earlier sources win) and
+  /// per-line byte extents are held in memory, and the output is assembled
+  /// by copying the winning lines verbatim in save()'s canonical
+  /// shard-bucket/key order — so compacting files that save()/save_delta()
+  /// wrote produces byte-identical output to loading them all into one
+  /// cache and saving it.  Missing sources are skipped (at least one must
+  /// exist); every source read must carry the same header fingerprint as
+  /// the first (a mismatched file is an error — memos of different
+  /// models/technologies/conditions must never be merged); corrupt entry
+  /// lines are skipped and counted.  No model is needed: the fingerprint
+  /// of record is the first source's header, copied through unchanged.
+  static bool compact_memo_files(const std::vector<std::string>& sources,
+                                 const std::string& out_path,
+                                 std::string* error = nullptr,
+                                 CompactStats* stats = nullptr);
+
  private:
   // Every cost-affecting field of DesignPoint, ordered.  (signed_weights is
   // census-identical by design but is still keyed — correctness over reuse.)
@@ -150,7 +179,18 @@ class CostCache final : public CostModel {
     mutable std::condition_variable cv;
     std::map<Key, Entry> table;
   };
+  /// The table bucket a key hashes to — also the major sort key of save()'s
+  /// canonical serialization order, which compact_memo_files reproduces.
+  static std::size_t shard_index_of(const Key& key);
   Shard& shard_of(const Key& key) const;
+
+  /// Parse one memo entry line (already JSON-parsed) into its key and,
+  /// when @p metrics is non-null, its metrics.  All structural validation —
+  /// checksum, field shapes, types — runs either way; false means the line
+  /// is corrupt and must be skipped.  Shared by load() (materializes
+  /// metrics) and compact_memo_files() (keys only).
+  static bool parse_memo_entry(const Json& parsed, Key* key,
+                               MacroMetrics* metrics);
 
   /// Memo-file identity: model version + serialized technology + conditions.
   Json fingerprint_header() const;

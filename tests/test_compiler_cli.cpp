@@ -25,6 +25,24 @@ CliRun cli(const std::vector<std::string>& args) {
   return {code, out.str(), err.str()};
 }
 
+/// Replace the wall-clock DSE timing in explore/compile output ("..., 0.01s
+/// DSE)") with a placeholder: the duration is load-dependent, and tests that
+/// compare two invocations' output must not race the scheduler.
+std::string scrub_timing(std::string s) {
+  std::size_t pos = 0;
+  while ((pos = s.find("s DSE)", pos)) != std::string::npos) {
+    std::size_t start = pos;
+    while (start > 0 &&
+           (std::isdigit(static_cast<unsigned char>(s[start - 1])) ||
+            s[start - 1] == '.')) {
+      --start;
+    }
+    s.replace(start, pos - start, "#");
+    pos = start + 7;  // past the rewritten "#s DSE)"
+  }
+  return s;
+}
+
 class CliTempDir : public ::testing::Test {
  protected:
   test::ScopedTempDir scoped_{"sega_cli_test"};
@@ -225,12 +243,12 @@ TEST_F(CliTempDir, ExploreCacheFilePersistsAcrossInvocations) {
   cached.insert(cached.end(), {"--cache-file", memo});
   const CliRun cold = cli(cached);
   ASSERT_EQ(cold.code, 0) << cold.err;
-  EXPECT_EQ(plain.out, cold.out);
+  EXPECT_EQ(scrub_timing(plain.out), scrub_timing(cold.out));
   EXPECT_TRUE(std::filesystem::exists(memo));
 
   const CliRun warm = cli(cached);
   ASSERT_EQ(warm.code, 0) << warm.err;
-  EXPECT_EQ(plain.out, warm.out);
+  EXPECT_EQ(scrub_timing(plain.out), scrub_timing(warm.out));
 
   // A memo for different conditions is rejected with a diagnostic, not
   // silently mixed in (and not an abort).
@@ -518,6 +536,127 @@ TEST_F(CliTempDir, SpawnLocalForksWorkersAndMatchesPlainSweep) {
                  "--spawn-local", "0", "--checkpoint", ckpt})
                 .code,
             2);  // K >= 1
+}
+
+TEST_F(CliTempDir, OrchestrateSupervisesWorkersAndWritesReport) {
+  const std::vector<std::string> grid = {
+      "--wstores", "4096,8192", "--precisions", "INT8",
+      "--population", "24", "--generations", "8", "--seed", "2"};
+  std::vector<std::string> plain = {"sweep"};
+  plain.insert(plain.end(), grid.begin(), grid.end());
+  const CliRun reference = cli(plain);
+  ASSERT_EQ(reference.code, 0) << reference.err;
+
+  const std::string ckpt = (dir_ / "orch.ckpt").string();
+  const auto out_dir = dir_ / "orch_out";
+  std::vector<std::string> orch = {
+      "orchestrate", "--workers", "2", "--checkpoint", ckpt,
+      "--poll-interval", "0.05", "--backoff", "0.05",
+      "--out", out_dir.string()};
+  orch.insert(orch.end(), grid.begin(), grid.end());
+  const CliRun r = cli(orch);
+  ASSERT_EQ(r.code, 0) << r.err;
+  // stdout carries the merged CSV, identical to the serial run.
+  EXPECT_EQ(reference.out, r.out);
+  // stderr carries the supervision summary.
+  EXPECT_NE(r.err.find("orchestrate: 2 worker(s)"), std::string::npos);
+  // The machine-readable report lands next to the sweep outputs.
+  EXPECT_TRUE(std::filesystem::exists(out_dir / "sweep.csv"));
+  std::ifstream jf(out_dir / "orchestrate.json");
+  std::stringstream buf;
+  buf << jf.rdbuf();
+  const auto j = Json::parse(buf.str());
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE(j->at("success").as_bool());
+  EXPECT_EQ(j->at("shards").size(), 2u);
+
+  // Guard rails: required flags and value validation, all exit 2.
+  EXPECT_EQ(cli({"orchestrate", "--wstores", "4096", "--precisions", "INT8",
+                 "--checkpoint", ckpt})
+                .code,
+            2);  // no --workers
+  EXPECT_EQ(cli({"orchestrate", "--wstores", "4096", "--precisions", "INT8",
+                 "--workers", "2"})
+                .code,
+            2);  // no --checkpoint
+  EXPECT_EQ(cli({"orchestrate", "--wstores", "4096", "--precisions", "INT8",
+                 "--workers", "0", "--checkpoint", ckpt})
+                .code,
+            2);  // workers >= 1
+  EXPECT_EQ(cli({"orchestrate", "--wstores", "4096", "--precisions", "INT8",
+                 "--workers", "2", "--checkpoint", ckpt, "--stall-timeout",
+                 "0"})
+                .code,
+            2);  // positive timeouts only
+  EXPECT_EQ(cli({"orchestrate", "--wstores", "4096", "--precisions", "INT8",
+                 "--workers", "2", "--checkpoint", ckpt, "--backoff", "2",
+                 "--backoff-max", "1"})
+                .code,
+            2);  // cap below initial
+  const CliRun unknown = cli({"orchestrate", "--workres", "2"});
+  EXPECT_EQ(unknown.code, 2);
+  EXPECT_NE(unknown.err.find("--workres"), std::string::npos);
+}
+
+TEST_F(CliTempDir, MemoCompactMergesShardDeltas) {
+  // A sharded sweep with a memo leaves a base memo plus per-shard deltas;
+  // memo-compact folds them into one file identical to a serial run's memo.
+  const std::vector<std::string> grid = {
+      "--wstores", "4096,8192", "--precisions", "INT8",
+      "--population", "24", "--generations", "8", "--seed", "2"};
+  const std::string ref_memo = (dir_ / "ref.memo").string();
+  std::vector<std::string> serial = {"sweep", "--cache-file", ref_memo};
+  serial.insert(serial.end(), grid.begin(), grid.end());
+  ASSERT_EQ(cli(serial).code, 0);
+
+  const std::string ckpt = (dir_ / "mc.ckpt").string();
+  const std::string memo = (dir_ / "mc.memo").string();
+  std::vector<std::string> orch = {"orchestrate", "--workers", "2",
+                                   "--checkpoint", ckpt, "--cache-file",
+                                   memo, "--poll-interval", "0.05"};
+  orch.insert(orch.end(), grid.begin(), grid.end());
+  ASSERT_EQ(cli(orch).code, 0);
+
+  const std::string out = (dir_ / "compacted.memo").string();
+  const CliRun r = cli({"memo-compact", "--cache-file", memo, "--shards",
+                        "2", "--out", out});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.rfind("memo-compact:", 0), 0u);
+  std::ifstream a(out, std::ios::binary), b(ref_memo, std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+
+  // Guard rails.
+  EXPECT_EQ(cli({"memo-compact"}).code, 2);  // --cache-file required
+  EXPECT_EQ(cli({"memo-compact", "--cache-file", memo, "--shards", "0"})
+                .code,
+            2);
+  EXPECT_EQ(
+      cli({"memo-compact", "--cache-file", (dir_ / "absent.memo").string()})
+          .code,
+      2);  // no sources found
+}
+
+TEST_F(CliTempDir, SweepHeartbeatFlagValidation) {
+  // --heartbeat-every needs a checkpoint and a non-negative integer.
+  EXPECT_EQ(cli({"sweep", "--wstores", "4096", "--precisions", "INT8",
+                 "--heartbeat-every", "1"})
+                .code,
+            2);
+  EXPECT_EQ(cli({"sweep", "--wstores", "4096", "--precisions", "INT8",
+                 "--heartbeat-every", "-1", "--checkpoint",
+                 (dir_ / "hb.ckpt").string()})
+                .code,
+            2);
+  const CliRun r = cli({"sweep", "--wstores", "4096", "--precisions",
+                        "INT8", "--population", "24", "--generations", "8",
+                        "--seed", "2", "--heartbeat-every", "1",
+                        "--checkpoint", (dir_ / "hb.ckpt").string()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "hb.ckpt.hb"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "hb.ckpt.idx"));
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Supervisor tests: clean fleet runs, kill/stall fault recovery, retry
+// exhaustion, and the chaos invariance contract — a supervised sweep whose
+// workers crash mid-flight must produce byte-identical outputs to a serial
+// run of the same spec.
+#include "compiler/orchestrate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "test_support.h"
+#include "util/strings.h"
+
+namespace sega {
+namespace {
+
+using test::ScopedTempDir;
+
+/// Set an environment variable for one scope (fault-injection tests must
+/// never leak SEGA_SWEEP_FAULT into later tests or the serial references).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+SweepSpec tiny_sweep() {
+  SweepSpec spec;
+  spec.wstores = {4096, 8192};
+  spec.precisions = {precision_int4(), precision_int8(), precision_bf16()};
+  spec.dse.population = 8;
+  spec.dse.generations = 2;
+  spec.dse.seed = 5;
+  spec.dse.threads = 1;
+  return spec;
+}
+
+OrchestrateSpec tiny_orchestrate(const ScopedTempDir& dir, int workers) {
+  OrchestrateSpec spec;
+  spec.sweep = tiny_sweep();
+  spec.sweep.checkpoint = dir.file("orch.ckpt");
+  spec.sweep.cache_file = dir.file("orch.memo");
+  spec.workers = workers;
+  spec.max_retries = 2;
+  spec.stall_timeout_s = 10;
+  spec.poll_interval_s = 0.05;
+  spec.backoff_initial_s = 0.05;
+  spec.backoff_max_s = 0.2;
+  return spec;
+}
+
+/// The serial single-process reference the chaos invariance is measured
+/// against.  Writes its own checkpoint/memo under @p dir.
+SweepResult serial_reference(const Compiler& compiler,
+                             const ScopedTempDir& dir) {
+  SweepSpec spec = tiny_sweep();
+  spec.checkpoint = dir.file("ref.ckpt");
+  spec.cache_file = dir.file("ref.memo");
+  std::string error;
+  const SweepResult result = run_sweep(compiler, spec, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  return result;
+}
+
+TEST(OrchestrateTest, CleanRunMatchesSerialWithZeroRetries) {
+  ScopedTempDir dir("sega_orch");
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult ref = serial_reference(compiler, dir);
+
+  const OrchestrateSpec spec = tiny_orchestrate(dir, 2);
+  SweepResult result;
+  const OrchestrateReport report = run_orchestrate(compiler, spec, &result);
+  ASSERT_TRUE(report.success) << report.error;
+  EXPECT_EQ(report.total_retries(), 0);
+  ASSERT_EQ(report.shards.size(), 2u);
+  for (const auto& s : report.shards) {
+    EXPECT_EQ(s.attempts, 1);
+    EXPECT_TRUE(s.completed);
+  }
+  EXPECT_EQ(result.to_csv(), ref.to_csv());
+  EXPECT_TRUE(result.to_json() == ref.to_json());
+}
+
+TEST(OrchestrateTest, KillFaultChaosIsByteIdenticalToSerial) {
+  ScopedTempDir dir("sega_orch");
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult ref = serial_reference(compiler, dir);
+
+  // Every worker's first attempt dies after one completed cell; the retry
+  // attempts (SEGA_SWEEP_ATTEMPT >= 1) run clean and resume from the dead
+  // workers' shard checkpoints and heartbeat-persisted memo deltas.
+  const ScopedEnv fault("SEGA_SWEEP_FAULT", "kill-after:1:attempts=1");
+  const OrchestrateSpec spec = tiny_orchestrate(dir, 3);
+  SweepResult result;
+  const OrchestrateReport report = run_orchestrate(compiler, spec, &result);
+  ASSERT_TRUE(report.success) << report.error;
+  ASSERT_EQ(report.shards.size(), 3u);
+  for (const auto& s : report.shards) {
+    EXPECT_EQ(s.retries, 1) << "shard " << s.shard;
+    EXPECT_TRUE(s.completed);
+  }
+  // The chaos invariance contract: crashes change nothing.
+  EXPECT_EQ(result.to_csv(), ref.to_csv());
+  EXPECT_TRUE(result.to_json() == ref.to_json());
+  // The unified memo must equal the serial memo byte-for-byte — the
+  // heartbeat-persisted deltas of the killed attempts plus the retries'
+  // deltas must reconstruct exactly the serial evaluation set.
+  EXPECT_EQ(test::read_file(dir.file("orch.memo")),
+            test::read_file(dir.file("ref.memo")));
+}
+
+TEST(OrchestrateTest, StallFaultIsKilledAndRecovered) {
+  ScopedTempDir dir("sega_orch");
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult ref = serial_reference(compiler, dir);
+
+  // Shard 0 (prob=1 arms every shard; attempts=1 scopes to the first
+  // attempt) wedges after one cell; the supervisor must SIGKILL it on the
+  // stall timeout and relaunch.
+  const ScopedEnv fault("SEGA_SWEEP_FAULT", "stall-after:1:attempts=1");
+  OrchestrateSpec spec = tiny_orchestrate(dir, 2);
+  spec.stall_timeout_s = 1.5;
+  SweepResult result;
+  const OrchestrateReport report = run_orchestrate(compiler, spec, &result);
+  ASSERT_TRUE(report.success) << report.error;
+  int stall_kills = 0;
+  for (const auto& s : report.shards) {
+    stall_kills += s.stall_kills;
+    EXPECT_TRUE(s.completed);
+  }
+  EXPECT_GE(stall_kills, 1);
+  EXPECT_EQ(result.to_csv(), ref.to_csv());
+}
+
+TEST(OrchestrateTest, RetriesExhaustedFailsWithReport) {
+  ScopedTempDir dir("sega_orch");
+  const Compiler compiler(Technology::tsmc28());
+
+  // The fault arms on every attempt; one retry can never finish the slice.
+  const ScopedEnv fault("SEGA_SWEEP_FAULT", "kill-after:1:attempts=100");
+  OrchestrateSpec spec = tiny_orchestrate(dir, 2);
+  spec.max_retries = 1;
+  SweepResult result;
+  result.cache_hits = 42;  // sentinel: a failed run must not touch *result
+  const OrchestrateReport report = run_orchestrate(compiler, spec, &result);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.error.find("max-retries"), std::string::npos)
+      << report.error;
+  EXPECT_EQ(result.cache_hits, 42u);
+  bool any_failed = false;
+  for (const auto& s : report.shards) {
+    if (!s.completed) any_failed = true;
+  }
+  EXPECT_TRUE(any_failed);
+}
+
+TEST(OrchestrateTest, ProbSeedScopesFaultToSomeShards) {
+  ScopedTempDir dir("sega_orch");
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult ref = serial_reference(compiler, dir);
+
+  // prob=0.5 with a fixed seed arms a deterministic subset of the four
+  // shards — the run must still converge to the serial answer either way.
+  const ScopedEnv fault("SEGA_SWEEP_FAULT",
+                        "kill-after:1:prob=0.5:seed=7:attempts=1");
+  const OrchestrateSpec spec = tiny_orchestrate(dir, 4);
+  SweepResult result;
+  const OrchestrateReport report = run_orchestrate(compiler, spec, &result);
+  ASSERT_TRUE(report.success) << report.error;
+  EXPECT_EQ(result.to_csv(), ref.to_csv());
+}
+
+TEST(OrchestrateTest, RequiresCheckpoint) {
+  const Compiler compiler(Technology::tsmc28());
+  OrchestrateSpec spec;
+  spec.sweep = tiny_sweep();
+  SweepResult result;
+  const OrchestrateReport report = run_orchestrate(compiler, spec, &result);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.error.find("checkpoint"), std::string::npos);
+}
+
+TEST(OrchestrateTest, MalformedFaultEnvIsHardError) {
+  ScopedTempDir dir("sega_orch");
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec spec = tiny_sweep();
+  spec.checkpoint = dir.file("bad.ckpt");
+  for (const char* bad :
+       {"explode-after:1", "kill-after:0", "kill-after:x",
+        "kill-after:1:prob=2", "kill-after:1:bogus=1", "kill-after"}) {
+    const ScopedEnv fault("SEGA_SWEEP_FAULT", bad);
+    std::string error;
+    run_sweep(compiler, spec, &error);
+    EXPECT_NE(error.find("SEGA_SWEEP_FAULT"), std::string::npos)
+        << "'" << bad << "' was not rejected: " << error;
+  }
+}
+
+TEST(OrchestrateTest, ReportJsonRoundTrip) {
+  OrchestrateReport report;
+  report.success = true;
+  report.shards.resize(2);
+  report.shards[0].shard = 0;
+  report.shards[0].attempts = 2;
+  report.shards[0].retries = 1;
+  report.shards[0].stall_kills = 1;
+  report.shards[0].completed = true;
+  report.shards[1].shard = 1;
+  report.shards[1].attempts = 1;
+  report.shards[1].completed = true;
+  const Json j = report.to_json();
+  EXPECT_TRUE(j.at("success").as_bool());
+  EXPECT_EQ(j.at("total_retries").as_int(), 1);
+  EXPECT_EQ(j.at("shards").size(), 2u);
+  EXPECT_EQ(j.at("shards").at(0).at("stall_kills").as_int(), 1);
+  const auto back = Json::parse(j.dump(2));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == j);
+  const std::string text = report.render();
+  EXPECT_NE(text.find("success"), std::string::npos);
+  EXPECT_NE(text.find("shard 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sega

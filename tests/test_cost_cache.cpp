@@ -607,6 +607,130 @@ TEST(CostCacheTest, SaveDeltaOmitsEntriesImportedFromABaseMemo) {
   EXPECT_EQ(all.size(), 2u);
 }
 
+// --- memo-compact (streamed multi-file merge) --------------------------------
+
+TEST(CostCacheCompactTest, ByteIdenticalToLoadAllThenSave) {
+  const Technology tech = Technology::tsmc28();
+  const std::string base = temp_path("compact.base.memo.jsonl");
+  const std::string s0 = temp_path("compact.s0.memo.jsonl");
+  const std::string s1 = temp_path("compact.s1.memo.jsonl");
+
+  // Overlapping sources: the base and shard 0 both hold point A.
+  CostCache cbase(tech);
+  cbase.evaluate(int8_point(32, 128, 16, 8));
+  cbase.evaluate(int8_point(32, 128, 16, 4));
+  ASSERT_TRUE(cbase.save(base));
+  CostCache c0(tech);
+  c0.evaluate(int8_point(32, 128, 16, 8));  // duplicate of a base entry
+  c0.evaluate(int8_point(16, 256, 16, 8));
+  ASSERT_TRUE(c0.save(s0));
+  CostCache c1(tech);
+  c1.evaluate(int8_point(16, 128, 32, 4));
+  ASSERT_TRUE(c1.save(s1));
+
+  const std::string out = temp_path("compact.out.memo.jsonl");
+  std::string error;
+  CostCache::CompactStats stats;
+  ASSERT_TRUE(
+      CostCache::compact_memo_files({base, s0, s1}, out, &error, &stats))
+      << error;
+  EXPECT_EQ(stats.files_merged, 3);
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_EQ(stats.corrupt_lines, 0u);
+
+  // Reference: load everything into one cache, save it.  The streamed
+  // compactor must reproduce those bytes exactly.
+  CostCache all(tech);
+  ASSERT_TRUE(all.load(base, &error)) << error;
+  ASSERT_TRUE(all.load(s0, &error)) << error;
+  ASSERT_TRUE(all.load(s1, &error)) << error;
+  const std::string ref = temp_path("compact.ref.memo.jsonl");
+  ASSERT_TRUE(all.save(ref));
+  EXPECT_EQ(read_file(out), read_file(ref));
+
+  // Compacting onto one of its own inputs (the CLI's in-place default)
+  // works: the temp-file write never reads and writes the same handle.
+  ASSERT_TRUE(CostCache::compact_memo_files({base, s0, s1}, base, &error))
+      << error;
+  EXPECT_EQ(read_file(base), read_file(ref));
+}
+
+TEST(CostCacheCompactTest, MissingSourcesSkippedButNotAll) {
+  const Technology tech = Technology::tsmc28();
+  const std::string base = temp_path("compact.miss.memo.jsonl");
+  CostCache cbase(tech);
+  cbase.evaluate(int8_point(32, 128, 16, 8));
+  ASSERT_TRUE(cbase.save(base));
+
+  const std::string out = temp_path("compact.miss.out.jsonl");
+  std::string error;
+  CostCache::CompactStats stats;
+  ASSERT_TRUE(CostCache::compact_memo_files(
+      {base, temp_path("compact.nope.0"), temp_path("compact.nope.1")}, out,
+      &error, &stats))
+      << error;
+  EXPECT_EQ(stats.files_merged, 1);
+  // A single source compacts to itself, byte for byte.
+  EXPECT_EQ(read_file(out), read_file(base));
+
+  // Zero existing sources is an error, not an empty output.
+  CostCache::CompactStats none;
+  EXPECT_FALSE(CostCache::compact_memo_files(
+      {temp_path("compact.nope.2")}, out, &error, &none));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CostCacheCompactTest, HeaderFingerprintMismatchIsAnError) {
+  const Technology tech = Technology::tsmc28();
+  const std::string a = temp_path("compact.cond_a.memo.jsonl");
+  const std::string b = temp_path("compact.cond_b.memo.jsonl");
+  CostCache ca(tech);
+  ca.evaluate(int8_point(32, 128, 16, 8));
+  ASSERT_TRUE(ca.save(a));
+  EvalConditions other;
+  other.input_sparsity = 0.5;
+  CostCache cb(tech, other);
+  cb.evaluate(int8_point(32, 128, 16, 8));
+  ASSERT_TRUE(cb.save(b));
+
+  std::string error;
+  EXPECT_FALSE(CostCache::compact_memo_files(
+      {a, b}, temp_path("compact.mismatch.out"), &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find(b), std::string::npos) << error;
+}
+
+TEST(CostCacheCompactTest, CorruptLinesSkippedAndCounted) {
+  const Technology tech = Technology::tsmc28();
+  const std::string clean = temp_path("compact.clean.memo.jsonl");
+  CostCache cache(tech);
+  cache.evaluate(int8_point(32, 128, 16, 8));
+  cache.evaluate(int8_point(16, 256, 16, 8));
+  ASSERT_TRUE(cache.save(clean));
+
+  // A copy with a garbage line and a checksum-broken entry interleaved.
+  const std::string dirty = temp_path("compact.dirty.memo.jsonl");
+  {
+    const std::string text = read_file(clean);
+    const std::size_t first_nl = text.find('\n');
+    const std::size_t second_nl = text.find('\n', first_nl + 1);
+    std::string broken = text.substr(first_nl + 1, second_nl - first_nl);
+    const std::size_t digit = broken.find_last_of("0123456789");
+    broken[digit] = broken[digit] == '9' ? '8' : '9';  // breaks the checksum
+    write_file(dirty, text.substr(0, first_nl + 1) + "not json\n" + broken +
+                          text.substr(first_nl + 1));
+  }
+  const std::string out = temp_path("compact.dirty.out.jsonl");
+  std::string error;
+  CostCache::CompactStats stats;
+  ASSERT_TRUE(CostCache::compact_memo_files({dirty}, out, &error, &stats))
+      << error;
+  EXPECT_EQ(stats.corrupt_lines, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(read_file(out), read_file(clean));
+}
+
 TEST(CostCacheTest, ClearResetsTableAndCounters) {
   const Technology tech = Technology::tsmc28();
   CostCache cache(tech);

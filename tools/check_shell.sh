@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Shellcheck gate for every shell script in the repo (the CI docs job; run
+# locally anytime).  Skips with a notice when shellcheck is not installed —
+# the scripts' correctness is still covered by the smoke jobs that execute
+# them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v shellcheck > /dev/null 2>&1; then
+  echo "check_shell: shellcheck not installed, skipping lint" >&2
+  exit 0
+fi
+
+shellcheck tools/*.sh tools/ci/*.sh
+echo "OK: shellcheck clean"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Retrying apt-get wrapper for CI: transient mirror hiccups are the single
+# most common cause of spurious job failures, and every job pays the same
+# update+install preamble.  Retries the whole update+install sequence up to
+# 3 times with a short sleep between attempts.
+#
+# usage: tools/ci/apt_install.sh <package> [package...]
+set -euo pipefail
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 <package> [package...]" >&2
+  exit 2
+fi
+
+SUDO=""
+if [ "$(id -u)" -ne 0 ]; then
+  SUDO="sudo"
+fi
+
+for attempt in 1 2 3; do
+  if $SUDO apt-get update && $SUDO apt-get install -y "$@"; then
+    exit 0
+  fi
+  echo "apt_install: attempt $attempt failed, retrying..." >&2
+  sleep $((attempt * 5))
+done
+echo "apt_install: giving up after 3 attempts: $*" >&2
+exit 1

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Chaos smoke (the CI step; run locally against any build dir): a
+# supervised 4-worker sweep whose workers are killed and stalled by seeded
+# fault injection must still produce a merged CSV and unified memo
+# byte-identical to a serial fault-free run, and the orchestrator report
+# must account for every injected failure.  This is the end-to-end check
+# that crash recovery is invisible in the results — the property the
+# checkpoint/index/memo-delta machinery exists to provide.
+#
+# usage: tools/ci/smoke_chaos.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR=$(cd "${1:-build}" && pwd)
+SEGA="$BUILD_DIR/sega_dcim"
+if [ ! -x "$SEGA" ]; then
+  echo "error: $SEGA not found or not executable (build the repo first)" >&2
+  exit 2
+fi
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+GRID=(--wstores 4096,8192 --precisions INT4,INT8,BF16
+      --population 8 --generations 2 --seed 5)
+
+# The fault-free serial reference the chaos runs are measured against.
+"$SEGA" sweep "${GRID[@]}" --threads 1 --cache-file ref.memo > serial.csv
+
+# Kill chaos: every worker's first attempt dies (SIGKILL-equivalent
+# _Exit) after one completed cell; the supervisor must relaunch all four
+# and the retries resume from the dead workers' checkpoints and
+# heartbeat-persisted memo deltas.
+SEGA_SWEEP_FAULT='kill-after:1:attempts=1' \
+  "$SEGA" orchestrate "${GRID[@]}" --workers 4 \
+  --checkpoint kill.ckpt --cache-file kill.memo \
+  --stall-timeout 60 --poll-interval 0.1 --backoff 0.1 --max-retries 2 \
+  --out kill_out > kill.csv 2> kill.log
+cmp serial.csv kill.csv
+cmp ref.memo kill.memo
+# The report reflects the injected failures: all 4 first attempts died.
+grep -q '"total_retries": 4' kill_out/orchestrate.json
+grep -q '"success": true' kill_out/orchestrate.json
+
+# Stall chaos: a seeded subset of first attempts wedge holding the
+# checkpoint lock; the supervisor must detect the dead heartbeat, SIGKILL,
+# and relaunch.  seed=7/prob=0.5 arms a deterministic non-empty subset.
+SEGA_SWEEP_FAULT='stall-after:1:prob=0.5:seed=7:attempts=1' \
+  "$SEGA" orchestrate "${GRID[@]}" --workers 4 \
+  --checkpoint stall.ckpt --cache-file stall.memo \
+  --stall-timeout 3 --poll-interval 0.1 --backoff 0.1 --max-retries 2 \
+  --out stall_out > stall.csv 2> stall.log
+cmp serial.csv stall.csv
+cmp ref.memo stall.memo
+grep -qE '"stall_kills": [1-9]' stall_out/orchestrate.json
+
+# memo-compact over the chaos run's base memo + shard deltas reproduces
+# the serial memo byte-for-byte: no duplicate, lost, or corrupt entries
+# survive the crashes.
+"$SEGA" memo-compact --cache-file kill.memo --shards 4 \
+  --out compacted.memo > /dev/null
+cmp ref.memo compacted.memo
+
+echo "OK: chaos smoke"
