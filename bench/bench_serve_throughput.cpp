@@ -1,0 +1,186 @@
+// `sega_dcim serve` round-trip latency and dedup throughput: the warm
+// daemon (resident techlib + cost backends + response cache) against the
+// cold path that re-runs the full CLI in-process per request — the cost
+// every standalone `sega_dcim explore` invocation pays before printing.
+//
+// The headline comparison backing the serve design: a cached explore served
+// from the daemon is a socket round trip plus a response-cache lookup,
+// orders of magnitude under re-evaluating the DSE.  The cold baseline here
+// excludes process spawn (this is one benchmark binary), so the measured
+// ratio UNDERSTATES the real CLI gap — if warm wins here, it wins harder in
+// the shell.
+//
+// The Checked variant re-asserts byte-identity of every daemon response
+// against the first one inside the timing loop: a dedup bug (stale cache
+// entry, cross-request bleed) aborts the benchmark rather than hiding
+// behind a latency number.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/cli.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "tech/technology.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace sega;
+
+const std::vector<std::string>& explore_argv() {
+  static const std::vector<std::string> argv = {
+      "explore",       "--wstore", "1024", "--precision",  "int8",
+      "--generations", "8",        "--population", "32",
+      "--seed",        "42",       "--threads",    "2"};
+  return argv;
+}
+
+/// A daemon on a per-process socket, started once and shared by all warm
+/// benchmarks in this binary.
+class WarmDaemon {
+ public:
+  WarmDaemon()
+      : socket_(strfmt("/tmp/sega-bench-serve-%d.sock",
+                       static_cast<int>(::getpid()))),
+        server_(Technology::tsmc28(), make_options(socket_)) {
+    std::string error;
+    if (!server_.start(&error)) {
+      std::fprintf(stderr, "bench_serve_throughput: %s\n", error.c_str());
+      std::abort();
+    }
+  }
+  ~WarmDaemon() { server_.stop(); }
+
+  const std::string& socket() const { return socket_; }
+
+  static WarmDaemon& instance() {
+    static WarmDaemon daemon;
+    return daemon;
+  }
+
+ private:
+  static ServeOptions make_options(const std::string& socket) {
+    ServeOptions opts;
+    opts.socket_path = socket;
+    return opts;
+  }
+
+  std::string socket_;
+  ServeServer server_;
+};
+
+struct Reply {
+  int exit = -1;
+  std::string out;
+  std::string err;
+};
+
+Reply daemon_round_trip(const std::string& socket) {
+  std::ostringstream out, err;
+  const auto code = run_via_daemon(socket, explore_argv(), out, err);
+  return {code.value_or(-1), out.str(), err.str()};
+}
+
+/// Cold baseline: the whole CLI path per request — techlib construction,
+/// cost-model setup, and the full DSE evaluation, exactly what a standalone
+/// `sega_dcim explore` pays after exec.
+void BM_ColdInProcessExplore(benchmark::State& state) {
+  for (auto _ : state) {
+    std::ostringstream out, err;
+    const int code = run_cli(explore_argv(), out, err);
+    if (code != 0) {
+      state.SkipWithError("explore failed");
+      return;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ColdInProcessExplore)->Unit(benchmark::kMillisecond);
+
+/// Warm path: one fresh connection and request per iteration against the
+/// resident daemon; after the first iteration every request is a
+/// response-cache replay.
+void BM_WarmDaemonExplore(benchmark::State& state) {
+  WarmDaemon& daemon = WarmDaemon::instance();
+  daemon_round_trip(daemon.socket());  // prime the response cache
+  for (auto _ : state) {
+    const Reply reply = daemon_round_trip(daemon.socket());
+    if (reply.exit != 0) {
+      state.SkipWithError("daemon request failed");
+      return;
+    }
+    benchmark::DoNotOptimize(reply.out);
+  }
+}
+BENCHMARK(BM_WarmDaemonExplore)->Unit(benchmark::kMillisecond);
+
+/// Warm path with the dedup contract asserted per iteration: every response
+/// must be byte-identical to the first (single execution, replayed bytes).
+void BM_WarmDaemonExploreChecked(benchmark::State& state) {
+  WarmDaemon& daemon = WarmDaemon::instance();
+  const Reply reference = daemon_round_trip(daemon.socket());
+  if (reference.exit != 0) {
+    state.SkipWithError("daemon request failed");
+    return;
+  }
+  for (auto _ : state) {
+    const Reply reply = daemon_round_trip(daemon.socket());
+    if (reply.exit != reference.exit || reply.out != reference.out ||
+        reply.err != reference.err) {
+      state.SkipWithError("daemon response diverged from reference bytes");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_WarmDaemonExploreChecked)->Unit(benchmark::kMillisecond);
+
+/// N concurrent clients issuing the identical request per iteration — the
+/// broker coalesces or replays them; reported time is the whole convoy.
+void BM_WarmDaemonConcurrentClients(benchmark::State& state) {
+  WarmDaemon& daemon = WarmDaemon::instance();
+  daemon_round_trip(daemon.socket());
+  const int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    std::vector<int> exits(clients, -1);
+    for (int i = 0; i < clients; ++i) {
+      threads.emplace_back([&, i] {
+        exits[i] = daemon_round_trip(daemon.socket()).exit;
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const int exit : exits) {
+      if (exit != 0) {
+        state.SkipWithError("a concurrent daemon request failed");
+        return;
+      }
+    }
+  }
+  state.counters["clients"] = static_cast<double>(clients);
+}
+BENCHMARK(BM_WarmDaemonConcurrentClients)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// Protocol floor: one ping round trip (connect, one-line request, one-line
+/// response) — the fixed overhead every daemon-served command carries.
+void BM_DaemonPingRoundTrip(benchmark::State& state) {
+  WarmDaemon& daemon = WarmDaemon::instance();
+  for (auto _ : state) {
+    if (!daemon_ping(daemon.socket())) {
+      state.SkipWithError("ping failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_DaemonPingRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -17,6 +17,7 @@
 #include "compiler/sweep.h"
 #include "compiler/validate.h"
 #include "cost/cost_cache.h"
+#include "serve/server.h"
 #include "tech/techlib_parser.h"
 #include "util/strings.h"
 #include "util/threadpool.h"
@@ -65,8 +66,18 @@ constexpr const char* kUsage =
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
     "  memo-compact --cache-file <path> [--shards <N>] [--out <path>]\n"
+    "          [--extra <path,path,...>]\n"
+    "  serve   [--socket <path>] [--tech <file.techlib>]\n"
+    "          [--cache-file <path>] [--response-cache <n>]\n"
+    "          [--status] [--stop]\n"
     "  precisions\n"
-    "  techlib\n";
+    "  techlib\n"
+    "\n"
+    "daemon client options (compile/explore/sweep/validate, handled by the\n"
+    "sega_dcim binary before the command runs):\n"
+    "  --socket <path>   use the serve daemon at <path> (default:\n"
+    "                    $SEGA_SERVE_SOCKET, else /tmp/sega-serve-<uid>.sock)\n"
+    "  --no-daemon       never use a daemon; always run in-process\n";
 
 /// Parse --key value pairs; flags named in @p boolean_flags take no value
 /// (their presence stores "1").  Returns false on malformed input.
@@ -133,8 +144,18 @@ std::optional<Json> load_spec_json(const std::string& path,
 }
 
 std::optional<Technology> load_technology(
-    const std::map<std::string, std::string>& flags, std::ostream& err) {
+    const std::map<std::string, std::string>& flags, const CliHooks& hooks,
+    std::ostream& err) {
   const auto it = flags.find("tech");
+  if (hooks.tech != nullptr) {
+    // Defense in depth: the daemon's dispatcher already rejects --tech; a
+    // per-request technology could not match the resident shared caches.
+    if (it != flags.end()) {
+      err << "--tech is not available via the daemon (use --no-daemon)\n";
+      return std::nullopt;
+    }
+    return *hooks.tech;
+  }
   if (it == flags.end()) return Technology::tsmc28();
   std::ifstream in(it->second);
   if (!in) {
@@ -165,8 +186,16 @@ bool parse_cost_model_flag(const std::map<std::string, std::string>& flags,
   return true;
 }
 
+/// The host's shared cache for this spec's backend/conditions, when hooks
+/// provide one (daemon dispatch); null otherwise.  A non-null cache makes
+/// Compiler::run ignore spec.cache_file — the host owns persistence.
+CostCache* shared_cache_for(const CliHooks& hooks, CostModelKind kind,
+                            const EvalConditions& cond) {
+  return hooks.cache_for ? hooks.cache_for(kind, cond) : nullptr;
+}
+
 int cmd_compile(const std::map<std::string, std::string>& flags,
-                std::ostream& out, std::ostream& err) {
+                std::ostream& out, std::ostream& err, const CliHooks& hooks) {
   if (!flags.count("spec") || !flags.count("out")) {
     err << "compile requires --spec and --out\n";
     return 2;
@@ -179,7 +208,7 @@ int cmd_compile(const std::map<std::string, std::string>& flags,
     err << serr << "\n";
     return 2;
   }
-  const auto tech = load_technology(flags, err);
+  const auto tech = load_technology(flags, hooks, err);
   if (!tech) return 2;
 
   CompilerSpec run_spec = *spec;
@@ -188,7 +217,9 @@ int cmd_compile(const std::map<std::string, std::string>& flags,
 
   const Compiler compiler(*tech);
   std::string run_err;
-  const CompilerResult result = compiler.run(run_spec, nullptr, &run_err);
+  const CompilerResult result = compiler.run(
+      run_spec, shared_cache_for(hooks, run_spec.cost_model, run_spec.conditions),
+      &run_err);
   if (!run_err.empty()) {
     err << run_err << "\n";
     return 2;
@@ -263,7 +294,7 @@ bool parse_dse_flags(const std::map<std::string, std::string>& flags,
 }
 
 int cmd_explore(const std::map<std::string, std::string>& flags,
-                std::ostream& out, std::ostream& err) {
+                std::ostream& out, std::ostream& err, const CliHooks& hooks) {
   if (!flags.count("wstore") || !flags.count("precision")) {
     err << "explore requires --wstore and --precision\n";
     return 2;
@@ -291,11 +322,13 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
   if (flags.count("cache-file")) spec.cache_file = flags.at("cache-file");
   if (!parse_cost_model_flag(flags, &spec.cost_model, err)) return 2;
 
-  const auto tech = load_technology(flags, err);
+  const auto tech = load_technology(flags, hooks, err);
   if (!tech) return 2;
   const Compiler compiler(*tech);
   std::string run_err;
-  const CompilerResult result = compiler.run(spec, nullptr, &run_err);
+  const CompilerResult result = compiler.run(
+      spec, shared_cache_for(hooks, spec.cost_model, spec.conditions),
+      &run_err);
   if (!run_err.empty()) {
     err << run_err << "\n";
     return 2;
@@ -521,7 +554,7 @@ int run_spawn_local(const Compiler& compiler, const SweepSpec& spec,
 /// an N-worker set (--shard) or as a K-process local fleet (--spawn-local).
 /// CSV goes to stdout; --out additionally writes sweep.json and sweep.csv.
 int cmd_sweep(const std::map<std::string, std::string>& flags,
-              std::ostream& out, std::ostream& err) {
+              std::ostream& out, std::ostream& err, const CliHooks& hooks) {
   SweepSpec spec;
   if (!build_sweep_spec(flags, &spec, err)) return 2;
   if (!parse_shard_flag(flags, &spec, err)) return 2;
@@ -551,7 +584,7 @@ int cmd_sweep(const std::map<std::string, std::string>& flags,
     }
   }
 
-  const auto tech = load_technology(flags, err);
+  const auto tech = load_technology(flags, hooks, err);
   if (!tech) return 2;
   const Compiler compiler(*tech);
 
@@ -576,6 +609,9 @@ int cmd_sweep(const std::map<std::string, std::string>& flags,
     return run_spawn_local(compiler, spec, spawn_local, flags, out, err);
   }
 
+  spec.shared_cache = shared_cache_for(hooks, spec.cost_model,
+                                       spec.conditions);
+  spec.progress = hooks.sweep_progress;
   std::string sweep_err;
   const SweepResult result = run_sweep(compiler, spec, &sweep_err);
   if (!sweep_err.empty()) {
@@ -610,7 +646,7 @@ int cmd_sweep_merge(const std::map<std::string, std::string>& flags,
     return 2;
   }
 
-  const auto tech = load_technology(flags, err);
+  const auto tech = load_technology(flags, CliHooks{}, err);
   if (!tech) return 2;
   const Compiler compiler(*tech);
   std::string merge_error;
@@ -690,7 +726,7 @@ int cmd_orchestrate(const std::map<std::string, std::string>& flags,
     return 2;
   }
 
-  const auto tech = load_technology(flags, err);
+  const auto tech = load_technology(flags, CliHooks{}, err);
   if (!tech) return 2;
   const Compiler compiler(*tech);
   SweepResult result;
@@ -736,6 +772,15 @@ int cmd_memo_compact(const std::map<std::string, std::string>& flags,
   for (int i = 0; i < shards; ++i) {
     sources.push_back(shard_file_path(base, i, shards));
   }
+  // --extra folds additional delta files into the compaction — the serve
+  // daemon's `<base>.serve-<hash>` memo deltas, or any other save_delta
+  // output with a matching fingerprint.
+  if (flags.count("extra")) {
+    for (const auto& field : split(flags.at("extra"), ',')) {
+      const std::string path = trim(field);
+      if (!path.empty()) sources.push_back(path);
+    }
+  }
   const std::string out_path = flags.count("out") ? flags.at("out") : base;
   std::string compact_error;
   CostCache::CompactStats stats;
@@ -757,7 +802,7 @@ int cmd_memo_compact(const std::map<std::string, std::string>& flags,
 /// divergence.  Exit 0 when every knee is within --tolerance, 1 when the
 /// tolerance is exceeded, 2 on errors.
 int cmd_validate(const std::map<std::string, std::string>& flags,
-                 std::ostream& out, std::ostream& err) {
+                 std::ostream& out, std::ostream& err, const CliHooks& hooks) {
   ValidateSpec spec;
   if (flags.count("spec")) {
     const auto json = load_spec_json(flags.at("spec"), err);
@@ -791,9 +836,15 @@ int cmd_validate(const std::map<std::string, std::string>& flags,
     spec.rtl_cache_file = flags.at("rtl-cache-file");
   }
 
-  const auto tech = load_technology(flags, err);
+  const auto tech = load_technology(flags, hooks, err);
   if (!tech) return 2;
   const Compiler compiler(*tech);
+  // validate always DSEs analytically and re-measures through RTL, so it
+  // draws on both of the host's shared caches when available.
+  spec.sweep.shared_cache = shared_cache_for(hooks, CostModelKind::kAnalytic,
+                                             spec.sweep.conditions);
+  spec.shared_rtl_cache = shared_cache_for(hooks, CostModelKind::kRtl,
+                                           spec.sweep.conditions);
   std::string run_error;
   const ValidateReport report = run_validate(compiler, spec, &run_error);
   if (!run_error.empty()) {
@@ -833,15 +884,20 @@ int cmd_validate(const std::map<std::string, std::string>& flags,
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
+  return run_cli_hooked(args, out, err, CliHooks{});
+}
+
+int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err, const CliHooks& hooks) {
   if (args.empty()) {
     err << kUsage;
     return 2;
   }
   const std::string& command = args[0];
   // Valueless flags, per command (everything else takes "--key value").
-  const std::vector<std::string> boolean_flags =
-      command == "sweep" ? std::vector<std::string>{"resume-summary"}
-                         : std::vector<std::string>{};
+  std::vector<std::string> boolean_flags;
+  if (command == "sweep") boolean_flags = {"resume-summary"};
+  if (command == "serve") boolean_flags = {"status", "stop"};
   std::map<std::string, std::string> flags;
   if (!parse_flags(args, 1, boolean_flags, &flags, err)) return 2;
 
@@ -851,7 +907,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
                      err)) {
       return 2;
     }
-    return cmd_compile(flags, out, err);
+    return cmd_compile(flags, out, err, hooks);
   }
   if (command == "explore") {
     if (!check_known(flags,
@@ -861,7 +917,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
                      err)) {
       return 2;
     }
-    return cmd_explore(flags, out, err);
+    return cmd_explore(flags, out, err, hooks);
   }
   if (command == "sweep") {
     if (!check_known(flags,
@@ -873,7 +929,20 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
                      err)) {
       return 2;
     }
-    return cmd_sweep(flags, out, err);
+    return cmd_sweep(flags, out, err, hooks);
+  }
+  if (command == "serve") {
+    if (hooks.tech != nullptr) {
+      err << "serve cannot run inside the daemon (use --no-daemon)\n";
+      return 2;
+    }
+    if (!check_known(flags,
+                     {"socket", "tech", "cache-file", "response-cache",
+                      "status", "stop"},
+                     err)) {
+      return 2;
+    }
+    return run_serve_cli(flags, out, err);
   }
   if (command == "orchestrate") {
     if (!check_known(flags,
@@ -889,7 +958,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     return cmd_orchestrate(flags, out, err);
   }
   if (command == "memo-compact") {
-    if (!check_known(flags, {"cache-file", "shards", "out"}, err)) {
+    if (!check_known(flags, {"cache-file", "shards", "out", "extra"}, err)) {
       return 2;
     }
     return cmd_memo_compact(flags, out, err);
@@ -914,7 +983,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
                      err)) {
       return 2;
     }
-    return cmd_validate(flags, out, err);
+    return cmd_validate(flags, out, err, hooks);
   }
   if (command == "precisions") {
     for (const auto& p : all_precisions()) out << p.name << "\n";

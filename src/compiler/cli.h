@@ -14,15 +14,48 @@
 //       Print the default TSMC28-like technology file.
 #pragma once
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "cost/cost_model.h"
+#include "util/json.h"
+
 namespace sega {
+
+class CostCache;
+
+/// Dependency-injection points for an embedding host — the `sega_dcim
+/// serve` daemon (serve/server.h), which keeps the technology and warm
+/// evaluation caches resident across requests.  Default-constructed hooks
+/// leave every command's behavior identical to plain run_cli; set hooks
+/// only redirect *where* evaluation state lives, never what any command
+/// outputs — daemon and in-process runs are byte-identical by construction
+/// because they execute the same code path.
+struct CliHooks {
+  /// Resident technology.  When set, commands use it instead of loading
+  /// the default, and --tech is rejected — a per-request technology would
+  /// not match the host's shared caches.
+  const Technology* tech = nullptr;
+
+  /// Shared warm evaluation cache for (backend, conditions); may return
+  /// null (the command then builds its own).  The host keys its registry
+  /// by exactly the (kind, conditions) pair it is called with.
+  std::function<CostCache*(CostModelKind, const EvalConditions&)> cache_for;
+
+  /// Streaming sink for completed sweep cells (SweepSpec::progress) — the
+  /// daemon forwards each record as a progress line to the client.
+  std::function<void(const Json&)> sweep_progress;
+};
 
 /// Run the CLI.  Returns a process exit code; all output goes to the given
 /// streams (stdout/stderr in the real binary).
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
+
+/// run_cli with host hooks — the daemon's dispatch path.
+int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err, const CliHooks& hooks);
 
 }  // namespace sega

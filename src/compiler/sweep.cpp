@@ -910,8 +910,15 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   // design points, and checkpoint recovery re-derives knee metrics from it.
   // The cache wraps the spec's chosen backend; the memo fingerprint carries
   // the backend identity, so analytic and RTL memos never mix.
-  CostCache cache(make_cost_model(spec.cost_model, compiler.technology(),
-                                  spec.conditions));
+  // A host-provided shared cache (SweepSpec::shared_cache — the serve
+  // daemon's warm cross-client cache) replaces the run-local one; its owner
+  // manages persistence, so the memo load/save below is skipped with it.
+  std::unique_ptr<CostCache> owned_cache;
+  if (spec.shared_cache == nullptr) {
+    owned_cache = std::make_unique<CostCache>(make_cost_model(
+        spec.cost_model, compiler.technology(), spec.conditions));
+  }
+  CostCache& cache = spec.shared_cache ? *spec.shared_cache : *owned_cache;
 
   // --- persistent memo load ---
   // Sharded workers seed from the unified base memo (a previously merged
@@ -920,7 +927,7 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   // resumed worker; part of the delta).  Unsharded runs load the base only.
   // Merge-on-load keeps whichever entry arrived first — for a matching
   // fingerprint they are identical anyway.
-  if (!spec.cache_file.empty()) {
+  if (!spec.cache_file.empty() && spec.shared_cache == nullptr) {
     std::vector<std::string> memo_sources = {spec.cache_file};
     if (memo_path != spec.cache_file) memo_sources.push_back(memo_path);
     for (const std::string& path : memo_sources) {
@@ -1084,7 +1091,7 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   // hook, and the end-of-run save all go through it).  Non-fatal: the grid
   // is the primary product; a failed memo write only costs re-evaluation.
   const auto persist_memo = [&]() {
-    if (memo_path.empty()) return;
+    if (memo_path.empty() || spec.shared_cache != nullptr) return;
     std::string cache_error;
     const bool saved = spec.shard.active()
                            ? cache.save_delta(memo_path, &cache_error)
@@ -1212,11 +1219,14 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     if (ckpt) {
       // Streamed so a kill at any point loses at most the in-flight line;
       // completion order varies with scheduling, but resume keys cells by
-      // (wstore, precision), not by file position.
-      const std::string line = cell_line(slot.cell, slot.empty).dump();
+      // (wstore, precision), not by file position.  The progress hook fires
+      // under the same lock, so stream order matches append order.
+      const Json record = cell_line(slot.cell, slot.empty);
+      const std::string line = record.dump();
       std::lock_guard<std::mutex> lock(ckpt_mu);
       *ckpt << line << '\n';
       ckpt->flush();
+      if (spec.progress) spec.progress(record);
       done[gi] = 1;
       ++done_owned;
       const long long completed = ++completions;
@@ -1228,6 +1238,11 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     } else {
       // No checkpoint, no snapshot to persist — but the fault must still
       // fire on schedule (only one thread ever sees the threshold value).
+      if (spec.progress) {
+        const Json record = cell_line(slot.cell, slot.empty);
+        std::lock_guard<std::mutex> lock(ckpt_mu);
+        spec.progress(record);
+      }
       maybe_fire_fault(++completions);
     }
   });

@@ -11,6 +11,7 @@
 // and a restarted sweep skips cells the checkpoint already covers.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -101,6 +102,27 @@ struct SweepSpec {
   /// from it).  Not result-affecting — excluded from the config
   /// fingerprint, like threads.
   int heartbeat_every = 0;
+
+  /// Observational hooks for an embedding host (the `sega_dcim serve`
+  /// daemon).  Never serialized, never part of the config fingerprint:
+  /// neither can change a byte of any result.
+  ///
+  /// progress fires once per cell *completed by this run* (cells recovered
+  /// from a checkpoint were already streamed by the run that computed
+  /// them), after the cell's checkpoint line — when one is written — is
+  /// flushed, and receives the same checksummed JSON record the checkpoint
+  /// stores.  Calls are serialized (one at a time, record order matches
+  /// checkpoint append order) but arrive on pool worker threads.
+  std::function<void(const Json&)> progress;
+
+  /// When non-null, evaluate through this externally owned cache instead of
+  /// constructing one, and skip cache_file load/save entirely (the owner
+  /// manages persistence — this is how N daemon clients dedup through one
+  /// warm cache).  Precondition: the cache wraps the same backend kind,
+  /// technology, and conditions as this spec.  SweepResult::cache_hits/
+  /// cache_misses then report the shared cache's cumulative counters, not
+  /// this run's (they are unserialized diagnostics either way).
+  CostCache* shared_cache = nullptr;
 
   /// Parse from JSON, e.g.:
   ///   {"wstores": [4096, 8192], "precisions": ["INT8", "BF16"],

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 
 #include "cost/cost_cache.h"
 #include "cost/rtl_cost_model.h"
@@ -121,29 +122,40 @@ ValidateReport run_validate(const Compiler& compiler, const ValidateSpec& spec,
 
   // --- 2. the same knees through the measured model -----------------------
   // One batch through an RTL cache: the pool fans the elaborations out, the
-  // persistent memo makes warm reruns elaborate nothing.
-  RtlCostModelOptions rtl_options;
-  rtl_options.threads = grid.dse.threads;
-  const RtlCostModel rtl_model(compiler.technology(), grid.conditions,
-                               rtl_options);
-  CostCache rtl_cache(rtl_model);
-  if (!spec.rtl_cache_file.empty()) {
-    std::error_code ec;
-    std::string cache_error;
-    if (std::filesystem::exists(spec.rtl_cache_file, ec) &&
-        !rtl_cache.load(spec.rtl_cache_file, &cache_error)) {
-      return validate_fail(cache_error, error);
+  // persistent memo makes warm reruns elaborate nothing.  A host-provided
+  // shared cache (ValidateSpec::shared_rtl_cache — the serve daemon's)
+  // replaces the run-local model + cache; its owner persists, so the
+  // rtl_cache_file load/save applies only to the local stack.
+  std::unique_ptr<const RtlCostModel> owned_model;
+  std::unique_ptr<CostCache> owned_cache;
+  CostCache* rtl_cache = spec.shared_rtl_cache;
+  if (rtl_cache == nullptr) {
+    RtlCostModelOptions rtl_options;
+    rtl_options.threads = grid.dse.threads;
+    owned_model = std::make_unique<const RtlCostModel>(
+        compiler.technology(), grid.conditions, rtl_options);
+    owned_cache = std::make_unique<CostCache>(*owned_model);
+    rtl_cache = owned_cache.get();
+    if (!spec.rtl_cache_file.empty()) {
+      std::error_code ec;
+      std::string cache_error;
+      if (std::filesystem::exists(spec.rtl_cache_file, ec) &&
+          !rtl_cache->load(spec.rtl_cache_file, &cache_error)) {
+        return validate_fail(cache_error, error);
+      }
     }
   }
+  const std::uint64_t rtl_hits_before = rtl_cache->hits();
+  const std::uint64_t rtl_misses_before = rtl_cache->misses();
   std::vector<DesignPoint> knees;
   knees.reserve(cells.cells.size());
   for (const auto& cell : cells.cells) knees.push_back(cell.knee.point);
   std::vector<MacroMetrics> measured(knees.size());
-  rtl_cache.evaluate_batch(Span<const DesignPoint>(knees),
-                           Span<MacroMetrics>(measured));
-  if (!spec.rtl_cache_file.empty()) {
+  rtl_cache->evaluate_batch(Span<const DesignPoint>(knees),
+                            Span<MacroMetrics>(measured));
+  if (owned_cache && !spec.rtl_cache_file.empty()) {
     std::string cache_error;
-    if (!rtl_cache.save(spec.rtl_cache_file, &cache_error)) {
+    if (!rtl_cache->save(spec.rtl_cache_file, &cache_error)) {
       std::fprintf(stderr, "[sega] warning: %s (validate results "
                    "unaffected)\n",
                    cache_error.c_str());
@@ -153,9 +165,14 @@ ValidateReport run_validate(const Compiler& compiler, const ValidateSpec& spec,
   // --- 3. divergence rows --------------------------------------------------
   ValidateReport report;
   report.tolerance = spec.tolerance;
-  report.rtl_elaborations = rtl_model.elaborations();
-  report.rtl_cache_hits = rtl_cache.hits();
-  report.rtl_cache_misses = rtl_cache.misses();
+  // With a shared cache the local model's elaboration counter does not
+  // exist; every cache miss is exactly one model evaluation, so the miss
+  // delta is the same quantity.
+  report.rtl_elaborations = owned_model
+                                ? owned_model->elaborations()
+                                : rtl_cache->misses() - rtl_misses_before;
+  report.rtl_cache_hits = rtl_cache->hits() - rtl_hits_before;
+  report.rtl_cache_misses = rtl_cache->misses() - rtl_misses_before;
   for (std::size_t i = 0; i < cells.cells.size(); ++i) {
     const SweepCell& cell = cells.cells[i];
     ValidateRow row;

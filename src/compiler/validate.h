@@ -58,6 +58,15 @@ struct ValidateSpec {
   /// the two backends' fingerprints never match.
   std::string rtl_cache_file;
 
+  /// When non-null, measure the knees through this externally owned RTL
+  /// cache (the serve daemon's warm cross-client cache) instead of a local
+  /// model, and skip rtl_cache_file load/save (the owner persists).
+  /// Precondition: wraps an RTL-backend model of the same technology and
+  /// conditions.  The report's RTL work counters then cover this request
+  /// only (deltas of the shared counters; approximate when other requests
+  /// evaluate concurrently).  Never serialized — to_json() omits it.
+  CostCache* shared_rtl_cache = nullptr;
+
   ValidateSpec();
 
   /// Parse from JSON: every sweep spec key (wstores, precisions, seed, ...)

@@ -1,0 +1,91 @@
+#include "cost/batch_coalescer.h"
+
+#include "util/assert.h"
+
+namespace sega {
+
+BatchCoalescer::BatchCoalescer(std::unique_ptr<const CostModel> model)
+    : model_(std::move(model)) {
+  SEGA_EXPECTS(model_ != nullptr);
+}
+
+MacroMetrics BatchCoalescer::evaluate(const DesignPoint& dp) const {
+  // Route singles through the queued path: they are precisely the traffic
+  // coalescing exists for.
+  MacroMetrics out;
+  evaluate_batch(Span<const DesignPoint>(&dp, 1), Span<MacroMetrics>(&out, 1));
+  return out;
+}
+
+void BatchCoalescer::evaluate_batch(Span<const DesignPoint> points,
+                                    Span<MacroMetrics> out) const {
+  SEGA_EXPECTS(points.size() == out.size());
+  if (points.empty()) return;
+  if (points.size() >= kDirectThreshold) {
+    // Big batches keep their parallelism: concurrent callers run
+    // concurrently, exactly as without the decorator.
+    direct_.fetch_add(1);
+    inner_points_.fetch_add(points.size());
+    model_->evaluate_batch(points, out);
+    return;
+  }
+
+  Ticket ticket{points.data(), out.data(), points.size()};
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&ticket);
+  tickets_.fetch_add(1);
+  while (!ticket.done) {
+    if (leader_active_) {
+      // A leader is evaluating; it will drain this ticket in its next
+      // round.  Also wake when the leader retires with this ticket still
+      // pending — then claim leadership below instead of parking forever.
+      cv_.wait(lock, [&] { return ticket.done || !leader_active_; });
+      continue;
+    }
+    // Become the leader: repeatedly drain everything queued (our own ticket
+    // plus whatever arrived while the previous round evaluated) into one
+    // call on the wrapped model, until our own ticket is done.
+    leader_active_ = true;
+    while (!ticket.done) {
+      std::vector<Ticket*> round;
+      round.swap(queue_);
+      lock.unlock();
+
+      std::vector<DesignPoint> combined;
+      std::size_t total = 0;
+      for (const Ticket* t : round) total += t->count;
+      combined.reserve(total);
+      for (const Ticket* t : round) {
+        combined.insert(combined.end(), t->points, t->points + t->count);
+      }
+      std::vector<MacroMetrics> results(combined.size());
+      model_->evaluate_batch(Span<const DesignPoint>(combined),
+                             Span<MacroMetrics>(results));
+      inner_.fetch_add(1);
+      inner_points_.fetch_add(combined.size());
+      std::size_t seen = max_coalesced_.load();
+      while (combined.size() > seen &&
+             !max_coalesced_.compare_exchange_weak(seen, combined.size())) {
+      }
+
+      std::size_t offset = 0;
+      for (Ticket* t : round) {
+        for (std::size_t i = 0; i < t->count; ++i) {
+          t->out[i] = results[offset + i];
+        }
+        offset += t->count;
+      }
+
+      lock.lock();
+      for (Ticket* t : round) t->done = true;
+      cv_.notify_all();
+    }
+    leader_active_ = false;
+    // Tickets queued after our last drain need a new leader; the retire
+    // notification above already woke every waiter, and the wait predicate
+    // lets one of them take over.
+    cv_.notify_all();
+  }
+}
+
+}  // namespace sega

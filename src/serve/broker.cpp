@@ -1,0 +1,130 @@
+#include "serve/broker.h"
+
+#include <sstream>
+
+namespace sega {
+
+RequestBroker::RequestBroker(Executor executor,
+                             std::size_t response_cache_entries)
+    : executor_(std::move(executor)), cache_capacity_(response_cache_entries) {}
+
+std::string RequestBroker::key_of(const std::vector<std::string>& argv) {
+  // The compact JSON dump is an unambiguous canonical encoding: unlike
+  // join(argv, " "), arguments containing spaces or quotes cannot collide.
+  Json arr = Json::array();
+  for (const std::string& a : argv) arr.push_back(a);
+  return arr.dump();
+}
+
+std::size_t RequestBroker::response_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void RequestBroker::cache_store(const std::string& key,
+                                const RunOutcome& outcome) {
+  if (cache_capacity_ == 0) return;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second.first = outcome;
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    return;
+  }
+  while (cache_.size() >= cache_capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, std::make_pair(outcome, lru_.begin()));
+}
+
+RunOutcome RequestBroker::run(const std::vector<std::string>& argv,
+                              bool cacheable, const ProgressSink& progress) {
+  requests_.fetch_add(1);
+  const std::string key = key_of(argv);
+  std::shared_ptr<Entry> entry;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cacheable) {
+      auto hit = cache_.find(key);
+      if (hit != cache_.end()) {
+        lru_.splice(lru_.begin(), lru_, hit->second.second);
+        response_hits_.fetch_add(1);
+        return hit->second.first;
+      }
+    }
+    auto in = inflight_.find(key);
+    if (in != inflight_.end()) {
+      entry = in->second;
+      coalesced_.fetch_add(1);
+    } else {
+      entry = std::make_shared<Entry>();
+      inflight_[key] = entry;
+      leader = true;
+    }
+  }
+
+  if (leader) {
+    executions_.fetch_add(1);
+    std::ostringstream out;
+    std::ostringstream err;
+    RunOutcome outcome;
+    // The leader's own progress sink is fed directly (same thread, record
+    // order); the shared buffer feeds followers, past and future.
+    auto stream = [&](const Json& record) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        entry->progress.push_back(record);
+      }
+      entry->cv.notify_all();
+      if (progress) progress(record);
+    };
+    try {
+      outcome.exit = executor_(argv, out, err, stream);
+    } catch (const std::exception& e) {
+      outcome.exit = 99;
+      err << "internal error: " << e.what() << "\n";
+    } catch (...) {
+      outcome.exit = 99;
+      err << "internal error\n";
+    }
+    outcome.out = out.str();
+    outcome.err = err.str();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entry->outcome = outcome;
+      entry->done = true;
+      inflight_.erase(key);
+      // Only clean successes are worth replaying: a failure (missing spec
+      // file, bad flag) may be fixed by the next attempt's environment.
+      if (cacheable && outcome.exit == 0) cache_store(key, outcome);
+    }
+    entry->cv.notify_all();
+    return outcome;
+  }
+
+  // Follower: replay buffered progress, stream new records as the leader
+  // emits them, then take a copy of the shared outcome.  The sink runs
+  // outside the lock — a slow client must not stall the broker.
+  std::size_t consumed = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    while (consumed < entry->progress.size()) {
+      const Json record = entry->progress[consumed++];
+      if (progress) {
+        lock.unlock();
+        progress(record);
+        lock.lock();
+      }
+    }
+    if (entry->done && consumed == entry->progress.size()) {
+      return entry->outcome;
+    }
+    entry->cv.wait(lock, [&] {
+      return entry->done || consumed < entry->progress.size();
+    });
+  }
+}
+
+}  // namespace sega

@@ -1,0 +1,102 @@
+#include "serve/protocol.h"
+
+#include "util/strings.h"
+
+namespace sega {
+
+namespace {
+
+Json base_response(const Json& id, const char* type) {
+  Json r = Json::object();
+  r["id"] = id;
+  r["type"] = type;
+  return r;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, ServeRequest* req,
+                   std::string* error) {
+  std::string parse_error;
+  std::optional<Json> parsed = Json::parse(line, &parse_error);
+  if (!parsed) {
+    *error = strfmt("malformed request: %s", parse_error.c_str());
+    return false;
+  }
+  if (!parsed->is_object()) {
+    *error = "malformed request: not a JSON object";
+    return false;
+  }
+  req->id = parsed->contains("id") ? parsed->at("id") : Json();
+  if (!parsed->contains("cmd") || !parsed->at("cmd").is_string()) {
+    *error = "malformed request: missing string 'cmd'";
+    return false;
+  }
+  const std::string& cmd = parsed->at("cmd").as_string();
+  req->argv.clear();
+  if (cmd == "ping") {
+    req->cmd = ServeRequest::Cmd::kPing;
+  } else if (cmd == "status") {
+    req->cmd = ServeRequest::Cmd::kStatus;
+  } else if (cmd == "shutdown") {
+    req->cmd = ServeRequest::Cmd::kShutdown;
+  } else if (cmd == "run") {
+    req->cmd = ServeRequest::Cmd::kRun;
+    if (!parsed->contains("argv") || !parsed->at("argv").is_array()) {
+      *error = "malformed request: 'run' needs an 'argv' array";
+      return false;
+    }
+    const std::vector<Json>& elems = parsed->at("argv").elements();
+    if (elems.empty()) {
+      *error = "malformed request: empty 'argv'";
+      return false;
+    }
+    req->argv.reserve(elems.size());
+    for (const Json& e : elems) {
+      if (!e.is_string()) {
+        *error = "malformed request: 'argv' must contain only strings";
+        return false;
+      }
+      req->argv.push_back(e.as_string());
+    }
+  } else {
+    *error = strfmt("malformed request: unknown cmd '%s'", cmd.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string error_line(const Json& id, const std::string& message) {
+  Json r = base_response(id, "error");
+  r["error"] = message;
+  return r.dump() + "\n";
+}
+
+std::string pong_line(const Json& id, int pid) {
+  Json r = base_response(id, "pong");
+  r["pid"] = pid;
+  return r.dump() + "\n";
+}
+
+std::string status_line(const Json& id, const Json& status) {
+  Json r = base_response(id, "status");
+  r["status"] = status;
+  return r.dump() + "\n";
+}
+
+std::string progress_line(const Json& id, const Json& record) {
+  Json r = base_response(id, "progress");
+  r["record"] = record;
+  return r.dump() + "\n";
+}
+
+std::string result_line(const Json& id, int exit_code, const std::string& out,
+                        const std::string& err) {
+  Json r = base_response(id, "result");
+  r["exit"] = exit_code;
+  r["out"] = out;
+  r["err"] = err;
+  return r.dump() + "\n";
+}
+
+}  // namespace sega

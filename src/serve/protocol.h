@@ -1,0 +1,64 @@
+// Wire protocol of the `sega_dcim serve` daemon.
+//
+// One request per newline-terminated line of compact JSON (the repo-wide
+// JSONL convention, util/socket.h):
+//
+//   {"id": <any>, "cmd": "ping" | "status" | "shutdown" | "run",
+//    "argv": ["explore", "--wstore", "1024", ...]}
+//
+// `id` is an opaque client correlation token echoed verbatim on every
+// response line; `argv` (run only) is the CLI argument vector after the
+// subcommand-level daemon flags were stripped — the daemon executes it
+// through the same run_cli code path as the standalone binary, which is what
+// makes daemon and --no-daemon output byte-identical by construction.
+//
+// Responses (one or more lines per request, `type` discriminated):
+//
+//   {"id":..., "type":"error",    "error": "<message>"}
+//   {"id":..., "type":"pong",     "pid": <int>}
+//   {"id":..., "type":"status",   "status": {...}}
+//   {"id":..., "type":"progress", "record": {...}}     (streamed, 0..n)
+//   {"id":..., "type":"result",   "exit": <int>, "out": "...", "err": "..."}
+//
+// Every request terminates in exactly one "error" or "result"/"pong"/
+// "status" line; "progress" lines (sweep cells as they complete) only ever
+// precede their "result".  Requests on one connection are served strictly
+// in order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace sega {
+
+/// Upper bound for one request line; larger lines are rejected with a clean
+/// per-request error (LineReader resyncs past them).  Generous: the largest
+/// legitimate request is an argv of file paths, a few hundred bytes.
+constexpr std::size_t kMaxRequestBytes = std::size_t{8} * 1024 * 1024;
+
+/// A parsed request.
+struct ServeRequest {
+  enum class Cmd { kPing, kStatus, kShutdown, kRun };
+
+  Json id;  ///< echoed verbatim; null when the client sent none
+  Cmd cmd = Cmd::kPing;
+  std::vector<std::string> argv;  ///< kRun only
+};
+
+/// Parse one request line.  False (with *error set) on malformed JSON, a
+/// non-object, an unknown/missing cmd, or a non-string-array argv.
+bool parse_request(const std::string& line, ServeRequest* req,
+                   std::string* error);
+
+/// Response builders.  Each returns one compact JSON line including the
+/// trailing '\n', ready for send_all().  @p id is echoed verbatim.
+std::string error_line(const Json& id, const std::string& message);
+std::string pong_line(const Json& id, int pid);
+std::string status_line(const Json& id, const Json& status);
+std::string progress_line(const Json& id, const Json& record);
+std::string result_line(const Json& id, int exit_code, const std::string& out,
+                        const std::string& err);
+
+}  // namespace sega

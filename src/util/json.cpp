@@ -195,6 +195,15 @@ namespace {
 
 class Parser {
  public:
+  // Nesting bound for the recursive-descent value parser.  Parsing is one
+  // stack frame per level, so without a cap a hostile payload of a few
+  // hundred kilobytes of "[[[[..." overflows the parser's stack — undefined
+  // behavior an always-on daemon reading untrusted request lines cannot
+  // afford.  Every format this library produces nests a handful of levels;
+  // 128 is orders of magnitude of headroom while keeping worst-case stack
+  // use trivially small.
+  static constexpr int kMaxDepth = 128;
+
   Parser(const std::string& text, std::string* error)
       : text_(text), error_(error) {}
 
@@ -237,8 +246,16 @@ class Parser {
       return std::nullopt;
     }
     const char c = text_[pos_];
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
+    if (c == '{' || c == '[') {
+      if (depth_ >= kMaxDepth) {
+        fail("nesting too deep");
+        return std::nullopt;
+      }
+      ++depth_;
+      auto v = c == '{' ? parse_object() : parse_array();
+      --depth_;
+      return v;
+    }
     if (c == '"') return parse_string();
     if (c == 't' || c == 'f') return parse_bool();
     if (c == 'n') return parse_null();
@@ -416,6 +433,7 @@ class Parser {
   const std::string& text_;
   std::string* error_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -65,7 +65,9 @@ class Json {
   std::string dump(int indent = -1) const;
 
   /// Parse; returns std::nullopt (and fills *error if given) on malformed
-  /// input.
+  /// input.  Containers may nest at most 128 levels — deeper input is a
+  /// parse error, never unbounded recursion (the parser also reads
+  /// untrusted request lines in the `sega_dcim serve` daemon).
   static std::optional<Json> parse(const std::string& text,
                                    std::string* error = nullptr);
 

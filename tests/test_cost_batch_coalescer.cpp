@@ -1,0 +1,160 @@
+#include "cost/batch_coalescer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cost/cost_cache.h"
+#include "tech/technology.h"
+#include "test_support.h"
+
+namespace sega {
+namespace {
+
+using test::CountingCostModel;
+using test::expect_same_metrics;
+using test::int8_point;
+
+/// A few distinct valid points for batch tests.
+std::vector<DesignPoint> sample_points(std::size_t n) {
+  const std::int64_t sizes[] = {16, 32, 64, 128};
+  std::vector<DesignPoint> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t s = sizes[i % 4];
+    points.push_back(int8_point(s, s, s, 1 + static_cast<std::int64_t>(i % 3)));
+  }
+  return points;
+}
+
+TEST(BatchCoalescerTest, IdentityTransparentOverInnerModel) {
+  const Technology tech = Technology::tsmc28();
+  AnalyticCostModel reference(tech);
+  BatchCoalescer coalescer(std::make_unique<AnalyticCostModel>(tech));
+
+  EXPECT_STREQ(coalescer.model_name(), reference.model_name());
+  EXPECT_EQ(coalescer.model_version(), reference.model_version());
+
+  const DesignPoint dp = int8_point(64, 64, 64, 2);
+  expect_same_metrics(coalescer.evaluate(dp), reference.evaluate(dp));
+}
+
+TEST(BatchCoalescerTest, LargeBatchesBypassTheQueue) {
+  const Technology tech = Technology::tsmc28();
+  auto counting = std::make_unique<CountingCostModel>(tech);
+  const CountingCostModel* inner = counting.get();
+  BatchCoalescer coalescer(std::move(counting));
+
+  const auto points = sample_points(BatchCoalescer::kDirectThreshold);
+  std::vector<MacroMetrics> out(points.size());
+  coalescer.evaluate_batch({points.data(), points.size()},
+                           {out.data(), out.size()});
+
+  EXPECT_EQ(coalescer.direct_batches(), 1u);
+  EXPECT_EQ(coalescer.tickets(), 0u);
+  EXPECT_EQ(inner->evaluations(), points.size());
+
+  AnalyticCostModel reference(tech);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    expect_same_metrics(out[i], reference.evaluate(points[i]));
+  }
+}
+
+TEST(BatchCoalescerTest, SmallBatchesQueueAndEveryPointReachesTheModel) {
+  const Technology tech = Technology::tsmc28();
+  auto counting = std::make_unique<CountingCostModel>(tech);
+  const CountingCostModel* inner = counting.get();
+  BatchCoalescer coalescer(std::move(counting));
+
+  const auto points = sample_points(4);
+  std::vector<MacroMetrics> out(points.size());
+  coalescer.evaluate_batch({points.data(), points.size()},
+                           {out.data(), out.size()});
+
+  EXPECT_EQ(coalescer.tickets(), 1u);
+  EXPECT_EQ(coalescer.direct_batches(), 0u);
+  EXPECT_EQ(coalescer.inner_points(), points.size());
+  EXPECT_EQ(inner->evaluations(), points.size());
+}
+
+TEST(BatchCoalescerTest, EmptyBatchIsANoOp) {
+  const Technology tech = Technology::tsmc28();
+  BatchCoalescer coalescer(std::make_unique<AnalyticCostModel>(tech));
+  coalescer.evaluate_batch({nullptr, 0}, {nullptr, 0});
+  EXPECT_EQ(coalescer.tickets(), 0u);
+  EXPECT_EQ(coalescer.inner_batches(), 0u);
+}
+
+TEST(BatchCoalescerTest, ConcurrentSmallBatchesAllCompleteCorrectly) {
+  // The core liveness + correctness contract: many threads push small
+  // batches through the queue simultaneously; every caller gets the right
+  // metrics for *its* points, and the counters account for every point.
+  const Technology tech = Technology::tsmc28();
+  auto counting = std::make_unique<CountingCostModel>(tech);
+  const CountingCostModel* inner = counting.get();
+  BatchCoalescer coalescer(std::move(counting));
+  AnalyticCostModel reference(tech);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread evaluates a distinct point set so a scatter bug
+        // (results delivered to the wrong ticket) cannot cancel out.
+        const auto points = sample_points(1 + (t + round) % 5);
+        std::vector<MacroMetrics> out(points.size());
+        coalescer.evaluate_batch({points.data(), points.size()},
+                                 {out.data(), out.size()});
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          if (out[i].tops_per_w != reference.evaluate(points[i]).tops_per_w) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(coalescer.tickets(),
+            static_cast<std::uint64_t>(kThreads * kRounds));
+  // Every queued point reached the model exactly once, whatever the
+  // coalescing pattern the scheduler produced.
+  EXPECT_EQ(inner->evaluations(), coalescer.inner_points());
+  // Coalescing never exceeds what was concurrently in flight.
+  EXPECT_LE(coalescer.inner_batches(), coalescer.tickets());
+  EXPECT_GE(coalescer.max_coalesced(), 1u);
+}
+
+TEST(BatchCoalescerTest, ComposesUnderCostCacheWithExactOnceSemantics) {
+  // The daemon's per-config stack: CostCache over BatchCoalescer.  Repeated
+  // concurrent evaluation of one point set must hit the model exactly once
+  // per distinct point.
+  const Technology tech = Technology::tsmc28();
+  auto counting = std::make_unique<CountingCostModel>(tech);
+  const CountingCostModel* inner = counting.get();
+  CostCache cache(std::make_unique<BatchCoalescer>(std::move(counting)));
+
+  const auto points = sample_points(6);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<MacroMetrics> out(points.size());
+      cache.evaluate_batch({points.data(), points.size()},
+                           {out.data(), out.size()});
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(inner->evaluations(), points.size());
+  EXPECT_EQ(cache.size(), points.size());
+}
+
+}  // namespace
+}  // namespace sega

@@ -1,0 +1,241 @@
+#include "serve/broker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace sega {
+namespace {
+
+using Argv = std::vector<std::string>;
+
+TEST(RequestBrokerTest, LeaderExecutesAndOutcomeCarriesBytes) {
+  RequestBroker broker(
+      [](const Argv& argv, std::ostream& out, std::ostream& err,
+         const std::function<void(const Json&)>&) {
+        out << "ran " << argv[0] << "\n";
+        err << "warn\n";
+        return 5;
+      },
+      /*response_cache_entries=*/0);
+
+  const RunOutcome outcome = broker.run({"explore"}, /*cacheable=*/false, {});
+  EXPECT_EQ(outcome.exit, 5);
+  EXPECT_EQ(outcome.out, "ran explore\n");
+  EXPECT_EQ(outcome.err, "warn\n");
+  EXPECT_EQ(broker.requests(), 1u);
+  EXPECT_EQ(broker.executions(), 1u);
+  EXPECT_EQ(broker.coalesced(), 0u);
+}
+
+TEST(RequestBrokerTest, ConcurrentIdenticalRequestsExecuteOnce) {
+  // The tentpole contract: N concurrent identical requests → one execution,
+  // byte-identical outcomes for every subscriber.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  int arrived = 0;
+  bool release = false;
+  std::atomic<int> executions{0};
+
+  constexpr int kClients = 6;
+  RequestBroker broker(
+      [&](const Argv&, std::ostream& out, std::ostream&,
+          const std::function<void(const Json&)>&) {
+        executions.fetch_add(1);
+        // Hold the leader until every client has had time to attach, so the
+        // test exercises genuine coalescing rather than racing past it.
+        std::unique_lock<std::mutex> lock(gate_mu);
+        gate_cv.wait(lock, [&] { return release; });
+        out << "answer\n";
+        return 0;
+      },
+      0);
+
+  std::vector<std::thread> clients;
+  std::vector<RunOutcome> outcomes(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      {
+        std::lock_guard<std::mutex> lock(gate_mu);
+        ++arrived;
+      }
+      gate_cv.notify_all();
+      outcomes[i] = broker.run({"explore", "--wstore", "64"}, false, {});
+    });
+  }
+  {
+    // Release the leader only after all clients are at least started; the
+    // broker guarantees correctness either way, but waiting maximizes the
+    // chance every follower truly attached to the in-flight entry.
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait_for(lock, std::chrono::seconds(5),
+                     [&] { return arrived == kClients; });
+    release = true;
+  }
+  gate_cv.notify_all();
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(broker.executions(), 1u);
+  EXPECT_EQ(broker.requests(), static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(broker.coalesced(), static_cast<std::uint64_t>(kClients - 1));
+  for (const RunOutcome& o : outcomes) {
+    EXPECT_EQ(o.exit, 0);
+    EXPECT_EQ(o.out, outcomes[0].out);
+    EXPECT_EQ(o.err, outcomes[0].err);
+  }
+}
+
+TEST(RequestBrokerTest, FollowersReceiveAllProgressRecordsInOrder) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool follower_attached = false;
+
+  RequestBroker broker(
+      [&](const Argv&, std::ostream&, std::ostream&,
+          const std::function<void(const Json&)>& progress) {
+        Json first = Json::object();
+        first["i"] = 0;
+        progress(first);  // emitted before the follower attaches
+        {
+          std::unique_lock<std::mutex> lock(gate_mu);
+          gate_cv.wait_for(lock, std::chrono::seconds(5),
+                           [&] { return follower_attached; });
+        }
+        for (int i = 1; i < 4; ++i) {
+          Json record = Json::object();
+          record["i"] = i;
+          progress(record);  // emitted while the follower streams live
+        }
+        return 0;
+      },
+      0);
+
+  std::vector<int> leader_seen, follower_seen;
+  std::thread leader([&] {
+    broker.run({"sweep"}, false,
+               [&](const Json& r) { leader_seen.push_back(r.at("i").as_int()); });
+  });
+  std::thread follower([&] {
+    broker.run({"sweep"}, false, [&](const Json& r) {
+      follower_seen.push_back(r.at("i").as_int());
+      if (follower_seen.size() == 1) {
+        std::lock_guard<std::mutex> lock(gate_mu);
+        follower_attached = true;
+        gate_cv.notify_all();
+      }
+    });
+  });
+  // If the follower lost the race and became a second leader (the executor
+  // ran twice), unblock the gate regardless so the test cannot hang; the
+  // assertions below still validate whichever interleaving happened.
+  std::thread watchdog([&] {
+    std::this_thread::sleep_for(std::chrono::seconds(2));
+    std::lock_guard<std::mutex> lock(gate_mu);
+    follower_attached = true;
+    gate_cv.notify_all();
+  });
+  leader.join();
+  follower.join();
+  watchdog.join();
+
+  const std::vector<int> want = {0, 1, 2, 3};
+  EXPECT_EQ(leader_seen, want);
+  if (broker.coalesced() == 1) {
+    // True coalescing: the follower replayed record 0 from the buffer and
+    // streamed 1..3 live, in order, with no gaps or duplicates.
+    EXPECT_EQ(follower_seen, want);
+  }
+}
+
+TEST(RequestBrokerTest, ResponseCacheReplaysSuccessesOnly) {
+  std::atomic<int> executions{0};
+  RequestBroker broker(
+      [&](const Argv& argv, std::ostream& out, std::ostream&,
+          const std::function<void(const Json&)>&) {
+        executions.fetch_add(1);
+        out << "result for " << argv[0] << "\n";
+        return argv[0] == "failing" ? 1 : 0;
+      },
+      /*response_cache_entries=*/8);
+
+  // Identical cacheable request twice: second is a hit, zero re-execution.
+  const RunOutcome first = broker.run({"explore"}, true, {});
+  const RunOutcome second = broker.run({"explore"}, true, {});
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(broker.response_hits(), 1u);
+  EXPECT_EQ(first.out, second.out);
+
+  // Failures are never cached: a retry must re-execute.
+  broker.run({"failing"}, true, {});
+  broker.run({"failing"}, true, {});
+  EXPECT_EQ(executions.load(), 3);
+
+  // Non-cacheable requests re-execute even on identical argv.
+  broker.run({"compile"}, false, {});
+  broker.run({"compile"}, false, {});
+  EXPECT_EQ(executions.load(), 5);
+  EXPECT_EQ(broker.response_entries(), 1u);
+}
+
+TEST(RequestBrokerTest, ZeroCapacityDisablesTheResponseCache) {
+  std::atomic<int> executions{0};
+  RequestBroker broker(
+      [&](const Argv&, std::ostream&, std::ostream&,
+          const std::function<void(const Json&)>&) {
+        executions.fetch_add(1);
+        return 0;
+      },
+      0);
+  broker.run({"explore"}, true, {});
+  broker.run({"explore"}, true, {});
+  EXPECT_EQ(executions.load(), 2);
+  EXPECT_EQ(broker.response_hits(), 0u);
+  EXPECT_EQ(broker.response_entries(), 0u);
+}
+
+TEST(RequestBrokerTest, LruEvictsTheColdestEntry) {
+  std::atomic<int> executions{0};
+  RequestBroker broker(
+      [&](const Argv&, std::ostream&, std::ostream&,
+          const std::function<void(const Json&)>&) {
+        executions.fetch_add(1);
+        return 0;
+      },
+      /*response_cache_entries=*/2);
+  broker.run({"a"}, true, {});  // cache: a
+  broker.run({"b"}, true, {});  // cache: b a
+  broker.run({"a"}, true, {});  // hit — cache: a b
+  broker.run({"c"}, true, {});  // evicts b (coldest) — cache: c a
+  broker.run({"a"}, true, {});  // hit: the earlier touch protected it
+  broker.run({"b"}, true, {});  // miss: b was the eviction victim
+  EXPECT_EQ(executions.load(), 4);
+  EXPECT_EQ(broker.response_hits(), 2u);
+  EXPECT_EQ(broker.response_entries(), 2u);
+}
+
+TEST(RequestBrokerTest, ThrowingExecutorMapsToExit99NotDeadlock) {
+  RequestBroker broker(
+      [](const Argv&, std::ostream&, std::ostream&,
+         const std::function<void(const Json&)>&) -> int {
+        throw std::runtime_error("backend exploded");
+      },
+      8);
+  const RunOutcome outcome = broker.run({"explore"}, true, {});
+  EXPECT_EQ(outcome.exit, 99);
+  EXPECT_NE(outcome.err.find("internal error"), std::string::npos);
+  // The failure was not cached: a retry re-executes (and throws again).
+  EXPECT_EQ(broker.run({"explore"}, true, {}).exit, 99);
+  EXPECT_EQ(broker.executions(), 2u);
+}
+
+}  // namespace
+}  // namespace sega

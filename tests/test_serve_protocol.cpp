@@ -1,0 +1,125 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "test_support.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace sega {
+namespace {
+
+ServeRequest parse_ok(const std::string& line) {
+  ServeRequest req;
+  std::string error;
+  EXPECT_TRUE(parse_request(line, &req, &error)) << error;
+  return req;
+}
+
+std::string parse_fail(const std::string& line) {
+  ServeRequest req;
+  std::string error;
+  EXPECT_FALSE(parse_request(line, &req, &error));
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+TEST(ServeProtocolTest, ParsesEveryCommand) {
+  EXPECT_EQ(parse_ok(R"({"id":1,"cmd":"ping"})").cmd,
+            ServeRequest::Cmd::kPing);
+  EXPECT_EQ(parse_ok(R"({"cmd":"status"})").cmd, ServeRequest::Cmd::kStatus);
+  EXPECT_EQ(parse_ok(R"({"cmd":"shutdown"})").cmd,
+            ServeRequest::Cmd::kShutdown);
+
+  const ServeRequest run =
+      parse_ok(R"({"id":"abc","cmd":"run","argv":["explore","--wstore","64"]})");
+  EXPECT_EQ(run.cmd, ServeRequest::Cmd::kRun);
+  ASSERT_EQ(run.argv.size(), 3u);
+  EXPECT_EQ(run.argv[0], "explore");
+  EXPECT_EQ(run.id.as_string(), "abc");
+}
+
+TEST(ServeProtocolTest, IdIsEchoedVerbatimAndDefaultsToNull) {
+  EXPECT_TRUE(parse_ok(R"({"cmd":"ping"})").id.is_null());
+  // Any JSON value is a legal correlation token, including structures.
+  const ServeRequest req = parse_ok(R"({"id":{"n":7},"cmd":"ping"})");
+  EXPECT_EQ(req.id.at("n").as_int(), 7);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedRequests) {
+  parse_fail("");                                   // empty line
+  parse_fail("not json");                           // not JSON
+  parse_fail("[1,2,3]");                            // not an object
+  parse_fail(R"({"id":1})");                        // missing cmd
+  parse_fail(R"({"cmd":42})");                      // non-string cmd
+  parse_fail(R"({"cmd":"reboot"})");                // unknown cmd
+  parse_fail(R"({"cmd":"run"})");                   // run without argv
+  parse_fail(R"({"cmd":"run","argv":[]})");         // empty argv
+  parse_fail(R"({"cmd":"run","argv":"explore"})");  // argv not an array
+  parse_fail(R"({"cmd":"run","argv":["a",1]})");    // non-string element
+}
+
+TEST(ServeProtocolTest, ResponseBuildersEmitSingleTerminatedLines) {
+  const Json id(7.0);
+  const std::string lines[] = {
+      error_line(id, "boom"),
+      pong_line(id, 1234),
+      status_line(id, Json::object()),
+      progress_line(id, Json::object()),
+      result_line(id, 3, "out bytes", "err bytes"),
+  };
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    // Exactly one line: no interior newline can split the frame.
+    EXPECT_EQ(line.find('\n'), line.size() - 1);
+    const auto parsed = Json::parse(line);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->at("id").as_int(), 7);
+    EXPECT_TRUE(parsed->contains("type"));
+  }
+}
+
+TEST(ServeProtocolTest, ResultLinePreservesBytesExactly) {
+  // Output with quotes, newlines, tabs, and non-ASCII must survive the JSON
+  // round trip untouched — this is what byte-identity over the wire rests on.
+  const std::string out = "a,b\n\"quoted\"\tx\xC3\xA9\n";
+  const std::string err = "warn: 50%\n";
+  const auto parsed = Json::parse(result_line(Json(), 2, out, err));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("type").as_string(), "result");
+  EXPECT_EQ(parsed->at("exit").as_int(), 2);
+  EXPECT_EQ(parsed->at("out").as_string(), out);
+  EXPECT_EQ(parsed->at("err").as_string(), err);
+  EXPECT_TRUE(parsed->at("id").is_null());
+}
+
+TEST(ServeProtocolTest, ProgressLineCarriesTheRecordVerbatim) {
+  Json record = Json::object();
+  record["cell"]["wstore"] = 64;
+  record["empty"] = false;
+  const auto parsed = Json::parse(progress_line(Json(1.0), record));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("type").as_string(), "progress");
+  EXPECT_TRUE(parsed->at("record") == record);
+}
+
+TEST(ServeProtocolTest, MutatedRequestLinesNeverThrow) {
+  // The server calls parse_request on raw socket lines; seeded corruptions
+  // must come back as clean errors (or, rarely, still-valid requests).
+  const std::string base =
+      R"({"id":9,"cmd":"run","argv":["validate","--tolerance","0.02"]})";
+  Rng rng(0xC0FFEEu);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string mutated = test::random_mutation(base, rng);
+    ServeRequest req;
+    std::string error;
+    EXPECT_NO_THROW({ (void)parse_request(mutated, &req, &error); });
+  }
+}
+
+}  // namespace
+}  // namespace sega

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+
+#include "test_support.h"
+#include "util/rng.h"
+
 namespace sega {
 namespace {
 
@@ -166,6 +172,92 @@ TEST(JsonTest, LineChecksumStampsAndVerifies) {
   Json bad = Json::object();
   bad["c"] = "not a number";
   EXPECT_FALSE(check_line_checksum(bad));
+}
+
+// ---------------------------------------------------------------------------
+// Attack-surface tests.  The parser is the first thing an always-on daemon
+// runs against every untrusted request line (serve/protocol.h); hostile
+// input must yield a clean per-parse error — never a throw, a crash, or
+// unbounded stack growth.
+
+TEST(JsonAttackTest, DepthLimitGuardsRecursion) {
+  // Exactly at the documented limit (128 nested containers) still parses...
+  const std::string at_limit =
+      std::string(128, '[') + std::string(128, ']');
+  EXPECT_TRUE(Json::parse(at_limit).has_value());
+
+  // ...one past it is a clean diagnostic, not deeper recursion.
+  std::string error;
+  const std::string past_limit =
+      std::string(129, '[') + std::string(129, ']');
+  EXPECT_FALSE(Json::parse(past_limit, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+
+  // A hostile megabyte of '[' must fail fast instead of overflowing the
+  // stack; mixed object/array nesting counts against the same budget.
+  EXPECT_FALSE(Json::parse(std::string(1 << 20, '[')).has_value());
+  std::string mixed;
+  for (int i = 0; i < 200; ++i) mixed += "{\"a\":[";
+  EXPECT_FALSE(Json::parse(mixed).has_value());
+}
+
+TEST(JsonAttackTest, EveryTruncationOfAValidRequestIsAnError) {
+  // The kill-mid-send signature: no strict prefix of a request object is
+  // itself valid, and each must diagnose cleanly.
+  const std::string full =
+      R"({"id":1,"cmd":"run","argv":["explore","--wstore","64"]})";
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::string error;
+    EXPECT_FALSE(Json::parse(full.substr(0, len), &error).has_value())
+        << "prefix of length " << len << " parsed";
+    EXPECT_FALSE(error.empty()) << "no diagnostic at length " << len;
+  }
+}
+
+TEST(JsonAttackTest, RandomBytesNeverThrow) {
+  // Arbitrary binary garbage — including non-UTF-8 bytes, NULs, and control
+  // characters — must come back as a value or an error, never an exception.
+  Rng rng(0xD1A0u);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string payload;
+    const int n = static_cast<int>(rng.uniform_int(1, 64));
+    for (int i = 0; i < n; ++i) {
+      payload.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    std::string error;
+    EXPECT_NO_THROW({ (void)Json::parse(payload, &error); });
+  }
+}
+
+TEST(JsonAttackTest, MutatedRequestLinesParseOrFailCleanly) {
+  // Seeded byte-level corruptions of a legitimate request line: every
+  // mutation either parses (rare — e.g. a benign digit flip) or errors with
+  // a diagnostic; a surviving parse must also survive a dump round trip.
+  const std::string base =
+      R"({"id":42,"cmd":"run","argv":["sweep","--wstores","64,128"]})";
+  Rng rng(0x5E47Eu);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string mutated = test::random_mutation(base, rng);
+    std::string error;
+    std::optional<Json> parsed;
+    EXPECT_NO_THROW({ parsed = Json::parse(mutated, &error); });
+    if (parsed.has_value()) {
+      EXPECT_TRUE(Json::parse(parsed->dump()).has_value());
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(JsonAttackTest, RawBytesInStringsRoundTripWithoutCrashing) {
+  // Strings carrying non-UTF-8 byte sequences (a client bug, or hostility)
+  // must not break dump(): the daemon echoes ids verbatim into responses.
+  std::string hostile = "{\"id\":\"\xFF\xFE\x80 bad\",\"cmd\":\"ping\"}";
+  std::optional<Json> parsed;
+  EXPECT_NO_THROW({ parsed = Json::parse(hostile); });
+  if (parsed.has_value()) {
+    EXPECT_NO_THROW({ (void)parsed->dump(); });
+  }
 }
 
 }  // namespace

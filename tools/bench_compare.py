@@ -72,16 +72,27 @@ def main(argv):
             errors.append(name)
 
     if args.update:
+        # Merge-preserve: entries already in the baseline but absent from
+        # these results survive the rewrite, so updating from one bench
+        # binary (say, only the serve benchmarks) cannot silently drop the
+        # rest of the fleet's baselines.
+        merged = {}
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as f:
+                merged.update(json.load(f).get("benchmarks", {}))
+        except (OSError, ValueError):
+            pass  # no (or unreadable) prior baseline: start fresh
+        merged.update(current)
         payload = {
             "comment": "real_time per benchmark in ns; regenerate with "
             "tools/bench_compare.py --update",
-            "benchmarks": {k: current[k] for k in sorted(current)},
+            "benchmarks": {k: merged[k] for k in sorted(merged)},
         }
         with open(args.baseline, "w", encoding="utf-8") as f:
             json.dump(payload, f, indent=2)
             f.write("\n")
-        print(f"bench_compare: wrote {len(current)} baseline entries to "
-              f"{args.baseline}")
+        print(f"bench_compare: wrote {len(merged)} baseline entries to "
+              f"{args.baseline} ({len(current)} from these results)")
         return 0
 
     with open(args.baseline, "r", encoding="utf-8") as f:

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Serve smoke (the CI step; run locally against any build dir): a foreground
+# `sega_dcim serve` daemon must serve concurrent thin clients byte-identical
+# output to the --no-daemon CLI, dedup identical requests into a single
+# execution (visible in the --status counters), shut down gracefully on
+# --stop, remove its socket, and flush its evaluation-memo delta so
+# memo-compact --extra can fold it back into the base.  This is the
+# end-to-end check that the daemon is a transparent accelerator — same
+# bytes, same files, less work.
+#
+# usage: tools/ci/serve_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR=$(cd "${1:-build}" && pwd)
+SEGA="$BUILD_DIR/sega_dcim"
+if [ ! -x "$SEGA" ]; then
+  echo "error: $SEGA not found or not executable (build the repo first)" >&2
+  exit 2
+fi
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+SOCKET="$WORK/serve.sock"
+EXPLORE=(explore --wstore 1024 --precision int8 --population 16
+         --generations 4 --seed 11 --threads 2)
+scrub() {  # the one load-dependent token in explore output: the DSE wall time
+  sed 's/[0-9.]*s DSE/#s DSE/' "$1"
+}
+
+# The in-process reference every daemon response is compared against, plus
+# a base evaluation memo to seed the daemon with.
+"$SEGA" --no-daemon "${EXPLORE[@]}" > reference.out 2> reference.err
+"$SEGA" --no-daemon "${EXPLORE[@]}" --cache-file memo.jsonl > /dev/null 2>&1
+
+"$SEGA" serve --socket "$SOCKET" --cache-file memo.jsonl 2> serve.log &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCKET" ] && break
+  sleep 0.1
+done
+[ -S "$SOCKET" ] || { echo "error: daemon never bound $SOCKET" >&2
+                      cat serve.log >&2; exit 1; }
+
+# Health check answers and reports our daemon's pid.
+"$SEGA" serve --socket "$SOCKET" --status > status_up.json 2>&1
+grep -q "\"pid\": $SERVE_PID" status_up.json
+
+# Six concurrent clients issue the identical explore; the broker must fold
+# them into one execution and hand everyone the same bytes.
+CLIENT_PIDS=()
+for i in 1 2 3 4 5 6; do
+  "$SEGA" --socket "$SOCKET" "${EXPLORE[@]}" \
+    > "client$i.out" 2> "client$i.err" &
+  CLIENT_PIDS+=("$!")
+done
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid"
+done
+for i in 2 3 4 5 6; do
+  cmp "client1.out" "client$i.out"
+  cmp "client1.err" "client$i.err"
+done
+# ...and those bytes match the --no-daemon CLI modulo the DSE timing.
+scrub client1.out > client1.scrubbed
+scrub reference.out > reference.scrubbed
+cmp client1.scrubbed reference.scrubbed
+cmp client1.err reference.err
+
+# The dedup is observable: 6 requests, exactly 1 execution, and the warm
+# per-config cache was seeded from the base memo.
+"$SEGA" serve --socket "$SOCKET" --status > status_after.json 2>&1
+python3 - status_after.json <<'EOF'
+import json, sys
+status = json.load(open(sys.argv[1]))
+broker = status["broker"]
+assert broker["requests"] >= 6, broker
+assert broker["executions"] == 1, broker
+assert broker["coalesced"] + broker["response_hits"] == 5, broker
+assert any(c["base_loaded"] for c in status["caches"]), status["caches"]
+EOF
+
+# Warm-vs-cold latency, informational (CI runners are too noisy to gate
+# on): the cached daemon answer should be far under one cold CLI run.
+t0=$(date +%s%N)
+for _ in 1 2 3 4 5; do
+  "$SEGA" --socket "$SOCKET" "${EXPLORE[@]}" > /dev/null 2>&1
+done
+t1=$(date +%s%N)
+"$SEGA" --no-daemon "${EXPLORE[@]}" > /dev/null 2>&1
+t2=$(date +%s%N)
+echo "serve smoke: warm request $(( (t1 - t0) / 5000000 )) ms vs cold CLI $(( (t2 - t1) / 1000000 )) ms"
+
+# Graceful shutdown: --stop drains, flushes the memo delta, removes the
+# socket; a second --status must now fail cleanly.
+"$SEGA" serve --socket "$SOCKET" --stop
+wait "$SERVE_PID"
+SERVE_PID=""
+[ ! -e "$SOCKET" ]
+if "$SEGA" serve --socket "$SOCKET" --status > /dev/null 2>&1; then
+  echo "error: --status succeeded against a stopped daemon" >&2
+  exit 1
+fi
+
+# The flushed delta folds back into the base via memo-compact --extra.
+DELTAS=(memo.jsonl.serve-*)
+[ "${#DELTAS[@]}" -eq 1 ] && [ -f "${DELTAS[0]}" ]
+"$SEGA" memo-compact --cache-file memo.jsonl --extra "${DELTAS[0]}" \
+  --out merged.jsonl > compact.log
+grep -q "entries" compact.log
+[ -s merged.jsonl ]
+
+echo "OK: serve smoke"

@@ -1,12 +1,43 @@
 // The sega_dcim command-line tool; all logic lives in compiler/cli.h so it
 // is testable in-process.
+//
+// This wrapper adds exactly one binary-level concern: transparent routing
+// through a running `sega_dcim serve` daemon.  Eligible commands first try
+// the daemon socket ($SEGA_SERVE_SOCKET or the per-user default, overridden
+// by --socket); when no daemon answers, the command runs in-process with
+// byte-identical output.  --no-daemon forces the in-process path.
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "compiler/cli.h"
+#include "serve/client.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  bool no_daemon = false;
+  std::string socket_path;
+  const bool is_serve = argc > 1 && std::string(argv[1]) == "serve";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // `serve` owns --socket itself; for every other command the routing
+    // flags belong to this wrapper and are stripped before dispatch.
+    if (!is_serve && arg == "--no-daemon") {
+      no_daemon = true;
+      continue;
+    }
+    if (!is_serve && arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+      continue;
+    }
+    args.push_back(arg);
+  }
+
+  if (!no_daemon && sega::daemon_eligible(args)) {
+    if (socket_path.empty()) socket_path = sega::default_socket_path();
+    const auto exit_code = sega::run_via_daemon(
+        socket_path, sega::absolutize_for_daemon(args), std::cout, std::cerr);
+    if (exit_code.has_value()) return *exit_code;
+  }
   return sega::run_cli(args, std::cout, std::cerr);
 }

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Load generator for the `sega_dcim serve` daemon.
+
+Replays a request against a running daemon from N concurrent clients and
+reports per-request latency percentiles plus the daemon's dedup counters —
+the quick way to see request coalescing and the response cache at work from
+the shell::
+
+    sega_dcim serve &
+    tools/serve_replay.py --clients 8 --requests 20 -- \
+        explore --wstore 1024 --precision int8
+
+Each client opens its own connection per request (the thin-client pattern),
+sends ``{"id": ..., "cmd": "run", "argv": [...]}``, drains progress lines,
+and records the wall time to the ``result`` line.  All responses are
+checked byte-identical across clients — if the daemon's dedup breaks, this
+tool fails loudly, not silently.
+
+Only the standard library is used; the protocol is one JSON object per
+newline-terminated line (see docs/FORMATS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import socket
+import statistics
+import sys
+import time
+
+
+def default_socket_path() -> str:
+    env = os.environ.get("SEGA_SERVE_SOCKET")
+    if env:
+        return env
+    return f"/tmp/sega-serve-{os.getuid()}.sock"
+
+
+def read_line(sock: socket.socket, buf: bytearray) -> str:
+    """Read one newline-terminated line from ``sock``."""
+    while True:
+        nl = buf.find(b"\n")
+        if nl >= 0:
+            line = bytes(buf[:nl])
+            del buf[: nl + 1]
+            return line.decode("utf-8", errors="replace")
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("daemon closed the connection")
+        buf.extend(chunk)
+
+
+def one_request(path: str, request_id: int, argv: list[str]) -> dict:
+    """One connect/request/response cycle; returns timing and the result."""
+    start = time.monotonic()
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.connect(path)
+        payload = {"id": request_id, "cmd": "run", "argv": argv}
+        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        buf = bytearray()
+        progress = 0
+        while True:
+            response = json.loads(read_line(sock, buf))
+            kind = response.get("type")
+            if kind == "progress":
+                progress += 1
+                continue
+            if kind == "error":
+                raise RuntimeError(f"daemon error: {response.get('error')}")
+            if kind == "result":
+                return {
+                    "latency_s": time.monotonic() - start,
+                    "exit": response.get("exit"),
+                    "out": response.get("out", ""),
+                    "err": response.get("err", ""),
+                    "progress": progress,
+                }
+            raise RuntimeError(f"unexpected response type: {kind!r}")
+
+
+def daemon_status(path: str) -> dict:
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.connect(path)
+        sock.sendall(b'{"id":0,"cmd":"status"}\n')
+        buf = bytearray()
+        return json.loads(read_line(sock, buf))["status"]
+
+
+def percentile(values: list[float], pct: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="request argv goes after '--', e.g. "
+        "tools/serve_replay.py -- explore --wstore 1024 --precision int8",
+    )
+    parser.add_argument("--socket", default=default_socket_path(),
+                        help="daemon socket path (default: %(default)s)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent clients (default: %(default)s)")
+    parser.add_argument("--requests", type=int, default=10,
+                        help="requests per client (default: %(default)s)")
+    parser.add_argument("request", nargs="*",
+                        default=["explore", "--wstore", "1024",
+                                 "--precision", "int8"],
+                        help="CLI argv to replay (default: a small explore)")
+    args = parser.parse_args(argv)
+    if args.clients < 1 or args.requests < 1:
+        parser.error("--clients and --requests must be positive")
+
+    try:
+        before = daemon_status(args.socket)
+    except OSError as exc:
+        print(f"serve_replay: no daemon at '{args.socket}' ({exc})",
+              file=sys.stderr)
+        return 1
+
+    total = args.clients * args.requests
+    results = []
+    with concurrent.futures.ThreadPoolExecutor(args.clients) as pool:
+        futures = [
+            pool.submit(one_request, args.socket, i, list(args.request))
+            for i in range(total)
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            results.append(future.result())
+
+    # Dedup sanity: one argv, one answer — byte-identical everywhere.
+    outs = {(r["exit"], r["out"], r["err"]) for r in results}
+    if len(outs) != 1:
+        print(f"serve_replay: FAIL — {len(outs)} distinct responses for one "
+              "request argv (dedup broken)", file=sys.stderr)
+        return 1
+    if results[0]["exit"] != 0:
+        print(f"serve_replay: request exited {results[0]['exit']}:\n"
+              f"{results[0]['err']}", file=sys.stderr)
+        return 1
+
+    after = daemon_status(args.socket)
+    latencies = [r["latency_s"] for r in results]
+    broker_before = before.get("broker", {})
+    broker_after = after.get("broker", {})
+
+    def delta(key: str) -> int:
+        return int(broker_after.get(key, 0)) - int(broker_before.get(key, 0))
+
+    print(f"serve_replay: {total} requests over {args.clients} client(s) "
+          f"against '{args.socket}'")
+    print(f"  latency  p50 {percentile(latencies, 50) * 1e3:8.2f} ms   "
+          f"p90 {percentile(latencies, 90) * 1e3:8.2f} ms   "
+          f"p99 {percentile(latencies, 99) * 1e3:8.2f} ms   "
+          f"max {max(latencies) * 1e3:8.2f} ms")
+    print(f"  mean     {statistics.mean(latencies) * 1e3:8.2f} ms   "
+          f"throughput {total / sum(latencies) * args.clients:8.1f} req/s")
+    print(f"  daemon   executions +{delta('executions')}   "
+          f"coalesced +{delta('coalesced')}   "
+          f"response_hits +{delta('response_hits')}")
+    executed = delta("executions")
+    if executed <= 1:
+        print(f"  dedup    {total} identical requests -> "
+              f"{executed} execution(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
