@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "arch/space.h"
+#include "cost/calibrate.h"
 #include "cost/cost_cache.h"
 #include "cost/cost_model.h"
 #include "cost/rtl_cost_model.h"
@@ -112,6 +113,81 @@ void BM_CostModelBatchedChecked(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CostModelBatchedChecked);
+
+/// Distinct valid points across the three validate-grid precisions — the
+/// calibration fitter rejects duplicate-only corpora, so unlike batch_of
+/// this never cycles.
+std::vector<DesignPoint> calibration_corpus_points(std::size_t size) {
+  std::vector<DesignPoint> points;
+  for (const char* name : {"INT8", "FP16", "FP32"}) {
+    const DesignSpace space(1 << 13, *precision_from_name(name));
+    for (const DesignPoint& dp : space.enumerate_all()) {
+      if (points.size() >= size) return points;
+      points.push_back(dp);
+    }
+  }
+  return points;
+}
+
+/// The `validate --calibrate` hot step: least-squares module factors +
+/// minimax scales + the per-metric envelope guard, over a measured corpus
+/// (synthesized here from a planted calibration so the fit always
+/// converges).  Corpus sizes bracket the real knee grids (3 = the default
+/// validate grid, 64 = a full sweep's worth of knees).
+void BM_CalibrationFit(benchmark::State& state) {
+  const Technology tech = Technology::tsmc28();
+  const EvalConditions cond;
+  Calibration planted;
+  planted.area_factor[0] = 1.23;
+  planted.energy_factor[1] = 0.64;
+  planted.delay_scale = 0.71;
+  planted.energy_scale = 1.09;
+  const AnalyticCostModel measured(
+      tech, cond, std::make_shared<const Calibration>(planted));
+  std::vector<CalibrationSample> corpus;
+  for (const DesignPoint& dp :
+       calibration_corpus_points(static_cast<std::size_t>(state.range(0)))) {
+    corpus.push_back(CalibrationSample{dp, measured.evaluate(dp)});
+  }
+  std::string error;
+  for (auto _ : state) {
+    auto fit = fit_calibration(tech, cond, corpus, &error);
+    if (!fit.has_value()) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.size()));
+}
+BENCHMARK(BM_CalibrationFit)->Arg(3)->Arg(64);
+
+/// Calibrated evaluation throughput, directly comparable to the
+/// uncalibrated BM_CostModelBatched/INT8 rows: the per-module factors and
+/// trailing scales ride the same staged batch pipeline, so calibration
+/// must cost a few multiplies per point, not a second derivation.
+void BM_CalibrationEvalBatched(benchmark::State& state) {
+  const Technology tech = Technology::tsmc28();
+  const EvalConditions cond;
+  Calibration cal;
+  cal.area_factor[0] = 1.23;
+  cal.energy_factor[1] = 0.64;
+  cal.delay_scale = 0.71;
+  cal.energy_scale = 1.09;
+  const AnalyticCostModel model(tech, cond,
+                                std::make_shared<const Calibration>(cal));
+  const auto batch = batch_of("INT8", static_cast<std::size_t>(state.range(0)));
+  std::vector<MacroMetrics> out(batch.size());
+  for (auto _ : state) {
+    model.evaluate_batch(Span<const DesignPoint>(batch),
+                         Span<MacroMetrics>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_CalibrationEvalBatched)->Arg(1)->Arg(64)->Arg(1024);
 
 void BM_EvaluateMacroInt(benchmark::State& state) {
   const Technology tech = Technology::tsmc28();

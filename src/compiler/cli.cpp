@@ -32,10 +32,12 @@ constexpr const char* kUsage =
     "commands:\n"
     "  compile --spec <spec.json> --out <dir> [--tech <file.techlib>]\n"
     "          [--cache-file <path>] [--cost-model analytic|rtl]\n"
+    "          [--calibration <file>]\n"
     "  explore --wstore <n> --precision <name> [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
     "          [--cache-file <path>] [--cost-model analytic|rtl]\n"
+    "          [--calibration <file>]\n"
     "  sweep   [--spec <sweep.json>] [--out <dir>] [--checkpoint <path>]\n"
     "          [--cache-file <path>] [--resume-summary] [--shard <i/N>]\n"
     "          [--spawn-local <K>] [--heartbeat-every <k>]\n"
@@ -43,7 +45,7 @@ constexpr const char* kUsage =
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
-    "          [--cost-model analytic|rtl]\n"
+    "          [--cost-model analytic|rtl] [--calibration <file>]\n"
     "  orchestrate --workers <N> --checkpoint <path>\n"
     "          [--spec <sweep.json>] [--out <dir>] [--cache-file <path>]\n"
     "          [--max-retries <n>] [--stall-timeout <sec>]\n"
@@ -53,23 +55,25 @@ constexpr const char* kUsage =
     "          [--sparsity <f>] [--supply <v>] [--seed <n>]\n"
     "          [--population <n>] [--generations <n>] [--threads <n>]\n"
     "          [--tech <file.techlib>] [--cost-model analytic|rtl]\n"
+    "          [--calibration <file>]\n"
     "  sweep-merge --checkpoint <path> --shards <N> [--spec <sweep.json>]\n"
     "          [--out <dir>] [--cache-file <path>] [--wstores <n,n,...>]\n"
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
-    "          [--cost-model analytic|rtl]\n"
+    "          [--cost-model analytic|rtl] [--calibration <file>]\n"
     "  validate [--spec <validate.json>] [--out <dir>] [--tolerance <f>]\n"
     "          [--cache-file <path>] [--rtl-cache-file <path>]\n"
     "          [--checkpoint <path>] [--wstores <n,n,...>]\n"
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
+    "          [--calibrate <out.cal> | --calibration <file>]\n"
     "  memo-compact --cache-file <path> [--shards <N>] [--out <path>]\n"
     "          [--extra <path,path,...>]\n"
     "  serve   [--socket <path>] [--tech <file.techlib>]\n"
     "          [--cache-file <path>] [--response-cache <n>]\n"
-    "          [--status] [--stop]\n"
+    "          [--calibration <file>] [--status] [--stop]\n"
     "  precisions\n"
     "  techlib\n"
     "\n"
@@ -186,12 +190,17 @@ bool parse_cost_model_flag(const std::map<std::string, std::string>& flags,
   return true;
 }
 
-/// The host's shared cache for this spec's backend/conditions, when hooks
-/// provide one (daemon dispatch); null otherwise.  A non-null cache makes
-/// Compiler::run ignore spec.cache_file — the host owns persistence.
+/// The host's shared cache for this spec's backend/conditions/calibration,
+/// when hooks provide one (daemon dispatch); null otherwise.  A non-null
+/// cache makes Compiler::run ignore spec.cache_file — the host owns
+/// persistence.  @p calibration_file must be the spec's calibration path
+/// ("" for uncalibrated): handing a calibrated run an uncalibrated shared
+/// cache (or vice versa) would silently evaluate the wrong model.
 CostCache* shared_cache_for(const CliHooks& hooks, CostModelKind kind,
-                            const EvalConditions& cond) {
-  return hooks.cache_for ? hooks.cache_for(kind, cond) : nullptr;
+                            const EvalConditions& cond,
+                            const std::string& calibration_file) {
+  return hooks.cache_for ? hooks.cache_for(kind, cond, calibration_file)
+                         : nullptr;
 }
 
 int cmd_compile(const std::map<std::string, std::string>& flags,
@@ -213,12 +222,17 @@ int cmd_compile(const std::map<std::string, std::string>& flags,
 
   CompilerSpec run_spec = *spec;
   if (flags.count("cache-file")) run_spec.cache_file = flags.at("cache-file");
+  if (flags.count("calibration")) {
+    run_spec.calibration_file = flags.at("calibration");
+  }
   if (!parse_cost_model_flag(flags, &run_spec.cost_model, err)) return 2;
 
   const Compiler compiler(*tech);
   std::string run_err;
   const CompilerResult result = compiler.run(
-      run_spec, shared_cache_for(hooks, run_spec.cost_model, run_spec.conditions),
+      run_spec,
+      shared_cache_for(hooks, run_spec.cost_model, run_spec.conditions,
+                       run_spec.calibration_file),
       &run_err);
   if (!run_err.empty()) {
     err << run_err << "\n";
@@ -320,6 +334,9 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
   spec.generate_rtl = false;
   spec.generate_layout = false;
   if (flags.count("cache-file")) spec.cache_file = flags.at("cache-file");
+  if (flags.count("calibration")) {
+    spec.calibration_file = flags.at("calibration");
+  }
   if (!parse_cost_model_flag(flags, &spec.cost_model, err)) return 2;
 
   const auto tech = load_technology(flags, hooks, err);
@@ -327,7 +344,9 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
   const Compiler compiler(*tech);
   std::string run_err;
   const CompilerResult result = compiler.run(
-      spec, shared_cache_for(hooks, spec.cost_model, spec.conditions),
+      spec,
+      shared_cache_for(hooks, spec.cost_model, spec.conditions,
+                       spec.calibration_file),
       &run_err);
   if (!run_err.empty()) {
     err << run_err << "\n";
@@ -386,6 +405,9 @@ bool build_sweep_spec(const std::map<std::string, std::string>& flags,
   }
   if (flags.count("checkpoint")) spec->checkpoint = flags.at("checkpoint");
   if (flags.count("cache-file")) spec->cache_file = flags.at("cache-file");
+  if (flags.count("calibration")) {
+    spec->calibration_file = flags.at("calibration");
+  }
   if (flags.count("heartbeat-every")) {
     try {
       spec->heartbeat_every = std::stoi(flags.at("heartbeat-every"));
@@ -610,7 +632,8 @@ int cmd_sweep(const std::map<std::string, std::string>& flags,
   }
 
   spec.shared_cache = shared_cache_for(hooks, spec.cost_model,
-                                       spec.conditions);
+                                       spec.conditions,
+                                       spec.calibration_file);
   spec.progress = hooks.sweep_progress;
   std::string sweep_err;
   const SweepResult result = run_sweep(compiler, spec, &sweep_err);
@@ -815,11 +838,22 @@ int cmd_validate(const std::map<std::string, std::string>& flags,
     }
     spec = *parsed;
   }
-  // Grid/DSE/path overrides share the sweep flag logic ( --spec was already
-  // consumed as a *validate* spec above).
+  // Grid/DSE/path overrides share the sweep flag logic (--spec was already
+  // consumed as a *validate* spec above; --calibration belongs to the
+  // validate spec, not the inner knee DSE — see ValidateSpec).
   std::map<std::string, std::string> grid_flags = flags;
   grid_flags.erase("spec");
+  grid_flags.erase("calibration");
+  grid_flags.erase("calibrate");
   if (!build_sweep_spec(grid_flags, &spec.sweep, err)) return 2;
+  if (flags.count("calibrate") && flags.count("calibration")) {
+    err << "--calibrate (fit a fresh artifact) and --calibration (compare "
+           "under an existing one) are mutually exclusive\n";
+    return 2;
+  }
+  if (flags.count("calibration")) {
+    spec.calibration_file = flags.at("calibration");
+  }
   if (flags.count("tolerance")) {
     try {
       spec.tolerance = std::stod(flags.at("tolerance"));
@@ -840,11 +874,60 @@ int cmd_validate(const std::map<std::string, std::string>& flags,
   if (!tech) return 2;
   const Compiler compiler(*tech);
   // validate always DSEs analytically and re-measures through RTL, so it
-  // draws on both of the host's shared caches when available.
+  // draws on both of the host's shared caches when available.  Both are the
+  // *uncalibrated* stacks even under --calibration: the knee DSE always
+  // runs uncalibrated (see ValidateSpec) and the RTL side is the
+  // measurement itself.
   spec.sweep.shared_cache = shared_cache_for(hooks, CostModelKind::kAnalytic,
-                                             spec.sweep.conditions);
+                                             spec.sweep.conditions,
+                                             /*calibration_file=*/"");
   spec.shared_rtl_cache = shared_cache_for(hooks, CostModelKind::kRtl,
-                                           spec.sweep.conditions);
+                                           spec.sweep.conditions,
+                                           /*calibration_file=*/"");
+
+  // --calibrate: fit over the measured knees, save the artifact, and report
+  // the before/after envelopes; the verdict (and exit code) judges the
+  // freshly calibrated comparison.
+  if (flags.count("calibrate")) {
+    std::string cal_error;
+    const auto creport =
+        run_validate_calibrate(compiler, spec, flags.at("calibrate"),
+                               &cal_error);
+    if (!creport) {
+      err << cal_error << "\n";
+      return 2;
+    }
+    if (flags.count("out")) {
+      const std::filesystem::path outdir = flags.at("out");
+      std::error_code ec;
+      std::filesystem::create_directories(outdir, ec);
+      if (ec) {
+        err << "cannot create output directory '" << outdir.string()
+            << "'\n";
+        return 2;
+      }
+      {
+        std::ofstream f(outdir / "calibrate.json");
+        f << creport->to_json().dump(2) << "\n";
+      }
+      {
+        std::ofstream f(outdir / "calibrate.csv");
+        f << creport->to_csv();
+      }
+      err << strfmt("wrote the calibration report to "
+                    "%s/calibrate.{csv,json}\n",
+                    outdir.string().c_str());
+    }
+    out << creport->render();
+    if (!creport->pass()) {
+      err << strfmt("validate: %zu knee point(s) exceed tolerance %.3g "
+                    "after calibration\n",
+                    creport->after.failures(), creport->after.tolerance);
+      return 1;
+    }
+    return 0;
+  }
+
   std::string run_error;
   const ValidateReport report = run_validate(compiler, spec, &run_error);
   if (!run_error.empty()) {
@@ -903,7 +986,8 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
 
   if (command == "compile") {
     if (!check_known(flags,
-                     {"spec", "out", "tech", "cache-file", "cost-model"},
+                     {"spec", "out", "tech", "cache-file", "cost-model",
+                      "calibration"},
                      err)) {
       return 2;
     }
@@ -913,7 +997,7 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
     if (!check_known(flags,
                      {"wstore", "precision", "sparsity", "supply", "seed",
                       "population", "generations", "threads", "tech",
-                      "cache-file", "cost-model"},
+                      "cache-file", "cost-model", "calibration"},
                      err)) {
       return 2;
     }
@@ -925,7 +1009,7 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
                       "resume-summary", "shard", "spawn-local",
                       "heartbeat-every", "wstores", "precisions", "sparsity",
                       "supply", "seed", "population", "generations",
-                      "threads", "tech", "cost-model"},
+                      "threads", "tech", "cost-model", "calibration"},
                      err)) {
       return 2;
     }
@@ -938,7 +1022,7 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
     }
     if (!check_known(flags,
                      {"socket", "tech", "cache-file", "response-cache",
-                      "status", "stop"},
+                      "calibration", "status", "stop"},
                      err)) {
       return 2;
     }
@@ -951,7 +1035,7 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
                       "backoff", "backoff-max", "heartbeat-every", "wstores",
                       "precisions", "sparsity", "supply", "seed",
                       "population", "generations", "threads", "tech",
-                      "cost-model"},
+                      "cost-model", "calibration"},
                      err)) {
       return 2;
     }
@@ -968,7 +1052,7 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
                      {"spec", "out", "checkpoint", "cache-file", "shards",
                       "wstores", "precisions", "sparsity", "supply", "seed",
                       "population", "generations", "threads", "tech",
-                      "cost-model"},
+                      "cost-model", "calibration"},
                      err)) {
       return 2;
     }
@@ -979,7 +1063,8 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
                      {"spec", "out", "tolerance", "cache-file",
                       "rtl-cache-file", "checkpoint", "wstores", "precisions",
                       "sparsity", "supply", "seed", "population",
-                      "generations", "threads", "tech"},
+                      "generations", "threads", "tech", "calibrate",
+                      "calibration"},
                      err)) {
       return 2;
     }

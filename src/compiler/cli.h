@@ -39,10 +39,16 @@ struct CliHooks {
   /// not match the host's shared caches.
   const Technology* tech = nullptr;
 
-  /// Shared warm evaluation cache for (backend, conditions); may return
-  /// null (the command then builds its own).  The host keys its registry
-  /// by exactly the (kind, conditions) pair it is called with.
-  std::function<CostCache*(CostModelKind, const EvalConditions&)> cache_for;
+  /// Shared warm evaluation cache for (backend, conditions, calibration
+  /// artifact); may return null (the command then builds its own — which is
+  /// also how a bad artifact path surfaces its diagnostic).  The host keys
+  /// its registry by exactly the triple it is called with:
+  /// calibration_file is the request's --calibration path ("" for the
+  /// uncalibrated model), and calibrated and uncalibrated stacks must never
+  /// alias — their memo fingerprints differ.
+  std::function<CostCache*(CostModelKind, const EvalConditions&,
+                           const std::string& calibration_file)>
+      cache_for;
 
   /// Streaming sink for completed sweep cells (SweepSpec::progress) — the
   /// daemon forwards each record as a progress line to the client.

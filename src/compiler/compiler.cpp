@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <limits>
 
+#include "cost/calibrate.h"
 #include "cost/cost_cache.h"
 #include "util/assert.h"
 #include "util/strings.h"
@@ -132,11 +133,28 @@ CompilerResult Compiler::run(const CompilerSpec& spec, CostCache* cache,
                              std::string* error) const {
   if (error) error->clear();
   // A caller-provided cache carries its own model (the caller built it from
-  // the same spec — run_sweep does); otherwise a non-default backend or a
-  // persistent memo needs a local cache wrapping the chosen model.
+  // the same spec — run_sweep does); otherwise a non-default backend, a
+  // persistent memo, or a calibration artifact needs a local cache wrapping
+  // the chosen model.
   if (!cache && (!spec.cache_file.empty() ||
+                 !spec.calibration_file.empty() ||
                  spec.cost_model != CostModelKind::kAnalytic)) {
-    CostCache local(make_cost_model(spec.cost_model, tech_, spec.conditions));
+    std::shared_ptr<const Calibration> cal;
+    if (!spec.calibration_file.empty()) {
+      if (spec.cost_model != CostModelKind::kAnalytic) {
+        return compiler_fail(
+            "calibration_file only applies to the analytic cost model; the "
+            "rtl backend is the measurement it was fitted against",
+            error);
+      }
+      std::string cal_error;
+      auto loaded = load_calibration_for(spec.calibration_file, tech_,
+                                         spec.conditions, &cal_error);
+      if (!loaded) return compiler_fail(cal_error, error);
+      cal = std::make_shared<const Calibration>(std::move(*loaded));
+    }
+    CostCache local(
+        make_cost_model(spec.cost_model, tech_, spec.conditions, cal));
     std::string cache_error;
     std::error_code ec;
     if (!spec.cache_file.empty() &&

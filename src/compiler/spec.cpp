@@ -101,6 +101,11 @@ std::optional<CompilerSpec> CompilerSpec::from_json(const Json& json,
     } else if (key == "cache_file") {
       if (!value.is_string()) return fail("cache_file must be a string path");
       spec.cache_file = value.as_string();
+    } else if (key == "calibration_file") {
+      if (!value.is_string()) {
+        return fail("calibration_file must be a string path");
+      }
+      spec.calibration_file = value.as_string();
     } else {
       return fail(strfmt("unknown spec key '%s'", key.c_str()));
     }
@@ -129,6 +134,7 @@ Json CompilerSpec::to_json() const {
   j["generate_layout"] = generate_layout;
   j["generate_def"] = generate_def;
   if (!cache_file.empty()) j["cache_file"] = cache_file;
+  if (!calibration_file.empty()) j["calibration_file"] = calibration_file;
   return j;
 }
 

@@ -57,6 +57,16 @@ struct CompilerSpec {
   /// pure function.
   std::string cache_file;
 
+  /// Calibration artifact (spec key "calibration_file", CLI --calibration);
+  /// empty means the uncalibrated analytic model.  When set, the analytic
+  /// model evaluates through the fitted per-module factors and per-metric
+  /// scales (docs/FORMATS.md "Calibration artifact JSONL"), and the
+  /// artifact's version+digest joins every memo fingerprint.  Loading
+  /// hard-errors on a damaged artifact or one fitted for a different
+  /// technology/conditions/model version, and on cost_model == "rtl" (the
+  /// RTL backend is the measurement the artifact was fitted against).
+  std::string calibration_file;
+
   /// Parse from JSON, e.g.:
   ///   {"wstore": 8192, "precision": "BF16", "supply_v": 0.9,
   ///    "sparsity": 0.1, "distill": "knee", "seed": 7}

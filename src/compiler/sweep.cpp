@@ -20,6 +20,7 @@
 #include <thread>
 #include <utility>
 
+#include "cost/calibrate.h"
 #include "cost/cost_cache.h"
 #include "tech/techlib_parser.h"
 #include "util/assert.h"
@@ -80,6 +81,7 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
     // must be a parse error, never a precondition abort.
     const bool is_scalar_key = key != "wstores" && key != "precisions" &&
                                key != "checkpoint" && key != "cache_file" &&
+                               key != "calibration_file" &&
                                key != "cost_model";
     if (is_scalar_key && !value.is_number()) {
       return spec_fail(strfmt("spec key '%s' must be a number", key.c_str()),
@@ -198,6 +200,11 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
         return spec_fail("cache_file must be a string path", error);
       }
       spec.cache_file = value.as_string();
+    } else if (key == "calibration_file") {
+      if (!value.is_string()) {
+        return spec_fail("calibration_file must be a string path", error);
+      }
+      spec.calibration_file = value.as_string();
     } else {
       return spec_fail(strfmt("unknown sweep spec key '%s'", key.c_str()),
                        error);
@@ -221,6 +228,7 @@ Json SweepSpec::to_json() const {
   }
   if (!checkpoint.empty()) j["checkpoint"] = checkpoint;
   if (!cache_file.empty()) j["cache_file"] = cache_file;
+  if (!calibration_file.empty()) j["calibration_file"] = calibration_file;
   return j;
 }
 
@@ -234,9 +242,16 @@ namespace {
 /// Thread count and the checkpoint path itself are deliberately excluded:
 /// resuming with different parallelism is legitimate (and yields
 /// byte-identical output).
-Json config_fingerprint(const SweepSpec& spec, const Technology& tech) {
+Json config_fingerprint(const SweepSpec& spec, const Technology& tech,
+                        const Calibration* cal) {
   Json j = result_affecting_json(spec);
   j["techlib"] = write_techlib(tech);
+  // The *artifact identity* (format version + content digest), never the
+  // path: renaming the file is legitimate, editing its parameters is not.
+  // Uncalibrated sweeps carry no key at all, so pre-calibration checkpoints
+  // keep their fingerprint byte-identical — and a calibrated checkpoint can
+  // never resume an uncalibrated sweep, or vice versa.
+  if (cal != nullptr) j["calibration"] = cal->fingerprint();
   return j;
 }
 
@@ -244,10 +259,11 @@ Json config_fingerprint(const SweepSpec& spec, const Technology& tech) {
 /// config (never inside it — the fingerprint must be identical across the
 /// shard set and the unsharded equivalent, so a merge can verify all files
 /// belong to the same sweep).  Unsharded headers carry no shard fields.
-Json header_line(const SweepSpec& spec, const Technology& tech) {
+Json header_line(const SweepSpec& spec, const Technology& tech,
+                 const Calibration* cal) {
   Json j = Json::object();
   j["sega_sweep_checkpoint"] = 1;
-  j["config"] = config_fingerprint(spec, tech);
+  j["config"] = config_fingerprint(spec, tech, cal);
   if (spec.shard.active()) {
     j["shard_index"] = spec.shard.index;
     j["shard_count"] = spec.shard.count;
@@ -316,9 +332,9 @@ enum class HeaderCheck { kOk, kMalformed, kConfigMismatch, kShardMismatch };
 
 HeaderCheck check_header(const std::optional<Json>& header,
                          const SweepSpec& spec, const Technology& tech,
-                         const ShardSpec& expected) {
+                         const Calibration* cal, const ShardSpec& expected) {
   if (!checkpoint_header_valid(header)) return HeaderCheck::kMalformed;
-  if (!(header->at("config") == config_fingerprint(spec, tech))) {
+  if (!(header->at("config") == config_fingerprint(spec, tech, cal))) {
     return HeaderCheck::kConfigMismatch;
   }
   const auto shard = header_shard(*header);
@@ -865,6 +881,30 @@ double fault_hash01(std::uint64_t seed, int shard_index, long long attempt) {
   return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
 }
 
+/// Load spec.calibration_file up front (every sweep entry point does this
+/// before touching any checkpoint or memo).  *out stays null when the spec
+/// names no artifact.  A damaged or mismatched artifact — or one combined
+/// with the RTL backend — is a hard error: stale or wrong calibration must
+/// never silently shape results.
+bool load_spec_calibration(const SweepSpec& spec, const Technology& tech,
+                           std::shared_ptr<const Calibration>* out,
+                           std::string* error) {
+  out->reset();
+  if (spec.calibration_file.empty()) return true;
+  if (spec.cost_model != CostModelKind::kAnalytic) {
+    if (error) {
+      *error = "calibration_file only applies to the analytic cost model; "
+               "the rtl backend is the measurement it was fitted against";
+    }
+    return false;
+  }
+  auto cal = load_calibration_for(spec.calibration_file, tech,
+                                  spec.conditions, error);
+  if (!cal) return false;
+  *out = std::make_shared<const Calibration>(std::move(*cal));
+  return true;
+}
+
 }  // namespace
 
 SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
@@ -873,6 +913,17 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   SEGA_EXPECTS(spec.shard.count >= 1 && spec.shard.index >= 0 &&
                spec.shard.index < spec.shard.count);
   if (error) error->clear();
+
+  // The calibration artifact loads before any checkpoint or memo is touched:
+  // its identity is part of both fingerprints.
+  std::shared_ptr<const Calibration> calibration;
+  {
+    std::string cal_error;
+    if (!load_spec_calibration(spec, compiler.technology(), &calibration,
+                               &cal_error)) {
+      return checkpoint_fail(cal_error, error);
+    }
+  }
 
   const std::vector<GridCell> grid = build_grid(spec);
 
@@ -915,8 +966,9 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   // manages persistence, so the memo load/save below is skipped with it.
   std::unique_ptr<CostCache> owned_cache;
   if (spec.shared_cache == nullptr) {
-    owned_cache = std::make_unique<CostCache>(make_cost_model(
-        spec.cost_model, compiler.technology(), spec.conditions));
+    owned_cache = std::make_unique<CostCache>(
+        make_cost_model(spec.cost_model, compiler.technology(),
+                        spec.conditions, calibration));
   }
   CostCache& cache = spec.shared_cache ? *spec.shared_cache : *owned_cache;
 
@@ -966,7 +1018,8 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
       if (!ckpt_header_raw.empty()) {
         have_header = true;
         verdict = check_header(Json::parse(ckpt_header_raw), spec,
-                               compiler.technology(), spec.shard);
+                               compiler.technology(), calibration.get(),
+                               spec.shard);
       }
       if (have_header && verdict == HeaderCheck::kOk) {
         const auto consume = [&](const std::optional<Json>& line) {
@@ -1059,7 +1112,8 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     }
     if (needs_leading_newline) *ckpt << '\n';
     if (!have_header) {
-      ckpt_header_raw = header_line(spec, compiler.technology()).dump();
+      ckpt_header_raw =
+          header_line(spec, compiler.technology(), calibration.get()).dump();
       *ckpt << ckpt_header_raw << '\n';
       ckpt->flush();
     }
@@ -1291,6 +1345,14 @@ SweepResult merge_sweep_shards(const Compiler& compiler, const SweepSpec& spec,
         "--checkpoint)",
         error);
   }
+  std::shared_ptr<const Calibration> calibration;
+  {
+    std::string cal_error;
+    if (!load_spec_calibration(spec, compiler.technology(), &calibration,
+                               &cal_error)) {
+      return checkpoint_fail(cal_error, error);
+    }
+  }
 
   // The same fixed grid (and cell-id space) the workers partitioned.
   const std::vector<GridCell> grid = build_grid(spec);
@@ -1322,7 +1384,8 @@ SweepResult merge_sweep_shards(const Compiler& compiler, const SweepSpec& spec,
     const bool readable = walk_checkpoint(
         path, &have_header,
         [&](const std::optional<Json>& header) {
-          verdict = check_header(header, spec, compiler.technology(), shard);
+          verdict = check_header(header, spec, compiler.technology(),
+                                 calibration.get(), shard);
           return verdict == HeaderCheck::kOk;
         },
         [&](const std::optional<Json>& line) {
@@ -1421,7 +1484,7 @@ SweepResult merge_sweep_shards(const Compiler& compiler, const SweepSpec& spec,
   // result is exactly what a single-process run would have produced.  The
   // workers' memo shards make this free when a cache file is in play.
   CostCache cache(make_cost_model(spec.cost_model, compiler.technology(),
-                                  spec.conditions));
+                                  spec.conditions, calibration));
   if (!spec.cache_file.empty()) {
     std::error_code ec;
     if (std::filesystem::exists(spec.cache_file, ec)) {
@@ -1446,7 +1509,8 @@ SweepResult merge_sweep_shards(const Compiler& compiler, const SweepSpec& spec,
   // re-runnable.
   SweepSpec unsharded = spec;
   unsharded.shard = ShardSpec{};
-  std::string text = header_line(unsharded, compiler.technology()).dump();
+  std::string text =
+      header_line(unsharded, compiler.technology(), calibration.get()).dump();
   text += '\n';
   for (std::size_t gi = 0; gi < grid.size(); ++gi) {
     text += cell_line(slots[gi].cell, slots[gi].empty).dump();
@@ -1549,6 +1613,14 @@ std::optional<CheckpointSummary> summarize_checkpoint(const Compiler& compiler,
   if (spec.checkpoint.empty()) {
     return fail("no checkpoint path in the sweep spec");
   }
+  std::shared_ptr<const Calibration> calibration;
+  {
+    std::string cal_error;
+    if (!load_spec_calibration(spec, compiler.technology(), &calibration,
+                               &cal_error)) {
+      return fail(cal_error);
+    }
+  }
   // For a sharded spec the summary covers this worker's slice of the grid
   // (its own shard file, its own cells) — the merge-time coverage of the
   // whole set is merge_sweep_shards' partial-merge report.
@@ -1572,7 +1644,8 @@ std::optional<CheckpointSummary> summarize_checkpoint(const Compiler& compiler,
       path, &have_header,
       [&](const std::optional<Json>& header) {
         const HeaderCheck verdict =
-            check_header(header, spec, compiler.technology(), spec.shard);
+            check_header(header, spec, compiler.technology(),
+                         calibration.get(), spec.shard);
         if (verdict == HeaderCheck::kMalformed) {
           malformed_header = true;
           return false;

@@ -83,6 +83,16 @@ struct SweepSpec {
   /// unified base memo.
   std::string cache_file;
 
+  /// Calibration artifact (spec key "calibration_file", CLI --calibration);
+  /// empty means the uncalibrated analytic model.  Result-affecting: the
+  /// artifact's version+digest joins the checkpoint config fingerprint and
+  /// the memo fingerprint, so a calibrated checkpoint/memo can never resume
+  /// or seed an uncalibrated sweep (or vice versa, or a sweep under a
+  /// different artifact).  Loading hard-errors on a damaged artifact, one
+  /// fitted for a different technology/conditions/model version, or
+  /// cost_model == "rtl" (the RTL backend is the measurement).
+  std::string calibration_file;
+
   /// This worker's slice of the grid (spec keys "shard_index"/"shard_count",
   /// CLI `--shard i/N`).  Sharding never changes any cell's result — it only
   /// selects which cells this process computes — so the config fingerprint
@@ -119,7 +129,8 @@ struct SweepSpec {
   /// constructing one, and skip cache_file load/save entirely (the owner
   /// manages persistence — this is how N daemon clients dedup through one
   /// warm cache).  Precondition: the cache wraps the same backend kind,
-  /// technology, and conditions as this spec.  SweepResult::cache_hits/
+  /// technology, conditions, and calibration artifact (the one
+  /// calibration_file names, or none) as this spec.  SweepResult::cache_hits/
   /// cache_misses then report the shared cache's cumulative counters, not
   /// this run's (they are unserialized diagnostics either way).
   CostCache* shared_cache = nullptr;

@@ -44,6 +44,14 @@ std::optional<ValidateSpec> ValidateSpec::from_json(const Json& json,
         return fail("rtl_cache_file must be a string path");
       }
       spec.rtl_cache_file = value.as_string();
+    } else if (key == "calibration_file") {
+      // Intercepted here, never forwarded into the sweep spec: the knee DSE
+      // always runs uncalibrated (see validate.h), so the inner sweep's
+      // checkpoint/memo fingerprints are identical either way.
+      if (!value.is_string()) {
+        return fail("calibration_file must be a string path");
+      }
+      spec.calibration_file = value.as_string();
     } else if (key == "cost_model") {
       return fail("validate always compares analytic vs rtl; "
                   "'cost_model' is not a validate key");
@@ -76,6 +84,7 @@ Json ValidateSpec::to_json() const {
   }
   j["tolerance"] = tolerance;
   if (!rtl_cache_file.empty()) j["rtl_cache_file"] = rtl_cache_file;
+  if (!calibration_file.empty()) j["calibration_file"] = calibration_file;
   return j;
 }
 
@@ -93,6 +102,65 @@ ValidateReport validate_fail(const std::string& msg, std::string* error) {
   }
   std::fprintf(stderr, "[sega] %s\n", msg.c_str());
   std::abort();
+}
+
+/// One knee comparison row — the single place the divergence formulas and
+/// the gates live, shared by the uncalibrated, calibrated, and
+/// post-calibration paths so they can never drift.  @p calibrated switches
+/// the gate semantics: the uncalibrated model is a documented one-sided
+/// envelope (measured delay/energy under the bound, throughput over it —
+/// see validate.h), but a calibrated model is a best fit *centered* on the
+/// measurements, so roughly half the corpus sits above any given prediction
+/// by construction and the envelope gates would fail it spuriously; a
+/// calibrated row instead gates every metric on the symmetric relative
+/// error, the quantity calibration provably tightens.
+ValidateRow build_row(std::int64_t wstore, const Precision& precision,
+                      const DesignPoint& knee, const MacroMetrics& analytic,
+                      const MacroMetrics& rtl, const EvalConditions& cond,
+                      double tolerance, bool calibrated) {
+  ValidateRow row;
+  row.wstore = wstore;
+  row.precision = precision;
+  row.knee = knee;
+  row.analytic = analytic;
+  row.rtl = rtl;
+  row.area_rel_err = rel_err(row.rtl.area_mm2, row.analytic.area_mm2);
+  row.delay_rel_err = rel_err(row.rtl.delay_ns, row.analytic.delay_ns);
+  row.throughput_rel_err =
+      rel_err(row.rtl.throughput_tops, row.analytic.throughput_tops);
+  row.energy_rel_err =
+      rel_err(row.rtl.energy_per_mvm_nj, row.analytic.energy_per_mvm_nj);
+  row.delay_ratio = row.rtl.delay_ns / row.analytic.delay_ns;
+  // The energy gate compares against the model's *physical envelope* —
+  // one switching event per cell per cycle — not the as-configured
+  // analytic value: Technology::energy_fj derates the analytic side by
+  // activity * (1 - sparsity), while the measured side embodies sparsity
+  // in the workload toggles (which do not drop linearly with
+  // bit-sparsity).  Dividing the derating back out restores the
+  // documented invariant "measured <= activity=1 bound" under any
+  // conditions; energy_rel_err still reports the as-configured gap.
+  const double energy_derate = cond.activity * (1.0 - cond.input_sparsity);
+  row.energy_ratio = row.rtl.energy_per_mvm_nj * energy_derate /
+                     row.analytic.energy_per_mvm_nj;
+  row.throughput_ratio =
+      row.rtl.throughput_tops / row.analytic.throughput_tops;
+  if (calibrated) {
+    row.pass = row.area_rel_err <= tolerance &&
+               row.delay_rel_err <= tolerance &&
+               row.energy_rel_err <= tolerance &&
+               row.throughput_rel_err <= tolerance &&
+               row.delay_ratio > 0.0 && row.energy_ratio > 0.0;
+  } else {
+    // Area agrees symmetrically; delay/energy are envelope upper bounds and
+    // throughput an envelope lower bound (see validate.h).
+    row.pass = row.area_rel_err <= tolerance &&
+               row.delay_ratio > 0.0 &&
+               row.delay_ratio <= 1.0 + tolerance &&
+               row.energy_ratio > 0.0 &&
+               row.energy_ratio <= 1.0 + tolerance &&
+               row.throughput_ratio >= 1.0 / (1.0 + tolerance);
+  }
+  return row;
 }
 
 }  // namespace
@@ -173,44 +241,34 @@ ValidateReport run_validate(const Compiler& compiler, const ValidateSpec& spec,
                                 : rtl_cache->misses() - rtl_misses_before;
   report.rtl_cache_hits = rtl_cache->hits() - rtl_hits_before;
   report.rtl_cache_misses = rtl_cache->misses() - rtl_misses_before;
+  // The analytic column: the knee metrics as the DSE computed them, or —
+  // under --calibration — the same knees re-evaluated through the calibrated
+  // model.  The knee *selection* above is always uncalibrated (see
+  // validate.h), so the RTL work and the inner sweep's artifacts are
+  // identical either way.
+  std::vector<MacroMetrics> analytic(knees.size());
+  for (std::size_t i = 0; i < cells.cells.size(); ++i) {
+    analytic[i] = cells.cells[i].knee.metrics;
+  }
+  if (!spec.calibration_file.empty()) {
+    std::string cal_error;
+    auto cal = load_calibration_for(spec.calibration_file,
+                                    compiler.technology(), grid.conditions,
+                                    &cal_error);
+    if (!cal) return validate_fail(cal_error, error);
+    const AnalyticCostModel calibrated(
+        compiler.technology(), grid.conditions,
+        std::make_shared<const Calibration>(std::move(*cal)));
+    calibrated.evaluate_batch(Span<const DesignPoint>(knees),
+                              Span<MacroMetrics>(analytic));
+    report.calibration = calibrated.calibration()->digest();
+  }
   for (std::size_t i = 0; i < cells.cells.size(); ++i) {
     const SweepCell& cell = cells.cells[i];
-    ValidateRow row;
-    row.wstore = cell.wstore;
-    row.precision = cell.precision;
-    row.knee = cell.knee.point;
-    row.analytic = cell.knee.metrics;
-    row.rtl = measured[i];
-    row.area_rel_err = rel_err(row.rtl.area_mm2, row.analytic.area_mm2);
-    row.delay_rel_err = rel_err(row.rtl.delay_ns, row.analytic.delay_ns);
-    row.throughput_rel_err =
-        rel_err(row.rtl.throughput_tops, row.analytic.throughput_tops);
-    row.energy_rel_err =
-        rel_err(row.rtl.energy_per_mvm_nj, row.analytic.energy_per_mvm_nj);
-    row.delay_ratio = row.rtl.delay_ns / row.analytic.delay_ns;
-    // The energy gate compares against the model's *physical envelope* —
-    // one switching event per cell per cycle — not the as-configured
-    // analytic value: Technology::energy_fj derates the analytic side by
-    // activity * (1 - sparsity), while the measured side embodies sparsity
-    // in the workload toggles (which do not drop linearly with
-    // bit-sparsity).  Dividing the derating back out restores the
-    // documented invariant "measured <= activity=1 bound" under any
-    // conditions; energy_rel_err still reports the as-configured gap.
-    const double energy_derate =
-        grid.conditions.activity * (1.0 - grid.conditions.input_sparsity);
-    row.energy_ratio = row.rtl.energy_per_mvm_nj * energy_derate /
-                       row.analytic.energy_per_mvm_nj;
-    row.throughput_ratio =
-        row.rtl.throughput_tops / row.analytic.throughput_tops;
-    // Area agrees symmetrically; delay/energy are envelope upper bounds and
-    // throughput an envelope lower bound (see validate.h).
-    row.pass = row.area_rel_err <= spec.tolerance &&
-               row.delay_ratio > 0.0 &&
-               row.delay_ratio <= 1.0 + spec.tolerance &&
-               row.energy_ratio > 0.0 &&
-               row.energy_ratio <= 1.0 + spec.tolerance &&
-               row.throughput_ratio >= 1.0 / (1.0 + spec.tolerance);
-    report.rows.push_back(std::move(row));
+    report.rows.push_back(build_row(cell.wstore, cell.precision,
+                                    cell.knee.point, analytic[i], measured[i],
+                                    grid.conditions, spec.tolerance,
+                                    !report.calibration.empty()));
   }
   return report;
 }
@@ -249,6 +307,9 @@ std::string row_label(const ValidateRow& row) {
 Json ValidateReport::to_json() const {
   Json j = Json::object();
   j["tolerance"] = tolerance;
+  // Only when calibrated: the uncalibrated report stays byte-identical to
+  // pre-calibration builds.
+  if (!calibration.empty()) j["calibration"] = calibration;
   j["pass"] = pass();
   j["failures"] = static_cast<std::int64_t>(failures());
   Json rws = Json::array();
@@ -325,8 +386,13 @@ std::string ValidateReport::to_csv() const {
 
 std::string ValidateReport::render() const {
   std::string out = strfmt(
-      "analytic-vs-RTL knee validation: %zu knee point(s), tolerance %.3g\n\n",
+      "analytic-vs-RTL knee validation: %zu knee point(s), tolerance %.3g\n",
       rows.size(), tolerance);
+  if (!calibration.empty()) {
+    out += strfmt("analytic column calibrated (artifact digest %s)\n",
+                  calibration.c_str());
+  }
+  out += "\n";
   TextTable table({"cell", "knee design", "area err", "delay ratio",
                    "E ratio", "tput ratio", "verdict"});
   for (const auto& row : rows) {
@@ -340,10 +406,171 @@ std::string ValidateReport::render() const {
   out += table.render();
   out += strfmt("\n%zu/%zu knee point(s) within tolerance",
                 rows.size() - failures(), rows.size());
-  out += strfmt(
-      " (gates: area err <= %.3g; measured delay/energy <= %.3gx the "
-      "model's envelope; measured throughput >= 1/%.3g of the model's)\n",
-      tolerance, 1.0 + tolerance, 1.0 + tolerance);
+  if (!calibration.empty()) {
+    // A calibrated model is a best fit, not a one-sided envelope: every
+    // metric gates on the symmetric relative error (see build_row).
+    out += strfmt(" (gates: every metric's rel err <= %.3g against the "
+                  "calibrated model)\n",
+                  tolerance);
+  } else {
+    out += strfmt(
+        " (gates: area err <= %.3g; measured delay/energy <= %.3gx the "
+        "model's envelope; measured throughput >= 1/%.3g of the model's)\n",
+        tolerance, 1.0 + tolerance, 1.0 + tolerance);
+  }
+  return out;
+}
+
+namespace {
+
+/// The fixed metric order every CalibrationReport emitter uses.
+constexpr const char* kFitMetrics[] = {"area", "delay", "energy",
+                                       "throughput"};
+
+std::optional<CalibrationReport> calibrate_fail(const std::string& msg,
+                                                std::string* error) {
+  if (error) {
+    *error = msg;
+    return std::nullopt;
+  }
+  std::fprintf(stderr, "[sega] %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+std::optional<CalibrationReport> run_validate_calibrate(
+    const Compiler& compiler, const ValidateSpec& spec,
+    const std::string& artifact_out, std::string* error) {
+  if (error) error->clear();
+  if (!spec.calibration_file.empty()) {
+    return calibrate_fail(
+        "validate --calibrate fits a fresh artifact; it cannot run under a "
+        "preloaded one (--calibration / calibration_file)",
+        error);
+  }
+  if (artifact_out.empty()) {
+    return calibrate_fail("--calibrate requires a non-empty artifact path",
+                          error);
+  }
+
+  CalibrationReport report;
+
+  // --- 1. the uncalibrated comparison (and the measured corpus) ------------
+  std::string validate_error;
+  report.before = run_validate(compiler, spec, &validate_error);
+  if (!validate_error.empty()) return calibrate_fail(validate_error, error);
+  if (report.before.rows.empty()) {
+    return calibrate_fail(
+        "calibration corpus is empty: the validate grid produced no knee "
+        "points",
+        error);
+  }
+
+  // --- 2. fit over the measured knees --------------------------------------
+  std::vector<CalibrationSample> corpus;
+  corpus.reserve(report.before.rows.size());
+  for (const auto& row : report.before.rows) {
+    corpus.push_back(CalibrationSample{row.knee, row.rtl});
+  }
+  std::string fit_error;
+  auto fitted = fit_calibration(compiler.technology(), spec.sweep.conditions,
+                                std::move(corpus), &fit_error, &report.fits);
+  if (!fitted) return calibrate_fail(fit_error, error);
+  const auto cal = std::make_shared<const Calibration>(std::move(*fitted));
+
+  std::string save_error;
+  if (!save_calibration(*cal, artifact_out, &save_error)) {
+    return calibrate_fail(save_error, error);
+  }
+  report.artifact_path = artifact_out;
+  report.digest = cal->digest();
+  report.corpus_size = cal->corpus_size;
+
+  // --- 3. the same knees through the freshly calibrated model --------------
+  // No new DSE and no new RTL work: the knee set and its measurements are
+  // already in the before-report; only the analytic column changes.
+  std::vector<DesignPoint> knees;
+  knees.reserve(report.before.rows.size());
+  for (const auto& row : report.before.rows) knees.push_back(row.knee);
+  std::vector<MacroMetrics> analytic(knees.size());
+  const AnalyticCostModel calibrated(compiler.technology(),
+                                     spec.sweep.conditions, cal);
+  calibrated.evaluate_batch(Span<const DesignPoint>(knees),
+                            Span<MacroMetrics>(analytic));
+  report.after.tolerance = spec.tolerance;
+  report.after.calibration = report.digest;
+  // The RTL work accounting covers the whole --calibrate run; the
+  // re-comparison added none of it.
+  report.after.rtl_elaborations = report.before.rtl_elaborations;
+  report.after.rtl_cache_hits = report.before.rtl_cache_hits;
+  report.after.rtl_cache_misses = report.before.rtl_cache_misses;
+  for (std::size_t i = 0; i < report.before.rows.size(); ++i) {
+    const ValidateRow& b = report.before.rows[i];
+    report.after.rows.push_back(build_row(b.wstore, b.precision, b.knee,
+                                          analytic[i], b.rtl,
+                                          spec.sweep.conditions,
+                                          spec.tolerance,
+                                          /*calibrated=*/true));
+  }
+  return report;
+}
+
+Json CalibrationReport::to_json() const {
+  Json j = Json::object();
+  j["artifact"] = artifact_path;
+  j["digest"] = digest;
+  j["corpus_size"] = corpus_size;
+  Json envelopes = Json::object();
+  for (const char* metric : kFitMetrics) {
+    const auto it = fits.find(metric);
+    if (it == fits.end()) continue;
+    Json e = Json::object();
+    e["envelope_before"] = it->second.envelope_before;
+    e["envelope_after"] = it->second.envelope_after;
+    e["scale"] = it->second.scale;
+    e["module_factors_kept"] = it->second.module_factors_kept;
+    envelopes[metric] = std::move(e);
+  }
+  j["envelopes"] = std::move(envelopes);
+  j["pass"] = pass();
+  j["before"] = before.to_json();
+  j["after"] = after.to_json();
+  return j;
+}
+
+std::string CalibrationReport::to_csv() const {
+  std::string out =
+      "metric,envelope_before,envelope_after,scale,module_factors_kept\n";
+  for (const char* metric : kFitMetrics) {
+    const auto it = fits.find(metric);
+    if (it == fits.end()) continue;
+    out += strfmt("%s,%.6g,%.6g,%.6g,%d\n", metric,
+                  it->second.envelope_before, it->second.envelope_after,
+                  it->second.scale, it->second.module_factors_kept ? 1 : 0);
+  }
+  return out;
+}
+
+std::string CalibrationReport::render() const {
+  std::string out = strfmt(
+      "calibration fit: %lld knee point(s) -> %s (digest %s)\n\n",
+      static_cast<long long>(corpus_size), artifact_path.c_str(),
+      digest.c_str());
+  TextTable table({"metric", "envelope before", "envelope after", "scale",
+                   "module factors"});
+  for (const char* metric : kFitMetrics) {
+    const auto it = fits.find(metric);
+    if (it == fits.end()) continue;
+    table.add_row({metric,
+                   strfmt("%.2f%%", it->second.envelope_before * 100.0),
+                   strfmt("%.2f%%", it->second.envelope_after * 100.0),
+                   strfmt("%.6g", it->second.scale),
+                   it->second.module_factors_kept ? "kept" : "reset"});
+  }
+  out += table.render();
+  out += "\n";
+  out += after.render();
   return out;
 }
 

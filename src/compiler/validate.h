@@ -40,6 +40,7 @@
 #pragma once
 
 #include "compiler/sweep.h"
+#include "cost/calibrate.h"
 
 namespace sega {
 
@@ -57,6 +58,20 @@ struct ValidateSpec {
   /// side persists via sweep.cache_file).  Separate files are required —
   /// the two backends' fingerprints never match.
   std::string rtl_cache_file;
+
+  /// Calibration artifact the *comparison* runs under (spec key
+  /// "calibration_file", CLI --calibration); empty compares the uncalibrated
+  /// model.  Deliberately NOT forwarded to the inner sweep: knee points are
+  /// always selected by the uncalibrated analytic DSE, so the knee set, the
+  /// RTL measurements, and the inner sweep's checkpoint/memo are identical
+  /// with and without an artifact — a calibrated validate reuses a warm RTL
+  /// memo with zero new elaborations, and only the analytic column of the
+  /// comparison changes.  The gates change too: a calibrated model is a
+  /// best fit centered on the measurements, not a one-sided envelope, so
+  /// every metric gates on the symmetric relative error <= tolerance
+  /// instead of the envelope bounds above.  Loading hard-errors on a
+  /// damaged or mismatched artifact.
+  std::string calibration_file;
 
   /// When non-null, measure the knees through this externally owned RTL
   /// cache (the serve daemon's warm cross-client cache) instead of a local
@@ -99,6 +114,13 @@ struct ValidateReport {
   std::vector<ValidateRow> rows;
   double tolerance = 0.0;
 
+  /// Digest of the calibration artifact the analytic column was evaluated
+  /// under; empty for the uncalibrated model.  to_json() emits the
+  /// "calibration" key (and render() its provenance line) only when
+  /// non-empty, so uncalibrated output stays byte-identical to
+  /// pre-calibration builds.
+  std::string calibration;
+
   /// RTL-side work accounting: a warm rtl_cache_file rerun reports
   /// rtl_elaborations == 0 (every knee served from the memo).
   std::uint64_t rtl_elaborations = 0;
@@ -125,5 +147,41 @@ struct ValidateReport {
 /// abort otherwise — mirroring run_sweep's contract.
 ValidateReport run_validate(const Compiler& compiler, const ValidateSpec& spec,
                             std::string* error = nullptr);
+
+/// The `validate --calibrate` product: the uncalibrated comparison, the fit,
+/// and the same knees re-compared through the freshly calibrated model.
+/// By the fitter's envelope guard, for every metric the after-envelope
+/// (max |rel-err| across the knee corpus) is <= the before-envelope.
+struct CalibrationReport {
+  ValidateReport before;  ///< uncalibrated analytic vs RTL
+  ValidateReport after;   ///< calibrated analytic vs the same RTL rows
+  /// Per-metric fit summary, keyed "area" / "delay" / "energy" /
+  /// "throughput" (fit_calibration's report).
+  std::map<std::string, CalibrationMetricFit> fits;
+  std::string artifact_path;  ///< where the artifact was saved
+  std::string digest;         ///< its content digest
+  std::int64_t corpus_size = 0;
+
+  /// Verdict of the *calibrated* comparison — `validate --calibrate` exits
+  /// with the same codes as `validate`, judged on the model it just fitted.
+  bool pass() const { return after.pass(); }
+
+  Json to_json() const;
+  /// CSV: one row per metric with the before/after envelopes and the scale.
+  std::string to_csv() const;
+  /// Human-readable fit summary + the calibrated divergence table.
+  std::string render() const;
+};
+
+/// Fit a calibration over the validate grid's measured knee corpus, save the
+/// artifact to @p artifact_out (atomically), and re-compare the knees
+/// through the calibrated model.  spec.calibration_file must be empty (a
+/// fresh fit and a preloaded artifact are mutually exclusive).  Errors —
+/// sweep/memo failures, an empty corpus, a rank-deficient fit, an
+/// unwritable artifact — follow run_validate's contract: *error + nullopt
+/// when @p error is non-null, abort otherwise.
+std::optional<CalibrationReport> run_validate_calibrate(
+    const Compiler& compiler, const ValidateSpec& spec,
+    const std::string& artifact_out, std::string* error = nullptr);
 
 }  // namespace sega

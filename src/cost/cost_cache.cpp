@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "cost/calibrate.h"
 #include "tech/techlib_parser.h"
 #include "util/assert.h"
 #include "util/strings.h"
@@ -472,6 +473,14 @@ Json CostCache::fingerprint_header() const {
   j["model"] = model_->model_name();
   j["model_version"] = model_->model_version();
   j["config"] = std::move(config);
+  // Calibration is model identity too: memos computed under a calibration
+  // artifact carry its version+digest, uncalibrated memos carry no key at
+  // all (keeping pre-calibration memo files byte-identical and loadable).
+  // load()'s exact-header match then rejects both cross-contamination
+  // directions for free.
+  if (const auto cal = model_->calibration()) {
+    j["calibration"] = cal->fingerprint();
+  }
   return j;
 }
 

@@ -73,6 +73,9 @@ class CostCache final : public CostModel {
   /// wrapped model, not the decorator.
   const char* model_name() const override { return model_->model_name(); }
   int model_version() const override { return model_->model_version(); }
+  std::shared_ptr<const Calibration> calibration() const override {
+    return model_->calibration();
+  }
 
   /// Cached evaluation of one design point.
   MacroMetrics evaluate(const DesignPoint& dp) const override;

@@ -1,8 +1,10 @@
 #include "cost/cost_model.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
+#include "cost/calibrate.h"
 #include "cost/rtl_cost_model.h"
 #include "util/assert.h"
 #include "util/strings.h"
@@ -41,6 +43,18 @@ std::unique_ptr<CostModel> make_cost_model(CostModelKind kind,
   return nullptr;
 }
 
+std::unique_ptr<CostModel> make_cost_model(
+    CostModelKind kind, const Technology& tech, EvalConditions cond,
+    std::shared_ptr<const Calibration> cal) {
+  if (!cal) return make_cost_model(kind, tech, cond);
+  if (kind != CostModelKind::kAnalytic) {
+    throw std::runtime_error(
+        "a calibration artifact only applies to the analytic cost model; "
+        "the rtl backend is the measurement it was fitted against");
+  }
+  return std::make_unique<AnalyticCostModel>(tech, cond, std::move(cal));
+}
+
 void CostModel::evaluate_batch(Span<const DesignPoint> points,
                                Span<MacroMetrics> out) const {
   SEGA_EXPECTS(points.size() == out.size());
@@ -53,8 +67,17 @@ AnalyticCostModel::AnalyticCostModel(const Technology& tech,
                                      EvalConditions cond)
     : ctx_(tech, cond) {}
 
+AnalyticCostModel::AnalyticCostModel(const Technology& tech,
+                                     EvalConditions cond,
+                                     std::shared_ptr<const Calibration> cal)
+    : ctx_(tech, cond), cal_(std::move(cal)) {}
+
 MacroMetrics AnalyticCostModel::evaluate(const DesignPoint& dp) const {
   const MacroCensus census = census_macro(tech(), dp);
+  if (cal_) {
+    return derive_metrics_calibrated(ctx_, census, cost_components(census),
+                                     *cal_);
+  }
   return derive_metrics(ctx_, census, cost_components(census));
 }
 
@@ -63,6 +86,20 @@ void AnalyticCostModel::evaluate_batch(Span<const DesignPoint> points,
   SEGA_EXPECTS(points.size() == out.size());
   const std::size_t n = points.size();
   if (n == 0) return;
+  if (cal_) {
+    // Calibrated path: fixed-order scalar derivation per point, sharing one
+    // module-cost memo across the batch.  Per-point pure, so the result is
+    // independent of batching and thread count, and bit-identical to the
+    // fitter's own re-evaluation of the corpus.
+    ModuleCostMemo memo(tech());
+    for (std::size_t i = 0; i < n; ++i) {
+      const MacroCensus census = census_macro(tech(), points[i], &memo);
+      out[i] =
+          derive_metrics_calibrated(ctx_, census, cost_components(census),
+                                    *cal_);
+    }
+    return;
+  }
   if (n == 1) {
     // Nothing to amortize — skip the batch scratch entirely.
     out[0] = evaluate(points[0]);

@@ -22,6 +22,8 @@
 
 namespace sega {
 
+class Calibration;
+
 class CostModel {
  public:
   virtual ~CostModel() = default;
@@ -36,6 +38,15 @@ class CostModel {
   /// analytic model keep the default.
   virtual const char* model_name() const { return "analytic"; }
   virtual int model_version() const { return kCostModelVersion; }
+
+  /// The calibration this model evaluates under, or nullptr for the
+  /// uncalibrated formulas.  Like model_name(), this is model *identity*:
+  /// its fingerprint() joins persistent memo headers and sweep config
+  /// fingerprints, so calibrated and uncalibrated results can never
+  /// cross-contaminate.  Decorators delegate to the wrapped model.
+  virtual std::shared_ptr<const Calibration> calibration() const {
+    return nullptr;
+  }
 
   /// Evaluate one design point.
   virtual MacroMetrics evaluate(const DesignPoint& dp) const = 0;
@@ -67,6 +78,14 @@ std::unique_ptr<CostModel> make_cost_model(CostModelKind kind,
                                            const Technology& tech,
                                            EvalConditions cond = {});
 
+/// Construct the chosen backend with a calibration applied.  Only the
+/// analytic backend accepts one (the RTL model *is* the measurement);
+/// kind == kRtl with a non-null @p cal is a hard error.  A null @p cal is
+/// exactly make_cost_model(kind, tech, cond).
+std::unique_ptr<CostModel> make_cost_model(
+    CostModelKind kind, const Technology& tech, EvalConditions cond,
+    std::shared_ptr<const Calibration> cal);
+
 /// The analytic model of Tables II-VI: EvalContext -> gate census ->
 /// component costing -> absolute-metric derivation.  The context is hoisted
 /// to construction; the batch path additionally shares a module-cost memo
@@ -77,9 +96,20 @@ class AnalyticCostModel final : public CostModel {
   /// The model keeps a pointer to @p tech; the technology must outlive it.
   explicit AnalyticCostModel(const Technology& tech, EvalConditions cond = {});
 
+  /// The calibrated analytic model: derive_metrics_calibrated per point.
+  /// A null @p cal is exactly the uncalibrated model.  The calibrated batch
+  /// path is per-point pure (fixed-order scalar derivation under a shared
+  /// module-cost memo), so results are bit-identical at any thread count
+  /// and to fit-time re-evaluation.
+  AnalyticCostModel(const Technology& tech, EvalConditions cond,
+                    std::shared_ptr<const Calibration> cal);
+
   const Technology& tech() const override { return ctx_.tech(); }
   const EvalConditions& conditions() const override {
     return ctx_.conditions();
+  }
+  std::shared_ptr<const Calibration> calibration() const override {
+    return cal_;
   }
 
   MacroMetrics evaluate(const DesignPoint& dp) const override;
@@ -88,6 +118,7 @@ class AnalyticCostModel final : public CostModel {
 
  private:
   EvalContext ctx_;
+  std::shared_ptr<const Calibration> cal_;
 };
 
 }  // namespace sega

@@ -101,7 +101,8 @@ std::vector<std::string> absolutize_for_daemon(
   std::vector<std::string> result = argv;
   for (std::size_t i = 0; i + 1 < result.size(); ++i) {
     if (result[i] == "--spec" || result[i] == "--out" ||
-        result[i] == "--checkpoint") {
+        result[i] == "--checkpoint" || result[i] == "--calibration" ||
+        result[i] == "--calibrate") {
       std::error_code ec;
       const auto absolute = std::filesystem::absolute(result[i + 1], ec);
       if (!ec) result[i + 1] = absolute.string();

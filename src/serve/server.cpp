@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "compiler/cli.h"
+#include "cost/calibrate.h"
 #include "serve/client.h"
 #include "tech/techlib_parser.h"
 #include "util/strings.h"
@@ -61,21 +62,31 @@ bool run_request_allowed(const std::vector<std::string>& argv,
 /// Side-effect-free requests — nothing written to the filesystem — may be
 /// served from the finished-response cache.  Anything with --out or
 /// --checkpoint must re-execute so its files (re)appear, and compile
-/// always writes artifacts.
+/// always writes artifacts.  Calibration requests are never cached either:
+/// --calibrate writes the artifact file, and a --calibration response
+/// depends on the artifact's *content*, which can change between two
+/// byte-identical argv lines.
 bool run_request_cacheable(const std::vector<std::string>& argv) {
   if (argv[0] == "compile") return false;
   for (const std::string& arg : argv) {
-    if (arg == "--out" || arg == "--checkpoint") return false;
+    if (arg == "--out" || arg == "--checkpoint" || arg == "--calibrate" ||
+        arg == "--calibration") {
+      return false;
+    }
   }
   return true;
 }
 
 /// FNV-1a over the cache-config key material — the stable suffix of a
-/// per-config memo delta file name.
-std::uint32_t config_hash(CostModelKind kind, const EvalConditions& cond) {
-  const std::string material =
+/// per-config memo delta file name.  The uncalibrated material is exactly
+/// the pre-calibration format, so existing delta files keep their names; a
+/// calibrated stack appends the artifact digest and gets its own delta.
+std::uint32_t config_hash(CostModelKind kind, const EvalConditions& cond,
+                          const std::string& calibration_digest) {
+  std::string material =
       strfmt("%d|%.17g|%.17g|%.17g", static_cast<int>(kind), cond.supply_v,
              cond.input_sparsity, cond.activity);
+  if (!calibration_digest.empty()) material += "|" + calibration_digest;
   std::uint32_t h = 2166136261u;
   for (const char c : material) {
     h ^= static_cast<unsigned char>(c);
@@ -284,17 +295,33 @@ int ServeServer::execute(const std::vector<std::string>& argv,
                          const std::function<void(const Json&)>& progress) {
   CliHooks hooks;
   hooks.tech = &tech_;
-  hooks.cache_for = [this](CostModelKind kind, const EvalConditions& cond) {
-    return cache_for(kind, cond);
+  hooks.cache_for = [this](CostModelKind kind, const EvalConditions& cond,
+                           const std::string& calibration_file) {
+    return cache_for(kind, cond, calibration_file);
   };
   hooks.sweep_progress = progress;
   return run_cli_hooked(argv, out, err, hooks);
 }
 
 CostCache* ServeServer::cache_for(CostModelKind kind,
-                                  const EvalConditions& cond) {
+                                  const EvalConditions& cond,
+                                  const std::string& calibration_file) {
+  // A calibrated stack is keyed by the artifact's *content digest*, never
+  // the request's path string.  Load failures return null: the request then
+  // builds its own stack in-process and surfaces the loader's diagnostic —
+  // the daemon must not invent a different error path.
+  std::shared_ptr<const Calibration> calibration;
+  if (!calibration_file.empty()) {
+    if (kind != CostModelKind::kAnalytic) return nullptr;
+    std::string cal_error;
+    auto loaded = load_calibration_for(calibration_file, tech_, cond,
+                                       &cal_error);
+    if (!loaded) return nullptr;
+    calibration = std::make_shared<const Calibration>(std::move(*loaded));
+  }
+  const std::string digest = calibration ? calibration->digest() : "";
   const CacheKey key{static_cast<int>(kind), cond.supply_v,
-                     cond.input_sparsity, cond.activity};
+                     cond.input_sparsity, cond.activity, digest};
   std::lock_guard<std::mutex> lock(caches_mu_);
   const auto it = caches_.find(key);
   if (it != caches_.end()) return it->second.cache.get();
@@ -302,13 +329,14 @@ CostCache* ServeServer::cache_for(CostModelKind kind,
   CacheStack stack;
   stack.kind = kind;
   stack.cond = cond;
-  auto coalescer =
-      std::make_unique<BatchCoalescer>(make_cost_model(kind, tech_, cond));
+  stack.calibration_digest = digest;
+  auto coalescer = std::make_unique<BatchCoalescer>(
+      make_cost_model(kind, tech_, cond, calibration));
   stack.coalescer = coalescer.get();
   stack.cache = std::make_unique<CostCache>(std::move(coalescer));
   if (!opts_.cache_file.empty()) {
     stack.delta_path = strfmt("%s.serve-%08x", opts_.cache_file.c_str(),
-                              config_hash(kind, cond));
+                              config_hash(kind, cond, digest));
     // The base memo carries ONE fingerprint; a mismatch just means it
     // belongs to a different configuration — skipped, never fatal.  Base
     // entries are marked imported so the shutdown flush writes only this
@@ -368,6 +396,9 @@ Json ServeServer::status_json() const {
       c["supply_v"] = stack.cond.supply_v;
       c["input_sparsity"] = stack.cond.input_sparsity;
       c["activity"] = stack.cond.activity;
+      if (!stack.calibration_digest.empty()) {
+        c["calibration"] = stack.calibration_digest;
+      }
       c["entries"] = static_cast<std::uint64_t>(stack.cache->size());
       c["hits"] = stack.cache->hits();
       c["misses"] = stack.cache->misses();
@@ -450,6 +481,26 @@ int run_serve_cli(const std::map<std::string, std::string>& flags,
   ServeOptions opts;
   opts.socket_path = socket_path;
   if (flags.count("cache-file")) opts.cache_file = flags.at("cache-file");
+  if (flags.count("calibration")) {
+    // Fail-fast verification, not a default: a damaged artifact or one
+    // fitted for a different model/technology aborts the daemon at startup
+    // instead of failing every calibrated request at run time.  Conditions
+    // vary per request, so the artifact is checked against its *own*
+    // conditions; requests re-match theirs at cache_for time.
+    opts.calibration_file = flags.at("calibration");
+    std::string cal_error;
+    const auto artifact = load_calibration(opts.calibration_file, &cal_error);
+    if (!artifact ||
+        !load_calibration_for(opts.calibration_file, tech,
+                              artifact->conditions, &cal_error)) {
+      err << cal_error << "\n";
+      return 2;
+    }
+    err << strfmt("sega_dcim serve: calibration artifact '%s' verified "
+                  "(digest %s)\n",
+                  opts.calibration_file.c_str(),
+                  artifact->digest().c_str());
+  }
   if (flags.count("response-cache")) {
     long long entries = 0;
     try {

@@ -55,6 +55,13 @@ struct ServeOptions {
   /// Base path of the persistent evaluation memo; empty disables
   /// persistence (the daemon is then warm only for its own lifetime).
   std::string cache_file;
+  /// Calibration artifact to verify at startup (`serve --calibration`):
+  /// the daemon fail-fasts on a damaged artifact or one fitted for a
+  /// different model/technology, instead of every calibrated request
+  /// failing later.  Requests still name their artifact explicitly via
+  /// --calibration — the preload never silently calibrates a request that
+  /// did not ask (daemon and --no-daemon runs must stay byte-identical).
+  std::string calibration_file;
   std::size_t max_request_bytes = kMaxRequestBytes;
   /// LRU capacity of the finished-response cache (0 disables it).
   std::size_t response_cache_entries = 64;
@@ -86,10 +93,15 @@ class ServeServer {
   /// every 200 ms — the signal-flag check of the foreground daemon).
   void wait(const std::function<bool()>& interrupted);
 
-  /// The shared warm cache for (backend, conditions), created on first
-  /// use: CostCache over BatchCoalescer over make_cost_model.  Stable for
-  /// the server's lifetime.
-  CostCache* cache_for(CostModelKind kind, const EvalConditions& cond);
+  /// The shared warm cache for (backend, conditions, calibration artifact),
+  /// created on first use: CostCache over BatchCoalescer over
+  /// make_cost_model.  Stable for the server's lifetime.  A non-empty
+  /// @p calibration_file keys a *separate* stack by the artifact's content
+  /// digest (calibrated and uncalibrated memos must never mix); when the
+  /// artifact fails to load this returns null and the request's in-process
+  /// fallback path surfaces the diagnostic.
+  CostCache* cache_for(CostModelKind kind, const EvalConditions& cond,
+                       const std::string& calibration_file = "");
 
   /// The `serve --status` payload: pid/socket, broker counters, per-config
   /// cache + coalescer counters, active connection count.
@@ -108,16 +120,20 @@ class ServeServer {
     std::atomic<bool> done{false};
   };
 
-  /// One (backend, conditions) evaluation stack.
+  /// One (backend, conditions, calibration) evaluation stack.
   struct CacheStack {
     CostModelKind kind = CostModelKind::kAnalytic;
     EvalConditions cond;
+    std::string calibration_digest;  ///< empty for the uncalibrated stack
     std::unique_ptr<CostCache> cache;
     const BatchCoalescer* coalescer = nullptr;
     std::string delta_path;  ///< empty when persistence is off
     bool base_loaded = false;
   };
-  using CacheKey = std::tuple<int, double, double, double>;
+  /// (kind, supply, sparsity, activity, calibration digest) — the digest,
+  /// never the artifact path, so two paths to the same artifact share one
+  /// stack and an edited artifact gets a fresh one.
+  using CacheKey = std::tuple<int, double, double, double, std::string>;
 
   void accept_loop();
   void reap_finished();

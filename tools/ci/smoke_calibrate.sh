@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Calibration smoke (the CI step; run locally against any build dir):
+# `validate --calibrate` must fit a deterministic artifact from the
+# measured knee corpus and *tighten (or match) every per-metric envelope*,
+# `validate --calibration` must reproduce the calibrated comparison from a
+# warm RTL memo, the no-artifact path must stay byte-identical, and memo /
+# checkpoint state must never cross the calibrated/uncalibrated boundary.
+#
+# usage: tools/ci/smoke_calibrate.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR=$(cd "${1:-build}" && pwd)
+SEGA="$BUILD_DIR/sega_dcim"
+if [ ! -x "$SEGA" ]; then
+  echo "error: $SEGA not found or not executable (build the repo first)" >&2
+  exit 2
+fi
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+# Same tiny grid as the validate smoke; tolerance 0.7 because calibrated
+# rows gate on *symmetric* relative error and this grid's worst raw
+# energy divergence sits above 0.25 even after the fit centers it.
+VGRID=(--wstores 512 --precisions INT8,FP16,FP32
+       --population 16 --generations 8 --seed 2 --tolerance 0.7)
+
+# Uncalibrated baseline, cold then warm: the RTL memo must make the rerun
+# byte-identical (outputs carry no wall-clock — they are cmp-safe).
+"$SEGA" validate "${VGRID[@]}" --rtl-cache-file rtl.memo \
+  --out base_cold > base_cold.txt
+"$SEGA" validate "${VGRID[@]}" --rtl-cache-file rtl.memo \
+  --out base_warm > base_warm.txt
+cmp base_cold.txt base_warm.txt
+cmp base_cold/validate.csv base_warm/validate.csv
+
+# Fit: same grid, warm memo (the fit re-measures nothing).  The envelope
+# guarantee is per metric: envelope_after <= envelope_before, and the fit
+# must actually help on this grid (strictly tighter somewhere).
+"$SEGA" validate "${VGRID[@]}" --rtl-cache-file rtl.memo \
+  --calibrate art.cal --out calib > calibrate.txt
+test -s art.cal
+awk -F, 'NR > 1 && $3+0 > $2+0 { print "envelope widened: " $0; exit 1 }' \
+  calib/calibrate.csv
+awk -F, 'NR > 1 && $3+0 < $2+0 { tightened = 1 } END { exit !tightened }' \
+  calib/calibrate.csv
+
+# The fit is a pure function of the corpus: refitting must reproduce the
+# artifact byte-for-byte.
+"$SEGA" validate "${VGRID[@]}" --rtl-cache-file rtl.memo \
+  --calibrate art2.cal > /dev/null
+cmp art.cal art2.cal
+
+# Calibrated comparison under the artifact: warm RTL memo, repeatable
+# byte-for-byte, and tagged with the artifact digest.
+"$SEGA" validate "${VGRID[@]}" --rtl-cache-file rtl.memo \
+  --calibration art.cal --out cal_a > cal_a.txt
+"$SEGA" validate "${VGRID[@]}" --rtl-cache-file rtl.memo \
+  --calibration art.cal --out cal_b > cal_b.txt
+cmp cal_a.txt cal_b.txt
+cmp cal_a/validate.csv cal_b/validate.csv
+grep -q "calibrated" cal_a.txt
+grep -q '"calibration"' cal_a/validate.json
+
+# The no-artifact path must be untouched by everything above: a plain
+# rerun is still byte-identical to the original baseline, with no
+# calibration marker anywhere.
+"$SEGA" validate "${VGRID[@]}" --rtl-cache-file rtl.memo \
+  --out base_again > base_again.txt
+cmp base_cold.txt base_again.txt
+cmp base_cold/validate.csv base_again/validate.csv
+! grep -q '"calibration"' base_again/validate.json
+
+# --calibrate and --calibration are mutually exclusive (usage error, 2).
+rc=0
+"$SEGA" validate "${VGRID[@]}" --calibrate x.cal --calibration art.cal \
+  > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 2
+
+# Cross-contamination must fail, both directions: a cost memo written
+# under the calibration cannot seed an uncalibrated sweep (and vice
+# versa), and a calibrated checkpoint cannot resume uncalibrated.
+SWEEP=(sweep --wstores 512 --precisions INT8
+       --population 16 --generations 2 --seed 3)
+"$SEGA" "${SWEEP[@]}" --cache-file cal.memo --checkpoint cal.ckpt \
+  --calibration art.cal > /dev/null
+if "$SEGA" "${SWEEP[@]}" --cache-file cal.memo > /dev/null 2>&1; then
+  echo "error: uncalibrated sweep accepted a calibrated memo" >&2
+  exit 1
+fi
+if "$SEGA" "${SWEEP[@]}" --checkpoint cal.ckpt > /dev/null 2>&1; then
+  echo "error: uncalibrated sweep resumed a calibrated checkpoint" >&2
+  exit 1
+fi
+"$SEGA" "${SWEEP[@]}" --cache-file plain.memo --checkpoint plain.ckpt \
+  > /dev/null
+if "$SEGA" "${SWEEP[@]}" --cache-file plain.memo --calibration art.cal \
+  > /dev/null 2>&1; then
+  echo "error: calibrated sweep accepted an uncalibrated memo" >&2
+  exit 1
+fi
+if "$SEGA" "${SWEEP[@]}" --checkpoint plain.ckpt --calibration art.cal \
+  > /dev/null 2>&1; then
+  echo "error: calibrated sweep resumed an uncalibrated checkpoint" >&2
+  exit 1
+fi
+
+echo "OK: calibrate smoke"
