@@ -15,6 +15,7 @@
 #include "cost/calibrate.h"
 #include "cost/cost_cache.h"
 #include "cost/cost_model.h"
+#include "cost/layout_cost.h"
 #include "cost/rtl_cost_model.h"
 #include "layout/floorplan.h"
 #include "rtl/harness.h"
@@ -240,6 +241,23 @@ void BM_Floorplan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Floorplan);
+
+// One full layout/interconnect stage per iteration — build + floorplan +
+// HPWL + parasitic fold, i.e. the per-point premium `--layout` adds on top
+// of an analytic evaluation (compare BM_EvaluateMacroInt).
+void BM_LayoutStage(benchmark::State& state) {
+  const Technology tech = Technology::tsmc28();
+  const EvalContext ctx(tech, EvalConditions{});
+  DesignPoint dp = fig6("INT8");
+  dp.h = 16;
+  dp.l = 32;
+  for (auto _ : state) {
+    MacroMetrics m = evaluate_macro(tech, dp);
+    apply_layout_cost(estimate_layout_cost(ctx, build_dcim_macro(dp)), &m);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_LayoutStage);
 
 // --- the measured backend ---------------------------------------------------
 // One full RtlCostModel evaluation (elaborate + STA + workload simulation)

@@ -32,12 +32,12 @@ constexpr const char* kUsage =
     "commands:\n"
     "  compile --spec <spec.json> --out <dir> [--tech <file.techlib>]\n"
     "          [--cache-file <path>] [--cost-model analytic|rtl]\n"
-    "          [--calibration <file>]\n"
+    "          [--calibration <file>] [--layout]\n"
     "  explore --wstore <n> --precision <name> [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
     "          [--cache-file <path>] [--cost-model analytic|rtl]\n"
-    "          [--calibration <file>]\n"
+    "          [--calibration <file>] [--layout]\n"
     "  sweep   [--spec <sweep.json>] [--out <dir>] [--checkpoint <path>]\n"
     "          [--cache-file <path>] [--resume-summary] [--shard <i/N>]\n"
     "          [--spawn-local <K>] [--heartbeat-every <k>]\n"
@@ -45,7 +45,7 @@ constexpr const char* kUsage =
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
-    "          [--cost-model analytic|rtl] [--calibration <file>]\n"
+    "          [--cost-model analytic|rtl] [--calibration <file>] [--layout]\n"
     "  orchestrate --workers <N> --checkpoint <path>\n"
     "          [--spec <sweep.json>] [--out <dir>] [--cache-file <path>]\n"
     "          [--max-retries <n>] [--stall-timeout <sec>]\n"
@@ -55,20 +55,20 @@ constexpr const char* kUsage =
     "          [--sparsity <f>] [--supply <v>] [--seed <n>]\n"
     "          [--population <n>] [--generations <n>] [--threads <n>]\n"
     "          [--tech <file.techlib>] [--cost-model analytic|rtl]\n"
-    "          [--calibration <file>]\n"
+    "          [--calibration <file>] [--layout]\n"
     "  sweep-merge --checkpoint <path> --shards <N> [--spec <sweep.json>]\n"
     "          [--out <dir>] [--cache-file <path>] [--wstores <n,n,...>]\n"
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
-    "          [--cost-model analytic|rtl] [--calibration <file>]\n"
+    "          [--cost-model analytic|rtl] [--calibration <file>] [--layout]\n"
     "  validate [--spec <validate.json>] [--out <dir>] [--tolerance <f>]\n"
     "          [--cache-file <path>] [--rtl-cache-file <path>]\n"
     "          [--checkpoint <path>] [--wstores <n,n,...>]\n"
     "          [--precisions <name,name,...>] [--sparsity <f>]\n"
     "          [--supply <v>] [--seed <n>] [--population <n>]\n"
     "          [--generations <n>] [--threads <n>] [--tech <file.techlib>]\n"
-    "          [--calibrate <out.cal> | --calibration <file>]\n"
+    "          [--calibrate <out.cal> | --calibration <file>] [--layout]\n"
     "  memo-compact --cache-file <path> [--shards <N>] [--out <path>]\n"
     "          [--extra <path,path,...>]\n"
     "  serve   [--socket <path>] [--tech <file.techlib>]\n"
@@ -198,9 +198,11 @@ bool parse_cost_model_flag(const std::map<std::string, std::string>& flags,
 /// cache (or vice versa) would silently evaluate the wrong model.
 CostCache* shared_cache_for(const CliHooks& hooks, CostModelKind kind,
                             const EvalConditions& cond,
-                            const std::string& calibration_file) {
-  return hooks.cache_for ? hooks.cache_for(kind, cond, calibration_file)
-                         : nullptr;
+                            const std::string& calibration_file,
+                            bool layout) {
+  return hooks.cache_for
+             ? hooks.cache_for(kind, cond, calibration_file, layout)
+             : nullptr;
 }
 
 int cmd_compile(const std::map<std::string, std::string>& flags,
@@ -225,6 +227,7 @@ int cmd_compile(const std::map<std::string, std::string>& flags,
   if (flags.count("calibration")) {
     run_spec.calibration_file = flags.at("calibration");
   }
+  if (flags.count("layout")) run_spec.layout = true;
   if (!parse_cost_model_flag(flags, &run_spec.cost_model, err)) return 2;
 
   const Compiler compiler(*tech);
@@ -232,7 +235,7 @@ int cmd_compile(const std::map<std::string, std::string>& flags,
   const CompilerResult result = compiler.run(
       run_spec,
       shared_cache_for(hooks, run_spec.cost_model, run_spec.conditions,
-                       run_spec.calibration_file),
+                       run_spec.calibration_file, run_spec.layout),
       &run_err);
   if (!run_err.empty()) {
     err << run_err << "\n";
@@ -337,6 +340,7 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
   if (flags.count("calibration")) {
     spec.calibration_file = flags.at("calibration");
   }
+  if (flags.count("layout")) spec.layout = true;
   if (!parse_cost_model_flag(flags, &spec.cost_model, err)) return 2;
 
   const auto tech = load_technology(flags, hooks, err);
@@ -346,7 +350,7 @@ int cmd_explore(const std::map<std::string, std::string>& flags,
   const CompilerResult result = compiler.run(
       spec,
       shared_cache_for(hooks, spec.cost_model, spec.conditions,
-                       spec.calibration_file),
+                       spec.calibration_file, spec.layout),
       &run_err);
   if (!run_err.empty()) {
     err << run_err << "\n";
@@ -408,6 +412,7 @@ bool build_sweep_spec(const std::map<std::string, std::string>& flags,
   if (flags.count("calibration")) {
     spec->calibration_file = flags.at("calibration");
   }
+  if (flags.count("layout")) spec->layout = true;
   if (flags.count("heartbeat-every")) {
     try {
       spec->heartbeat_every = std::stoi(flags.at("heartbeat-every"));
@@ -633,7 +638,7 @@ int cmd_sweep(const std::map<std::string, std::string>& flags,
 
   spec.shared_cache = shared_cache_for(hooks, spec.cost_model,
                                        spec.conditions,
-                                       spec.calibration_file);
+                                       spec.calibration_file, spec.layout);
   spec.progress = hooks.sweep_progress;
   std::string sweep_err;
   const SweepResult result = run_sweep(compiler, spec, &sweep_err);
@@ -880,10 +885,12 @@ int cmd_validate(const std::map<std::string, std::string>& flags,
   // measurement itself.
   spec.sweep.shared_cache = shared_cache_for(hooks, CostModelKind::kAnalytic,
                                              spec.sweep.conditions,
-                                             /*calibration_file=*/"");
+                                             /*calibration_file=*/"",
+                                             spec.sweep.layout);
   spec.shared_rtl_cache = shared_cache_for(hooks, CostModelKind::kRtl,
                                            spec.sweep.conditions,
-                                           /*calibration_file=*/"");
+                                           /*calibration_file=*/"",
+                                           spec.sweep.layout);
 
   // --calibrate: fit over the measured knees, save the artifact, and report
   // the before/after envelopes; the verdict (and exit code) judges the
@@ -979,15 +986,20 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   // Valueless flags, per command (everything else takes "--key value").
   std::vector<std::string> boolean_flags;
-  if (command == "sweep") boolean_flags = {"resume-summary"};
+  if (command == "sweep") boolean_flags = {"resume-summary", "layout"};
   if (command == "serve") boolean_flags = {"status", "stop"};
+  if (command == "compile" || command == "explore" ||
+      command == "orchestrate" || command == "sweep-merge" ||
+      command == "validate") {
+    boolean_flags = {"layout"};
+  }
   std::map<std::string, std::string> flags;
   if (!parse_flags(args, 1, boolean_flags, &flags, err)) return 2;
 
   if (command == "compile") {
     if (!check_known(flags,
                      {"spec", "out", "tech", "cache-file", "cost-model",
-                      "calibration"},
+                      "calibration", "layout"},
                      err)) {
       return 2;
     }
@@ -997,7 +1009,7 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
     if (!check_known(flags,
                      {"wstore", "precision", "sparsity", "supply", "seed",
                       "population", "generations", "threads", "tech",
-                      "cache-file", "cost-model", "calibration"},
+                      "cache-file", "cost-model", "calibration", "layout"},
                      err)) {
       return 2;
     }
@@ -1009,7 +1021,8 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
                       "resume-summary", "shard", "spawn-local",
                       "heartbeat-every", "wstores", "precisions", "sparsity",
                       "supply", "seed", "population", "generations",
-                      "threads", "tech", "cost-model", "calibration"},
+                      "threads", "tech", "cost-model", "calibration",
+                      "layout"},
                      err)) {
       return 2;
     }
@@ -1035,7 +1048,7 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
                       "backoff", "backoff-max", "heartbeat-every", "wstores",
                       "precisions", "sparsity", "supply", "seed",
                       "population", "generations", "threads", "tech",
-                      "cost-model", "calibration"},
+                      "cost-model", "calibration", "layout"},
                      err)) {
       return 2;
     }
@@ -1052,7 +1065,7 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
                      {"spec", "out", "checkpoint", "cache-file", "shards",
                       "wstores", "precisions", "sparsity", "supply", "seed",
                       "population", "generations", "threads", "tech",
-                      "cost-model", "calibration"},
+                      "cost-model", "calibration", "layout"},
                      err)) {
       return 2;
     }
@@ -1064,7 +1077,7 @@ int run_cli_hooked(const std::vector<std::string>& args, std::ostream& out,
                       "rtl-cache-file", "checkpoint", "wstores", "precisions",
                       "sparsity", "supply", "seed", "population",
                       "generations", "threads", "tech", "calibrate",
-                      "calibration"},
+                      "calibration", "layout"},
                      err)) {
       return 2;
     }

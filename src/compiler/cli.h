@@ -40,14 +40,15 @@ struct CliHooks {
   const Technology* tech = nullptr;
 
   /// Shared warm evaluation cache for (backend, conditions, calibration
-  /// artifact); may return null (the command then builds its own — which is
-  /// also how a bad artifact path surfaces its diagnostic).  The host keys
-  /// its registry by exactly the triple it is called with:
+  /// artifact, layout toggle); may return null (the command then builds its
+  /// own — which is also how a bad artifact path surfaces its diagnostic).
+  /// The host keys its registry by exactly the tuple it is called with:
   /// calibration_file is the request's --calibration path ("" for the
-  /// uncalibrated model), and calibrated and uncalibrated stacks must never
-  /// alias — their memo fingerprints differ.
+  /// uncalibrated model), layout the request's --layout toggle — and
+  /// stacks differing in any element must never alias, their memo
+  /// fingerprints differ.
   std::function<CostCache*(CostModelKind, const EvalConditions&,
-                           const std::string& calibration_file)>
+                           const std::string& calibration_file, bool layout)>
       cache_for;
 
   /// Streaming sink for completed sweep cells (SweepSpec::progress) — the

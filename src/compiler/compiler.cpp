@@ -137,7 +137,7 @@ CompilerResult Compiler::run(const CompilerSpec& spec, CostCache* cache,
   // persistent memo, or a calibration artifact needs a local cache wrapping
   // the chosen model.
   if (!cache && (!spec.cache_file.empty() ||
-                 !spec.calibration_file.empty() ||
+                 !spec.calibration_file.empty() || spec.layout ||
                  spec.cost_model != CostModelKind::kAnalytic)) {
     std::shared_ptr<const Calibration> cal;
     if (!spec.calibration_file.empty()) {
@@ -153,8 +153,8 @@ CompilerResult Compiler::run(const CompilerSpec& spec, CostCache* cache,
       if (!loaded) return compiler_fail(cal_error, error);
       cal = std::make_shared<const Calibration>(std::move(*loaded));
     }
-    CostCache local(
-        make_cost_model(spec.cost_model, tech_, spec.conditions, cal));
+    CostCache local(make_cost_model(spec.cost_model, tech_, spec.conditions,
+                                    cal, spec.layout));
     std::string cache_error;
     std::error_code ec;
     if (!spec.cache_file.empty() &&

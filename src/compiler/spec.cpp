@@ -106,6 +106,8 @@ std::optional<CompilerSpec> CompilerSpec::from_json(const Json& json,
         return fail("calibration_file must be a string path");
       }
       spec.calibration_file = value.as_string();
+    } else if (key == "layout") {
+      spec.layout = value.as_bool();
     } else {
       return fail(strfmt("unknown spec key '%s'", key.c_str()));
     }
@@ -135,6 +137,8 @@ Json CompilerSpec::to_json() const {
   j["generate_def"] = generate_def;
   if (!cache_file.empty()) j["cache_file"] = cache_file;
   if (!calibration_file.empty()) j["calibration_file"] = calibration_file;
+  // Only-when-enabled, so pre-layout spec round-trips stay byte-identical.
+  if (layout) j["layout"] = true;
   return j;
 }
 

@@ -67,6 +67,15 @@ struct CompilerSpec {
   /// RTL backend is the measurement the artifact was fitted against).
   std::string calibration_file;
 
+  /// Layout/interconnect cost stage (spec key "layout", CLI --layout):
+  /// floorplan each evaluated macro and fold the HPWL-derived wire
+  /// parasitics into delay and energy (cost/layout_cost.h).  Off by
+  /// default — the no-layout path stays byte-identical to prior releases.
+  /// Model identity: joins memo fingerprints and sweep config fingerprints
+  /// (key emitted only when enabled), so layout-on and layout-off state
+  /// never cross-load.
+  bool layout = false;
+
   /// Parse from JSON, e.g.:
   ///   {"wstore": 8192, "precision": "BF16", "supply_v": 0.9,
   ///    "sparsity": 0.1, "distill": "knee", "seed": 7}

@@ -66,6 +66,11 @@ Json result_affecting_json(const SweepSpec& spec) {
   j["mutation_prob"] = spec.dse.mutation_prob;
   j["seed"] = static_cast<std::int64_t>(spec.dse.seed);
   j["cost_model"] = cost_model_kind_name(spec.cost_model);
+  // Only-when-enabled, like the calibration fingerprint: layout-off specs
+  // keep their serialization (and thus the checkpoint config fingerprint)
+  // byte-identical to pre-layout releases, and the exact-match header check
+  // rejects layout-on/layout-off cross-resume in both directions.
+  if (spec.layout) j["layout"] = true;
   return j;
 }
 
@@ -82,7 +87,7 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
     const bool is_scalar_key = key != "wstores" && key != "precisions" &&
                                key != "checkpoint" && key != "cache_file" &&
                                key != "calibration_file" &&
-                               key != "cost_model";
+                               key != "cost_model" && key != "layout";
     if (is_scalar_key && !value.is_number()) {
       return spec_fail(strfmt("spec key '%s' must be a number", key.c_str()),
                        error);
@@ -205,6 +210,11 @@ std::optional<SweepSpec> SweepSpec::from_json(const Json& json,
         return spec_fail("calibration_file must be a string path", error);
       }
       spec.calibration_file = value.as_string();
+    } else if (key == "layout") {
+      if (!value.is_bool()) {
+        return spec_fail("layout must be a boolean", error);
+      }
+      spec.layout = value.as_bool();
     } else {
       return spec_fail(strfmt("unknown sweep spec key '%s'", key.c_str()),
                        error);
@@ -968,7 +978,7 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
   if (spec.shared_cache == nullptr) {
     owned_cache = std::make_unique<CostCache>(
         make_cost_model(spec.cost_model, compiler.technology(),
-                        spec.conditions, calibration));
+                        spec.conditions, calibration, spec.layout));
   }
   CostCache& cache = spec.shared_cache ? *spec.shared_cache : *owned_cache;
 
@@ -1254,6 +1264,7 @@ SweepResult run_sweep(const Compiler& compiler, const SweepSpec& spec,
     cs.dse.threads = 0;  // inherit this task's thread (no nested pools)
     cs.limits = spec.limits;
     cs.cost_model = spec.cost_model;
+    cs.layout = spec.layout;  // informational: evaluation goes through cache
     cs.distill = DistillPolicy::kKnee;
     cs.generate_rtl = false;
     cs.generate_layout = false;
@@ -1484,7 +1495,7 @@ SweepResult merge_sweep_shards(const Compiler& compiler, const SweepSpec& spec,
   // result is exactly what a single-process run would have produced.  The
   // workers' memo shards make this free when a cache file is in play.
   CostCache cache(make_cost_model(spec.cost_model, compiler.technology(),
-                                  spec.conditions, calibration));
+                                  spec.conditions, calibration, spec.layout));
   if (!spec.cache_file.empty()) {
     std::error_code ec;
     if (std::filesystem::exists(spec.cache_file, ec)) {

@@ -93,6 +93,15 @@ struct SweepSpec {
   /// cost_model == "rtl" (the RTL backend is the measurement).
   std::string calibration_file;
 
+  /// Layout/interconnect cost stage (spec key "layout", CLI --layout):
+  /// every cell's evaluations floorplan the macro and fold the HPWL-derived
+  /// wire parasitics into delay/energy (cost/layout_cost.h).  Off by
+  /// default — the no-layout grid stays byte-identical.  Result-affecting:
+  /// the toggle joins the checkpoint config fingerprint and the memo
+  /// fingerprint (key emitted only when enabled), so layout-on and
+  /// layout-off state can never cross-resume or cross-seed.
+  bool layout = false;
+
   /// This worker's slice of the grid (spec keys "shard_index"/"shard_count",
   /// CLI `--shard i/N`).  Sharding never changes any cell's result — it only
   /// selects which cells this process computes — so the config fingerprint

@@ -200,6 +200,10 @@ ValidateReport run_validate(const Compiler& compiler, const ValidateSpec& spec,
   if (rtl_cache == nullptr) {
     RtlCostModelOptions rtl_options;
     rtl_options.threads = grid.dse.threads;
+    // With --layout both columns fold the identical analytic wire-energy
+    // term over the same elaborated netlist, so the envelope directions the
+    // gate below asserts are preserved.
+    rtl_options.layout = grid.layout;
     owned_model = std::make_unique<const RtlCostModel>(
         compiler.technology(), grid.conditions, rtl_options);
     owned_cache = std::make_unique<CostCache>(*owned_model);
@@ -258,7 +262,7 @@ ValidateReport run_validate(const Compiler& compiler, const ValidateSpec& spec,
     if (!cal) return validate_fail(cal_error, error);
     const AnalyticCostModel calibrated(
         compiler.technology(), grid.conditions,
-        std::make_shared<const Calibration>(std::move(*cal)));
+        std::make_shared<const Calibration>(std::move(*cal)), grid.layout);
     calibrated.evaluate_batch(Span<const DesignPoint>(knees),
                               Span<MacroMetrics>(analytic));
     report.calibration = calibrated.calibration()->digest();
@@ -495,7 +499,8 @@ std::optional<CalibrationReport> run_validate_calibrate(
   for (const auto& row : report.before.rows) knees.push_back(row.knee);
   std::vector<MacroMetrics> analytic(knees.size());
   const AnalyticCostModel calibrated(compiler.technology(),
-                                     spec.sweep.conditions, cal);
+                                     spec.sweep.conditions, cal,
+                                     spec.sweep.layout);
   calibrated.evaluate_batch(Span<const DesignPoint>(knees),
                             Span<MacroMetrics>(analytic));
   report.after.tolerance = spec.tolerance;

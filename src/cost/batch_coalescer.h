@@ -57,6 +57,10 @@ class BatchCoalescer final : public CostModel {
   /// the wrapped model, not the decorator.
   const char* model_name() const override { return model_->model_name(); }
   int model_version() const override { return model_->model_version(); }
+  std::shared_ptr<const Calibration> calibration() const override {
+    return model_->calibration();
+  }
+  bool layout_enabled() const override { return model_->layout_enabled(); }
 
   MacroMetrics evaluate(const DesignPoint& dp) const override;
   void evaluate_batch(Span<const DesignPoint> points,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cost/calibrate.h"
+#include "cost/layout_cost.h"
 #include "tech/techlib_parser.h"
 #include "util/assert.h"
 #include "util/strings.h"
@@ -480,6 +481,13 @@ Json CostCache::fingerprint_header() const {
   // directions for free.
   if (const auto cal = model_->calibration()) {
     j["calibration"] = cal->fingerprint();
+  }
+  // The layout/interconnect stage follows the same only-when-enabled rule:
+  // layout-off memos carry no key (pre-existing files stay byte-identical),
+  // layout-on memos carry the stage's formula version, and the exact-header
+  // match rejects cross-loads in both directions.
+  if (model_->layout_enabled()) {
+    j["layout"] = kLayoutCostVersion;
   }
   return j;
 }

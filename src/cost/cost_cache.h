@@ -76,6 +76,7 @@ class CostCache final : public CostModel {
   std::shared_ptr<const Calibration> calibration() const override {
     return model_->calibration();
   }
+  bool layout_enabled() const override { return model_->layout_enabled(); }
 
   /// Cached evaluation of one design point.
   MacroMetrics evaluate(const DesignPoint& dp) const override;

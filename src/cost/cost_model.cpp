@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "cost/calibrate.h"
+#include "cost/layout_cost.h"
 #include "cost/rtl_cost_model.h"
+#include "rtl/macro_builder.h"
 #include "util/assert.h"
 #include "util/strings.h"
 
@@ -55,6 +57,29 @@ std::unique_ptr<CostModel> make_cost_model(
   return std::make_unique<AnalyticCostModel>(tech, cond, std::move(cal));
 }
 
+std::unique_ptr<CostModel> make_cost_model(
+    CostModelKind kind, const Technology& tech, EvalConditions cond,
+    std::shared_ptr<const Calibration> cal, bool layout) {
+  if (!layout) return make_cost_model(kind, tech, cond, std::move(cal));
+  if (cal && kind != CostModelKind::kAnalytic) {
+    throw std::runtime_error(
+        "a calibration artifact only applies to the analytic cost model; "
+        "the rtl backend is the measurement it was fitted against");
+  }
+  switch (kind) {
+    case CostModelKind::kAnalytic:
+      return std::make_unique<AnalyticCostModel>(tech, cond, std::move(cal),
+                                                 true);
+    case CostModelKind::kRtl: {
+      RtlCostModelOptions options;
+      options.layout = true;
+      return std::make_unique<RtlCostModel>(tech, cond, options);
+    }
+  }
+  SEGA_ASSERT(false);
+  return nullptr;
+}
+
 void CostModel::evaluate_batch(Span<const DesignPoint> points,
                                Span<MacroMetrics> out) const {
   SEGA_EXPECTS(points.size() == out.size());
@@ -72,13 +97,22 @@ AnalyticCostModel::AnalyticCostModel(const Technology& tech,
                                      std::shared_ptr<const Calibration> cal)
     : ctx_(tech, cond), cal_(std::move(cal)) {}
 
+AnalyticCostModel::AnalyticCostModel(const Technology& tech,
+                                     EvalConditions cond,
+                                     std::shared_ptr<const Calibration> cal,
+                                     bool layout)
+    : ctx_(tech, cond), cal_(std::move(cal)), layout_(layout) {}
+
 MacroMetrics AnalyticCostModel::evaluate(const DesignPoint& dp) const {
   const MacroCensus census = census_macro(tech(), dp);
-  if (cal_) {
-    return derive_metrics_calibrated(ctx_, census, cost_components(census),
-                                     *cal_);
+  MacroMetrics m =
+      cal_ ? derive_metrics_calibrated(ctx_, census, cost_components(census),
+                                       *cal_)
+           : derive_metrics(ctx_, census, cost_components(census));
+  if (layout_) {
+    apply_layout_cost(estimate_layout_cost(ctx_, build_dcim_macro(dp)), &m);
   }
-  return derive_metrics(ctx_, census, cost_components(census));
+  return m;
 }
 
 void AnalyticCostModel::evaluate_batch(Span<const DesignPoint> points,
@@ -97,6 +131,10 @@ void AnalyticCostModel::evaluate_batch(Span<const DesignPoint> points,
       out[i] =
           derive_metrics_calibrated(ctx_, census, cost_components(census),
                                     *cal_);
+      if (layout_) {
+        apply_layout_cost(
+            estimate_layout_cost(ctx_, build_dcim_macro(points[i])), &out[i]);
+      }
     }
     return;
   }
@@ -186,6 +224,16 @@ void AnalyticCostModel::evaluate_batch(Span<const DesignPoint> points,
     m.throughput_tops = tops[i];
     m.tops_per_w = tops_w[i];
     m.tops_per_mm2 = tops_mm2[i];
+  }
+
+  // Layout/interconnect stage, per point after derivation.  The fold is
+  // pure in (ctx_, point), so the batch stays bit-identical to a serial
+  // loop of evaluate() regardless of batch split or thread count.
+  if (layout_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      apply_layout_cost(
+          estimate_layout_cost(ctx_, build_dcim_macro(points[i])), &out[i]);
+    }
   }
 }
 

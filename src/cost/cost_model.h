@@ -48,6 +48,14 @@ class CostModel {
     return nullptr;
   }
 
+  /// Whether the layout/interconnect stage (layout_cost.h) is folded into
+  /// this model's metrics.  Model *identity* like calibration(): the memo
+  /// header and sweep config fingerprint gain a "layout" key only when
+  /// enabled, so layout-on and layout-off state never cross-load while
+  /// pre-existing layout-off artifacts stay byte-identical.  Decorators
+  /// delegate to the wrapped model.
+  virtual bool layout_enabled() const { return false; }
+
   /// Evaluate one design point.
   virtual MacroMetrics evaluate(const DesignPoint& dp) const = 0;
 
@@ -86,6 +94,14 @@ std::unique_ptr<CostModel> make_cost_model(
     CostModelKind kind, const Technology& tech, EvalConditions cond,
     std::shared_ptr<const Calibration> cal);
 
+/// Construct the chosen backend with a calibration and the layout/
+/// interconnect stage toggle.  @p layout == false is exactly the four-arg
+/// overload.  Either backend accepts the layout stage; the calibration rule
+/// of the four-arg overload is unchanged.
+std::unique_ptr<CostModel> make_cost_model(
+    CostModelKind kind, const Technology& tech, EvalConditions cond,
+    std::shared_ptr<const Calibration> cal, bool layout);
+
 /// The analytic model of Tables II-VI: EvalContext -> gate census ->
 /// component costing -> absolute-metric derivation.  The context is hoisted
 /// to construction; the batch path additionally shares a module-cost memo
@@ -104,6 +120,14 @@ class AnalyticCostModel final : public CostModel {
   AnalyticCostModel(const Technology& tech, EvalConditions cond,
                     std::shared_ptr<const Calibration> cal);
 
+  /// The full-identity constructor: calibration plus the layout stage
+  /// toggle.  With @p layout, every evaluation path (scalar, calibrated
+  /// loop, SoA batch) builds the macro netlist, floorplans it, and folds
+  /// the wire parasitics (layout_cost.h) after metric derivation; the fold
+  /// is per-point pure, so batches stay bit-identical to the scalar path.
+  AnalyticCostModel(const Technology& tech, EvalConditions cond,
+                    std::shared_ptr<const Calibration> cal, bool layout);
+
   const Technology& tech() const override { return ctx_.tech(); }
   const EvalConditions& conditions() const override {
     return ctx_.conditions();
@@ -111,6 +135,7 @@ class AnalyticCostModel final : public CostModel {
   std::shared_ptr<const Calibration> calibration() const override {
     return cal_;
   }
+  bool layout_enabled() const override { return layout_; }
 
   MacroMetrics evaluate(const DesignPoint& dp) const override;
   void evaluate_batch(Span<const DesignPoint> points,
@@ -119,6 +144,7 @@ class AnalyticCostModel final : public CostModel {
  private:
   EvalContext ctx_;
   std::shared_ptr<const Calibration> cal_;
+  bool layout_ = false;
 };
 
 }  // namespace sega

@@ -1,0 +1,48 @@
+#include "cost/layout_cost.h"
+
+#include "layout/floorplan.h"
+#include "layout/wirelength.h"
+#include "rtl/macro_builder.h"
+#include "util/assert.h"
+
+namespace sega {
+
+LayoutCost estimate_layout_cost(const EvalContext& ctx,
+                                const DcimMacro& macro) {
+  const MacroLayout layout = floorplan_macro(ctx.tech(), macro);
+  const WirelengthReport report =
+      estimate_wirelength(layout, macro.netlist);
+
+  LayoutCost lc;
+  lc.wire_total_um = report.total_um;
+  lc.wire_max_um = report.max_net_um;
+  lc.nets = report.nets;
+  // Both parasitics go through the EvalContext conversions so they pick up
+  // the same supply / activity / sparsity derating as the gates that drive
+  // the wires.
+  lc.wire_delay_ns =
+      ctx.delay_ns(kWireDelayGatesPerUm2 * lc.wire_max_um * lc.wire_max_um);
+  lc.wire_energy_fj = ctx.energy_fj(kWireEnergyGatesPerUm * lc.wire_total_um);
+  return lc;
+}
+
+void apply_layout_cost(const LayoutCost& lc, MacroMetrics* m) {
+  SEGA_EXPECTS(m != nullptr);
+  SEGA_EXPECTS(lc.wire_delay_ns >= 0.0 && lc.wire_energy_fj >= 0.0);
+  const double old_delay_ns = m->delay_ns;
+  m->delay_ns += lc.wire_delay_ns;
+  m->energy_per_cycle_fj += lc.wire_energy_fj;
+
+  // Re-derive everything downstream of delay/energy with the exact
+  // arithmetic shape of derive_metrics (macro_model.cpp); area is
+  // unchanged, so tops_per_mm2 moves only through throughput.
+  m->freq_ghz = 1.0 / m->delay_ns;
+  m->power_w = m->energy_per_cycle_fj * 1e-15 / (m->delay_ns * 1e-9);
+  m->energy_per_mvm_nj = m->energy_per_cycle_fj *
+                         static_cast<double>(m->cycles_per_input) * 1e-6;
+  m->throughput_tops *= old_delay_ns / m->delay_ns;
+  m->tops_per_w = m->throughput_tops / m->power_w;
+  m->tops_per_mm2 = m->throughput_tops / m->area_mm2;
+}
+
+}  // namespace sega

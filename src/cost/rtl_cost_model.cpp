@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cost/layout_cost.h"
 #include "rtl/harness.h"
 #include "rtl/sta.h"
 #include "util/assert.h"
@@ -243,6 +244,16 @@ MacroMetrics RtlCostModel::evaluate(const DesignPoint& dp) const {
   m.throughput_tops = ops_per_s * 1e-12;
   m.tops_per_w = m.throughput_tops / m.power_w;
   m.tops_per_mm2 = m.throughput_tops / m.area_mm2;
+
+  // --- layout/interconnect stage (optional) --------------------------------
+  // Extraction over the *placed elaborated netlist* — the same macro the
+  // measurement ran on, floorplanned by layout/floorplan.  Wire switching
+  // is the analytic estimate through ctx_ (routing toggles are not traced
+  // by the gate-level sim), so both backends fold the identical wire-energy
+  // term and their divergence stays a gate-level quantity.
+  if (options_.layout) {
+    apply_layout_cost(estimate_layout_cost(ctx_, harness.macro()), &m);
+  }
   return m;
 }
 

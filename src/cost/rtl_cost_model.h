@@ -79,6 +79,11 @@ struct RtlCostModelOptions {
   int threads = 0;
   /// Energy-trace engine (never affects any metric, only wall-clock).
   RtlSimEngine sim_engine = RtlSimEngine::kAuto;
+  /// Fold the layout/interconnect stage (layout_cost.h) into the measured
+  /// metrics: the already-elaborated netlist is floorplanned and the wire
+  /// parasitics are applied after derivation.  Model identity (see
+  /// CostModel::layout_enabled()) — changes every produced metric.
+  bool layout = false;
 };
 
 class RtlCostModel final : public CostModel {
@@ -93,6 +98,7 @@ class RtlCostModel final : public CostModel {
   }
   const char* model_name() const override { return "rtl"; }
   int model_version() const override { return kRtlCostModelVersion; }
+  bool layout_enabled() const override { return options_.layout; }
 
   /// Elaborate + STA + simulate one design point.  Precondition (as for
   /// evaluate_macro): dp is structurally valid for its own wstore().

@@ -26,7 +26,12 @@ WirelengthReport estimate_wirelength(const MacroLayout& layout,
     const Point centre{mem->x_um + mem->width_um / 2,
                        mem->y_um + mem->height_um / 2, true};
     for (std::size_t ci = 0; ci < nl.cells().size(); ++ci) {
-      if (nl.cells()[ci].kind == CellKind::kSram) cell_pos[ci] = centre;
+      // The tile-centre approximation is a fallback for bit cells inside the
+      // tiled array, which the row placer never touches; an SRAM cell the
+      // placer did position keeps its placed coordinate.
+      if (nl.cells()[ci].kind == CellKind::kSram && !cell_pos[ci].known) {
+        cell_pos[ci] = centre;
+      }
     }
   }
 
@@ -34,25 +39,37 @@ WirelengthReport estimate_wirelength(const MacroLayout& layout,
   struct Box {
     double lo_x = 1e300, hi_x = -1e300, lo_y = 1e300, hi_y = -1e300;
     int terminals = 0;
-    void add(const Point& p) {
+    bool sram_only = true;
+    void add(const Point& p, bool sram) {
       lo_x = std::min(lo_x, p.x);
       hi_x = std::max(hi_x, p.x);
       lo_y = std::min(lo_y, p.y);
       hi_y = std::max(hi_y, p.y);
       ++terminals;
+      if (!sram) sram_only = false;
     }
   };
   std::vector<Box> boxes(nl.net_count());
   for (std::size_t ci = 0; ci < nl.cells().size(); ++ci) {
     if (!cell_pos[ci].known) continue;
-    for (const NetId n : nl.cells()[ci].inputs) boxes[n].add(cell_pos[ci]);
-    for (const NetId n : nl.cells()[ci].outputs) boxes[n].add(cell_pos[ci]);
+    const bool sram = nl.cells()[ci].kind == CellKind::kSram;
+    for (const NetId n : nl.cells()[ci].inputs) {
+      boxes[n].add(cell_pos[ci], sram);
+    }
+    for (const NetId n : nl.cells()[ci].outputs) {
+      boxes[n].add(cell_pos[ci], sram);
+    }
   }
 
   WirelengthReport report;
   for (const auto& box : boxes) {
     if (box.terminals < 2) continue;
     const double hpwl = (box.hi_x - box.lo_x) + (box.hi_y - box.lo_y);
+    // Degenerate-net rule: a net whose terminals are all tile-centre SRAM
+    // approximations with zero span carries no routed wire (it is internal
+    // to the memory array) — counting it would deflate mean_net_um and
+    // skew demand_um_per_um2, so it is excluded from every statistic.
+    if (hpwl == 0.0 && box.sram_only) continue;
     report.total_um += hpwl;
     report.max_net_um = std::max(report.max_net_um, hpwl);
     ++report.nets;

@@ -16,7 +16,10 @@ struct WirelengthReport {
   double total_um = 0.0;      ///< sum of net HPWLs
   double max_net_um = 0.0;    ///< longest single net
   double mean_net_um = 0.0;
-  std::size_t nets = 0;       ///< nets with >= 2 placed terminals
+  /// Nets with >= 2 placed terminals, excluding zero-span SRAM-only nets
+  /// (all terminals collapsed to the shared memory-tile centre — such nets
+  /// are internal to the array and carry no routed wire).
+  std::size_t nets = 0;
   /// Total HPWL / core area — a first-order routing-demand indicator.
   double demand_um_per_um2 = 0.0;
 };

@@ -78,15 +78,17 @@ bool run_request_cacheable(const std::vector<std::string>& argv) {
 }
 
 /// FNV-1a over the cache-config key material — the stable suffix of a
-/// per-config memo delta file name.  The uncalibrated material is exactly
-/// the pre-calibration format, so existing delta files keep their names; a
-/// calibrated stack appends the artifact digest and gets its own delta.
+/// per-config memo delta file name.  The uncalibrated, layout-off material
+/// is exactly the historical format, so existing delta files keep their
+/// names; a calibrated stack appends the artifact digest, a layout-enabled
+/// stack appends "|layout", and each gets its own delta.
 std::uint32_t config_hash(CostModelKind kind, const EvalConditions& cond,
-                          const std::string& calibration_digest) {
+                          const std::string& calibration_digest, bool layout) {
   std::string material =
       strfmt("%d|%.17g|%.17g|%.17g", static_cast<int>(kind), cond.supply_v,
              cond.input_sparsity, cond.activity);
   if (!calibration_digest.empty()) material += "|" + calibration_digest;
+  if (layout) material += "|layout";
   std::uint32_t h = 2166136261u;
   for (const char c : material) {
     h ^= static_cast<unsigned char>(c);
@@ -158,7 +160,7 @@ void ServeServer::stop() {
       if (session->thread.joinable()) session->thread.join();
       ::close(session->fd);
     }
-    flush_memos();
+    flush_memos(/*force=*/true);
   });
   started_ = false;
 }
@@ -176,10 +178,34 @@ void ServeServer::wait(const std::function<bool()>& interrupted) {
 }
 
 void ServeServer::accept_loop() {
+  // Completed-runs watermark of the last periodic delta flush.  Local to
+  // the accept thread — the only periodic flusher; the forced shutdown
+  // flush in stop() runs after this thread is joined.
+  std::uint64_t flushed_runs = 0;
   while (!stopping_.load()) {
     bool fatal = false;
     Fd conn = unix_accept(listener_.get(), /*timeout_ms=*/200, &fatal);
     reap_finished();
+    const std::uint64_t done_runs = completed_runs_.load();
+    if (done_runs > flushed_runs) {
+      bool idle = true;
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        for (const auto& [id, session] : sessions_) {
+          (void)id;
+          if (!session->done.load()) {
+            idle = false;
+            break;
+          }
+        }
+      }
+      // Flush every kFlushEveryRuns completed requests, or as soon as the
+      // daemon goes idle — so a quiet daemon never sits on unflushed work.
+      if (idle || done_runs - flushed_runs >= kFlushEveryRuns) {
+        flush_memos(/*force=*/false);
+        flushed_runs = done_runs;
+      }
+    }
     if (!conn.valid()) {
       if (fatal) break;
       continue;
@@ -280,6 +306,7 @@ void ServeServer::handle_connection(Session& session) {
         };
         const RunOutcome outcome =
             broker_.run(req.argv, run_request_cacheable(req.argv), sink);
+        completed_runs_.fetch_add(1);
         if (!send_all(session.fd, result_line(req.id, outcome.exit,
                                               outcome.out, outcome.err))) {
           return;
@@ -296,8 +323,8 @@ int ServeServer::execute(const std::vector<std::string>& argv,
   CliHooks hooks;
   hooks.tech = &tech_;
   hooks.cache_for = [this](CostModelKind kind, const EvalConditions& cond,
-                           const std::string& calibration_file) {
-    return cache_for(kind, cond, calibration_file);
+                           const std::string& calibration_file, bool layout) {
+    return cache_for(kind, cond, calibration_file, layout);
   };
   hooks.sweep_progress = progress;
   return run_cli_hooked(argv, out, err, hooks);
@@ -305,7 +332,8 @@ int ServeServer::execute(const std::vector<std::string>& argv,
 
 CostCache* ServeServer::cache_for(CostModelKind kind,
                                   const EvalConditions& cond,
-                                  const std::string& calibration_file) {
+                                  const std::string& calibration_file,
+                                  bool layout) {
   // A calibrated stack is keyed by the artifact's *content digest*, never
   // the request's path string.  Load failures return null: the request then
   // builds its own stack in-process and surfaces the loader's diagnostic —
@@ -320,8 +348,9 @@ CostCache* ServeServer::cache_for(CostModelKind kind,
     calibration = std::make_shared<const Calibration>(std::move(*loaded));
   }
   const std::string digest = calibration ? calibration->digest() : "";
-  const CacheKey key{static_cast<int>(kind), cond.supply_v,
-                     cond.input_sparsity, cond.activity, digest};
+  const CacheKey key{static_cast<int>(kind),  cond.supply_v,
+                     cond.input_sparsity,     cond.activity,
+                     digest,                  layout};
   std::lock_guard<std::mutex> lock(caches_mu_);
   const auto it = caches_.find(key);
   if (it != caches_.end()) return it->second.cache.get();
@@ -330,13 +359,14 @@ CostCache* ServeServer::cache_for(CostModelKind kind,
   stack.kind = kind;
   stack.cond = cond;
   stack.calibration_digest = digest;
+  stack.layout = layout;
   auto coalescer = std::make_unique<BatchCoalescer>(
-      make_cost_model(kind, tech_, cond, calibration));
+      make_cost_model(kind, tech_, cond, calibration, layout));
   stack.coalescer = coalescer.get();
   stack.cache = std::make_unique<CostCache>(std::move(coalescer));
   if (!opts_.cache_file.empty()) {
     stack.delta_path = strfmt("%s.serve-%08x", opts_.cache_file.c_str(),
-                              config_hash(kind, cond, digest));
+                              config_hash(kind, cond, digest, layout));
     // The base memo carries ONE fingerprint; a mismatch just means it
     // belongs to a different configuration — skipped, never fatal.  Base
     // entries are marked imported so the shutdown flush writes only this
@@ -353,21 +383,31 @@ CostCache* ServeServer::cache_for(CostModelKind kind,
                               /*mark_imported=*/false);
     }
   }
+  // Entries present at seed time need no periodic re-flush; the first
+  // forced (shutdown) flush still writes the delta unconditionally.
+  stack.flushed_size = stack.cache->size();
   CostCache* raw = stack.cache.get();
   caches_.emplace(key, std::move(stack));
   return raw;
 }
 
-void ServeServer::flush_memos() {
+void ServeServer::flush_memos(bool force) {
   std::lock_guard<std::mutex> lock(caches_mu_);
   for (auto& [key, stack] : caches_) {
     (void)key;
     if (stack.delta_path.empty()) continue;
+    // A periodic flush skips stacks that have not grown since their last
+    // flush; save_delta always writes the full delta atomically, so a
+    // grown stack's file is byte-identical to what a shutdown-only flush
+    // would have written at the same entry set.
+    if (!force && stack.cache->size() == stack.flushed_size) continue;
     std::string save_error;
     if (!stack.cache->save_delta(stack.delta_path, &save_error)) {
       std::fprintf(stderr, "[sega] warning: %s (serve memo flush)\n",
                    save_error.c_str());
+      continue;
     }
+    stack.flushed_size = stack.cache->size();
   }
 }
 
@@ -399,6 +439,7 @@ Json ServeServer::status_json() const {
       if (!stack.calibration_digest.empty()) {
         c["calibration"] = stack.calibration_digest;
       }
+      if (stack.layout) c["layout"] = true;
       c["entries"] = static_cast<std::uint64_t>(stack.cache->size());
       c["hits"] = stack.cache->hits();
       c["misses"] = stack.cache->misses();

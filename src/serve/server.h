@@ -25,9 +25,12 @@
 //
 // Memo persistence: with ServeOptions::cache_file set, each per-config
 // cache seeds from that base memo (entries marked imported) plus its own
-// `<cache_file>.serve-<hash>` delta file, and flushes only its delta on
-// shutdown — `sega_dcim memo-compact --cache-file <base> --extra <deltas>`
-// folds the deltas back into the base.
+// `<cache_file>.serve-<hash>` delta file, and flushes only its delta —
+// periodically (every kFlushEveryRuns completed requests and on idle, so a
+// crashed or SIGKILLed daemon loses at most a few requests' worth of
+// evaluations) and finally on shutdown.  `sega_dcim memo-compact
+// --cache-file <base> --extra <deltas>` folds the deltas back into the
+// base.
 #pragma once
 
 #include <atomic>
@@ -93,15 +96,18 @@ class ServeServer {
   /// every 200 ms — the signal-flag check of the foreground daemon).
   void wait(const std::function<bool()>& interrupted);
 
-  /// The shared warm cache for (backend, conditions, calibration artifact),
-  /// created on first use: CostCache over BatchCoalescer over
-  /// make_cost_model.  Stable for the server's lifetime.  A non-empty
+  /// The shared warm cache for (backend, conditions, calibration artifact,
+  /// layout toggle), created on first use: CostCache over BatchCoalescer
+  /// over make_cost_model.  Stable for the server's lifetime.  A non-empty
   /// @p calibration_file keys a *separate* stack by the artifact's content
   /// digest (calibrated and uncalibrated memos must never mix); when the
   /// artifact fails to load this returns null and the request's in-process
-  /// fallback path surfaces the diagnostic.
+  /// fallback path surfaces the diagnostic.  @p layout likewise keys a
+  /// separate stack — layout-on and layout-off metrics (and memo
+  /// fingerprints) differ.
   CostCache* cache_for(CostModelKind kind, const EvalConditions& cond,
-                       const std::string& calibration_file = "");
+                       const std::string& calibration_file = "",
+                       bool layout = false);
 
   /// The `serve --status` payload: pid/socket, broker counters, per-config
   /// cache + coalescer counters, active connection count.
@@ -120,27 +126,38 @@ class ServeServer {
     std::atomic<bool> done{false};
   };
 
-  /// One (backend, conditions, calibration) evaluation stack.
+  /// One (backend, conditions, calibration, layout) evaluation stack.
   struct CacheStack {
     CostModelKind kind = CostModelKind::kAnalytic;
     EvalConditions cond;
     std::string calibration_digest;  ///< empty for the uncalibrated stack
+    bool layout = false;
     std::unique_ptr<CostCache> cache;
     const BatchCoalescer* coalescer = nullptr;
     std::string delta_path;  ///< empty when persistence is off
     bool base_loaded = false;
+    /// Entry count at the last delta flush; a periodic (non-forced) flush
+    /// skips stacks that have not grown since.
+    std::size_t flushed_size = 0;
   };
-  /// (kind, supply, sparsity, activity, calibration digest) — the digest,
-  /// never the artifact path, so two paths to the same artifact share one
-  /// stack and an edited artifact gets a fresh one.
-  using CacheKey = std::tuple<int, double, double, double, std::string>;
+  /// (kind, supply, sparsity, activity, calibration digest, layout) — the
+  /// digest, never the artifact path, so two paths to the same artifact
+  /// share one stack and an edited artifact gets a fresh one.
+  using CacheKey = std::tuple<int, double, double, double, std::string, bool>;
 
   void accept_loop();
   void reap_finished();
   void handle_connection(Session& session);
   int execute(const std::vector<std::string>& argv, std::ostream& out,
               std::ostream& err, const std::function<void(const Json&)>& progress);
-  void flush_memos();
+  /// Persist every stack's memo delta via the atomic `.serve-<hash>` delta
+  /// writer.  Forced (shutdown) flushes write every stack — including
+  /// header-only deltas for stacks with no fresh entries, exactly the
+  /// historical drain behavior.  Periodic (non-forced) flushes skip stacks
+  /// whose entry count has not grown since their last flush; the written
+  /// bytes for a grown stack are identical to what a shutdown-only flush
+  /// would have written at the same entry set.
+  void flush_memos(bool force);
 
   const Technology tech_;
   const ServeOptions opts_;
@@ -158,6 +175,15 @@ class ServeServer {
 
   mutable std::mutex caches_mu_;
   std::map<CacheKey, CacheStack> caches_;
+
+  /// Periodic delta-flush cadence: after this many completed run requests
+  /// the accept loop persists grown memo deltas, so a crashed or SIGKILLed
+  /// daemon loses at most this many requests' worth of evaluations (it
+  /// also flushes when the daemon goes idle).  Crash-durability only —
+  /// never changes any response byte.
+  static constexpr std::uint64_t kFlushEveryRuns = 8;
+  /// Completed run requests (incremented after each broker run finishes).
+  std::atomic<std::uint64_t> completed_runs_{0};
 
   mutable std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

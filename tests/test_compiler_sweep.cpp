@@ -470,6 +470,85 @@ TEST_F(SweepCheckpointTest, CostModelIsPartOfTheCheckpointFingerprint) {
   EXPECT_TRUE(result.cells.empty());
 }
 
+// --- layout-aware interconnect stage ----------------------------------------
+
+TEST(SweepLayoutTest, LayoutOffIsByteIdenticalToDefaultSpec) {
+  // `layout` defaults to off; a spec that never mentions it and a spec with
+  // layout=false must produce byte-identical exports (the toggle-off path
+  // is the pre-layout pipeline, bit for bit).
+  const Compiler compiler(Technology::tsmc28());
+  const SweepResult plain = run_sweep(compiler, small_sweep());
+  SweepSpec off = small_sweep();
+  off.layout = false;
+  const SweepResult result = run_sweep(compiler, off);
+  EXPECT_EQ(plain.to_csv(), result.to_csv());
+  EXPECT_EQ(plain.to_json().dump(2), result.to_json().dump(2));
+}
+
+TEST(SweepLayoutTest, LayoutOnChangesMetricsAndStaysThreadDeterministic) {
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec on = small_sweep();
+  on.layout = true;
+  on.dse.threads = 1;
+  const SweepResult serial = run_sweep(compiler, on);
+  EXPECT_NE(serial.to_csv(), run_sweep(compiler, small_sweep()).to_csv());
+  for (const int threads : {2, 8}) {
+    SweepSpec parallel = on;
+    parallel.dse.threads = threads;
+    const SweepResult b = run_sweep(compiler, parallel);
+    EXPECT_EQ(serial.to_csv(), b.to_csv()) << threads << " threads";
+    EXPECT_EQ(serial.to_json().dump(2), b.to_json().dump(2))
+        << threads << " threads";
+  }
+}
+
+TEST_F(SweepCheckpointTest, LayoutIsPartOfTheCheckpointFingerprint) {
+  // Layout-on and layout-off runs disagree on delay/energy for every cell,
+  // so a checkpoint written under one toggle state must hard-error when
+  // resumed under the other — in both directions.
+  const Compiler compiler(Technology::tsmc28());
+  SweepSpec off = small_sweep();
+  off.checkpoint = ckpt("layout_off.jsonl");
+  std::string error;
+  run_sweep(compiler, off, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  SweepSpec on = off;
+  on.layout = true;
+  SweepResult result = run_sweep(compiler, on, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("configuration"), std::string::npos);
+  EXPECT_TRUE(result.cells.empty());
+
+  on.checkpoint = ckpt("layout_on.jsonl");
+  run_sweep(compiler, on, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  SweepSpec off_again = on;
+  off_again.layout = false;
+  result = run_sweep(compiler, off_again, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(result.cells.empty());
+}
+
+TEST(SweepLayoutSpecTest, LayoutKeyRoundTripsAndValidates) {
+  const auto parsed = SweepSpec::from_json(*Json::parse(
+      R"({"wstores": [4096], "precisions": ["INT8"], "layout": true})"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->layout);
+  const Json j = parsed->to_json();
+  EXPECT_TRUE(j.contains("layout"));
+  // Off stays omitted — the serialized spec of a layout-off sweep is
+  // byte-identical to a pre-layout spec.
+  SweepSpec off;
+  off.wstores = {4096};
+  off.precisions = {precision_int8()};
+  EXPECT_FALSE(off.to_json().contains("layout"));
+  // Type errors are rejected, not coerced.
+  EXPECT_FALSE(SweepSpec::from_json(
+                   *Json::parse(R"({"wstores": [4096], "layout": 1})"))
+                   .has_value());
+}
+
 // --- sharded sweep + merge --------------------------------------------------
 
 using SweepShardTest = SweepCheckpointTest;

@@ -39,48 +39,42 @@ TEST(RequestBrokerTest, LeaderExecutesAndOutcomeCarriesBytes) {
 TEST(RequestBrokerTest, ConcurrentIdenticalRequestsExecuteOnce) {
   // The tentpole contract: N concurrent identical requests → one execution,
   // byte-identical outcomes for every subscriber.
-  std::mutex gate_mu;
-  std::condition_variable gate_cv;
-  int arrived = 0;
-  bool release = false;
   std::atomic<int> executions{0};
 
   constexpr int kClients = 6;
+  // The leader's executor holds until every follower has attached to the
+  // in-flight entry — observed via the broker's own coalesced() counter,
+  // which increments at attach time.  Followers attach without waiting on
+  // the executor, so this cannot deadlock, and it makes the
+  // one-execution assertion deterministic on any scheduler (a
+  // started-thread gate only *probably* beats the leader on a loaded or
+  // single-core box).  The deadline is a safety valve: if it ever fires,
+  // the EXPECTs below fail loudly rather than hanging the suite.
+  RequestBroker* broker_view = nullptr;
   RequestBroker broker(
       [&](const Argv&, std::ostream& out, std::ostream&,
           const std::function<void(const Json&)>&) {
         executions.fetch_add(1);
-        // Hold the leader until every client has had time to attach, so the
-        // test exercises genuine coalescing rather than racing past it.
-        std::unique_lock<std::mutex> lock(gate_mu);
-        gate_cv.wait(lock, [&] { return release; });
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (broker_view->coalesced() <
+                   static_cast<std::uint64_t>(kClients - 1) &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
         out << "answer\n";
         return 0;
       },
       0);
+  broker_view = &broker;
 
   std::vector<std::thread> clients;
   std::vector<RunOutcome> outcomes(kClients);
   for (int i = 0; i < kClients; ++i) {
     clients.emplace_back([&, i] {
-      {
-        std::lock_guard<std::mutex> lock(gate_mu);
-        ++arrived;
-      }
-      gate_cv.notify_all();
       outcomes[i] = broker.run({"explore", "--wstore", "64"}, false, {});
     });
   }
-  {
-    // Release the leader only after all clients are at least started; the
-    // broker guarantees correctness either way, but waiting maximizes the
-    // chance every follower truly attached to the in-flight entry.
-    std::unique_lock<std::mutex> lock(gate_mu);
-    gate_cv.wait_for(lock, std::chrono::seconds(5),
-                     [&] { return arrived == kClients; });
-    release = true;
-  }
-  gate_cv.notify_all();
   for (auto& t : clients) t.join();
 
   EXPECT_EQ(executions.load(), 1);

@@ -397,6 +397,85 @@ TEST_F(ServeServerTest, MemoDeltasFlushOnStopAndCompactBackIntoTheBase) {
   EXPECT_GT(merged_cache.size(), base_cache.size());
 }
 
+TEST_F(ServeServerTest, MemoDeltaFlushesPeriodicallyWhileServing) {
+  // Regression: the memo delta used to be written only by the graceful
+  // drain, so a SIGKILLed daemon lost its entire session.  The accept loop
+  // now flushes grown deltas when the daemon goes idle (and every
+  // kFlushEveryRuns requests) — the delta must land on disk while the
+  // daemon is still running.
+  const std::string base_memo = dir_.file("memo.jsonl");
+  ServeOptions opts;
+  opts.cache_file = base_memo;
+  auto server = start_server(std::move(opts));
+  EXPECT_EQ(via_daemon(socket(), kExploreArgv).code, 0);
+
+  std::string delta;
+  for (int i = 0; i < 100 && delta.empty(); ++i) {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir_.path())) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("memo.jsonl.serve-", 0) == 0) {
+        delta = entry.path().string();
+      }
+    }
+    if (delta.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  ASSERT_FALSE(delta.empty()) << "no periodic delta flush before shutdown";
+  const std::string periodic_bytes = test::read_file(delta);
+  EXPECT_FALSE(periodic_bytes.empty());
+
+  // The forced shutdown flush rewrites the same entry set; the final file
+  // is byte-identical to the periodic flush (flushing early never changes
+  // what ends up on disk).
+  server->stop();
+  EXPECT_EQ(test::read_file(delta), periodic_bytes);
+}
+
+TEST_F(ServeServerTest, LayoutTogglePartitionsDaemonCachesAndDeltas) {
+  const std::string base_memo = dir_.file("memo.jsonl");
+  ServeOptions opts;
+  opts.cache_file = base_memo;
+  auto server = start_server(std::move(opts));
+
+  // A --layout request forwards to the daemon and stays byte-identical to
+  // the in-process run.
+  std::vector<std::string> layout_argv = kExploreArgv;
+  layout_argv.push_back("--layout");
+  EXPECT_TRUE(daemon_eligible(layout_argv));
+  const CliRun daemon_run = via_daemon(socket(), layout_argv);
+  const CliRun local_run = in_process(layout_argv);
+  EXPECT_EQ(daemon_run.code, 0) << daemon_run.err;
+  EXPECT_EQ(scrub_timing(daemon_run.out), scrub_timing(local_run.out));
+
+  // The same explore without --layout builds a *separate* stack: layout-on
+  // and layout-off memos must never alias.
+  EXPECT_EQ(via_daemon(socket(), kExploreArgv).code, 0);
+  const Json status = server->status_json();
+  ASSERT_EQ(status.at("caches").size(), 2u);
+  int layout_stacks = 0;
+  for (std::size_t i = 0; i < status.at("caches").size(); ++i) {
+    const Json& c = status.at("caches").at(i);
+    if (c.contains("layout")) {
+      ++layout_stacks;
+      EXPECT_TRUE(c.at("layout").as_bool());
+    }
+  }
+  EXPECT_EQ(layout_stacks, 1);
+  server->stop();
+
+  // Each stack flushed its own delta file (distinct config hashes).
+  std::size_t deltas = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_.path())) {
+    if (entry.path().filename().string().rfind("memo.jsonl.serve-", 0) == 0) {
+      ++deltas;
+    }
+  }
+  EXPECT_EQ(deltas, 2u);
+}
+
 TEST_F(ServeServerTest, ClientHelpersClassifyEligibilityAndPaths) {
   EXPECT_TRUE(daemon_eligible({"explore", "--wstore", "64"}));
   EXPECT_TRUE(daemon_eligible({"compile", "--spec", "s.json", "--out", "d"}));
